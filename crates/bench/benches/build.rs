@@ -1,0 +1,88 @@
+//! Criterion benches for FIB compilation — the Table 2 "compilation"
+//! column and the build-time side of Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poptrie::{Builder, Node16, Node24};
+use poptrie_dxr::{Dxr, DxrConfig};
+use poptrie_sail::Sail;
+use poptrie_tablegen::{TableKind, TableSpec};
+use poptrie_treebitmap::{TreeBitmap4, TreeBitmap64};
+
+fn bench_rib(n: usize) -> poptrie_rib::RadixTree<u32, u16> {
+    TableSpec {
+        name: format!("criterion-build-{n}"),
+        prefixes: n,
+        next_hops: 16,
+        kind: TableKind::Real,
+    }
+    .generate()
+    .to_rib()
+}
+
+/// Table 2: Poptrie compilation across the option matrix.
+fn build_poptrie_variants(c: &mut Criterion) {
+    let rib = bench_rib(100_000);
+    let mut group = c.benchmark_group("build_poptrie");
+    group.sample_size(10);
+    for s in [0u8, 16, 18] {
+        group.bench_with_input(BenchmarkId::new("basic", s), &s, |b, &s| {
+            b.iter(|| {
+                Builder::<u32, Node16>::new()
+                    .direct_bits(s)
+                    .aggregate(false)
+                    .build(&rib)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("leafvec", s), &s, |b, &s| {
+            b.iter(|| {
+                Builder::<u32, Node24>::new()
+                    .direct_bits(s)
+                    .aggregate(false)
+                    .build(&rib)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("leafvec_aggregated", s), &s, |b, &s| {
+            b.iter(|| {
+                Builder::<u32, Node24>::new()
+                    .direct_bits(s)
+                    .aggregate(true)
+                    .build(&rib)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Build times of the baselines, for context against Table 2.
+fn build_baselines(c: &mut Criterion) {
+    let rib = bench_rib(100_000);
+    let mut group = c.benchmark_group("build_baselines");
+    group.sample_size(10);
+    group.bench_function("treebitmap4", |b| b.iter(|| TreeBitmap4::from_rib(&rib)));
+    group.bench_function("treebitmap64", |b| b.iter(|| TreeBitmap64::from_rib(&rib)));
+    group.bench_function("sail", |b| b.iter(|| Sail::from_rib(&rib).expect("ok")));
+    group.bench_function("d16r", |b| {
+        b.iter(|| Dxr::from_rib(&rib, DxrConfig::d16r()).expect("ok"))
+    });
+    group.bench_function("d18r", |b| {
+        b.iter(|| Dxr::from_rib(&rib, DxrConfig::d18r()).expect("ok"))
+    });
+    group.finish();
+}
+
+/// §3's route aggregation on its own (it dominates aggregated builds).
+fn aggregate_rib(c: &mut Criterion) {
+    let rib = bench_rib(100_000);
+    let mut group = c.benchmark_group("route_aggregation");
+    group.sample_size(10);
+    group.bench_function("aggregated_100k", |b| b.iter(|| rib.aggregated()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    build_poptrie_variants,
+    build_baselines,
+    aggregate_rib
+);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Criterion benches for lookup rates — the statistically-rigorous
+//! companion to `repro table3` / `fig9` / `fig12` (§4.5, §4.7).
+//!
+//! Criterion's methodology (warm-up, outlier rejection, confidence
+//! intervals) doesn't scale to the paper's 35-dataset sweep, so these
+//! benches run every algorithm on one production-shaped table and on the
+//! paper's three synthetic traffic patterns; the `repro` binary covers
+//! the full sweeps.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use poptrie_bench::algorithms::{build_all_v4, Algo, BuildOutcome};
+use poptrie_tablegen::{TableKind, TableSpec};
+use poptrie_traffic::{repeated_v4, sequential_v4, RealTrace, TraceConfig, Xorshift128};
+use std::hint::black_box;
+
+fn bench_table(n: usize) -> poptrie_tablegen::Dataset {
+    TableSpec {
+        name: format!("criterion-{n}"),
+        prefixes: n,
+        next_hops: 16,
+        kind: TableKind::Real,
+    }
+    .generate()
+}
+
+/// Table 3 / Figure 9: random-pattern lookup rate per algorithm.
+fn lookup_random(c: &mut Criterion) {
+    let dataset = bench_table(100_000);
+    let mut algos = Algo::table3().to_vec();
+    algos.push(Algo::Dir248);
+    algos.push(Algo::Lulea);
+    let built = build_all_v4(&algos, &dataset);
+    let mut group = c.benchmark_group("lookup_random");
+    group.throughput(Throughput::Elements(1));
+    for (algo, outcome) in &built {
+        let BuildOutcome::Ok(fib) = outcome else {
+            continue;
+        };
+        group.bench_function(format!("{algo:?}"), |b| {
+            let mut rng = Xorshift128::new(0xBEEF);
+            b.iter(|| fib.lookup(black_box(rng.next_u32())))
+        });
+    }
+    group.finish();
+}
+
+/// §4.5's locality patterns: sequential and repeated, on the algorithms
+/// the paper discusses there.
+fn lookup_locality(c: &mut Criterion) {
+    let dataset = bench_table(100_000);
+    let built = build_all_v4(
+        &[Algo::Sail, Algo::D18r, Algo::Poptrie16, Algo::Poptrie18],
+        &dataset,
+    );
+    let sequential: Vec<u32> = sequential_v4(0x0A00_0000, 1 << 16).collect();
+    let repeated: Vec<u32> = repeated_v4(7, 1 << 16, 16).collect();
+    for (pattern_name, keys) in [("sequential", &sequential), ("repeated", &repeated)] {
+        let mut group = c.benchmark_group(format!("lookup_{pattern_name}"));
+        group.throughput(Throughput::Elements(keys.len() as u64));
+        for (algo, outcome) in &built {
+            let BuildOutcome::Ok(fib) = outcome else {
+                continue;
+            };
+            group.bench_function(format!("{algo:?}"), |b| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &k in keys.iter() {
+                        acc = acc.wrapping_add(fib.lookup(k).unwrap_or(0) as u64);
+                    }
+                    acc
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Figure 12: the real-trace pattern (synthetic MAWI stand-in).
+fn lookup_trace(c: &mut Criterion) {
+    let dataset = bench_table(100_000);
+    let trace = RealTrace::synthesize(
+        &dataset,
+        TraceConfig {
+            destinations: 64_000,
+            ..TraceConfig::default()
+        },
+    );
+    let packets = trace.packet_array(1 << 16);
+    let built = build_all_v4(
+        &[
+            Algo::TreeBitmap,
+            Algo::Sail,
+            Algo::D16r,
+            Algo::Poptrie16,
+            Algo::D18r,
+            Algo::Poptrie18,
+        ],
+        &dataset,
+    );
+    let mut group = c.benchmark_group("lookup_real_trace");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    for (algo, outcome) in &built {
+        let BuildOutcome::Ok(fib) = outcome else {
+            continue;
+        };
+        group.bench_function(format!("{algo:?}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &k in packets.iter() {
+                    acc = acc.wrapping_add(fib.lookup(k).unwrap_or(0) as u64);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 6: IPv6 lookup, Poptrie s = 0/16/18 and the IPv6 DXR baseline.
+fn lookup_v6(c: &mut Criterion) {
+    let table = poptrie_tablegen::ipv6_dataset("REAL-Tier1-A-v6");
+    let rib = table.to_rib();
+    let mut group = c.benchmark_group("lookup_v6_random");
+    group.throughput(Throughput::Elements(1));
+    for s in [0u8, 16, 18] {
+        let fib: poptrie::Poptrie<u128> = poptrie::Builder::new().direct_bits(s).build(&rib);
+        group.bench_function(format!("Poptrie{s}"), |b| {
+            let mut rng = Xorshift128::new(0xBEEF);
+            b.iter(|| fib.lookup(black_box((0x20u128 << 120) | (rng.next_u128() >> 8))))
+        });
+    }
+    let dxr = poptrie_dxr::Dxr6::from_rib(&rib, 18).expect("within limits");
+    group.bench_function("D18R-IPv6", |b| {
+        let mut rng = Xorshift128::new(0xBEEF);
+        b.iter(|| dxr.lookup(black_box((0x20u128 << 120) | (rng.next_u128() >> 8))))
+    });
+    group.finish();
+}
+
+/// Ablation (DESIGN.md): cost of the `Option` wrapper vs `lookup_raw` vs
+/// a batched materializing loop.
+fn lookup_call_style(c: &mut Criterion) {
+    let dataset = bench_table(100_000);
+    let rib = dataset.to_rib();
+    let fib: poptrie::Poptrie<u32> = poptrie::Builder::new().direct_bits(18).build(&rib);
+    let keys: Vec<u32> = Xorshift128::new(3).take(1 << 14).collect();
+    let mut group = c.benchmark_group("poptrie18_call_style");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("lookup_option", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(fib.lookup(k).unwrap_or(0) as u64);
+            }
+            acc
+        })
+    });
+    group.bench_function("lookup_raw", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(fib.lookup_raw(k) as u64);
+            }
+            acc
+        })
+    });
+    group.bench_function("lookup_batched_materialize", |b| {
+        b.iter_batched(
+            || Vec::with_capacity(keys.len()),
+            |mut out: Vec<u16>| {
+                out.extend(keys.iter().map(|&k| fib.lookup_raw(k)));
+                out
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    lookup_random,
+    lookup_locality,
+    lookup_trace,
+    lookup_v6,
+    lookup_call_style
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benches for the measurement substrate itself:
+//! the xorshift generator whose ~1.2 ns overhead the paper measures and
+//! deliberately leaves inside its results (§4.2), the `extract`/popcount
+//! primitives of Algorithm 1, and trace generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use poptrie_bitops::{rank1, Bits};
+use poptrie_traffic::{RealTrace, TraceConfig, Xorshift128, Xorshift32};
+use std::hint::black_box;
+
+/// §4.2: "The measured average overhead of the random number generator
+/// was 1.22 nanoseconds per generation."
+fn xorshift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xorshift");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("xorshift32", |b| {
+        let mut rng = Xorshift32::new(1);
+        b.iter(|| rng.next_u32())
+    });
+    group.bench_function("xorshift128", |b| {
+        let mut rng = Xorshift128::new(1);
+        b.iter(|| rng.next_u32())
+    });
+    group.bench_function("xorshift128_u128", |b| {
+        let mut rng = Xorshift128::new(1);
+        b.iter(|| rng.next_u128())
+    });
+    group.finish();
+}
+
+/// The two primitives in Poptrie's inner loop (Algorithm 1, lines 4, 7).
+fn primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("extract_u32", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(i).extract(18, 6)
+        })
+    });
+    group.bench_function("extract_u128", |b| {
+        let mut i = 0u128;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(i).extract(60, 6)
+        })
+    });
+    group.bench_function("rank1", |b| {
+        let mut v = 0xDEAD_BEEF_CAFE_F00Du64;
+        b.iter(|| {
+            v = v.rotate_left(7);
+            rank1(black_box(v), 37)
+        })
+    });
+    group.finish();
+}
+
+/// Trace synthesis and replay (Figure 12 preprocessing).
+fn trace(c: &mut Criterion) {
+    let dataset = poptrie_tablegen::TableSpec {
+        name: "criterion-trace".into(),
+        prefixes: 50_000,
+        next_hops: 16,
+        kind: poptrie_tablegen::TableKind::Real,
+    }
+    .generate();
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    group.bench_function("synthesize_64k_destinations", |b| {
+        b.iter(|| {
+            RealTrace::synthesize(
+                &dataset,
+                TraceConfig {
+                    destinations: 64_000,
+                    ..TraceConfig::default()
+                },
+            )
+        })
+    });
+    let trace = RealTrace::synthesize(
+        &dataset,
+        TraceConfig {
+            destinations: 64_000,
+            ..TraceConfig::default()
+        },
+    );
+    group.throughput(Throughput::Elements(1 << 16));
+    group.bench_function("replay_64k_packets", |b| {
+        b.iter(|| trace.packets(1 << 16).map(u64::from).sum::<u64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, xorshift, primitives, trace);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Criterion benches for incremental update (§3.5 / §4.9): single-route
+//! announce/withdraw latency and update-stream replay, plus the buddy
+//! allocator that absorbs the churn.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use poptrie::Fib;
+use poptrie_buddy::Buddy;
+use poptrie_rib::Prefix;
+use poptrie_tablegen::{synthesize_update_stream, TableKind, TableSpec, UpdateEvent};
+use poptrie_traffic::Xorshift128;
+
+fn base_fib(n: usize) -> (poptrie_tablegen::Dataset, Fib<u32>) {
+    let dataset = TableSpec {
+        name: format!("criterion-update-{n}"),
+        prefixes: n,
+        next_hops: 16,
+        kind: TableKind::RouteViews,
+    }
+    .generate();
+    let fib = Fib::from_rib(dataset.to_rib(), 18, false);
+    (dataset, fib)
+}
+
+/// §4.9's core number: microseconds per route update on a full FIB.
+fn single_update(c: &mut Criterion) {
+    let (_, mut fib) = base_fib(100_000);
+    let mut group = c.benchmark_group("incremental_update");
+    let mut rng = Xorshift128::new(0x0bad);
+    group.bench_function("announce_replace_24", |b| {
+        b.iter(|| {
+            let p = Prefix::new(rng.next_u32(), 24);
+            fib.insert(p, (rng.next_u32() % 16 + 1) as u16);
+            p
+        })
+    });
+    group.bench_function("announce_then_withdraw_32", |b| {
+        b.iter(|| {
+            let p = Prefix::new(rng.next_u32(), 32);
+            fib.insert(p, 5);
+            fib.remove(p)
+        })
+    });
+    // Short prefixes touch 2^(s-len) direct slots (§3.5).
+    group.bench_function("announce_then_withdraw_12", |b| {
+        b.iter(|| {
+            let p = Prefix::new(rng.next_u32(), 12);
+            fib.insert(p, 5);
+            fib.remove(p)
+        })
+    });
+    group.finish();
+}
+
+/// Replay of a BGP-mix stream (announce-heavy, as §4.9's archive).
+fn stream_replay(c: &mut Criterion) {
+    let (dataset, fib) = base_fib(100_000);
+    let stream = synthesize_update_stream(&dataset, 800, 200);
+    let mut group = c.benchmark_group("update_stream");
+    group.sample_size(10);
+    group.bench_function("replay_1000_events", |b| {
+        b.iter_batched(
+            || fib.clone(),
+            |mut fib| {
+                for ev in &stream {
+                    match *ev {
+                        UpdateEvent::Announce(p, nh) => {
+                            fib.insert(p, nh);
+                        }
+                        UpdateEvent::Withdraw(p) => {
+                            fib.remove(p);
+                        }
+                    }
+                }
+                fib
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation (DESIGN.md): the §3.5 node-reuse refresh vs tearing down and
+/// recompiling the affected slot subtree.
+fn strategy_ablation(c: &mut Criterion) {
+    use poptrie::update::UpdateStrategy;
+    let (_, fib) = base_fib(100_000);
+    let mut group = c.benchmark_group("update_strategy");
+    for (label, strategy) in [
+        ("node_refresh", UpdateStrategy::NodeRefresh),
+        ("subtree_rebuild", UpdateStrategy::SubtreeRebuild),
+    ] {
+        let mut fib = fib.clone();
+        fib.set_update_strategy(strategy);
+        let mut rng = Xorshift128::new(0xab1a);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let p = Prefix::new(rng.next_u32(), 24);
+                fib.insert(p, (rng.next_u32() % 16 + 1) as u16)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The buddy allocator under FIB-update-like churn.
+fn buddy_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy_allocator");
+    group.bench_function("alloc_free_sibling_runs", |b| {
+        let mut buddy = Buddy::with_capacity(1 << 16);
+        let mut rng = Xorshift128::new(9);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        b.iter(|| {
+            if live.len() < 256 && rng.next_u32().is_multiple_of(2) {
+                let n = rng.next_u32() % 64 + 1;
+                live.push((buddy.alloc(n), n));
+            } else if let Some((off, n)) = live.pop() {
+                buddy.free(off, n);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    single_update,
+    stream_replay,
+    strategy_ablation,
+    buddy_churn
+);
+criterion_main!(benches);

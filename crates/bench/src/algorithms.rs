@@ -1,0 +1,147 @@
+//! Building the evaluated algorithms from a dataset.
+
+use poptrie::{Builder, Poptrie};
+use poptrie_dir248::Dir248;
+use poptrie_dxr::{Dxr, DxrConfig};
+use poptrie_lulea::Lulea;
+use poptrie_rib::{Lpm, NextHop, RadixTree};
+use poptrie_sail::Sail;
+use poptrie_tablegen::Dataset;
+use poptrie_treebitmap::{TreeBitmap4, TreeBitmap64};
+
+/// The algorithms of Figure 9 (plus the Table 3 extras), in the paper's
+/// plot order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Binary radix tree (the paper's `Radix` baseline).
+    Radix,
+    /// Tree BitMap, original stride-4.
+    TreeBitmap,
+    /// Tree BitMap, 64-ary popcnt variant (Table 3).
+    TreeBitmap64,
+    /// SAIL_L.
+    Sail,
+    /// DXR with a 2^16 directory.
+    D16r,
+    /// Poptrie with `s = 16`.
+    Poptrie16,
+    /// DXR with a 2^18 directory.
+    D18r,
+    /// DXR with the §4.8 extended (2^20) range index.
+    D18rModified,
+    /// Poptrie with `s = 18`.
+    Poptrie18,
+    /// Poptrie without direct pointing.
+    Poptrie0,
+    /// DIR-24-8-BASIC (Gupta et al. 1998) — not in the paper's figures;
+    /// included as the ancestor of direct pointing for the ablations.
+    Dir248,
+    /// Lulea-style level-compressed trie (Degermark et al. 1997) — not in
+    /// the paper's figures; included as the compression ancestor for the
+    /// ablations.
+    Lulea,
+}
+
+impl Algo {
+    /// The seven algorithms of Figure 9, in plot order.
+    pub fn figure9() -> &'static [Algo] {
+        &[
+            Algo::Radix,
+            Algo::TreeBitmap,
+            Algo::Sail,
+            Algo::D16r,
+            Algo::Poptrie16,
+            Algo::D18r,
+            Algo::Poptrie18,
+        ]
+    }
+
+    /// The Table 3 row set (Figure 9's plus 64-ary Tree BitMap and
+    /// Poptrie0).
+    pub fn table3() -> &'static [Algo] {
+        &[
+            Algo::Radix,
+            Algo::TreeBitmap,
+            Algo::TreeBitmap64,
+            Algo::Sail,
+            Algo::D16r,
+            Algo::D18r,
+            Algo::Poptrie0,
+            Algo::Poptrie16,
+            Algo::Poptrie18,
+        ]
+    }
+}
+
+/// The result of building one algorithm: the paper's Table 5 needs to
+/// distinguish a working structure from a structural-limit failure
+/// (`N/A`).
+pub enum BuildOutcome {
+    /// Structure built; boxed behind the common lookup trait.
+    Ok(Box<dyn Lpm<u32> + Send + Sync>),
+    /// The algorithm's structural limit was exceeded (SAIL's 15-bit chunk
+    /// ids, DXR's 2^19/2^20 range index).
+    StructuralLimit(String),
+}
+
+impl core::fmt::Debug for BuildOutcome {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildOutcome::Ok(fib) => write!(f, "Ok({})", fib.name()),
+            BuildOutcome::StructuralLimit(e) => write!(f, "StructuralLimit({e})"),
+        }
+    }
+}
+
+/// Build one algorithm from a RIB.
+pub fn build_v4(algo: Algo, rib: &RadixTree<u32, NextHop>) -> BuildOutcome {
+    match algo {
+        Algo::Radix => BuildOutcome::Ok(Box::new(rib.clone())),
+        Algo::TreeBitmap => BuildOutcome::Ok(Box::new(TreeBitmap4::from_rib(rib))),
+        Algo::TreeBitmap64 => BuildOutcome::Ok(Box::new(TreeBitmap64::from_rib(rib))),
+        Algo::Sail => match Sail::from_rib(rib) {
+            Ok(s) => BuildOutcome::Ok(Box::new(s)),
+            Err(e) => BuildOutcome::StructuralLimit(e.to_string()),
+        },
+        Algo::D16r => match Dxr::from_rib(rib, DxrConfig::d16r()) {
+            Ok(d) => BuildOutcome::Ok(Box::new(d)),
+            Err(e) => BuildOutcome::StructuralLimit(e.to_string()),
+        },
+        Algo::D18r => match Dxr::from_rib(rib, DxrConfig::d18r()) {
+            Ok(d) => BuildOutcome::Ok(Box::new(d)),
+            Err(e) => BuildOutcome::StructuralLimit(e.to_string()),
+        },
+        Algo::D18rModified => {
+            let cfg = DxrConfig {
+                direct_bits: 18,
+                extended_index: true,
+            };
+            match Dxr::from_rib(rib, cfg) {
+                Ok(d) => BuildOutcome::Ok(Box::new(d)),
+                Err(e) => BuildOutcome::StructuralLimit(e.to_string()),
+            }
+        }
+        Algo::Dir248 => match Dir248::from_rib(rib) {
+            Ok(d) => BuildOutcome::Ok(Box::new(d)),
+            Err(e) => BuildOutcome::StructuralLimit(e.to_string()),
+        },
+        Algo::Lulea => match Lulea::from_rib(rib) {
+            Ok(l) => BuildOutcome::Ok(Box::new(l)),
+            Err(e) => BuildOutcome::StructuralLimit(e.to_string()),
+        },
+        Algo::Poptrie0 => BuildOutcome::Ok(Box::new(poptrie_with_s(rib, 0))),
+        Algo::Poptrie16 => BuildOutcome::Ok(Box::new(poptrie_with_s(rib, 16))),
+        Algo::Poptrie18 => BuildOutcome::Ok(Box::new(poptrie_with_s(rib, 18))),
+    }
+}
+
+fn poptrie_with_s(rib: &RadixTree<u32, NextHop>, s: u8) -> Poptrie<u32> {
+    Builder::new().direct_bits(s).aggregate(true).build(rib)
+}
+
+/// Build a set of algorithms from a dataset, returning
+/// `(algo, outcome)` pairs.
+pub fn build_all_v4(algos: &[Algo], dataset: &Dataset) -> Vec<(Algo, BuildOutcome)> {
+    let rib = dataset.to_rib();
+    algos.iter().map(|&a| (a, build_v4(a, &rib))).collect()
+}

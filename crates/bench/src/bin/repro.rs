@@ -1,0 +1,953 @@
+//! `repro` — regenerate every table and figure of the Poptrie paper.
+//!
+//! ```text
+//! repro <experiment> [--quick | --full] [--compare]
+//!
+//! experiments:
+//!   table1   dataset inventory (Table 1)
+//!   table2   Poptrie options ablation on REAL-Tier1-A (Table 2)
+//!   table3   memory + rate, all algorithms, REAL-Tier1-A/B (Table 3)
+//!   table4   per-lookup CPU cycle percentiles (Table 4)
+//!   table5   scalability on SYN1/SYN2 tables (Table 5)
+//!   table6   IPv6 Poptrie (Table 6; --compare adds IPv6 DXR, §4.10)
+//!   fig7     binary-radix-depth heat map (Figure 7)
+//!   fig8     multi-thread scaling (Figure 8)
+//!   fig9     lookup rate on all 35 datasets (Figure 9)
+//!   fig10    CDF of CPU cycles per lookup (Figure 10)
+//!   fig11    cycles vs binary radix depth candlesticks (Figure 11)
+//!   fig12    real-trace lookup rate on REAL-RENET (Figure 12)
+//!   updates  incremental update performance (§4.9)
+//!   all      everything above
+//! ```
+//!
+//! `--quick` shrinks workloads for smoke runs; `--full` uses paper-scale
+//! 2^32-lookup measurements (slow).
+
+use poptrie::{Builder, Fib, Poptrie};
+use poptrie_bench::algorithms::{build_all_v4, build_v4, Algo, BuildOutcome};
+use poptrie_bench::measure::{
+    cycle_percentiles, cycle_samples, mean_std, measure_mlps, measure_mlps_keys, CycleSample,
+    MeasureConfig,
+};
+use poptrie_bench::report::{mean_std_cell, mib, Table};
+use poptrie_cycles::{Candlestick, Cdf, Heatmap};
+use poptrie_dxr::Dxr6;
+use poptrie_rib::Lpm;
+use poptrie_tablegen as tablegen;
+use poptrie_traffic::{random_v6_in_2000, RealTrace, TraceConfig, Xorshift128};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+    let compare = args.iter().any(|a| a == "--compare");
+    let cfg = if full {
+        MeasureConfig::full()
+    } else if quick {
+        MeasureConfig::quick()
+    } else {
+        MeasureConfig::standard()
+    };
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("help");
+    let mut ctx = Ctx {
+        cfg,
+        quick,
+        compare,
+        datasets: HashMap::new(),
+    };
+    match cmd {
+        "table1" => table1(&mut ctx),
+        "table2" => table2(&mut ctx),
+        "table3" => table3(&mut ctx),
+        "table4" => table4(&mut ctx),
+        "table5" => table5(&mut ctx),
+        "table6" => table6(&mut ctx),
+        "fig7" => fig7(&mut ctx),
+        "fig8" => fig8(&mut ctx),
+        "fig9" => fig9(&mut ctx),
+        "fig10" => fig10(&mut ctx),
+        "fig11" => fig11(&mut ctx),
+        "fig12" => fig12(&mut ctx),
+        "updates" => updates(&mut ctx),
+        "stats" => stats(&mut ctx, &args),
+        "serial" => serial(&mut ctx),
+        "locality" => locality(&mut ctx),
+        "all" => {
+            table1(&mut ctx);
+            table2(&mut ctx);
+            table3(&mut ctx);
+            table4(&mut ctx);
+            table5(&mut ctx);
+            table6(&mut ctx);
+            fig7(&mut ctx);
+            fig8(&mut ctx);
+            fig9(&mut ctx);
+            fig10(&mut ctx);
+            fig11(&mut ctx);
+            fig12(&mut ctx);
+            updates(&mut ctx);
+        }
+        _ => {
+            eprint!("{}", HELP);
+            std::process::exit(if cmd == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+const HELP: &str = "\
+repro — regenerate the tables and figures of the Poptrie paper (SIGCOMM 2015)
+
+usage: repro <experiment> [--quick | --full] [--compare]
+
+experiments: table1 table2 table3 table4 table5 table6
+             fig7 fig8 fig9 fig10 fig11 fig12 updates all
+             stats <dataset|SYN1-...|SYN2-...>   structural diagnostics
+             serial   dependent-lookup latency comparison (ablation)
+             locality sequential/repeated rates on REAL-Tier1-B (§4.5)
+";
+
+struct Ctx {
+    cfg: MeasureConfig,
+    quick: bool,
+    compare: bool,
+    datasets: HashMap<String, tablegen::Dataset>,
+}
+
+impl Ctx {
+    fn dataset(&mut self, name: &str) -> &tablegen::Dataset {
+        if !self.datasets.contains_key(name) {
+            eprintln!("[gen] synthesizing {name} ...");
+            let d = tablegen::dataset(name);
+            self.datasets.insert(name.to_string(), d);
+        }
+        &self.datasets[name]
+    }
+
+    /// Dataset list for sweep experiments (fig9): all 35, or 6 in quick
+    /// mode.
+    fn sweep_names(&self) -> Vec<&'static str> {
+        if self.quick {
+            vec![
+                "REAL-Tier1-A",
+                "REAL-Tier1-B",
+                "REAL-RENET",
+                "RV-linx-p46",
+                "RV-saopaulo-p2",
+                "RV-sydney-p0",
+            ]
+        } else {
+            tablegen::all_dataset_names()
+        }
+    }
+}
+
+fn section(title: &str) {
+    println!("\n==============================================================");
+    println!("{title}");
+    println!("==============================================================");
+}
+
+// ---------------------------------------------------------------- table 1
+
+fn table1(ctx: &mut Ctx) {
+    section("Table 1: RIB datasets (name, # prefixes, # next hops)");
+    let mut t = Table::new(vec!["Name", "# prefixes", "# nhops", "kind"]);
+    if ctx.quick {
+        for info in tablegen::table1() {
+            t.row(vec![
+                info.name.to_string(),
+                info.prefixes.to_string(),
+                info.next_hops.to_string(),
+                format!("{:?} (spec)", info.kind),
+            ]);
+        }
+    } else {
+        for info in tablegen::table1() {
+            let d = ctx.dataset(info.name);
+            t.row(vec![
+                info.name.to_string(),
+                d.len().to_string(),
+                d.next_hop_count().to_string(),
+                format!("{:?}", info.kind),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- table 2
+
+fn table2(ctx: &mut Ctx) {
+    section("Table 2: Poptrie options on REAL-Tier1-A (s = 0, 16, 18)");
+    let cfg = ctx.cfg;
+    let rib = ctx.dataset("REAL-Tier1-A").to_rib();
+    let mut t = Table::new(vec![
+        "Variant",
+        "s",
+        "# inodes",
+        "# leaves",
+        "Mem [MiB]",
+        "Compile (std.) [ms]",
+        "Rate (std.) [Mlps]",
+    ]);
+
+    // Radix baseline row, as in the paper's Table 2 header row.
+    let (rate, std) = measure_mlps(&rib, &cfg);
+    t.row(vec![
+        "Radix".to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        mib(Lpm::memory_bytes(&rib)),
+        "-".into(),
+        format!("{rate:.2} ({std:.2})"),
+    ]);
+
+    for s in [0u8, 16, 18] {
+        // basic, no aggregation (§3.1)
+        let (compile, trie) = timed_builds(3, || {
+            Builder::<u32, poptrie::Node16>::new()
+                .direct_bits(s)
+                .aggregate(false)
+                .build(&rib)
+        });
+        let st = trie.stats();
+        t.row(vec![
+            "Poptrie (basic), no aggregation".to_string(),
+            s.to_string(),
+            st.inodes.to_string(),
+            st.leaves.to_string(),
+            mib(st.memory_bytes),
+            mean_std_cell(compile),
+            mean_std_cell(measure_mlps(&trie, &cfg)),
+        ]);
+        drop(trie);
+        // leafvec, no aggregation (§3.3)
+        let (compile, trie) = timed_builds(3, || {
+            Builder::<u32, poptrie::Node24>::new()
+                .direct_bits(s)
+                .aggregate(false)
+                .build(&rib)
+        });
+        let st = trie.stats();
+        t.row(vec![
+            "Poptrie (leafvec), no aggregation".to_string(),
+            s.to_string(),
+            st.inodes.to_string(),
+            st.leaves.to_string(),
+            mib(st.memory_bytes),
+            mean_std_cell(compile),
+            mean_std_cell(measure_mlps(&trie, &cfg)),
+        ]);
+        drop(trie);
+        // full Poptrie (leafvec + route aggregation)
+        let (compile, trie) = timed_builds(3, || {
+            Builder::<u32, poptrie::Node24>::new()
+                .direct_bits(s)
+                .aggregate(true)
+                .build(&rib)
+        });
+        let st = trie.stats();
+        t.row(vec![
+            "Poptrie".to_string(),
+            s.to_string(),
+            st.inodes.to_string(),
+            st.leaves.to_string(),
+            mib(st.memory_bytes),
+            mean_std_cell(compile),
+            mean_std_cell(measure_mlps(&trie, &cfg)),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn timed_builds<T>(reps: u32, mut f: impl FnMut() -> T) -> ((f64, f64), T) {
+    let mut times = Vec::new();
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let t = f();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(t);
+    }
+    (mean_std(&times), out.expect("reps >= 1"))
+}
+
+// ---------------------------------------------------------------- table 3
+
+fn table3(ctx: &mut Ctx) {
+    section("Table 3: memory footprint and random lookup rate (REAL-Tier1-A/B)");
+    let cfg = ctx.cfg;
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "A: Mem [MiB]",
+        "A: Rate [Mlps]",
+        "B: Mem [MiB]",
+        "B: Rate [Mlps]",
+    ]);
+    let mut cells: HashMap<(usize, &'static str), (String, String)> = HashMap::new();
+    for (i, ds) in ["REAL-Tier1-A", "REAL-Tier1-B"].iter().enumerate() {
+        let dataset = ctx.dataset(ds).clone();
+        for (algo, outcome) in build_all_v4(Algo::table3(), &dataset) {
+            let key = (i, algo_label(algo));
+            match outcome {
+                BuildOutcome::Ok(fib) => {
+                    let (rate, _) = measure_mlps(fib.as_ref(), &cfg);
+                    cells.insert(key, (mib(fib.memory_bytes()), format!("{rate:.2}")));
+                }
+                BuildOutcome::StructuralLimit(e) => {
+                    cells.insert(key, ("N/A".into(), format!("N/A ({e})")));
+                }
+            }
+        }
+    }
+    for algo in Algo::table3() {
+        let label = algo_label(*algo);
+        let a = cells.get(&(0, label)).cloned().unwrap_or_default();
+        let b = cells.get(&(1, label)).cloned().unwrap_or_default();
+        t.row(vec![label.to_string(), a.0, a.1, b.0, b.1]);
+    }
+    print!("{}", t.render());
+}
+
+fn algo_label(algo: Algo) -> &'static str {
+    match algo {
+        Algo::Radix => "Radix",
+        Algo::TreeBitmap => "Tree BitMap",
+        Algo::TreeBitmap64 => "Tree BitMap (64-ary)",
+        Algo::Sail => "SAIL",
+        Algo::D16r => "D16R",
+        Algo::D18r => "D18R",
+        Algo::D18rModified => "D18R (modified)",
+        Algo::Dir248 => "DIR-24-8",
+        Algo::Lulea => "Lulea",
+        Algo::Poptrie0 => "Poptrie0",
+        Algo::Poptrie16 => "Poptrie16",
+        Algo::Poptrie18 => "Poptrie18",
+    }
+}
+
+// ---------------------------------------------------------------- table 4
+
+const CYCLE_ALGOS: [Algo; 5] = [
+    Algo::Sail,
+    Algo::D16r,
+    Algo::D18r,
+    Algo::Poptrie16,
+    Algo::Poptrie18,
+];
+
+fn table4(ctx: &mut Ctx) {
+    section("Table 4: per-lookup CPU cycles, random traffic (mean / p50 / p75 / p95 / p99)");
+    let n = ctx.cfg.cycle_samples;
+    println!("(serialized-TSC sampling, {n} lookups per algorithm, bracket overhead subtracted)");
+    let mut t = Table::new(vec![
+        "Dataset",
+        "Algorithm",
+        "Mean",
+        "50th",
+        "75th",
+        "95th",
+        "99th",
+    ]);
+    for ds in ["REAL-Tier1-A", "REAL-Tier1-B"] {
+        let dataset = ctx.dataset(ds).clone();
+        let rib = dataset.to_rib();
+        for algo in CYCLE_ALGOS {
+            let BuildOutcome::Ok(fib) = build_v4(algo, &rib) else {
+                t.row(vec![ds.to_string(), algo_label(algo).into(), "N/A".into()]);
+                continue;
+            };
+            let samples = cycle_samples(fib.as_ref(), n);
+            let p = cycle_percentiles(&samples).expect("non-empty");
+            t.row(vec![
+                ds.to_string(),
+                algo_label(algo).to_string(),
+                format!("{:.2}", p.mean),
+                p.p50.to_string(),
+                p.p75.to_string(),
+                p.p95.to_string(),
+                p.p99.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- table 5
+
+fn table5(ctx: &mut Ctx) {
+    section("Table 5: scalability on synthetic large RIBs (random traffic)");
+    let cfg = ctx.cfg;
+    let mut t = Table::new(vec!["Algorithm", "Table", "# routes", "Rate [Mlps]"]);
+    for base_name in ["REAL-Tier1-A", "REAL-Tier1-B"] {
+        let base = ctx.dataset(base_name).clone();
+        for (syn, d) in [
+            ("SYN1", tablegen::expand_syn1(&base)),
+            ("SYN2", tablegen::expand_syn2(&base)),
+        ] {
+            eprintln!("[gen] {} -> {} ({} routes)", base_name, d.name, d.len());
+            let rib = d.to_rib();
+            for algo in [Algo::Sail, Algo::D18r, Algo::D18rModified, Algo::Poptrie18] {
+                let label = algo_label(algo);
+                match build_v4(algo, &rib) {
+                    BuildOutcome::Ok(fib) => {
+                        let (rate, _) = measure_mlps(fib.as_ref(), &cfg);
+                        t.row(vec![
+                            label.to_string(),
+                            d.name.clone(),
+                            d.len().to_string(),
+                            format!("{rate:.2}"),
+                        ]);
+                    }
+                    BuildOutcome::StructuralLimit(e) => {
+                        t.row(vec![
+                            label.to_string(),
+                            d.name.clone(),
+                            d.len().to_string(),
+                            format!("N/A ({e})"),
+                        ]);
+                    }
+                }
+            }
+            let _ = syn;
+        }
+    }
+    print!("{}", t.render());
+    println!("(the paper's Table 5: SAIL is N/A on SYN2 — 15-bit chunk ids exceeded —");
+    println!(" and DXR requires the modified 2^20-range encoding; Poptrie18 stays above");
+    println!(" the 148.8 Mlps 100GbE wire rate)");
+}
+
+// ---------------------------------------------------------------- table 6
+
+fn table6(ctx: &mut Ctx) {
+    section("Table 6: IPv6 Poptrie (REAL-Tier1-A IPv6 table, random in 2000::/8)");
+    let cfg = ctx.cfg;
+    let d = tablegen::ipv6_dataset("REAL-Tier1-A-v6");
+    println!("({} prefixes)", d.len());
+    let rib = d.to_rib();
+    let mut t = Table::new(vec![
+        "s",
+        "# inodes",
+        "# leaves",
+        "Mem [KiB]",
+        "Compile (std.) [ms]",
+        "Rate (std.) [Mlps]",
+    ]);
+    for s in [0u8, 16, 18] {
+        let (compile, trie) = timed_builds(3, || {
+            Builder::<u128, poptrie::Node24>::new()
+                .direct_bits(s)
+                .aggregate(true)
+                .build(&rib)
+        });
+        let st = trie.stats();
+        let rate = measure_v6_mlps(|k| trie.lookup(k), &cfg);
+        t.row(vec![
+            s.to_string(),
+            st.inodes.to_string(),
+            st.leaves.to_string(),
+            format!("{:.0}", st.memory_bytes as f64 / 1024.0),
+            mean_std_cell(compile),
+            mean_std_cell(rate),
+        ]);
+    }
+    print!("{}", t.render());
+
+    if ctx.compare || !ctx.quick {
+        println!("\n§4.10 comparison (IPv6 DXR, long-format ranges):");
+        let mut t = Table::new(vec!["Algorithm", "Ranges", "Rate (std.) [Mlps]"]);
+        for s in [16u8, 18] {
+            match Dxr6::from_rib(&rib, s) {
+                Ok(dxr) => {
+                    let rate = measure_v6_mlps(|k| dxr.lookup(k), &cfg);
+                    t.row(vec![
+                        format!("D{s}R-IPv6"),
+                        dxr.range_count().to_string(),
+                        mean_std_cell(rate),
+                    ]);
+                }
+                Err(e) => {
+                    t.row(vec![
+                        format!("D{s}R-IPv6"),
+                        "-".into(),
+                        format!("N/A ({e})"),
+                    ]);
+                }
+            }
+        }
+        print!("{}", t.render());
+
+        println!("\n§4.10 RouteViews-style IPv6 tables (Poptrie16/Poptrie18):");
+        let mut t = Table::new(vec![
+            "Table",
+            "# prefixes",
+            "Poptrie16 [Mlps]",
+            "Poptrie18 [Mlps]",
+        ]);
+        let names = if ctx.quick {
+            tablegen::ipv6_routeviews_names()[..3].to_vec()
+        } else {
+            tablegen::ipv6_routeviews_names()
+        };
+        for name in names {
+            let d = tablegen::ipv6_dataset(&name);
+            let rib = d.to_rib();
+            let t16: Poptrie<u128> = Builder::new().direct_bits(16).build(&rib);
+            let t18: Poptrie<u128> = Builder::new().direct_bits(18).build(&rib);
+            let r16 = measure_v6_mlps(|k| t16.lookup(k), &cfg);
+            let r18 = measure_v6_mlps(|k| t18.lookup(k), &cfg);
+            t.row(vec![
+                name,
+                d.len().to_string(),
+                format!("{:.2}", r16.0),
+                format!("{:.2}", r18.0),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+}
+
+fn measure_v6_mlps(lookup: impl Fn(u128) -> Option<u16>, cfg: &MeasureConfig) -> (f64, f64) {
+    let mut rates = Vec::new();
+    for rep in 0..cfg.reps {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        let mut it = random_v6_in_2000(0xBEEF + rep, cfg.lookups);
+        for _ in 0..cfg.lookups {
+            let key = it.next().expect("infinite");
+            acc = acc.wrapping_add(lookup(key).unwrap_or(0) as u64);
+        }
+        std::hint::black_box(acc);
+        rates.push(cfg.lookups as f64 / start.elapsed().as_secs_f64() / 1e6);
+    }
+    mean_std(&rates)
+}
+
+// ----------------------------------------------------------------- fig 7
+
+fn fig7(ctx: &mut Ctx) {
+    section("Figure 7: binary radix depth vs matched prefix length (REAL-Tier1-A)");
+    let rib = ctx.dataset("REAL-Tier1-A").to_rib();
+    let samples: u64 = if ctx.quick { 1 << 20 } else { 1 << 24 };
+    println!("(stratified sample of {samples} addresses over the IPv4 space;");
+    println!(" the paper scans all 2^32 — intensity scale is per decade either way)");
+    let mut map = Heatmap::new(33, 33);
+    let mut rng = Xorshift128::new(7);
+    let stride = (u64::from(u32::MAX) + 1) / samples;
+    for i in 0..samples {
+        // Stratified: one random address per stride bucket.
+        let key = (i * stride) as u32 | (rng.next_u32() % stride.max(1) as u32);
+        let (_, depth, plen) = rib.lookup_with_depth(key);
+        if let Some(plen) = plen {
+            map.add(plen as usize, depth as usize, 1);
+        }
+    }
+    println!(
+        "{}",
+        map.render("matched prefix length", "binary radix depth")
+    );
+}
+
+// ----------------------------------------------------------------- fig 8
+
+fn fig8(ctx: &mut Ctx) {
+    section("Figure 8: aggregated lookup rate by thread count (Poptrie18)");
+    let cfg = ctx.cfg;
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let mut t = Table::new(vec!["Dataset", "Threads", "Aggregate rate [Mlps]"]);
+    for ds in ["REAL-Tier1-A", "REAL-Tier1-B"] {
+        let rib = ctx.dataset(ds).to_rib();
+        let trie: Poptrie<u32> = Builder::new().direct_bits(18).build(&rib);
+        for threads in 1..=max_threads {
+            let total: f64 = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|tid| {
+                        let trie = &trie;
+                        scope.spawn(move || {
+                            let mut rng = Xorshift128::new(0xF00D + tid as u32);
+                            let start = Instant::now();
+                            let mut acc = 0u64;
+                            for _ in 0..cfg.lookups {
+                                acc = acc
+                                    .wrapping_add(trie.lookup(rng.next_u32()).unwrap_or(0) as u64);
+                            }
+                            std::hint::black_box(acc);
+                            cfg.lookups as f64 / start.elapsed().as_secs_f64() / 1e6
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("thread")).sum()
+            });
+            t.row(vec![
+                ds.to_string(),
+                threads.to_string(),
+                format!("{total:.2}"),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}
+
+// ----------------------------------------------------------------- fig 9
+
+fn fig9(ctx: &mut Ctx) {
+    section("Figure 9: average lookup rate for random traffic, all datasets");
+    let cfg = ctx.cfg;
+    let names = ctx.sweep_names();
+    let algos = Algo::figure9();
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(algos.iter().map(|a| algo_label(*a).to_string()));
+    let mut t = Table::new(header);
+    for name in names {
+        let dataset = ctx.dataset(name).clone();
+        let mut row = vec![name.to_string()];
+        for (_, outcome) in build_all_v4(algos, &dataset) {
+            match outcome {
+                BuildOutcome::Ok(fib) => {
+                    let (rate, _) = measure_mlps(fib.as_ref(), &cfg);
+                    row.push(format!("{rate:.1}"));
+                }
+                BuildOutcome::StructuralLimit(_) => row.push("N/A".into()),
+            }
+        }
+        t.row(row);
+        // Free the cached dataset: the sweep touches all 35 and holding
+        // them all costs gigabytes.
+        ctx.datasets.remove(name);
+    }
+    print!("{}", t.render());
+}
+
+// ----------------------------------------------------------------- fig 10
+
+fn fig10(ctx: &mut Ctx) {
+    section("Figure 10: CDF of CPU cycles per lookup (REAL-Tier1-A, random)");
+    let n = ctx.cfg.cycle_samples;
+    let rib = ctx.dataset("REAL-Tier1-A").to_rib();
+    let mut cdfs: Vec<(&'static str, Cdf)> = Vec::new();
+    for algo in CYCLE_ALGOS {
+        let BuildOutcome::Ok(fib) = build_v4(algo, &rib) else {
+            continue;
+        };
+        let samples = cycle_samples(fib.as_ref(), n);
+        let raw: Vec<u64> = samples.iter().map(|s| s.cycles).collect();
+        cdfs.push((algo_label(algo), Cdf::from_samples(&raw)));
+    }
+    let mut header = vec!["cycles".to_string()];
+    header.extend(cdfs.iter().map(|(l, _)| l.to_string()));
+    let mut t = Table::new(header);
+    for x in (0..=500u64).step_by(20) {
+        let mut row = vec![x.to_string()];
+        for (_, cdf) in &cdfs {
+            row.push(format!("{:.3}", cdf.at(x)));
+        }
+        t.row(row);
+    }
+    print!("{}", t.render());
+}
+
+// ----------------------------------------------------------------- fig 11
+
+fn fig11(ctx: &mut Ctx) {
+    section("Figure 11: per-lookup cycles by binary radix depth (REAL-Tier1-A)");
+    let n = ctx.cfg.cycle_samples;
+    let rib = ctx.dataset("REAL-Tier1-A").to_rib();
+    for algo in CYCLE_ALGOS {
+        let BuildOutcome::Ok(fib) = build_v4(algo, &rib) else {
+            continue;
+        };
+        let samples = cycle_samples(fib.as_ref(), n);
+        // Bucket by the binary radix depth of each key.
+        let mut buckets: HashMap<u32, Vec<u64>> = HashMap::new();
+        for CycleSample { key, cycles } in samples {
+            let (_, depth, _) = rib.lookup_with_depth(key);
+            buckets.entry(depth).or_default().push(cycles);
+        }
+        println!("\n{}:", algo_label(algo));
+        let mut t = Table::new(vec!["depth", "n", "5%", "q1", "median", "q3", "95%"]);
+        let mut depths: Vec<u32> = buckets.keys().copied().collect();
+        depths.sort_unstable();
+        for d in depths {
+            let b = &buckets[&d];
+            if b.len() < 16 {
+                continue; // too few samples for stable quartiles
+            }
+            let c = Candlestick::from_samples(b).expect("non-empty");
+            t.row(vec![
+                d.to_string(),
+                b.len().to_string(),
+                c.p5.to_string(),
+                c.q1.to_string(),
+                c.median.to_string(),
+                c.q3.to_string(),
+                c.p95.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+}
+
+// ----------------------------------------------------------------- fig 12
+
+fn fig12(ctx: &mut Ctx) {
+    section("Figure 12: average lookup rate for real-trace on REAL-RENET");
+    let cfg = ctx.cfg;
+    let dataset = ctx.dataset("REAL-RENET").clone();
+    let trace = RealTrace::synthesize(&dataset, TraceConfig::default());
+    let packets = trace.packet_array(if ctx.quick { 1 << 20 } else { 1 << 24 });
+    let rib = dataset.to_rib();
+    let mut t = Table::new(vec!["Algorithm", "Rate (std.) [Mlps]"]);
+    for algo in [
+        Algo::TreeBitmap,
+        Algo::Sail,
+        Algo::D16r,
+        Algo::Poptrie16,
+        Algo::D18r,
+        Algo::Poptrie18,
+    ] {
+        match build_v4(algo, &rib) {
+            BuildOutcome::Ok(fib) => {
+                let rate = measure_mlps_keys(fib.as_ref(), &packets, &cfg);
+                t.row(vec![algo_label(algo).to_string(), mean_std_cell(rate)]);
+            }
+            BuildOutcome::StructuralLimit(e) => {
+                t.row(vec![algo_label(algo).to_string(), format!("N/A ({e})")]);
+            }
+        }
+    }
+    print!("{}", t.render());
+}
+
+// --------------------------------------------------------- §4.5 locality
+
+/// The §4.5 locality-pattern numbers: "For REAL-Tier1-B where Poptrie
+/// performed worse, the average lookup rate for sequential of SAIL,
+/// D16R, D18R, Poptrie16, and Poptrie18 were 1264, 628, 911, 955, and
+/// 1122 Mlps ... for repeated ... 492, 382, 454, 470, and 480 Mlps."
+fn locality(ctx: &mut Ctx) {
+    use poptrie_traffic::{repeated_v4, sequential_v4};
+    section("§4.5: lookup rate under locality patterns (REAL-Tier1-B)");
+    let cfg = ctx.cfg;
+    let dataset = ctx.dataset("REAL-Tier1-B").clone();
+    // Materialized key arrays, as the paper feeds them.
+    let seq: Vec<u32> = sequential_v4(0, 1 << 22).collect();
+    let rep: Vec<u32> = repeated_v4(0xBEEF, 1 << 22, 16).collect();
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "sequential [Mlps]",
+        "repeated [Mlps]",
+        "random [Mlps]",
+    ]);
+    for (algo, outcome) in build_all_v4(
+        &[
+            Algo::Sail,
+            Algo::D16r,
+            Algo::D18r,
+            Algo::Poptrie16,
+            Algo::Poptrie18,
+        ],
+        &dataset,
+    ) {
+        let BuildOutcome::Ok(fib) = outcome else {
+            t.row(vec![algo_label(algo).to_string(), "N/A".into()]);
+            continue;
+        };
+        let (s, _) = measure_mlps_keys(fib.as_ref(), &seq, &cfg);
+        let (r, _) = measure_mlps_keys(fib.as_ref(), &rep, &cfg);
+        let (x, _) = measure_mlps(fib.as_ref(), &cfg);
+        t.row(vec![
+            algo_label(algo).to_string(),
+            format!("{s:.2}"),
+            format!("{r:.2}"),
+            format!("{x:.2}"),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(paper, same order — sequential: 1264/628/911/955/1122;");
+    println!(" repeated: 492/382/454/470/480; both far above random — locality");
+    println!(" lets every structure ride its caches)");
+}
+
+// ------------------------------------------------------- serial ablation
+
+/// Dependent-lookup comparison (not a paper figure — an ablation): each
+/// key is perturbed by the previous result, so lookups cannot overlap in
+/// the memory pipeline. This is the latency-bound regime of a
+/// run-to-completion forwarding loop, and the regime where structure
+/// depth (Poptrie's advantage) matters most; the paper's single-task-OS
+/// cycle analysis (§4.6) measures the same effect differently.
+fn serial(ctx: &mut Ctx) {
+    use poptrie_bench::measure::measure_mlps_serial;
+    section("Ablation: independent vs dependent (serialized) lookup rate");
+    let cfg = ctx.cfg;
+    let mut t = Table::new(vec!["Algorithm", "independent [Mlps]", "dependent [Mlps]"]);
+    let dataset = ctx.dataset("REAL-Tier1-A").clone();
+    let mut algos: Vec<Algo> = Algo::table3().to_vec();
+    algos.push(Algo::Dir248);
+    algos.push(Algo::Lulea);
+    for (algo, outcome) in build_all_v4(&algos, &dataset) {
+        let BuildOutcome::Ok(fib) = outcome else {
+            t.row(vec![
+                algo_label(algo).to_string(),
+                "N/A".into(),
+                "N/A".into(),
+            ]);
+            continue;
+        };
+        let (ind, _) = measure_mlps(fib.as_ref(), &cfg);
+        let (dep, _) = measure_mlps_serial(fib.as_ref(), &cfg);
+        t.row(vec![
+            algo_label(algo).to_string(),
+            format!("{ind:.2}"),
+            format!("{dep:.2}"),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ------------------------------------------------------------ diagnostics
+
+/// Structural statistics of a dataset: prefix-length histogram, SAIL
+/// chunk pressure, DXR range pressure. Not a paper artifact — a tool for
+/// verifying that synthesized tables sit on the right side of each
+/// algorithm's structural limits.
+fn stats(ctx: &mut Ctx, args: &[String]) {
+    let name = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .cloned()
+        .unwrap_or_else(|| "REAL-Tier1-A".to_string());
+    let dataset = if let Some(base) = name.strip_prefix("SYN1-") {
+        tablegen::expand_syn1(ctx.dataset(&format!("REAL-{base}")))
+    } else if let Some(base) = name.strip_prefix("SYN2-") {
+        tablegen::expand_syn2(ctx.dataset(&format!("REAL-{base}")))
+    } else {
+        ctx.dataset(&name).clone()
+    };
+    section(&format!("Structural statistics: {}", dataset.name));
+    println!(
+        "routes: {}   next hops: {}",
+        dataset.len(),
+        dataset.next_hop_count()
+    );
+    let mut hist = [0usize; 33];
+    let mut chunks16 = std::collections::HashSet::new();
+    let mut chunks24 = std::collections::HashSet::new();
+    for (p, _) in &dataset.routes {
+        hist[p.len() as usize] += 1;
+        if p.len() > 16 {
+            chunks16.insert(p.addr() >> 16);
+        }
+        if p.len() > 24 {
+            chunks24.insert(p.addr() >> 8);
+        }
+    }
+    for (len, n) in hist.iter().enumerate() {
+        if *n > 0 {
+            println!("  /{len:<2} {n}");
+        }
+    }
+    println!(
+        "SAIL chunk pressure: level-24 {} / 32768, level-32 {} / 32768",
+        chunks16.len(),
+        chunks24.len()
+    );
+    let rib = dataset.to_rib();
+    for (label, cfg) in [
+        ("D16R", poptrie_dxr::DxrConfig::d16r()),
+        ("D18R", poptrie_dxr::DxrConfig::d18r()),
+        (
+            "D18R (modified)",
+            poptrie_dxr::DxrConfig {
+                direct_bits: 18,
+                extended_index: true,
+            },
+        ),
+    ] {
+        match poptrie_dxr::Dxr::from_rib(&rib, cfg) {
+            Ok(d) => println!("{label} ranges: {}", d.range_count()),
+            Err(e) => println!("{label}: N/A ({e})"),
+        }
+    }
+    match poptrie_sail::Sail::from_rib(&rib) {
+        Ok(s) => {
+            let (c24, c32) = s.chunk_counts();
+            println!("SAIL: ok ({c24} level-24 chunks, {c32} level-32 chunks)");
+        }
+        Err(e) => println!("SAIL: N/A ({e})"),
+    }
+}
+
+// ----------------------------------------------------------------- §4.9
+
+fn updates(ctx: &mut Ctx) {
+    section("§4.9: update performance (Poptrie18, incremental)");
+    // BGP update replay against RV-linx-p52 (the paper's dataset), with
+    // the paper's announce/withdraw mix.
+    let base = ctx.dataset("RV-linx-p52").clone();
+    let stream = tablegen::synthesize_update_stream(&base, 18_141, 5_305);
+    let mut fib = Fib::from_rib(base.to_rib(), 18, false);
+    let before = fib.stats();
+    let start = Instant::now();
+    for ev in &stream {
+        match *ev {
+            tablegen::UpdateEvent::Announce(p, nh) => {
+                fib.insert(p, nh);
+            }
+            tablegen::UpdateEvent::Withdraw(p) => {
+                fib.remove(p);
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let after = fib.stats();
+    let n = stream.len() as f64;
+    println!(
+        "replayed {} updates (18,141 announce / 5,305 withdraw) in {:.2} ms",
+        stream.len(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "  {:.2} us/update; per update: {:.3} direct slots, {:.2} nodes built, {:.2} leaves built",
+        elapsed.as_secs_f64() * 1e6 / n,
+        (after.direct_replacements - before.direct_replacements) as f64 / n,
+        (after.nodes_built - before.nodes_built) as f64 / n,
+        (after.leaves_built - before.leaves_built) as f64 / n,
+    );
+
+    // Full-route insertion in randomized order (the paper's second
+    // §4.9 input).
+    for ds in ["REAL-Tier1-A", "REAL-Tier1-B"] {
+        let dataset = ctx.dataset(ds).clone();
+        let mut routes = dataset.routes.clone();
+        // Deterministic shuffle ("the order of the entries is randomized").
+        let mut rng = Xorshift128::new(0x5405);
+        for i in (1..routes.len()).rev() {
+            routes.swap(i, rng.next_u32() as usize % (i + 1));
+        }
+        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        let start = Instant::now();
+        for (p, nh) in routes {
+            fib.insert(p, nh);
+        }
+        let dt = start.elapsed().as_secs_f64();
+        println!(
+            "full-route randomized insertion, {}: {:.2} s total, {:.2} us/prefix",
+            ds,
+            dt,
+            dt * 1e6 / dataset.len() as f64
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! The [`Bits`] key-width abstraction.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// An unsigned integer treated as a fixed-width, MSB-first bit string.
+///
+/// IP addresses are bit strings read from the most significant bit: the
+/// first bit of `10.0.0.0` is `0`, the first bit of `192.0.2.0` is `1`.
+/// Every lookup structure in this workspace walks keys in that order, so the
+/// trait exposes MSB-first operations only.
+///
+/// Implementations exist for `u8`, `u16`, `u32` (IPv4), `u64` and `u128`
+/// (IPv6). The narrow widths let property tests enumerate an entire address
+/// space exhaustively.
+pub trait Bits: Copy + Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {
+    /// Width of the key in bits (32 for IPv4, 128 for IPv6).
+    const BITS: u32;
+
+    /// The all-zeros key (`0.0.0.0`, `::`).
+    const ZERO: Self;
+
+    /// The all-ones key (`255.255.255.255`).
+    const ONES: Self;
+
+    /// Extract `len` bits starting at MSB-first offset `off`, zero-padding
+    /// past the end of the key, exactly like the paper's
+    /// `extract(key, off, len)`.
+    ///
+    /// `len` must be at most 32; the result is returned in the low bits of a
+    /// `u32`. Offsets at or beyond [`Bits::BITS`] yield zero bits, so a
+    /// 64-ary trie may keep consuming 6-bit chunks past the end of a 32-bit
+    /// key (offset 30 extracts bits 30..32 followed by four zero bits).
+    fn extract(self, off: u32, len: u32) -> u32;
+
+    /// The bit at MSB-first position `i` (`i < Self::BITS`).
+    fn bit(self, i: u32) -> bool;
+
+    /// Key with only the bit at MSB-first position `i` set.
+    fn single_bit(i: u32) -> Self;
+
+    /// Mask keeping the `len` most significant bits (prefix mask).
+    /// `len` may be 0 (all zeros) through `Self::BITS` (all ones).
+    fn prefix_mask(len: u32) -> Self;
+
+    /// Bitwise AND, used to canonicalize prefixes.
+    fn and(self, other: Self) -> Self;
+
+    /// Bitwise OR.
+    fn or(self, other: Self) -> Self;
+
+    /// Build a key from the `len` low bits of `v` placed at the top
+    /// (MSB-first) of the key; the inverse of `extract(_, 0, len)`.
+    fn from_high_bits(v: u32, len: u32) -> Self;
+
+    /// Lossy conversion to `u128` for display and arithmetic in generators.
+    fn to_u128(self) -> u128;
+
+    /// Construct from the low `Self::BITS` bits of a `u128`.
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_bits {
+    ($t:ty, $bits:expr) => {
+        impl Bits for $t {
+            const BITS: u32 = $bits;
+            const ZERO: Self = 0;
+            const ONES: Self = <$t>::MAX;
+
+            #[inline(always)]
+            fn extract(self, off: u32, len: u32) -> u32 {
+                debug_assert!(len <= 32 && len > 0);
+                if off >= Self::BITS {
+                    return 0;
+                }
+                // Shift the wanted field to the top, then down to the bottom.
+                // When the field runs past the end of the key the right shift
+                // is larger, which zero-pads the low bits — the `extract`
+                // semantics of the paper.
+                let shifted = self << off;
+                let avail = Self::BITS - off;
+                let take = len.min(avail);
+                let out = (shifted >> (Self::BITS - take)) as u32;
+                out << (len - take)
+            }
+
+            #[inline(always)]
+            fn bit(self, i: u32) -> bool {
+                debug_assert!(i < Self::BITS);
+                (self >> (Self::BITS - 1 - i)) & 1 == 1
+            }
+
+            #[inline(always)]
+            fn single_bit(i: u32) -> Self {
+                debug_assert!(i < Self::BITS);
+                (1 as $t) << (Self::BITS - 1 - i)
+            }
+
+            #[inline(always)]
+            fn prefix_mask(len: u32) -> Self {
+                debug_assert!(len <= Self::BITS);
+                if len == 0 {
+                    0
+                } else {
+                    <$t>::MAX << (Self::BITS - len)
+                }
+            }
+
+            #[inline(always)]
+            fn and(self, other: Self) -> Self {
+                self & other
+            }
+
+            #[inline(always)]
+            fn or(self, other: Self) -> Self {
+                self | other
+            }
+
+            #[inline(always)]
+            fn from_high_bits(v: u32, len: u32) -> Self {
+                debug_assert!(len <= if Self::BITS < 32 { Self::BITS } else { 32 });
+                if len == 0 {
+                    return 0;
+                }
+                let v = v & (u32::MAX >> (32 - len));
+                (v as $t) << (Self::BITS - len)
+            }
+
+            #[inline(always)]
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+
+            #[inline(always)]
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+
+impl_bits!(u8, 8);
+impl_bits!(u16, 16);
+impl_bits!(u32, 32);
+impl_bits!(u64, 64);
+impl_bits!(u128, 128);

@@ -1,0 +1,33 @@
+//! Bit-vector primitives shared across the Poptrie reproduction.
+//!
+//! The Poptrie paper (SIGCOMM 2015) builds its entire lookup structure on two
+//! operations over 64-bit vectors:
+//!
+//! * **MSB-first chunk extraction** — `extract(key, off, len)` in the paper's
+//!   Algorithm 1 takes `len` bits starting `off` bits from the most
+//!   significant end of the key address. Offsets may run past the end of the
+//!   key (e.g. `s = 18`, `k = 6` on a 32-bit key reaches bit offset 30..36);
+//!   the paper's C implementation zero-pads, and so do we.
+//! * **Rank within a prefix of the vector** — the number of set bits in the
+//!   least-significant `n + 1` bits, computed with the `popcnt` instruction.
+//!   Rust's [`u64::count_ones`] compiles to `popcnt` on every x86-64 target
+//!   with SSE4.2 and to the equivalent instruction elsewhere, which is the
+//!   same fallback strategy the paper describes (§3.2).
+//!
+//! The [`Bits`] trait abstracts the key width so the same Poptrie, Tree
+//! BitMap and radix-tree code serves IPv4 (`u32`), IPv6 (`u128`) and the
+//! narrow widths (`u8`, `u16`) used by exhaustive property tests.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bits;
+mod rank;
+mod vec64;
+
+pub use bits::Bits;
+pub use rank::{mask_low, rank0, rank1};
+pub use vec64::BitVec64;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,33 @@
+//! Population-count rank over 64-bit vectors.
+//!
+//! These three functions are the heart of Poptrie's node traversal
+//! (Algorithm 1, lines 7 and 14): given the 6-bit chunk value `v` of the
+//! current address chunk, the index of the next internal node is
+//! `base1 + rank1(vector, v) - 1`, and the leaf index is
+//! `base0 + rank1(leafvec, v) - 1` (or `rank0(vector, v)` without the
+//! leafvec extension).
+
+/// Mask with the least-significant `n + 1` bits set.
+///
+/// The paper computes `(2ULL << v) - 1`, which is undefined behaviour in C
+/// when `v == 63`; we use a right-shift of the all-ones word instead, which
+/// is well defined for every `n` in `0..64`.
+#[inline(always)]
+pub fn mask_low(n: u32) -> u64 {
+    debug_assert!(n < 64);
+    u64::MAX >> (63 - n)
+}
+
+/// Number of set bits among the least-significant `n + 1` bits of `vec`.
+///
+/// Compiles to `and` + `popcnt` on x86-64.
+#[inline(always)]
+pub fn rank1(vec: u64, n: u32) -> u32 {
+    (vec & mask_low(n)).count_ones()
+}
+
+/// Number of clear bits among the least-significant `n + 1` bits of `vec`.
+#[inline(always)]
+pub fn rank0(vec: u64, n: u32) -> u32 {
+    ((!vec) & mask_low(n)).count_ones()
+}

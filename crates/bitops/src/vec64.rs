@@ -1,0 +1,106 @@
+//! A thin, well-tested wrapper over a 64-bit vector with rank support.
+
+use crate::rank::{rank0, rank1};
+
+/// A 64-slot bit vector with population-count rank queries.
+///
+/// Used by the Poptrie builder while it assembles `vector` and `leafvec`
+/// fields, and by the Tree BitMap baseline for its internal/external
+/// bitmaps. The lookup hot paths operate on raw `u64`s; this type is the
+/// ergonomic construction-side view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BitVec64(pub u64);
+
+impl BitVec64 {
+    /// The empty vector.
+    pub const EMPTY: Self = BitVec64(0);
+
+    /// Create from a raw word.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        BitVec64(raw)
+    }
+
+    /// The raw word.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Set bit `i` (0 = least significant).
+    #[inline]
+    pub fn set(&mut self, i: u32) {
+        debug_assert!(i < 64);
+        self.0 |= 1u64 << i;
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: u32) {
+        debug_assert!(i < 64);
+        self.0 &= !(1u64 << i);
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(self, i: u32) -> bool {
+        debug_assert!(i < 64);
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Number of set bits among the least-significant `n + 1` bits.
+    #[inline]
+    pub fn rank1(self, n: u32) -> u32 {
+        rank1(self.0, n)
+    }
+
+    /// Number of clear bits among the least-significant `n + 1` bits.
+    #[inline]
+    pub fn rank0(self, n: u32) -> u32 {
+        rank0(self.0, n)
+    }
+
+    /// True when no bit is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over the indices of set bits, ascending.
+    #[inline]
+    pub fn iter_ones(self) -> IterOnes {
+        IterOnes(self.0)
+    }
+}
+
+/// Iterator over set-bit positions of a [`BitVec64`], ascending.
+#[derive(Debug, Clone)]
+pub struct IterOnes(u64);
+
+impl Iterator for IterOnes {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for IterOnes {}

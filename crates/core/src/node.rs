@@ -1,0 +1,192 @@
+//! Internal node representations.
+//!
+//! The paper describes two node layouts (§3): the *basic* node of 16 bytes
+//! (`vector`, `base0`, `base1`) where every relevant slot has its own leaf,
+//! and the *leafvec* node of 24 bytes that adds a second bit-vector to
+//! compress runs of identical leaves. Table 2 compares the two; this crate
+//! keeps both behind the [`NodeRepr`] trait so [`Poptrie`] and
+//! [`PoptrieBasic`] share every line of builder and traversal logic while
+//! keeping their true in-memory sizes (24 vs 16 bytes).
+//!
+//! [`Poptrie`]: crate::Poptrie
+//! [`PoptrieBasic`]: crate::PoptrieBasic
+
+use poptrie_bitops::{rank0, rank1};
+
+/// Operations a Poptrie node layout must provide.
+///
+/// The hot-path contract: `vector()` drives the internal/leaf decision and
+/// the child index; [`NodeRepr::leaf_rank`] yields the 1-based rank of the
+/// leaf slot for chunk value `v` (the `bc` of Algorithm 1 line 14 /
+/// Algorithm 2).
+pub trait NodeRepr: Copy + Clone + Send + Sync + 'static {
+    /// Construct a node. `leafvec` is ignored by layouts without one.
+    fn new(vector: u64, leafvec: u64, base0: u32, base1: u32) -> Self;
+
+    /// The child-type bit vector (`1` = internal child, `0` = leaf).
+    fn vector(&self) -> u64;
+
+    /// Base index of the node's children in the internal-node array.
+    fn base1(&self) -> u32;
+
+    /// Base index of the node's leaves in the leaf array.
+    fn base0(&self) -> u32;
+
+    /// 1-based rank of the leaf for chunk value `v`; the leaf lives at
+    /// `base0() + leaf_rank(v) - 1`. Only meaningful when bit `v` of
+    /// `vector()` is clear.
+    fn leaf_rank(&self, v: u32) -> u32;
+
+    /// Number of leaves owned by this node (the size of its leaf block).
+    fn leaf_count(&self) -> u32;
+
+    /// Whether this layout compresses identical adjacent leaves (§3.3).
+    const COMPRESSES_LEAVES: bool;
+
+    /// Size in bytes, as reported in the paper's memory accounting.
+    const SIZE: usize = core::mem::size_of::<Self>();
+}
+
+/// The 24-byte node with the leafvec extension (§3.3) — the layout the
+/// paper simply calls "Poptrie".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct Node24 {
+    /// Child-type bit vector: bit `n` set ⇒ internal child for chunk `n`.
+    pub vector: u64,
+    /// Leaf-run start bit vector: bit `n` set ⇒ a new run of identical
+    /// leaves starts at slot `n` (irrelevant slots — those with an internal
+    /// child — never set their bit and never break a run: the "hole
+    /// punching" recovery of Figure 3).
+    pub leafvec: u64,
+    /// Base index into the leaf array.
+    pub base0: u32,
+    /// Base index into the internal-node array.
+    pub base1: u32,
+}
+
+impl NodeRepr for Node24 {
+    #[inline(always)]
+    fn new(vector: u64, leafvec: u64, base0: u32, base1: u32) -> Self {
+        Node24 {
+            vector,
+            leafvec,
+            base0,
+            base1,
+        }
+    }
+
+    #[inline(always)]
+    fn vector(&self) -> u64 {
+        self.vector
+    }
+
+    #[inline(always)]
+    fn base1(&self) -> u32 {
+        self.base1
+    }
+
+    #[inline(always)]
+    fn base0(&self) -> u32 {
+        self.base0
+    }
+
+    #[inline(always)]
+    fn leaf_rank(&self, v: u32) -> u32 {
+        // Algorithm 2: popcnt(leafvec & ((2 << v) - 1)).
+        rank1(self.leafvec, v)
+    }
+
+    #[inline(always)]
+    fn leaf_count(&self) -> u32 {
+        self.leafvec.count_ones()
+    }
+
+    const COMPRESSES_LEAVES: bool = true;
+}
+
+/// The 16-byte basic node (§3.1): one leaf per relevant slot, leaf index
+/// computed by counting zeros in `vector`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct Node16 {
+    /// Child-type bit vector: bit `n` set ⇒ internal child for chunk `n`.
+    pub vector: u64,
+    /// Base index into the leaf array.
+    pub base0: u32,
+    /// Base index into the internal-node array.
+    pub base1: u32,
+}
+
+impl NodeRepr for Node16 {
+    #[inline(always)]
+    fn new(vector: u64, _leafvec: u64, base0: u32, base1: u32) -> Self {
+        Node16 {
+            vector,
+            base0,
+            base1,
+        }
+    }
+
+    #[inline(always)]
+    fn vector(&self) -> u64 {
+        self.vector
+    }
+
+    #[inline(always)]
+    fn base1(&self) -> u32 {
+        self.base1
+    }
+
+    #[inline(always)]
+    fn base0(&self) -> u32 {
+        self.base0
+    }
+
+    #[inline(always)]
+    fn leaf_rank(&self, v: u32) -> u32 {
+        // Algorithm 1 line 14: popcnt(~vector & ((2 << v) - 1)).
+        rank0(self.vector, v)
+    }
+
+    #[inline(always)]
+    fn leaf_count(&self) -> u32 {
+        64 - self.vector.count_ones()
+    }
+
+    const COMPRESSES_LEAVES: bool = false;
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+
+    #[test]
+    fn node_sizes_match_paper() {
+        // §3: "the total size of an internal node is only 16 bytes. When we
+        // use the leafvec extension ... the internal node size becomes 24
+        // bytes."
+        assert_eq!(core::mem::size_of::<Node16>(), 16);
+        assert_eq!(core::mem::size_of::<Node24>(), 24);
+        assert_eq!(Node16::SIZE, 16);
+        assert_eq!(Node24::SIZE, 24);
+    }
+
+    #[test]
+    fn leaf_rank_node16_counts_zeros() {
+        let n = Node16::new(0b1010, 0, 0, 0);
+        assert_eq!(n.leaf_rank(0), 1); // slot 0 is a leaf, first zero
+        assert_eq!(n.leaf_rank(2), 2); // slots 0 and 2 are leaves
+        assert_eq!(n.leaf_count(), 62);
+    }
+
+    #[test]
+    fn leaf_rank_node24_counts_leafvec() {
+        let n = Node24::new(0b0100, 0b0001, 0, 0);
+        // All leaf slots fall into the single run starting at slot 0.
+        assert_eq!(n.leaf_rank(0), 1);
+        assert_eq!(n.leaf_rank(1), 1);
+        assert_eq!(n.leaf_rank(63), 1);
+        assert_eq!(n.leaf_count(), 1);
+    }
+}

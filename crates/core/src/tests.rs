@@ -1,0 +1,944 @@
+use crate::sync::{RouteUpdate, SharedFib};
+use crate::{Builder, Fib, Poptrie, PoptrieBasic};
+use poptrie_rib::{LinearLpm, Lpm, Prefix, RadixTree};
+use rand::prelude::*;
+
+fn p4(s: &str) -> Prefix<u32> {
+    s.parse().unwrap()
+}
+
+/// A random BGP-shaped table over `u32` keys.
+fn random_v4_table(rng: &mut StdRng, n: usize) -> RadixTree<u32, u16> {
+    let mut t = RadixTree::new();
+    while t.len() < n {
+        let len = *[8u8, 12, 16, 18, 20, 22, 24, 24, 24, 28, 32]
+            .choose(rng)
+            .unwrap();
+        let addr: u32 = rng.gen();
+        let nh = rng.gen_range(1..=64u16);
+        t.insert(Prefix::new(addr, len), nh);
+    }
+    t
+}
+
+/// A random table over the exhaustive-checkable `u16` key space.
+fn random_v16_table(rng: &mut StdRng, n: usize) -> RadixTree<u16, u16> {
+    let mut t = RadixTree::new();
+    for _ in 0..n {
+        let len = rng.gen_range(0..=16u8);
+        let addr: u16 = rng.gen();
+        t.insert(Prefix::new(addr, len), rng.gen_range(1..=8u16));
+    }
+    t
+}
+
+mod build {
+    use super::*;
+
+    #[test]
+    fn empty_table_lookups_none() {
+        let rib: RadixTree<u32, u16> = RadixTree::new();
+        for s in [0u8, 8, 16, 18] {
+            let t: Poptrie = Builder::new().direct_bits(s).build(&rib);
+            assert_eq!(t.lookup(0), None, "s={s}");
+            assert_eq!(t.lookup(u32::MAX), None, "s={s}");
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_default_route() {
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        rib.insert(p4("0.0.0.0/0"), 5);
+        for s in [0u8, 16, 18] {
+            let t: Poptrie = Builder::new().direct_bits(s).build(&rib);
+            assert_eq!(t.lookup(0), Some(5));
+            assert_eq!(t.lookup(0xDEAD_BEEF), Some(5));
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn basic_example_all_s() {
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        rib.insert(p4("10.0.0.0/8"), 1);
+        rib.insert(p4("10.64.0.0/16"), 2);
+        rib.insert(p4("192.0.2.0/24"), 3);
+        rib.insert(p4("192.0.2.128/25"), 4);
+        rib.insert(p4("203.0.113.7/32"), 5);
+        for s in [0u8, 6, 12, 16, 18, 20] {
+            let t: Poptrie = Builder::new().direct_bits(s).build(&rib);
+            assert_eq!(t.lookup(0x0A00_0001), Some(1), "s={s}");
+            assert_eq!(t.lookup(0x0A40_0001), Some(2), "s={s}");
+            assert_eq!(t.lookup(0x0A41_0001), Some(1), "s={s}");
+            assert_eq!(t.lookup(0xC000_0201), Some(3), "s={s}");
+            assert_eq!(t.lookup(0xC000_02FF), Some(4), "s={s}");
+            assert_eq!(t.lookup(0xCB00_7107), Some(5), "s={s}");
+            assert_eq!(t.lookup(0xCB00_7108), None, "s={s}");
+            assert_eq!(t.lookup(0x0B00_0001), None, "s={s}");
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn host_route_at_max_depth() {
+        // /31 and /32 prefixes live past the last full 6-bit chunk when
+        // s = 18 (offsets 18, 24, 30): exercises the zero-padded extract.
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        rib.insert(p4("198.51.100.42/32"), 9);
+        rib.insert(p4("198.51.100.40/31"), 8);
+        for s in [0u8, 16, 18] {
+            let t: Poptrie = Builder::new().direct_bits(s).build(&rib);
+            assert_eq!(t.lookup(0xC633_642A), Some(9), "s={s}");
+            assert_eq!(t.lookup(0xC633_6428), Some(8), "s={s}");
+            assert_eq!(t.lookup(0xC633_6429), Some(8), "s={s}");
+            assert_eq!(t.lookup(0xC633_642B), None, "s={s}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_u16_against_radix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for round in 0..30 {
+            let rib = random_v16_table(&mut rng, 50);
+            for s in [0u8, 4, 7, 12] {
+                let agg = round % 2 == 0;
+                let t: Poptrie<u16> = Builder::new().direct_bits(s).aggregate(agg).build(&rib);
+                t.check_invariants().unwrap();
+                for key in 0..=u16::MAX {
+                    assert_eq!(
+                        t.lookup(key),
+                        rib.lookup(key).copied(),
+                        "round={round} s={s} agg={agg} key={key:#06x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_u16_basic_variant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let rib = random_v16_table(&mut rng, 60);
+            let t: PoptrieBasic<u16> = Builder::new().direct_bits(7).build(&rib);
+            t.check_invariants().unwrap();
+            for key in 0..=u16::MAX {
+                assert_eq!(t.lookup(key), rib.lookup(key).copied());
+            }
+        }
+    }
+
+    #[test]
+    fn random_u32_against_radix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rib = random_v4_table(&mut rng, 5000);
+        for s in [0u8, 16, 18] {
+            let t: Poptrie = Builder::new().direct_bits(s).build(&rib);
+            t.check_invariants().unwrap();
+            // Probe pure-random keys plus neighborhoods of every prefix
+            // (boundary addresses are where off-by-one bugs live).
+            for _ in 0..20_000 {
+                let key: u32 = rng.gen();
+                assert_eq!(t.lookup(key), rib.lookup(key).copied(), "s={s}");
+            }
+            for (p, _) in rib.iter() {
+                for delta in [0u32, 1, 0xFF] {
+                    let key = p.addr().wrapping_add(delta);
+                    assert_eq!(t.lookup(key), rib.lookup(key).copied(), "s={s}");
+                    let below = p.addr().wrapping_sub(1);
+                    assert_eq!(t.lookup(below), rib.lookup(below).copied(), "s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ipv6_basic() {
+        let mut rib: RadixTree<u128, u16> = RadixTree::new();
+        rib.insert("2001:db8::/32".parse().unwrap(), 1);
+        rib.insert("2001:db8:0:1::/64".parse().unwrap(), 2);
+        rib.insert("::/0".parse().unwrap(), 3);
+        rib.insert("2001:db8::42/128".parse().unwrap(), 4);
+        for s in [0u8, 16, 18] {
+            let t: Poptrie<u128> = Builder::new().direct_bits(s).build(&rib);
+            t.check_invariants().unwrap();
+            let k64 = 0x2001_0db8_0000_0001_dead_beef_0000_0001u128;
+            let k32 = 0x2001_0db8_ffff_0000_0000_0000_0000_0001u128;
+            let khost = 0x2001_0db8_0000_0000_0000_0000_0000_0042u128;
+            assert_eq!(t.lookup(k64), Some(2), "s={s}");
+            assert_eq!(t.lookup(k32), Some(1), "s={s}");
+            assert_eq!(t.lookup(khost), Some(4), "s={s}");
+            assert_eq!(t.lookup(1u128), Some(3), "s={s}");
+        }
+    }
+
+    #[test]
+    fn names_follow_paper_convention() {
+        let rib: RadixTree<u32, u16> = RadixTree::new();
+        let t: Poptrie = Builder::new().direct_bits(18).build(&rib);
+        assert_eq!(Lpm::<u32>::name(&t), "Poptrie18");
+        let t: Poptrie = Builder::new().direct_bits(0).build(&rib);
+        assert_eq!(Lpm::<u32>::name(&t), "Poptrie0");
+        let t: PoptrieBasic = Builder::new().direct_bits(16).build(&rib);
+        assert_eq!(Lpm::<u32>::name(&t), "PoptrieBasic16");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn oversized_direct_bits_panics() {
+        let _ = Builder::<u32, crate::Node24>::new().direct_bits(25);
+    }
+}
+
+mod compression {
+    use super::*;
+
+    #[test]
+    fn leafvec_compresses_leaves_dramatically() {
+        // §4.3: "reduces more than 90% of leaves". A shorter prefix
+        // expanded across a 64-slot node is exactly the redundancy leafvec
+        // removes; on a BGP-shaped table the reduction is large.
+        let mut rng = StdRng::seed_from_u64(4);
+        let rib = random_v4_table(&mut rng, 20_000);
+        let basic: PoptrieBasic = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        let leafvec: Poptrie = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        let (b, l) = (basic.stats(), leafvec.stats());
+        assert_eq!(b.inodes, l.inodes, "leafvec must not change the tree shape");
+        assert!(
+            (l.leaves as f64) < (b.leaves as f64) * 0.10,
+            "expected >90% leaf reduction, got {} -> {}",
+            b.leaves,
+            l.leaves
+        );
+    }
+
+    #[test]
+    fn aggregation_reduces_size() {
+        // Many prefixes share few next hops => aggregation merges heavily.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        // Dense blocks: each /20 is fully populated by its 16 /24s, most
+        // sharing one next hop — the "subtree without any gap" that §3's
+        // aggregation merges.
+        for _ in 0..1000 {
+            let block = Prefix::new(rng.gen(), 20);
+            let nh = rng.gen_range(1..=4u16);
+            for sub in block.split(4) {
+                rib.insert(sub, nh);
+            }
+        }
+        let plain: Poptrie = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        let agg: Poptrie = Builder::new().direct_bits(16).aggregate(true).build(&rib);
+        assert!(agg.stats().memory_bytes < plain.stats().memory_bytes);
+        let mut rng2 = StdRng::seed_from_u64(6);
+        for _ in 0..20_000 {
+            let key: u32 = rng2.gen();
+            assert_eq!(plain.lookup(key), agg.lookup(key));
+        }
+    }
+
+    #[test]
+    fn stats_memory_accounting() {
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        rib.insert(p4("10.0.0.0/8"), 1);
+        let t: Poptrie = Builder::new().direct_bits(16).build(&rib);
+        let st = t.stats();
+        assert_eq!(st.direct_slots, 1 << 16);
+        assert_eq!(
+            st.memory_bytes,
+            st.inodes * 24 + st.leaves * 2 + st.direct_slots * 4
+        );
+        let tb: PoptrieBasic = Builder::new().direct_bits(16).build(&rib);
+        let stb = tb.stats();
+        assert_eq!(
+            stb.memory_bytes,
+            stb.inodes * 16 + stb.leaves * 2 + stb.direct_slots * 4
+        );
+    }
+
+    #[test]
+    fn direct_pointing_resolves_short_prefixes_without_nodes() {
+        // With s = 18 a pure-/16 table needs no internal nodes at all.
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        for i in 0..100u32 {
+            rib.insert(Prefix::new(i << 16, 16), (i % 13 + 1) as u16);
+        }
+        let t: Poptrie = Builder::new().direct_bits(18).build(&rib);
+        assert_eq!(t.stats().inodes, 0);
+        assert_eq!(t.lookup(50 << 16 | 0x1234), Some(50 % 13 + 1));
+    }
+}
+
+mod ranges {
+    use super::*;
+
+    /// Ground truth: scan every key (u16 space) and record value-change
+    /// boundaries.
+    fn naive_ranges(rib: &RadixTree<u16, u16>) -> Vec<(u16, u16)> {
+        let mut out: Vec<(u16, u16)> = Vec::new();
+        for key in 0..=u16::MAX {
+            let nh = rib.lookup(key).copied().unwrap_or(0);
+            match out.last() {
+                Some(&(_, last)) if last == nh => {}
+                _ => out.push((key, nh)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ranges_match_exhaustive_scan_u16() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for round in 0..20 {
+            let rib = random_v16_table(&mut rng, 40);
+            for s in [0u8, 7, 12] {
+                let t: Poptrie<u16> = Builder::new()
+                    .direct_bits(s)
+                    .aggregate(round % 2 == 0)
+                    .build(&rib);
+                assert_eq!(t.ranges(), naive_ranges(&rib), "round={round} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_of_empty_and_default() {
+        let rib: RadixTree<u32, u16> = RadixTree::new();
+        let t: Poptrie<u32> = Builder::new().direct_bits(16).build(&rib);
+        assert_eq!(t.ranges(), vec![(0u32, 0u16)]);
+        let rib = RadixTree::from_routes(vec![(p4("0.0.0.0/0"), 9u16)]);
+        let t: Poptrie<u32> = Builder::new().direct_bits(16).build(&rib);
+        assert_eq!(t.ranges(), vec![(0u32, 9u16)]);
+    }
+
+    #[test]
+    fn ranges_are_semantic_equality() {
+        // Two FIBs with different options but the same routes must have
+        // identical range lists — the documented diffing use case.
+        let mut rng = StdRng::seed_from_u64(32);
+        let rib = random_v4_table(&mut rng, 2000);
+        let a: Poptrie<u32> = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        let b: Poptrie<u32> = Builder::new().direct_bits(18).aggregate(true).build(&rib);
+        assert_eq!(a.ranges(), b.ranges());
+        // And each range start actually looks up to its next hop.
+        for &(start, nh) in a.ranges().iter().take(500) {
+            assert_eq!(a.lookup_raw(start), nh);
+            if start > 0 {
+                assert_ne!(a.lookup_raw(start - 1), nh, "unmerged boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_handle_host_route_at_end_of_space() {
+        let rib = RadixTree::from_routes(vec![
+            (p4("255.255.255.255/32"), 3u16),
+            (p4("0.0.0.0/32"), 4),
+        ]);
+        let t: Poptrie<u32> = Builder::new().direct_bits(18).build(&rib);
+        assert_eq!(t.ranges(), vec![(0u32, 4u16), (1, 0), (u32::MAX, 3)]);
+    }
+}
+
+mod update {
+    use super::*;
+
+    /// After a batch of updates, an incrementally patched FIB must agree
+    /// with a from-scratch compilation everywhere.
+    fn assert_matches_rebuild(fib: &Fib<u16>) {
+        let fresh: Poptrie<u16> = Builder::new()
+            .direct_bits(fib.poptrie().direct_bits())
+            .aggregate(false)
+            .build(fib.rib());
+        for key in 0..=u16::MAX {
+            assert_eq!(fib.lookup(key), fresh.lookup(key), "key={key:#06x}");
+        }
+        fib.poptrie().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        assert_eq!(fib.lookup(0x0A00_0001), None);
+        fib.insert(p4("10.0.0.0/8"), 1);
+        assert_eq!(fib.lookup(0x0A00_0001), Some(1));
+        fib.insert(p4("10.0.0.0/24"), 2);
+        assert_eq!(fib.lookup(0x0A00_0001), Some(2));
+        assert_eq!(fib.lookup(0x0A00_0101), Some(1));
+        assert_eq!(fib.remove(p4("10.0.0.0/24")), Some(2));
+        assert_eq!(fib.lookup(0x0A00_0001), Some(1));
+        fib.poptrie().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn short_prefix_update_touches_direct_range() {
+        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        fib.insert(p4("10.0.0.0/8"), 1); // 2^10 direct slots
+        assert_eq!(fib.lookup(0x0A12_3456), Some(1));
+        assert!(fib.stats().direct_replacements >= 1 << 10);
+        fib.remove(p4("10.0.0.0/8"));
+        assert_eq!(fib.lookup(0x0A12_3456), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn zero_next_hop_rejected() {
+        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        fib.insert(p4("10.0.0.0/8"), 0);
+    }
+
+    #[test]
+    fn random_churn_matches_rebuild_u16() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for s in [0u8, 7, 12] {
+            let mut fib: Fib<u16> = Fib::with_direct_bits(s);
+            let mut live: Vec<Prefix<u16>> = Vec::new();
+            for step in 0..300 {
+                if live.is_empty() || rng.gen_bool(0.6) {
+                    let p = Prefix::new(rng.gen::<u16>(), rng.gen_range(0..=16));
+                    fib.insert(p, rng.gen_range(1..=9));
+                    if !live.contains(&p) {
+                        live.push(p);
+                    }
+                } else {
+                    let p = live.swap_remove(rng.gen_range(0..live.len()));
+                    assert!(fib.remove(p).is_some());
+                }
+                if step % 60 == 59 {
+                    assert_matches_rebuild(&fib);
+                }
+            }
+            assert_matches_rebuild(&fib);
+        }
+    }
+
+    #[test]
+    fn update_stats_accumulate() {
+        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        fib.insert(p4("10.0.0.0/24"), 1);
+        fib.insert(p4("10.0.0.128/25"), 2);
+        let st = fib.stats();
+        assert_eq!(st.updates, 2);
+        assert!(st.nodes_built > 0);
+        // The first insert converts the direct slot from a leaf to a node;
+        // the second lands inside the same slot's subtree, which the §3.5
+        // node-refresh repairs without touching the top-level array.
+        assert_eq!(st.direct_replacements, 1);
+        fib.remove(p4("10.0.0.0/24"));
+        assert!(fib.stats().leaves_freed > 0, "{:?}", fib.stats());
+        // Withdrawing the last route in the slot tears the subtree down.
+        fib.remove(p4("10.0.0.128/25"));
+        assert!(fib.stats().nodes_freed > 0, "{:?}", fib.stats());
+        assert_eq!(fib.poptrie().stats().inodes, 0);
+    }
+
+    #[test]
+    fn buddy_accounting_stays_tight_under_churn() {
+        // Allocator slack must not grow without bound across heavy churn —
+        // the reason the paper uses a buddy allocator for update-heavy
+        // FIBs.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        let mut live: Vec<Prefix<u32>> = Vec::new();
+        for _ in 0..3000 {
+            if live.len() < 400 && rng.gen_bool(0.55) {
+                let p = Prefix::new(rng.gen(), *[20u8, 24, 28, 32].choose(&mut rng).unwrap());
+                fib.insert(p, rng.gen_range(1..=32));
+                live.push(p);
+            } else if !live.is_empty() {
+                let p = live.swap_remove(rng.gen_range(0..live.len()));
+                fib.remove(p);
+            }
+        }
+        fib.poptrie().check_invariants().unwrap();
+        for p in live.drain(..) {
+            fib.remove(p);
+        }
+        let st = fib.poptrie().stats();
+        assert_eq!(st.inodes, 0, "all nodes must be freed");
+        fib.poptrie().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_strategies_are_equivalent_and_refresh_is_cheaper() {
+        use crate::update::UpdateStrategy;
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut refresh: Fib<u16> = Fib::with_direct_bits(7);
+        let mut rebuild: Fib<u16> = Fib::with_direct_bits(7);
+        rebuild.set_update_strategy(UpdateStrategy::SubtreeRebuild);
+        assert_eq!(rebuild.update_strategy(), UpdateStrategy::SubtreeRebuild);
+        let mut live: Vec<Prefix<u16>> = Vec::new();
+        for _ in 0..400 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let p = Prefix::new(rng.gen::<u16>(), rng.gen_range(0..=16));
+                let nh = rng.gen_range(1..=9);
+                refresh.insert(p, nh);
+                rebuild.insert(p, nh);
+                if !live.contains(&p) {
+                    live.push(p);
+                }
+            } else {
+                let p = live.swap_remove(rng.gen_range(0..live.len()));
+                refresh.remove(p);
+                rebuild.remove(p);
+            }
+        }
+        for key in 0..=u16::MAX {
+            assert_eq!(refresh.lookup(key), rebuild.lookup(key), "key={key:#06x}");
+        }
+        refresh.poptrie().check_invariants().unwrap();
+        rebuild.poptrie().check_invariants().unwrap();
+        // The §3.5 node-reuse strategy must rebuild strictly fewer nodes.
+        assert!(
+            refresh.stats().nodes_built < rebuild.stats().nodes_built,
+            "refresh {:?} vs rebuild {:?}",
+            refresh.stats(),
+            rebuild.stats()
+        );
+    }
+
+    #[test]
+    fn refresh_leaf_only_update_touches_no_nodes() {
+        // A pure path change (same prefix, new next hop) in a populated
+        // subtree must replace leaves only — the §4.9 common case.
+        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        fib.insert(p4("10.0.0.0/24"), 1);
+        fib.insert(p4("10.0.1.0/24"), 2);
+        let before = fib.stats();
+        fib.insert(p4("10.0.1.0/24"), 3); // path change
+        let after = fib.stats();
+        assert_eq!(after.nodes_built, before.nodes_built, "no node churn");
+        assert_eq!(after.nodes_freed, before.nodes_freed);
+        assert!(after.leaves_built > before.leaves_built);
+        assert_eq!(fib.lookup(0x0A00_0101), Some(3));
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        for _ in 0..2000 {
+            let p = Prefix::new(rng.gen(), *[8u8, 16, 24, 32].choose(&mut rng).unwrap());
+            fib.insert(p, rng.gen_range(1..=16));
+        }
+        let incremental = fib.poptrie().clone();
+        fib.rebuild();
+        for _ in 0..50_000 {
+            let key: u32 = rng.gen();
+            assert_eq!(incremental.lookup(key), fib.lookup(key));
+        }
+    }
+
+    #[test]
+    fn from_rib_initial_state() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let rib = random_v4_table(&mut rng, 1000);
+        let fib = Fib::from_rib(rib.clone(), 16, true);
+        for _ in 0..10_000 {
+            let key: u32 = rng.gen();
+            assert_eq!(fib.lookup(key), rib.lookup(key).copied());
+        }
+    }
+}
+
+mod edge_cases {
+    use super::*;
+
+    #[test]
+    fn u64_keys_work() {
+        let p = |addr: u64, len: u8| Prefix::new(addr, len);
+        let mut rib: RadixTree<u64, u16> = RadixTree::new();
+        rib.insert(p(0xAAAA_0000_0000_0000, 16), 1);
+        rib.insert(p(0xAAAA_BBBB_0000_0000, 32), 2);
+        rib.insert(p(0xAAAA_BBBB_CCCC_DDDD, 64), 3);
+        for s in [0u8, 12, 18] {
+            let t: Poptrie<u64> = Builder::new().direct_bits(s).build(&rib);
+            t.check_invariants().unwrap();
+            assert_eq!(t.lookup(0xAAAA_BBBB_CCCC_DDDD), Some(3), "s={s}");
+            assert_eq!(t.lookup(0xAAAA_BBBB_CCCC_DDDE), Some(2), "s={s}");
+            assert_eq!(t.lookup(0xAAAA_0001_0000_0000), Some(1), "s={s}");
+            assert_eq!(t.lookup(0xAAAB_0000_0000_0000), None, "s={s}");
+        }
+    }
+
+    #[test]
+    fn max_next_hop_fits_direct_leaf_and_trie_leaf() {
+        // 0xFFFF must round-trip through both the 31-bit direct-leaf
+        // encoding and the u16 leaf array.
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        rib.insert(p4("10.0.0.0/8"), u16::MAX); // resolved by direct leaf
+        rib.insert(p4("20.0.0.0/24"), u16::MAX); // resolved via trie leaf
+        let t: Poptrie<u32> = Builder::new().direct_bits(18).build(&rib);
+        assert_eq!(t.lookup(0x0A01_0203), Some(u16::MAX));
+        assert_eq!(t.lookup(0x1400_0001), Some(u16::MAX));
+    }
+
+    #[test]
+    fn all_64_children_internal() {
+        // Force a node whose vector is all ones: 64 sub-chunks each with
+        // deeper prefixes. With s = 0 the root chunk covers bits 0..6, so
+        // give every 6-bit top value a /12 and a /18 below it.
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        for v in 0..64u32 {
+            rib.insert(Prefix::new(v << 26, 12), (v % 9 + 1) as u16);
+            rib.insert(Prefix::new(v << 26 | 1 << 15, 18), (v % 5 + 1) as u16);
+        }
+        let t: Poptrie<u32> = Builder::new().direct_bits(0).aggregate(false).build(&rib);
+        t.check_invariants().unwrap();
+        for v in 0..64u32 {
+            assert_eq!(t.lookup(v << 26 | 0xFF), Some((v % 9 + 1) as u16));
+            assert_eq!(t.lookup(v << 26 | 1 << 15), Some((v % 5 + 1) as u16));
+        }
+    }
+
+    #[test]
+    fn deep_nested_chain_every_length() {
+        // Prefixes at every length 1..=32 along one path: maximal trie
+        // depth, every chunk boundary crossed.
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        let spine = 0xA5A5_A5A5u32;
+        for len in 1..=32u8 {
+            rib.insert(Prefix::new(spine, len), len as u16);
+        }
+        for s in [0u8, 16, 18] {
+            let t: Poptrie<u32> = Builder::new().direct_bits(s).aggregate(false).build(&rib);
+            assert_eq!(t.lookup(spine), Some(32), "s={s}");
+            // Flip the last bit: matches the /31.
+            assert_eq!(t.lookup(spine ^ 1), Some(31), "s={s}");
+            // Flip bit 8 (0-indexed from MSB): matches the /8.
+            assert_eq!(t.lookup(spine ^ (1 << 23)), Some(8), "s={s}");
+            for key in [spine, spine ^ 1, spine ^ 0xFF, !spine] {
+                assert_eq!(t.lookup(key), rib.lookup(key).copied(), "s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_u8_keyspace_all_tables() {
+        // Every possible route set over 3 fixed prefixes of an 8-bit key
+        // space, exhaustively — a tiny model-checking pass.
+        let prefixes = [
+            Prefix::<u8>::new(0b1010_0000, 3),
+            Prefix::<u8>::new(0b1010_1000, 5),
+            Prefix::<u8>::new(0, 0),
+        ];
+        for mask in 0u32..(1 << 3) {
+            let mut rib: RadixTree<u8, u16> = RadixTree::new();
+            for (i, &p) in prefixes.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    rib.insert(p, (i + 1) as u16);
+                }
+            }
+            for s in [0u8, 3, 7] {
+                let t: Poptrie<u8> = Builder::new().direct_bits(s).build(&rib);
+                for key in 0..=255u8 {
+                    assert_eq!(
+                        t.lookup(key),
+                        rib.lookup(key).copied(),
+                        "mask={mask:03b} s={s} key={key:#04x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+mod serialization {
+    use super::*;
+    use crate::SerializeError;
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let rib = random_v4_table(&mut rng, 5000);
+        for s in [0u8, 16, 18] {
+            let fib: Poptrie<u32> = Builder::new().direct_bits(s).build(&rib);
+            let bytes = fib.to_bytes();
+            let loaded: Poptrie<u32> = Poptrie::from_bytes(&bytes).unwrap();
+            loaded.check_invariants().unwrap();
+            assert_eq!(loaded.stats(), fib.stats(), "s={s}");
+            assert_eq!(loaded.ranges(), fib.ranges(), "s={s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_basic_and_v6() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let rib = random_v4_table(&mut rng, 1000);
+        let fib: PoptrieBasic<u32> = Builder::new().direct_bits(16).build(&rib);
+        let loaded: PoptrieBasic<u32> = PoptrieBasic::from_bytes(&fib.to_bytes()).unwrap();
+        assert_eq!(loaded.ranges(), fib.ranges());
+
+        let mut rib6: RadixTree<u128, u16> = RadixTree::new();
+        rib6.insert("2001:db8::/32".parse().unwrap(), 1);
+        rib6.insert("2001:db8:1::/48".parse().unwrap(), 2);
+        let fib6: Poptrie<u128> = Builder::new().direct_bits(18).build(&rib6);
+        let loaded6: Poptrie<u128> = Poptrie::from_bytes(&fib6.to_bytes()).unwrap();
+        assert_eq!(
+            loaded6.lookup(0x2001_0db8_0001_0000_0000_0000_0000_0001),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn wrong_shape_is_rejected() {
+        let rib: RadixTree<u32, u16> = RadixTree::new();
+        let fib: Poptrie<u32> = Builder::new().build(&rib);
+        let bytes = fib.to_bytes();
+        // Wrong key width.
+        let err = Poptrie::<u128>::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, SerializeError::WrongShape { .. }), "{err}");
+        // Wrong node layout.
+        let err = PoptrieBasic::<u32>::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, SerializeError::WrongShape { .. }), "{err}");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let rib = random_v4_table(&mut rng, 200);
+        let fib: Poptrie<u32> = Builder::new().direct_bits(16).build(&rib);
+        let good = fib.to_bytes();
+        // Flip a payload byte: checksum must catch it.
+        let mut bad = good.clone();
+        let idx = bad.len() - 3;
+        bad[idx] ^= 0xFF;
+        assert_eq!(
+            Poptrie::<u32>::from_bytes(&bad).unwrap_err(),
+            SerializeError::ChecksumMismatch
+        );
+        // Truncated payload: caught by the checksum (computed over what
+        // remains).
+        assert_eq!(
+            Poptrie::<u32>::from_bytes(&good[..good.len() - 5]).unwrap_err(),
+            SerializeError::ChecksumMismatch
+        );
+        // Truncated header.
+        assert_eq!(
+            Poptrie::<u32>::from_bytes(&good[..10]).unwrap_err(),
+            SerializeError::Truncated
+        );
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Poptrie::<u32>::from_bytes(&bad).unwrap_err(),
+            SerializeError::BadHeader(_)
+        ));
+        // Empty input.
+        assert_eq!(
+            Poptrie::<u32>::from_bytes(&[]).unwrap_err(),
+            SerializeError::Truncated
+        );
+    }
+}
+
+mod rcu {
+    use crate::sync::RcuCell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn read_returns_current_value() {
+        let cell = RcuCell::new(41);
+        assert_eq!(cell.read(|v| *v), 41);
+        cell.replace(42);
+        assert_eq!(cell.read(|v| *v), 42);
+    }
+
+    #[test]
+    fn drop_reclaims_value() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let cell = RcuCell::new(Counted(Arc::clone(&drops)));
+            cell.replace(Counted(Arc::clone(&drops)));
+            cell.replace(Counted(Arc::clone(&drops)));
+            // Epoch reclamation is deferred, but dropping the cell itself
+            // must reclaim the final value immediately.
+        }
+        // Flush deferred destructions.
+        for _ in 0..512 {
+            crossbeam_epoch::pin().flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "all three values dropped");
+    }
+
+    #[test]
+    fn concurrent_read_replace_torture() {
+        let cell = Arc::new(RcuCell::new(vec![0u64; 64]));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // A torn/freed vector would fail this invariant.
+                        cell.read(|v| {
+                            assert_eq!(v.len(), 64);
+                            let first = v[0];
+                            assert!(v.iter().all(|&x| x == first));
+                        });
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=2000u64 {
+            cell.replace(vec![i; 64]);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn build_agrees_with_linear_oracle(
+            routes in proptest::collection::vec((any::<u16>(), 0u8..=16, 1u16..=20), 0..50),
+            s in prop_oneof![Just(0u8), Just(4), Just(7), Just(12)],
+            agg: bool,
+            keys in proptest::collection::vec(any::<u16>(), 128),
+        ) {
+            let routes: Vec<(Prefix<u16>, u16)> = routes
+                .into_iter()
+                .map(|(a, l, n)| (Prefix::new(a, l), n))
+                .collect();
+            let rib: RadixTree<u16, u16> = RadixTree::from_routes(routes.clone());
+            let lin = LinearLpm::new(rib.to_routes());
+            let t: Poptrie<u16> = Builder::new().direct_bits(s).aggregate(agg).build(&rib);
+            for key in keys {
+                prop_assert_eq!(t.lookup(key), Lpm::lookup(&lin, key));
+            }
+        }
+
+        #[test]
+        fn serialization_roundtrips_arbitrary_tables(
+            routes in proptest::collection::vec((any::<u16>(), 0u8..=16, 1u16..=20), 0..50),
+            s in prop_oneof![Just(0u8), Just(7), Just(12)],
+        ) {
+            let routes: Vec<(Prefix<u16>, u16)> = routes
+                .into_iter()
+                .map(|(a, l, n)| (Prefix::new(a, l), n))
+                .collect();
+            let rib: RadixTree<u16, u16> = RadixTree::from_routes(routes);
+            let fib: Poptrie<u16> = Builder::new().direct_bits(s).build(&rib);
+            let loaded: Poptrie<u16> = Poptrie::from_bytes(&fib.to_bytes()).unwrap();
+            prop_assert_eq!(loaded.ranges(), fib.ranges());
+            prop_assert_eq!(loaded.stats(), fib.stats());
+        }
+
+        #[test]
+        fn incremental_update_agrees_with_oracle(
+            ops in proptest::collection::vec((any::<bool>(), any::<u16>(), 0u8..=16, 1u16..=9), 1..60),
+            keys in proptest::collection::vec(any::<u16>(), 64),
+        ) {
+            let mut fib: Fib<u16> = Fib::with_direct_bits(7);
+            let mut lin = LinearLpm::new(Vec::new());
+            for (is_insert, addr, len, nh) in ops {
+                let p = Prefix::new(addr, len);
+                if is_insert {
+                    fib.insert(p, nh);
+                    lin.insert(p, nh);
+                } else {
+                    fib.remove(p);
+                    lin.remove(p);
+                }
+            }
+            for key in keys {
+                prop_assert_eq!(fib.lookup(key), Lpm::lookup(&lin, key));
+            }
+            fib.poptrie().check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+}
+
+mod shared {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn readers_progress_during_writes() {
+        let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_direct_bits(16));
+        fib.insert(p4("10.0.0.0/8"), 1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let fib = Arc::clone(&fib);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut count = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // 10.255.0.1 is covered only by the stable /8: the
+                    // churned /24s all live in 10.0.0.0/16.
+                    assert_eq!(fib.lookup(0x0AFF_0001), Some(1));
+                    count += 1;
+                }
+                count
+            }));
+        }
+        // Writer: churn more-specific routes under the stable /8.
+        for i in 0..2000u32 {
+            let p = Prefix::new(0x0A00_0000 | ((i % 64) << 10), 24);
+            if i % 2 == 0 {
+                fib.insert(p, ((i % 60) + 2) as u16);
+            } else {
+                fib.remove(p);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn batch_update_is_atomic_at_publish() {
+        let fib: SharedFib<u32> = SharedFib::with_direct_bits(16);
+        fib.update_batch(vec![
+            RouteUpdate::Announce(p4("10.0.0.0/8"), 1),
+            RouteUpdate::Announce(p4("10.1.0.0/16"), 2),
+            RouteUpdate::Withdraw(p4("10.1.0.0/16")),
+        ]);
+        assert_eq!(fib.lookup(0x0A01_0001), Some(1));
+        assert!(fib.stats().updates >= 3);
+    }
+
+    #[test]
+    fn with_current_reads_coherent_snapshot() {
+        let fib: SharedFib<u32> = SharedFib::with_direct_bits(16);
+        fib.insert(p4("10.0.0.0/8"), 1);
+        let (nh, stats) = fib.with_current(|t| (t.lookup(0x0A00_0001), t.stats()));
+        assert_eq!(nh, Some(1));
+        assert!(stats.memory_bytes > 0);
+        // Ranges read through the same snapshot API.
+        let ranges = fib.with_current(|t| t.ranges());
+        assert!(ranges.iter().any(|&(_, nh)| nh == 1));
+    }
+
+    #[test]
+    fn lookup_batch_uses_single_snapshot() {
+        let fib: SharedFib<u32> = SharedFib::with_direct_bits(16);
+        fib.insert(p4("10.0.0.0/8"), 1);
+        fib.insert(p4("11.0.0.0/8"), 2);
+        let keys = [0x0A00_0001u32, 0x0B00_0001, 0x0C00_0001];
+        let mut out = Vec::new();
+        fib.lookup_batch(&keys, &mut out);
+        assert_eq!(out, vec![Some(1), Some(2), None]);
+    }
+}

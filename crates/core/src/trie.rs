@@ -1,0 +1,345 @@
+//! The Poptrie lookup structure and its traversal (Algorithms 1–3).
+
+use poptrie_bitops::{rank1, Bits};
+use poptrie_buddy::Buddy;
+use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
+
+use crate::builder::Builder;
+use crate::node::{Node16, Node24, NodeRepr};
+
+/// Build a key with the 6-bit chunk value `v` placed at MSB-first bit
+/// offset `offset`; bits shifted past the key width drop out (they are
+/// the zero-padding of `extract`).
+#[inline]
+fn shift_chunk<K: Bits>(v: u32, offset: u32) -> K {
+    K::from_u128(K::from_high_bits(v, 6).to_u128() >> offset)
+}
+
+/// Bit 31 of a direct-pointing entry: set when the entry is a FIB index
+/// rather than an internal-node index (§3.4: "the most significant bit
+/// indicates whether the direct index points to a FIB entry or an internal
+/// node").
+pub(crate) const DIRECT_LEAF_BIT: u32 = 1 << 31;
+
+/// A compiled Poptrie FIB, generic over node layout `N`.
+///
+/// Use the [`Poptrie`] (leafvec, 24-byte nodes) or [`PoptrieBasic`]
+/// (16-byte nodes, §3.1 only) aliases. `K` is `u32` for IPv4 or `u128` for
+/// IPv6.
+///
+/// The structure is immutable through `&self`; recompile with
+/// [`Builder::build`] or use [`Fib`](crate::Fib) for incremental updates.
+#[derive(Debug, Clone)]
+pub struct PoptrieImpl<K: Bits, N: NodeRepr> {
+    /// Direct-pointing table of `2^s` entries (§3.4); empty when `s == 0`.
+    pub(crate) direct: Vec<u32>,
+    /// Flat internal-node array; children of one node are contiguous.
+    pub(crate) nodes: Vec<N>,
+    /// Flat leaf array.
+    pub(crate) leaves: Vec<NextHop>,
+    /// Buddy allocator for `nodes` index space (§3: "the contiguous arrays
+    /// of internal and leaf nodes are managed by the buddy memory
+    /// allocator").
+    pub(crate) node_buddy: Buddy,
+    /// Buddy allocator for `leaves` index space.
+    pub(crate) leaf_buddy: Buddy,
+    /// Root node index, used when `s == 0`.
+    pub(crate) root: u32,
+    /// Number of live internal nodes ("# of inodes" in Table 2).
+    pub(crate) inode_count: usize,
+    /// Number of live leaves ("# of leaves" in Table 2).
+    pub(crate) leaf_count: usize,
+    /// Direct-pointing bit count `s`.
+    pub(crate) s: u8,
+    pub(crate) _key: core::marker::PhantomData<K>,
+}
+
+/// The Poptrie of the paper: leafvec-compressed, 24-byte nodes.
+pub type Poptrie<K = u32> = PoptrieImpl<K, Node24>;
+
+/// The basic Poptrie of §3.1 without leaf compression: 16-byte nodes, one
+/// leaf per relevant slot. Only interesting for the Table 2 ablation.
+pub type PoptrieBasic<K = u32> = PoptrieImpl<K, Node16>;
+
+/// Size and occupancy statistics (the left half of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoptrieStats {
+    /// Number of internal nodes.
+    pub inodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Direct-pointing entries (`2^s`, 0 when direct pointing is off).
+    pub direct_slots: usize,
+    /// Memory footprint in bytes: `inodes * node_size + leaves * 2 +
+    /// direct_slots * 4`, the accounting of Tables 2 and 3.
+    pub memory_bytes: usize,
+}
+
+impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
+    /// Start configuring a compilation (direct-pointing bits, aggregation).
+    pub fn builder() -> Builder<K, N> {
+        Builder::new()
+    }
+
+    /// Compile with default options (`s = 18`, route aggregation on) from a
+    /// RIB.
+    pub fn from_rib(rib: &RadixTree<K, NextHop>) -> Self {
+        Builder::new().build(rib)
+    }
+
+    /// The direct-pointing size `s` this FIB was compiled with.
+    pub fn direct_bits(&self) -> u8 {
+        self.s
+    }
+
+    /// Longest-prefix-match lookup. Returns the next hop of the most
+    /// specific matching route, or `None` when nothing matches.
+    #[inline]
+    pub fn lookup(&self, key: K) -> Option<NextHop> {
+        let nh = self.lookup_raw(key);
+        (nh != NO_ROUTE).then_some(nh)
+    }
+
+    /// The raw lookup of Algorithms 1–3, returning [`NO_ROUTE`] (0) for a
+    /// miss. This is the hot path benchmarked in the paper.
+    ///
+    /// Array accesses use unchecked indexing: every index is produced by
+    /// the builder/updater under the structural invariants that
+    /// [`PoptrieImpl::check_invariants`] verifies (direct entries point at
+    /// live nodes, child blocks span `popcnt(vector)` slots, leaf ranks
+    /// stay within each node's leaf block). The paper's C implementation
+    /// is bound-check-free for the same reason; debug builds keep the
+    /// checks.
+    #[inline]
+    pub fn lookup_raw(&self, key: K) -> NextHop {
+        let mut index: u32;
+        let mut offset: u32;
+        if self.s != 0 {
+            // Algorithm 3: direct pointing over the top s bits.
+            let di = key.extract(0, self.s as u32) as usize;
+            debug_assert!(di < self.direct.len());
+            // SAFETY: `extract(key, 0, s)` yields s bits, and
+            // `direct.len() == 1 << s` by construction.
+            let entry = unsafe { *self.direct.get_unchecked(di) };
+            if entry & DIRECT_LEAF_BIT != 0 {
+                return (entry & !DIRECT_LEAF_BIT) as NextHop;
+            }
+            index = entry;
+            offset = self.s as u32;
+        } else {
+            index = self.root;
+            offset = 0;
+        }
+        // Algorithm 1 main loop (k = 6).
+        loop {
+            debug_assert!((index as usize) < self.nodes.len());
+            // SAFETY: `index` is the root, a direct entry or
+            // `base1 + rank - 1` of a live node; all point into `nodes`
+            // by the structural invariant.
+            let node = unsafe { self.nodes.get_unchecked(index as usize) };
+            let v = key.extract(offset, 6);
+            let vector = node.vector();
+            if vector & (1u64 << v) != 0 {
+                index = node.base1() + rank1(vector, v) - 1;
+                offset += 6;
+                debug_assert!(
+                    offset < K::BITS + 6,
+                    "traversal ran past the key width; corrupt trie"
+                );
+            } else {
+                // Algorithm 1 line 13–15 / Algorithm 2.
+                let li = (node.base0() + node.leaf_rank(v) - 1) as usize;
+                debug_assert!(li < self.leaves.len());
+                // SAFETY: `leaf_rank(v)` is in `1..=leaf_count()` for a
+                // relevant slot and the node's leaf block
+                // `[base0, base0 + leaf_count)` lies inside `leaves`.
+                return unsafe { *self.leaves.get_unchecked(li) };
+            }
+        }
+    }
+
+    /// Size and occupancy statistics (Table 2 columns).
+    pub fn stats(&self) -> PoptrieStats {
+        PoptrieStats {
+            inodes: self.inode_count,
+            leaves: self.leaf_count,
+            direct_slots: self.direct.len(),
+            memory_bytes: self.inode_count * N::SIZE
+                + self.leaf_count * core::mem::size_of::<NextHop>()
+                + self.direct.len() * 4,
+        }
+    }
+
+    /// Enumerate the FIB as effective address ranges: sorted
+    /// `(start_key, next_hop)` pairs where each entry covers the keys from
+    /// its `start_key` up to (not including) the next entry's, and the
+    /// last entry extends to the end of the address space. Adjacent ranges
+    /// with equal next hops are merged, and [`NO_ROUTE`] ranges are
+    /// included (so coverage is total).
+    ///
+    /// This is the view DXR builds its whole structure from; here it
+    /// serves FIB diffing, serialization and cross-validation — two FIBs
+    /// are semantically equal iff their range lists are equal.
+    pub fn ranges(&self) -> Vec<(K, NextHop)> {
+        let mut out: Vec<(K, NextHop)> = Vec::new();
+        let mut push = |start: K, nh: NextHop, out: &mut Vec<(K, NextHop)>| match out.last() {
+            Some(&(_, last)) if last == nh => {}
+            _ => out.push((start, nh)),
+        };
+        if self.s == 0 {
+            self.node_ranges(self.root, K::ZERO, 0, &mut push, &mut out);
+        } else {
+            let s = self.s as u32;
+            for di in 0..self.direct.len() as u32 {
+                let start = K::from_high_bits(di, s);
+                let entry = self.direct[di as usize];
+                if entry & DIRECT_LEAF_BIT != 0 {
+                    push(start, (entry & !DIRECT_LEAF_BIT) as NextHop, &mut out);
+                } else {
+                    self.node_ranges(entry, start, s, &mut push, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Emit the ranges of the subtree at node `idx`, whose chunk starts at
+    /// key `base` with bit offset `offset`.
+    fn node_ranges(
+        &self,
+        idx: u32,
+        base: K,
+        offset: u32,
+        push: &mut impl FnMut(K, NextHop, &mut Vec<(K, NextHop)>),
+        out: &mut Vec<(K, NextHop)>,
+    ) {
+        let node = &self.nodes[idx as usize];
+        let vector = node.vector();
+        // Slots whose low bits fall past the key width are zero-padding
+        // duplicates of slot values with those bits clear; skip them.
+        let pad = (offset + 6).saturating_sub(K::BITS);
+        let pad_mask = (1u32 << pad) - 1;
+        for v in 0..64u32 {
+            if v & pad_mask != 0 {
+                continue;
+            }
+            // Place the chunk value below the already-fixed offset bits.
+            let start = base.or(shift_chunk::<K>(v, offset));
+            if vector & (1u64 << v) != 0 {
+                let child = node.base1() + rank1(vector, v) - 1;
+                self.node_ranges(child, start, offset + 6, push, out);
+            } else {
+                let li = node.base0() + node.leaf_rank(v) - 1;
+                push(start, self.leaves[li as usize], out);
+            }
+        }
+    }
+
+    /// Verify internal consistency: every reachable node and leaf index is
+    /// in bounds, child blocks are sized by `popcnt(vector)`, `leafvec` has
+    /// a run-start at or before every relevant slot, and live node/leaf
+    /// counts match reachability. Used by tests and debug builds; not a hot
+    /// path.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut inodes = 0usize;
+        let mut leaves = 0usize;
+        let mut roots: Vec<u32> = Vec::new();
+        if self.s == 0 {
+            roots.push(self.root);
+        } else {
+            if self.direct.len() != 1usize << self.s {
+                return Err(format!(
+                    "direct table length {} != 2^{}",
+                    self.direct.len(),
+                    self.s
+                ));
+            }
+            for &e in &self.direct {
+                if e & DIRECT_LEAF_BIT == 0 {
+                    roots.push(e);
+                }
+            }
+        }
+        for root in roots {
+            self.check_node(root, 0, &mut inodes, &mut leaves)?;
+        }
+        if inodes != self.inode_count {
+            return Err(format!(
+                "inode count mismatch: reachable {} recorded {}",
+                inodes, self.inode_count
+            ));
+        }
+        if leaves != self.leaf_count {
+            return Err(format!(
+                "leaf count mismatch: reachable {} recorded {}",
+                leaves, self.leaf_count
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        idx: u32,
+        depth: u32,
+        inodes: &mut usize,
+        leaves: &mut usize,
+    ) -> Result<(), String> {
+        if depth > (K::BITS / 6) + 2 {
+            return Err("trie deeper than the key width allows".into());
+        }
+        let Some(node) = self.nodes.get(idx as usize) else {
+            return Err(format!("node index {idx} out of bounds"));
+        };
+        *inodes += 1;
+        let vector = node.vector();
+        let nleaves = node.leaf_count();
+        *leaves += nleaves as usize;
+        if nleaves > 0 {
+            let end = node.base0() as usize + nleaves as usize;
+            if end > self.leaves.len() {
+                return Err(format!("leaf block of node {idx} out of bounds"));
+            }
+        }
+        // Every relevant (leaf) slot must resolve to a leaf inside the
+        // node's own block: rank must be in 1..=nleaves.
+        for v in 0..64u32 {
+            if vector & (1u64 << v) == 0 {
+                let r = node.leaf_rank(v);
+                if r == 0 || r > nleaves {
+                    return Err(format!(
+                        "node {idx}: slot {v} has leaf rank {r} outside 1..={nleaves}"
+                    ));
+                }
+            }
+        }
+        let nchildren = vector.count_ones();
+        for i in 0..nchildren {
+            self.check_node(node.base1() + i, depth + 1, inodes, leaves)?;
+        }
+        Ok(())
+    }
+}
+
+impl<K: Bits, N: NodeRepr> Lpm<K> for PoptrieImpl<K, N> {
+    fn lookup(&self, key: K) -> Option<NextHop> {
+        PoptrieImpl::lookup(self, key)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.stats().memory_bytes
+    }
+
+    fn name(&self) -> String {
+        let kind = if N::COMPRESSES_LEAVES {
+            "Poptrie"
+        } else {
+            "PoptrieBasic"
+        };
+        if self.s == 0 {
+            format!("{kind}0")
+        } else {
+            format!("{kind}{}", self.s)
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Incremental FIB update (§3.5).
+//!
+//! A [`Fib`] owns both the RIB (a binary radix tree, as the paper assumes)
+//! and the compiled Poptrie. A route change updates the RIB and then
+//! surgically replaces only the affected part of the Poptrie:
+//!
+//! * a prefix **longer** than the direct-pointing size `s` affects exactly
+//!   one direct slot — the subtree hanging off that slot is rebuilt from
+//!   the RIB through the buddy allocator and the slot is repointed;
+//! * a prefix **no longer** than `s` affects a contiguous range of
+//!   `2^(s - len)` direct slots, each of which is refreshed the same way
+//!   (the paper replaces the whole top-level array in this case; refreshing
+//!   only the covered range is strictly less work and equally consistent).
+//!
+//! Within the affected slot, [`UpdateStrategy::NodeRefresh`] (the default)
+//! implements the paper's node reuse: every node whose child-type `vector`
+//! is unchanged is kept in place — child indices stay valid — and only
+//! leaf blocks that actually changed are reallocated, so a typical BGP
+//! path change replaces a handful of leaves and no internal nodes, the
+//! §4.9 regime. [`UpdateStrategy::SubtreeRebuild`] recompiles the whole
+//! slot subtree instead (simpler, still microseconds; kept for the
+//! ablation bench). The buddy allocator mitigates fragmentation across
+//! the churn exactly as in §3.5.
+//!
+//! Incremental compilation always works from the raw (unaggregated) RIB:
+//! route aggregation is a semantics-preserving transform, so a FIB whose
+//! untouched regions were compiled with aggregation and whose patched
+//! regions were not still returns the correct next hop for every address.
+
+use poptrie_bitops::Bits;
+use poptrie_rib::{NextHop, Prefix, RadixTree, NO_ROUTE};
+
+use poptrie_rib::radix::Node as RadixNode;
+
+use crate::builder::{alloc_leaves, alloc_nodes, compute_chunk, fill_node, place_node, Builder};
+use crate::node::{Node24, NodeRepr};
+use crate::trie::{Poptrie, DIRECT_LEAF_BIT};
+
+/// How [`Fib`] repairs the Poptrie after a route change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateStrategy {
+    /// The §3.5 approach: walk the affected subtree and *reuse* every node
+    /// whose child-type `vector` is unchanged, reallocating only the leaf
+    /// blocks (and subtrees) that actually changed. A typical BGP path
+    /// change touches one leaf block.
+    #[default]
+    NodeRefresh,
+    /// Tear down and recompile the whole subtree hanging off the affected
+    /// direct slot. Simpler and still microsecond-scale; kept for the
+    /// update-strategy ablation bench.
+    SubtreeRebuild,
+}
+
+/// Counters describing incremental-update work, in the units of §4.9
+/// ("the average number of replacements for the top-level array …, the
+/// leaf node, and the internal node, per update").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Route updates applied (inserts + removes that changed the RIB).
+    pub updates: u64,
+    /// Direct-pointing (top-level array) entries rewritten.
+    pub direct_replacements: u64,
+    /// Internal nodes newly built.
+    pub nodes_built: u64,
+    /// Internal nodes freed.
+    pub nodes_freed: u64,
+    /// Leaves newly written.
+    pub leaves_built: u64,
+    /// Leaves freed.
+    pub leaves_freed: u64,
+}
+
+/// A RIB + Poptrie pair with incremental update.
+///
+/// ```
+/// use poptrie::Fib;
+///
+/// let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+/// fib.insert("10.0.0.0/8".parse().unwrap(), 1);
+/// fib.insert("10.1.0.0/16".parse().unwrap(), 2);
+/// assert_eq!(fib.lookup(0x0A01_0001), Some(2));
+/// fib.remove("10.1.0.0/16".parse().unwrap());
+/// assert_eq!(fib.lookup(0x0A01_0001), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fib<K: Bits> {
+    rib: RadixTree<K, NextHop>,
+    trie: Poptrie<K>,
+    stats: UpdateStats,
+    strategy: UpdateStrategy,
+}
+
+impl<K: Bits> Fib<K> {
+    /// An empty FIB with direct-pointing size `s`.
+    pub fn with_direct_bits(s: u8) -> Self {
+        let rib = RadixTree::new();
+        let trie = Builder::new().direct_bits(s).aggregate(false).build(&rib);
+        Fib {
+            rib,
+            trie,
+            stats: UpdateStats::default(),
+            strategy: UpdateStrategy::default(),
+        }
+    }
+
+    /// Compile an initial FIB from an existing RIB (full build, §3's route
+    /// aggregation applied when `aggregate` is set), then serve incremental
+    /// updates.
+    pub fn from_rib(rib: RadixTree<K, NextHop>, s: u8, aggregate: bool) -> Self {
+        let trie = Builder::new()
+            .direct_bits(s)
+            .aggregate(aggregate)
+            .build(&rib);
+        Fib {
+            rib,
+            trie,
+            stats: UpdateStats::default(),
+            strategy: UpdateStrategy::default(),
+        }
+    }
+
+    /// Select the incremental-update strategy (default:
+    /// [`UpdateStrategy::NodeRefresh`], the §3.5 node-reuse scheme).
+    pub fn set_update_strategy(&mut self, strategy: UpdateStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The active incremental-update strategy.
+    pub fn update_strategy(&self) -> UpdateStrategy {
+        self.strategy
+    }
+
+    /// The compiled Poptrie (lookup structure).
+    pub fn poptrie(&self) -> &Poptrie<K> {
+        &self.trie
+    }
+
+    /// The RIB.
+    pub fn rib(&self) -> &RadixTree<K, NextHop> {
+        &self.rib
+    }
+
+    /// Cumulative update-work counters.
+    pub fn stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Longest-prefix-match lookup on the compiled FIB.
+    #[inline]
+    pub fn lookup(&self, key: K) -> Option<NextHop> {
+        self.trie.lookup(key)
+    }
+
+    /// Announce a route: insert (or replace) `prefix -> nh` and patch the
+    /// FIB. Returns the previous next hop for the prefix, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nh` is [`NO_ROUTE`] (0), which is reserved.
+    pub fn insert(&mut self, prefix: Prefix<K>, nh: NextHop) -> Option<NextHop> {
+        assert_ne!(nh, NO_ROUTE, "next hop 0 is reserved for no-route");
+        let old = self.rib.insert(prefix, nh);
+        if old != Some(nh) {
+            self.patch(prefix);
+        }
+        self.stats.updates += 1;
+        old
+    }
+
+    /// Withdraw a route. Returns its next hop if it existed.
+    pub fn remove(&mut self, prefix: Prefix<K>) -> Option<NextHop> {
+        let old = self.rib.remove(prefix)?;
+        self.patch(prefix);
+        self.stats.updates += 1;
+        Some(old)
+    }
+
+    /// Rebuild the whole FIB from the RIB (the paper's "compilation from
+    /// scratch", Table 2's compilation-time column).
+    pub fn rebuild(&mut self) {
+        self.trie = Builder::new()
+            .direct_bits(self.trie.s)
+            .aggregate(false)
+            .build(&self.rib);
+    }
+
+    /// Patch the Poptrie after `prefix` changed in the RIB.
+    fn patch(&mut self, prefix: Prefix<K>) {
+        let s = self.trie.s as u32;
+        let len = prefix.len() as u32;
+        if s == 0 {
+            // Without direct pointing the root subtree is the only
+            // replaceable unit (the paper evaluates updates with s = 18).
+            let before = snapshot(&self.trie);
+            let old_root = self.trie.root;
+            free_subtree(&mut self.trie, old_root);
+            self.trie.node_buddy.free(old_root, 1);
+            let mid = snapshot(&self.trie);
+            let root = alloc_nodes(&mut self.trie, 1);
+            self.trie.root = root;
+            fill_node(&mut self.trie, root, self.rib.root(), NO_ROUTE);
+            credit(&mut self.stats, before, mid, snapshot(&self.trie));
+            return;
+        }
+        if len > s {
+            self.refresh_direct_slot(prefix.addr().extract(0, s));
+        } else {
+            let lo = prefix.addr().extract(0, s);
+            let count = 1u32 << (s - len);
+            for di in lo..lo + count {
+                self.refresh_direct_slot(di);
+            }
+        }
+    }
+
+    /// Repair the structure hanging off direct slot `di` from the RIB,
+    /// reusing the existing node subtree where the strategy allows.
+    fn refresh_direct_slot(&mut self, di: u32) {
+        let s = self.trie.s as u32;
+        let old = self.trie.direct[di as usize];
+        let old_is_node = old & DIRECT_LEAF_BIT == 0;
+        // Locate the radix node for the slot's s-bit path, tracking the
+        // next hop inherited from shorter prefixes along the way.
+        let path = K::from_high_bits(di, s);
+        let mut cur = self.rib.root();
+        let mut inherited = NO_ROUTE;
+        let mut i = 0;
+        while i < s {
+            let Some(n) = cur else { break };
+            inherited = n.value().copied().unwrap_or(inherited);
+            cur = n.child(path.bit(i));
+            i += 1;
+        }
+        let needs_node = i == s && cur.map(|n| n.has_children()).unwrap_or(false);
+        let entry = match (old_is_node, needs_node) {
+            (true, true) if self.strategy == UpdateStrategy::NodeRefresh => {
+                // §3.5 node reuse: repair in place, keeping the index.
+                refresh_node(&mut self.trie, &mut self.stats, old, cur, inherited);
+                old
+            }
+            (_, true) => {
+                if old_is_node {
+                    teardown_slot(&mut self.trie, &mut self.stats, old);
+                }
+                let before = snapshot(&self.trie);
+                let idx = alloc_nodes(&mut self.trie, 1);
+                fill_node(&mut self.trie, idx, cur, inherited);
+                credit_built(&mut self.stats, before, snapshot(&self.trie));
+                idx
+            }
+            (_, false) => {
+                if old_is_node {
+                    teardown_slot(&mut self.trie, &mut self.stats, old);
+                }
+                let nh = match cur {
+                    Some(n) if i == s => n.value().copied().unwrap_or(inherited),
+                    _ => inherited,
+                };
+                DIRECT_LEAF_BIT | nh as u32
+            }
+        };
+        if entry != old {
+            self.trie.direct[di as usize] = entry;
+            self.stats.direct_replacements += 1;
+        }
+    }
+}
+
+/// Free the node subtree a direct slot points at, including the node's
+/// own single-slot block, crediting the freed work.
+fn teardown_slot<K: Bits>(trie: &mut Poptrie<K>, stats: &mut UpdateStats, idx: u32) {
+    let before = snapshot(trie);
+    free_subtree(trie, idx);
+    trie.node_buddy.free(idx, 1);
+    credit_freed(stats, before, snapshot(trie));
+}
+
+/// The §3.5 refresh: recompute node `idx`'s contents from the RIB; when
+/// its child-type `vector` is unchanged, keep the node and its child block
+/// in place, replace the leaf block only if the leaves actually changed,
+/// and recurse into the children. When the `vector` changed (a slot
+/// flipped between leaf and internal), fall back to rebuilding the whole
+/// subtree below `idx` — the node index itself is still preserved, so the
+/// parent needs no update.
+fn refresh_node<K: Bits>(
+    trie: &mut Poptrie<K>,
+    stats: &mut UpdateStats,
+    idx: u32,
+    radix: Option<&RadixNode<NextHop>>,
+    inherited: NextHop,
+) {
+    let old: Node24 = trie.nodes[idx as usize];
+    let spec = compute_chunk::<Node24>(radix, inherited);
+    if spec.vector != old.vector {
+        // Structure changed: rebuild this subtree in place.
+        let before = snapshot(trie);
+        free_subtree(trie, idx);
+        credit_freed(stats, before, snapshot(trie));
+        let before = snapshot(trie);
+        place_node(trie, idx, spec);
+        credit_built(stats, before, snapshot(trie));
+        return;
+    }
+    // Same child structure: refresh leaves if they changed.
+    let old_leaf_count = old.leafvec.count_ones() as usize;
+    let old_leaves = &trie.leaves[old.base0 as usize..old.base0 as usize + old_leaf_count];
+    let leaves_unchanged = spec.leafvec == old.leafvec && spec.leaf_vals == old_leaves;
+    if !leaves_unchanged {
+        if old_leaf_count > 0 {
+            trie.leaf_buddy.free(old.base0, old_leaf_count as u32);
+            trie.leaf_count -= old_leaf_count;
+            stats.leaves_freed += old_leaf_count as u64;
+        }
+        let base0 = if spec.leaf_vals.is_empty() {
+            0
+        } else {
+            let off = alloc_leaves(trie, spec.leaf_vals.len() as u32);
+            trie.leaves[off as usize..off as usize + spec.leaf_vals.len()]
+                .copy_from_slice(&spec.leaf_vals);
+            trie.leaf_count += spec.leaf_vals.len();
+            stats.leaves_built += spec.leaf_vals.len() as u64;
+            off
+        };
+        let node = &mut trie.nodes[idx as usize];
+        node.leafvec = spec.leafvec;
+        node.base0 = base0;
+    }
+    // Recurse into the (unchanged set of) children.
+    for (i, (cnode, cinh)) in spec.children.into_iter().enumerate() {
+        refresh_node(trie, stats, old.base1 + i as u32, Some(cnode), cinh);
+    }
+}
+
+fn credit_freed(stats: &mut UpdateStats, before: (usize, usize), after: (usize, usize)) {
+    stats.nodes_freed += (before.0 - after.0) as u64;
+    stats.leaves_freed += (before.1 - after.1) as u64;
+}
+
+fn credit_built(stats: &mut UpdateStats, before: (usize, usize), after: (usize, usize)) {
+    stats.nodes_built += (after.0 - before.0) as u64;
+    stats.leaves_built += (after.1 - before.1) as u64;
+}
+
+/// (inodes, leaves) snapshot for stats accounting.
+fn snapshot<K: Bits>(trie: &Poptrie<K>) -> (usize, usize) {
+    (trie.inode_count, trie.leaf_count)
+}
+
+/// Attribute counter movement to freed (before → mid, while the old
+/// subtree is torn down) and built (mid → after, while the new subtree is
+/// compiled) work.
+fn credit(
+    stats: &mut UpdateStats,
+    before: (usize, usize),
+    mid: (usize, usize),
+    after: (usize, usize),
+) {
+    stats.nodes_freed += (before.0 - mid.0) as u64;
+    stats.leaves_freed += (before.1 - mid.1) as u64;
+    stats.nodes_built += (after.0 - mid.0) as u64;
+    stats.leaves_built += (after.1 - mid.1) as u64;
+}
+
+/// Recursively free the child and leaf blocks under node `idx` and
+/// decrement the live counters for `idx` itself. The block *containing*
+/// `idx` must be freed by the caller (it belongs to the parent).
+pub(crate) fn free_subtree<K: Bits, N: NodeRepr>(
+    trie: &mut crate::trie::PoptrieImpl<K, N>,
+    idx: u32,
+) {
+    let node = trie.nodes[idx as usize];
+    let nchildren = node.vector().count_ones();
+    for i in 0..nchildren {
+        free_subtree(trie, node.base1() + i);
+    }
+    if nchildren > 0 {
+        trie.node_buddy.free(node.base1(), nchildren);
+    }
+    let nleaves = node.leaf_count();
+    if nleaves > 0 {
+        trie.leaf_buddy.free(node.base0(), nleaves);
+        trie.leaf_count -= nleaves as usize;
+    }
+    trie.inode_count -= 1;
+}

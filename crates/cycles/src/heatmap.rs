@@ -1,0 +1,78 @@
+//! Text heat maps with logarithmic intensity, for Figure 7.
+
+/// A 2D counting grid rendered as text with log-scaled intensity
+/// characters — the terminal equivalent of Figure 7's heat map of binary
+/// radix depth versus matched prefix length.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    width: usize,
+    height: usize,
+    counts: Vec<u64>,
+}
+
+/// Intensity ramp: each step is one decade, matching the paper's
+/// logarithmic colorbar (10^0 .. 10^9).
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+impl Heatmap {
+    /// A `width x height` grid of zero counts.
+    pub fn new(width: usize, height: usize) -> Self {
+        Heatmap {
+            width,
+            height,
+            counts: vec![0; width * height],
+        }
+    }
+
+    /// Add `n` observations at `(x, y)`. Out-of-range points are clamped
+    /// to the border cell so totals are never silently dropped.
+    pub fn add(&mut self, x: usize, y: usize, n: u64) {
+        let x = x.min(self.width - 1);
+        let y = y.min(self.height - 1);
+        self.counts[y * self.width + x] += n;
+    }
+
+    /// The count at `(x, y)`.
+    pub fn get(&self, x: usize, y: usize) -> u64 {
+        self.counts[y * self.width + x]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Render with `y = 0` at the bottom (the paper's axes), one character
+    /// per cell plus axis labels.
+    pub fn render(&self, x_label: &str, y_label: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{y_label}\n"));
+        for y in (0..self.height).rev() {
+            out.push_str(&format!("{y:>3} |"));
+            for x in 0..self.width {
+                let c = self.get(x, y);
+                let idx = if c == 0 {
+                    0
+                } else {
+                    ((c as f64).log10().floor() as usize + 1).min(RAMP.len() - 1)
+                };
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("    +{}\n", "-".repeat(self.width)));
+        // X axis ticks every 4 cells.
+        out.push_str("     ");
+        for x in 0..self.width {
+            if x % 4 == 0 {
+                let t = format!("{x:<4}");
+                out.push_str(&t[..t.len().min(4)]);
+            }
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "     {x_label}   (intensity: blank=0, then one step per decade)\n"
+        ));
+        out
+    }
+}

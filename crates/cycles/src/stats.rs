@@ -1,0 +1,133 @@
+//! The statistics the paper reports.
+
+/// Percentile summary of a sample set — the columns of Table 4 (mean,
+/// 50th, 75th, 95th, 99th).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 75th percentile.
+    pub p75: u64,
+    /// 95th percentile — the paper's "worst case guarantee … except for
+    /// corner cases".
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// Nearest-rank percentile of a sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl Percentiles {
+    /// Compute from raw samples. Returns `None` for an empty set.
+    pub fn from_samples(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(Percentiles {
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            p50: percentile(&sorted, 50.0),
+            p75: percentile(&sorted, 75.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+        })
+    }
+}
+
+/// An empirical CDF — Figure 10 ("CDF of CPU cycles per lookup").
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<u64>,
+}
+
+impl Cdf {
+    /// Build from raw samples.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Cdf { sorted }
+    }
+
+    /// `P(X <= x)`.
+    pub fn at(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(x, F(x))` points for plotting, from the sample
+    /// minimum to `x_max`.
+    pub fn points(&self, x_max: u64, steps: usize) -> Vec<(u64, f64)> {
+        let lo = self.sorted.first().copied().unwrap_or(0);
+        let hi = x_max.max(lo + 1);
+        (0..=steps)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as u64 / steps as u64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// A five-number summary — the candlesticks of Figure 11: "the wick …
+/// represents 5th/95th percentile, the body represents the first and
+/// third quartile values, and the internal bar represents the median".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candlestick {
+    /// 5th percentile (lower wick).
+    pub p5: u64,
+    /// First quartile (body bottom).
+    pub q1: u64,
+    /// Median.
+    pub median: u64,
+    /// Third quartile (body top).
+    pub q3: u64,
+    /// 95th percentile (upper wick).
+    pub p95: u64,
+}
+
+impl Candlestick {
+    /// Compute from raw samples. Returns `None` for an empty set.
+    pub fn from_samples(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(Candlestick {
+            p5: percentile(&sorted, 5.0),
+            q1: percentile(&sorted, 25.0),
+            median: percentile(&sorted, 50.0),
+            q3: percentile(&sorted, 75.0),
+            p95: percentile(&sorted, 95.0),
+        })
+    }
+
+    /// Render as a compact one-line figure for harness output.
+    pub fn render(&self) -> String {
+        format!(
+            "5%={} q1={} med={} q3={} 95%={}",
+            self.p5, self.q1, self.median, self.q3, self.p95
+        )
+    }
+}

@@ -1,0 +1,72 @@
+//! Serialized time-stamp-counter reads.
+
+/// Read the TSC with serialization against earlier and later instructions
+/// (`LFENCE; RDTSC; LFENCE`), so the measured region cannot leak out of
+/// the bracket. On non-x86 targets this falls back to a monotonic
+/// nanosecond clock (cycle figures then mean "nanoseconds").
+#[inline(always)]
+pub fn rdtsc_serialized() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: LFENCE and RDTSC are available on every x86-64 CPU this
+    // crate targets and have no memory-safety effects.
+    unsafe {
+        core::arch::x86_64::_mm_lfence();
+        let t = core::arch::x86_64::_rdtsc();
+        core::arch::x86_64::_mm_lfence();
+        t
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static START: OnceLock<Instant> = OnceLock::new();
+        START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// The constant cost of one [`rdtsc_serialized`] bracket, calibrated once
+/// per process — the analogue of the paper's "overhead to read a PMC is
+/// constantly 83 cycles, and is excluded from the results".
+pub fn overhead() -> u64 {
+    use std::sync::OnceLock;
+    static OVERHEAD: OnceLock<u64> = OnceLock::new();
+    *OVERHEAD.get_or_init(|| {
+        let mut best = u64::MAX;
+        for _ in 0..10_000 {
+            let a = rdtsc_serialized();
+            let b = rdtsc_serialized();
+            best = best.min(b - a);
+        }
+        best
+    })
+}
+
+/// Estimated TSC frequency in cycles per second, calibrated once against
+/// the monotonic clock (~50 ms spin). Used to convert cycle counts into
+/// lookup rates.
+pub fn cycles_per_second() -> f64 {
+    use std::sync::OnceLock;
+    static FREQ: OnceLock<f64> = OnceLock::new();
+    *FREQ.get_or_init(|| {
+        let wall = std::time::Instant::now();
+        let t0 = rdtsc_serialized();
+        while wall.elapsed() < std::time::Duration::from_millis(50) {
+            std::hint::spin_loop();
+        }
+        let t1 = rdtsc_serialized();
+        (t1 - t0) as f64 / wall.elapsed().as_secs_f64()
+    })
+}
+
+/// Time `f` over one serialized bracket, returning elapsed cycles with the
+/// bracket overhead subtracted (saturating at zero).
+///
+/// For per-operation distributions call this once per operation; for
+/// throughput, wrap the whole batch.
+#[inline]
+pub fn measure_batch<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let start = rdtsc_serialized();
+    let r = f();
+    let end = rdtsc_serialized();
+    ((end - start).saturating_sub(overhead()), r)
+}

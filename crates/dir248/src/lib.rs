@@ -1,0 +1,217 @@
+//! DIR-24-8-BASIC — the ancestor of direct pointing.
+//!
+//! Gupta, Lin and McKeown, *Routing Lookups in Hardware at Memory Access
+//! Speeds*, INFOCOM 1998 — reference \[13\] of the Poptrie paper, cited
+//! as the origin of the technique Poptrie calls *direct pointing* (§3.4:
+//! "These days, it is common to conduct such an optimization technique;
+//! examples can be seen in DIR-24-8-BASIC, DXR and SAIL").
+//!
+//! The structure is two flat arrays:
+//!
+//! * **TBL24** — `2^24` 16-bit entries, one per /24 block. The top bit
+//!   says whether the low 15 bits are a next hop (prefixes ≤ /24,
+//!   expanded) or an index into…
+//! * **TBLlong** — one 256-entry block of next hops per /24 block that
+//!   contains longer-than-/24 prefixes.
+//!
+//! Lookup is one memory access for prefixes up to /24 and exactly two
+//! otherwise — O(1), at the price of 32 MiB of TBL24. Poptrie's §3.4
+//! makes the same trade at s = 16/18 for a table 32–128× smaller; this
+//! crate exists so the workspace contains the scheme the paper's
+//! optimization descends from, as a fourth baseline.
+//!
+//! Structural limits mirror the original: 15-bit next hops, and at most
+//! 2^15 deep blocks (the index shares the 15-bit field).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use poptrie_rib::radix::Node as RadixNode;
+use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
+
+/// Entry flag: the low 15 bits index a TBLlong block.
+const LONG_FLAG: u16 = 1 << 15;
+
+/// Maximum TBLlong blocks (the index lives in 15 bits).
+pub const MAX_LONG_BLOCKS: usize = 1 << 15;
+
+/// DIR-24-8 compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dir248Error {
+    /// More than [`MAX_LONG_BLOCKS`] /24 blocks hold longer prefixes.
+    LongBlockOverflow {
+        /// Blocks the table needs.
+        needed: usize,
+    },
+    /// A next hop exceeds the 15-bit field.
+    NextHopOverflow,
+}
+
+impl core::fmt::Display for Dir248Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Dir248Error::LongBlockOverflow { needed } => write!(
+                f,
+                "table needs {needed} TBLlong blocks, 15-bit indices allow {MAX_LONG_BLOCKS}"
+            ),
+            Dir248Error::NextHopOverflow => write!(f, "next hop exceeds 15 bits"),
+        }
+    }
+}
+
+impl std::error::Error for Dir248Error {}
+
+/// A compiled DIR-24-8-BASIC table.
+///
+/// ```
+/// use poptrie_dir248::Dir248;
+/// use poptrie_rib::RadixTree;
+///
+/// let mut rib: RadixTree<u32, u16> = RadixTree::new();
+/// rib.insert("10.0.0.0/8".parse().unwrap(), 1);
+/// rib.insert("10.1.2.128/25".parse().unwrap(), 2);
+/// let d = Dir248::from_rib(&rib).unwrap();
+/// assert_eq!(d.lookup(0x0A01_0203), Some(1));
+/// assert_eq!(d.lookup(0x0A01_0290), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dir248 {
+    /// TBL24: `2^24` entries.
+    tbl24: Vec<u16>,
+    /// TBLlong: 256-entry blocks for deep /24s.
+    tbllong: Vec<u16>,
+}
+
+impl Dir248 {
+    /// Compile from a RIB radix tree.
+    pub fn from_rib(rib: &RadixTree<u32, NextHop>) -> Result<Self, Dir248Error> {
+        let mut d = Dir248 {
+            tbl24: vec![0; 1 << 24],
+            tbllong: Vec::new(),
+        };
+        d.fill24(rib.root(), NO_ROUTE, 0, 0)?;
+        Ok(d)
+    }
+
+    /// Compile from a route list.
+    pub fn from_routes<I: IntoIterator<Item = (poptrie_rib::Prefix<u32>, NextHop)>>(
+        routes: I,
+    ) -> Result<Self, Dir248Error> {
+        Self::from_rib(&RadixTree::from_routes(routes))
+    }
+
+    /// Fill TBL24: `node` is `depth` bits deep covering entries
+    /// `[base << (24 - depth), (base + 1) << (24 - depth))`.
+    fn fill24(
+        &mut self,
+        node: Option<&RadixNode<NextHop>>,
+        inherited: NextHop,
+        depth: u32,
+        base: usize,
+    ) -> Result<(), Dir248Error> {
+        let Some(n) = node else {
+            let width = 1usize << (24 - depth);
+            self.tbl24[base * width..(base + 1) * width].fill(encode_nh(inherited)?);
+            return Ok(());
+        };
+        let inh = n.value().copied().unwrap_or(inherited);
+        if depth == 24 {
+            if n.has_children() {
+                let block = self.tbllong.len() / 256;
+                if block >= MAX_LONG_BLOCKS {
+                    return Err(Dir248Error::LongBlockOverflow { needed: block + 1 });
+                }
+                self.tbllong.resize(self.tbllong.len() + 256, 0);
+                self.tbl24[base] = LONG_FLAG | block as u16;
+                self.fill_long(Some(n), inh, 0, block * 256)?;
+            } else {
+                self.tbl24[base] = encode_nh(inh)?;
+            }
+            return Ok(());
+        }
+        self.fill24(n.child(false), inh, depth + 1, base << 1)?;
+        self.fill24(n.child(true), inh, depth + 1, (base << 1) | 1)
+    }
+
+    /// Fill one TBLlong block: `node` is `depth` bits below the /24
+    /// boundary, covering `slot .. slot + (1 << (8 - depth))`.
+    fn fill_long(
+        &mut self,
+        node: Option<&RadixNode<NextHop>>,
+        inherited: NextHop,
+        depth: u32,
+        slot: usize,
+    ) -> Result<(), Dir248Error> {
+        let Some(n) = node else {
+            let width = 1usize << (8 - depth);
+            self.tbllong[slot..slot + width].fill(encode_nh(inherited)?);
+            return Ok(());
+        };
+        let inh = if depth == 0 {
+            inherited // applied by the caller at the /24 node
+        } else {
+            n.value().copied().unwrap_or(inherited)
+        };
+        if depth == 8 {
+            self.tbllong[slot] = encode_nh(inh)?;
+            return Ok(());
+        }
+        let width = 1usize << (8 - depth - 1);
+        self.fill_long(n.child(false), inh, depth + 1, slot)?;
+        self.fill_long(n.child(true), inh, depth + 1, slot + width)
+    }
+
+    /// Longest-prefix-match lookup: one access for ≤ /24 matches, two
+    /// otherwise.
+    pub fn lookup(&self, key: u32) -> Option<NextHop> {
+        let nh = self.lookup_raw(key);
+        (nh != NO_ROUTE).then_some(nh)
+    }
+
+    /// Raw lookup returning [`NO_ROUTE`] (0) on a miss.
+    #[inline]
+    pub fn lookup_raw(&self, key: u32) -> NextHop {
+        // SAFETY: `key >> 8 < 2^24 == tbl24.len()`.
+        let v = unsafe { *self.tbl24.get_unchecked((key >> 8) as usize) };
+        if v & LONG_FLAG == 0 {
+            return v;
+        }
+        let idx = (((v & !LONG_FLAG) as usize) << 8) | (key & 0xFF) as usize;
+        debug_assert!(idx < self.tbllong.len());
+        // SAFETY: block indices stored in tbl24 address fully allocated
+        // 256-entry blocks.
+        unsafe { *self.tbllong.get_unchecked(idx) }
+    }
+
+    /// Number of TBLlong blocks in use.
+    pub fn long_blocks(&self) -> usize {
+        self.tbllong.len() / 256
+    }
+}
+
+/// Validate that a next hop fits the 15-bit field next to the flag.
+#[inline]
+fn encode_nh(nh: NextHop) -> Result<u16, Dir248Error> {
+    if nh & LONG_FLAG != 0 {
+        Err(Dir248Error::NextHopOverflow)
+    } else {
+        Ok(nh)
+    }
+}
+
+impl Lpm<u32> for Dir248 {
+    fn lookup(&self, key: u32) -> Option<NextHop> {
+        Dir248::lookup(self, key)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.tbl24.len() + self.tbllong.len()) * 2
+    }
+
+    fn name(&self) -> String {
+        "DIR-24-8".into()
+    }
+}
+
+#[cfg(test)]
+mod tests;

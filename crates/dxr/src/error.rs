@@ -1,0 +1,55 @@
+//! Structural-limit errors.
+
+use core::fmt;
+
+/// DXR compilation failure: a structural limit of the encoding was hit.
+///
+/// §4.8 of the Poptrie paper: "The DXR also exceeds its structural
+/// limitation of the number of ranges that is supported up to 2^19" — this
+/// error is how that manifests here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DxrError {
+    /// The global range array outgrew the bits available for the range
+    /// index in a directory entry (2^19 standard, 2^20 extended, 2^18 for
+    /// IPv6).
+    RangeIndexOverflow {
+        /// Ranges the table would need.
+        needed: usize,
+        /// Maximum the encoding supports.
+        limit: usize,
+    },
+    /// A single chunk needs more ranges than its size field can express.
+    ChunkRangeOverflow {
+        /// The chunk (direct-table index).
+        chunk: u32,
+        /// Ranges the chunk would need.
+        needed: usize,
+        /// Maximum the encoding supports per chunk.
+        limit: usize,
+    },
+    /// A next hop exceeds the 16-bit FIB-index width shared across the
+    /// evaluation.
+    NextHopOverflow,
+}
+
+impl fmt::Display for DxrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DxrError::RangeIndexOverflow { needed, limit } => write!(
+                f,
+                "range table needs {needed} entries, structural limit is {limit}"
+            ),
+            DxrError::ChunkRangeOverflow {
+                chunk,
+                needed,
+                limit,
+            } => write!(
+                f,
+                "chunk {chunk:#x} needs {needed} ranges, per-chunk limit is {limit}"
+            ),
+            DxrError::NextHopOverflow => write!(f, "next hop exceeds 16 bits"),
+        }
+    }
+}
+
+impl std::error::Error for DxrError {}

@@ -1,0 +1,39 @@
+//! DXR — the range-search baseline of the Poptrie evaluation.
+//!
+//! Zec, Rizzo and Mikuc, *DXR: Towards a Billion Routing Lookups Per
+//! Second in Software*, CCR 2012 — reference \[38\] of the Poptrie paper and
+//! its fastest competitor (§4.5). DXR "transforms the prefixes in the
+//! routing table into an array of address ranges, and searches the range
+//! array based on the key address using the binary search", fronted by a
+//! direct lookup table over the top `s` bits (16 for D16R, 18 for D18R).
+//!
+//! This crate reproduces:
+//!
+//! * [`Dxr`] — IPv4 D16R/D18R with the original *short* (2-byte) and
+//!   *long* (4-byte) range formats and a 19-bit range index;
+//! * the §4.8 *modified* DXR: [`DxrConfig::extended_index`] absorbs the
+//!   short-format flag into the index, raising the structural limit from
+//!   2^19 to 2^20 ranges (at the cost of the short format) — exactly the
+//!   change the Poptrie authors made to let DXR compile the SYN2 tables of
+//!   Table 5;
+//! * [`Dxr6`] — the §4.10 IPv6 extension: short format disabled and the
+//!   per-chunk size field widened by one bit to allow up to 2^13 ranges
+//!   per chunk.
+//!
+//! Structural limits are surfaced as [`DxrError`]s rather than panics so
+//! the Table 5 scalability experiment can report them the way the paper
+//! does.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod v4;
+mod v6;
+
+pub use error::DxrError;
+pub use v4::{Dxr, DxrConfig};
+pub use v6::Dxr6;
+
+#[cfg(test)]
+mod tests;

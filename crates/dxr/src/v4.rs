@@ -1,0 +1,331 @@
+//! IPv4 DXR: D16R and D18R.
+
+use poptrie_rib::radix::Node as RadixNode;
+use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
+
+use crate::error::DxrError;
+
+/// Directory-entry layout constants (standard encoding).
+///
+/// ```text
+/// bit 31      : short-format flag
+/// bits 30..19 : range count (12 bits, up to 4095)
+/// bits 18..0  : range index (19 bits, up to 524287)
+/// ```
+///
+/// With [`DxrConfig::extended_index`] the flag bit is absorbed into the
+/// index (§4.8): no short format, 12-bit count at bits 31..20, 20-bit
+/// index at bits 19..0.
+const STD_INDEX_BITS: u32 = 19;
+const EXT_INDEX_BITS: u32 = 20;
+const COUNT_BITS: u32 = 12;
+
+/// DXR build options.
+#[derive(Debug, Clone, Copy)]
+pub struct DxrConfig {
+    /// Direct-table bits: 16 for D16R, 18 for D18R.
+    pub direct_bits: u8,
+    /// The §4.8 modification: widen the range index to 2^20 entries by
+    /// sacrificing the short-format flag bit.
+    pub extended_index: bool,
+}
+
+impl Default for DxrConfig {
+    fn default() -> Self {
+        DxrConfig {
+            direct_bits: 18,
+            extended_index: false,
+        }
+    }
+}
+
+impl DxrConfig {
+    /// The paper's D16R.
+    pub fn d16r() -> Self {
+        DxrConfig {
+            direct_bits: 16,
+            extended_index: false,
+        }
+    }
+
+    /// The paper's D18R.
+    pub fn d18r() -> Self {
+        DxrConfig {
+            direct_bits: 18,
+            extended_index: false,
+        }
+    }
+}
+
+/// An IPv4 DXR lookup structure.
+///
+/// ```
+/// use poptrie_dxr::{Dxr, DxrConfig};
+/// use poptrie_rib::RadixTree;
+///
+/// let mut rib: RadixTree<u32, u16> = RadixTree::new();
+/// rib.insert("10.0.0.0/8".parse().unwrap(), 1);
+/// rib.insert("10.1.2.0/24".parse().unwrap(), 2);
+/// let d = Dxr::from_rib(&rib, DxrConfig::d18r()).unwrap();
+/// assert_eq!(d.lookup(0x0A01_0203), Some(2));
+/// assert_eq!(d.lookup(0x0A01_0303), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dxr {
+    cfg: DxrConfig,
+    /// Directory: one encoded entry per `2^direct_bits` chunk.
+    direct: Vec<u32>,
+    /// Short-format ranges: `(start_hi8 << 8) | nh8`.
+    short: Vec<u16>,
+    /// Long-format ranges: `(start << 16) | nh16`; `start` is the full
+    /// in-chunk remainder (up to 16 bits).
+    long: Vec<u32>,
+}
+
+/// One chunk's ranges before encoding: `(in-chunk start, next hop)`,
+/// sorted by start, first entry always at start 0.
+type Ranges = Vec<(u32, NextHop)>;
+
+impl Dxr {
+    /// Compile from a RIB radix tree.
+    pub fn from_rib(rib: &RadixTree<u32, NextHop>, cfg: DxrConfig) -> Result<Self, DxrError> {
+        assert!(
+            cfg.direct_bits == 16 || cfg.direct_bits == 18,
+            "DXR is specified for D16R and D18R"
+        );
+        let mut d = Dxr {
+            cfg,
+            direct: vec![0; 1usize << cfg.direct_bits],
+            short: Vec::new(),
+            long: Vec::new(),
+        };
+        // Reusable descriptor for uniform chunks, keyed by next hop: vast
+        // stretches of the address space map to one route (or none), and
+        // sharing their single-range fragments keeps the range array small.
+        let mut uniform_cache: std::collections::HashMap<NextHop, u32> =
+            std::collections::HashMap::new();
+        d.fill(rib.root(), NO_ROUTE, 0, 0, &mut uniform_cache)?;
+        Ok(d)
+    }
+
+    /// Compile from a route list.
+    pub fn from_routes<I: IntoIterator<Item = (poptrie_rib::Prefix<u32>, NextHop)>>(
+        routes: I,
+        cfg: DxrConfig,
+    ) -> Result<Self, DxrError> {
+        Self::from_rib(&RadixTree::from_routes(routes), cfg)
+    }
+
+    /// Remainder width: the address bits below the directory index.
+    #[inline]
+    fn rem_bits(&self) -> u32 {
+        32 - self.cfg.direct_bits as u32
+    }
+
+    /// Recursive directory fill, mirroring the radix tree walk of the
+    /// Poptrie builder: `node` sits `depth` bits deep and covers chunks
+    /// `[base << (s - depth), (base + 1) << (s - depth))`.
+    fn fill(
+        &mut self,
+        node: Option<&RadixNode<NextHop>>,
+        inherited: NextHop,
+        depth: u32,
+        base: u32,
+        uniform_cache: &mut std::collections::HashMap<NextHop, u32>,
+    ) -> Result<(), DxrError> {
+        let s = self.cfg.direct_bits as u32;
+        let Some(n) = node else {
+            // Uniform region: every chunk shares one single-range fragment.
+            let entry = match uniform_cache.get(&inherited) {
+                Some(&e) => e,
+                None => {
+                    let e = self.encode_chunk(base << (s - depth), vec![(0, inherited)])?;
+                    uniform_cache.insert(inherited, e);
+                    e
+                }
+            };
+            let width = 1usize << (s - depth);
+            self.direct[(base as usize) * width..(base as usize + 1) * width].fill(entry);
+            return Ok(());
+        };
+        if depth == s {
+            let mut ranges: Ranges = Vec::new();
+            expand_ranges(Some(n), inherited, 0, 0, self.rem_bits(), &mut ranges);
+            let entry = self.encode_chunk(base, ranges)?;
+            self.direct[base as usize] = entry;
+            return Ok(());
+        }
+        let inh = n.value().copied().unwrap_or(inherited);
+        self.fill(n.child(false), inh, depth + 1, base << 1, uniform_cache)?;
+        self.fill(
+            n.child(true),
+            inh,
+            depth + 1,
+            (base << 1) | 1,
+            uniform_cache,
+        )
+    }
+
+    /// Append a chunk's ranges to the short or long array and encode its
+    /// directory entry.
+    fn encode_chunk(&mut self, chunk: u32, ranges: Ranges) -> Result<u32, DxrError> {
+        debug_assert!(!ranges.is_empty() && ranges[0].0 == 0);
+        let count = ranges.len();
+        if count >= (1usize << COUNT_BITS) {
+            return Err(DxrError::ChunkRangeOverflow {
+                chunk,
+                needed: count,
+                limit: (1 << COUNT_BITS) - 1,
+            });
+        }
+        let (index_bits, allow_short) = if self.cfg.extended_index {
+            (EXT_INDEX_BITS, false)
+        } else {
+            (STD_INDEX_BITS, true)
+        };
+        let limit = 1usize << index_bits;
+        // Short format: every start aligned to the top 8 remainder bits and
+        // every next hop one byte wide.
+        let shift = self.rem_bits() - 8;
+        let short_ok = allow_short
+            && self.rem_bits() >= 8
+            && ranges
+                .iter()
+                .all(|&(start, nh)| start & ((1 << shift) - 1) == 0 && nh < 256);
+        if short_ok {
+            let index = self.short.len();
+            if index + count > limit {
+                return Err(DxrError::RangeIndexOverflow {
+                    needed: index + count,
+                    limit,
+                });
+            }
+            for &(start, nh) in &ranges {
+                self.short.push((((start >> shift) as u16) << 8) | nh);
+            }
+            Ok((1u32 << 31) | ((count as u32) << index_bits) | index as u32)
+        } else {
+            let index = self.long.len();
+            if index + count > limit {
+                return Err(DxrError::RangeIndexOverflow {
+                    needed: index + count,
+                    limit,
+                });
+            }
+            for &(start, nh) in &ranges {
+                debug_assert!(start < (1 << self.rem_bits()));
+                self.long.push((start << 16) | nh as u32);
+            }
+            Ok(((count as u32) << index_bits) | index as u32)
+        }
+    }
+
+    /// Longest-prefix-match lookup: one directory access plus a binary
+    /// search over the chunk's range fragment.
+    pub fn lookup(&self, key: u32) -> Option<NextHop> {
+        let nh = self.lookup_raw(key);
+        (nh != NO_ROUTE).then_some(nh)
+    }
+
+    /// Raw lookup returning [`NO_ROUTE`] on a miss.
+    ///
+    /// Uses unchecked slice formation like the paper's C implementations:
+    /// every directory entry was encoded by `encode_chunk` with
+    /// `index + count` inside the respective range array, and every chunk
+    /// fragment starts at remainder 0 so the binary search always finds a
+    /// predecessor.
+    #[inline]
+    pub fn lookup_raw(&self, key: u32) -> NextHop {
+        let s = self.cfg.direct_bits as u32;
+        let rem_bits = 32 - s;
+        debug_assert!(((key >> rem_bits) as usize) < self.direct.len());
+        // SAFETY: `key >> rem_bits` has `s` bits; `direct.len() == 1 << s`.
+        let entry = unsafe { *self.direct.get_unchecked((key >> rem_bits) as usize) };
+        let rem = key & ((1u32 << rem_bits) - 1);
+        if self.cfg.extended_index {
+            let index = (entry & ((1 << EXT_INDEX_BITS) - 1)) as usize;
+            let count = (entry >> EXT_INDEX_BITS) as usize;
+            debug_assert!(index + count <= self.long.len());
+            // SAFETY: encode_chunk wrote `count` entries at `index`.
+            let slice = unsafe { self.long.get_unchecked(index..index + count) };
+            let pos = slice.partition_point(|&r| (r >> 16) <= rem);
+            // SAFETY: the first entry has start 0 <= rem, so pos >= 1.
+            (unsafe { *slice.get_unchecked(pos - 1) } & 0xFFFF) as NextHop
+        } else if entry >> 31 != 0 {
+            // Short format: compare on the top 8 remainder bits.
+            let index = (entry & ((1 << STD_INDEX_BITS) - 1)) as usize;
+            let count = ((entry >> STD_INDEX_BITS) & ((1 << COUNT_BITS) - 1)) as usize;
+            let hi = (rem >> (rem_bits - 8)) as u16;
+            debug_assert!(index + count <= self.short.len());
+            // SAFETY: as above, for the short-format array.
+            let slice = unsafe { self.short.get_unchecked(index..index + count) };
+            let pos = slice.partition_point(|&r| (r >> 8) <= hi);
+            // SAFETY: the first entry has start 0 <= hi, so pos >= 1.
+            (unsafe { *slice.get_unchecked(pos - 1) } & 0xFF) as NextHop
+        } else {
+            let index = (entry & ((1 << STD_INDEX_BITS) - 1)) as usize;
+            let count = ((entry >> STD_INDEX_BITS) & ((1 << COUNT_BITS) - 1)) as usize;
+            debug_assert!(index + count <= self.long.len());
+            // SAFETY: as above.
+            let slice = unsafe { self.long.get_unchecked(index..index + count) };
+            let pos = slice.partition_point(|&r| (r >> 16) <= rem);
+            // SAFETY: the first entry has start 0 <= rem, so pos >= 1.
+            (unsafe { *slice.get_unchecked(pos - 1) } & 0xFFFF) as NextHop
+        }
+    }
+
+    /// Total range entries (short + long) — the quantity with the 2^19 /
+    /// 2^20 structural limit.
+    pub fn range_count(&self) -> usize {
+        self.short.len() + self.long.len()
+    }
+}
+
+/// Expand a radix subtree into sorted, merged `(start, nh)` ranges over
+/// the chunk's remainder space.
+fn expand_ranges(
+    node: Option<&RadixNode<NextHop>>,
+    inherited: NextHop,
+    depth: u32,
+    start: u32,
+    rem_bits: u32,
+    out: &mut Ranges,
+) {
+    fn push(out: &mut Ranges, start: u32, nh: NextHop) {
+        match out.last() {
+            Some(&(_, last)) if last == nh => {}
+            _ => out.push((start, nh)),
+        }
+    }
+    let Some(n) = node else {
+        push(out, start, inherited);
+        return;
+    };
+    let inh = n.value().copied().unwrap_or(inherited);
+    if depth == rem_bits {
+        push(out, start, inh);
+        return;
+    }
+    let half = 1u32 << (rem_bits - depth - 1);
+    expand_ranges(n.child(false), inh, depth + 1, start, rem_bits, out);
+    expand_ranges(n.child(true), inh, depth + 1, start + half, rem_bits, out);
+}
+
+impl Lpm<u32> for Dxr {
+    fn lookup(&self, key: u32) -> Option<NextHop> {
+        Dxr::lookup(self, key)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.direct.len() * 4 + self.short.len() * 2 + self.long.len() * 4
+    }
+
+    fn name(&self) -> String {
+        let base = format!("D{}R", self.cfg.direct_bits);
+        if self.cfg.extended_index {
+            format!("{base} (modified)")
+        } else {
+            base
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The IPv6 DXR extension of §4.10.
+//!
+//! "For the comparison, we extend DXR to support IPv6 by disabling the
+//! 'short' format and extending the size by one bit to allow up to 2^13
+//! entries per chunk." Ranges carry the full 112/110-bit in-chunk
+//! remainder, so a range entry is a `(u128, u16)` pair rather than the
+//! packed 4-byte IPv4 format.
+
+use poptrie_rib::radix::Node as RadixNode;
+use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
+
+use crate::error::DxrError;
+
+/// Directory entry layout for IPv6: 18-bit range index (bits 17..0),
+/// 13-bit per-chunk count (bits 30..18) per the widened size field.
+const V6_INDEX_BITS: u32 = 18;
+const V6_COUNT_BITS: u32 = 13;
+
+/// An IPv6 DXR lookup structure (D16R/D18R directory over the top bits of
+/// the 128-bit address, long-format ranges only).
+///
+/// ```
+/// use poptrie_dxr::Dxr6;
+/// use poptrie_rib::RadixTree;
+///
+/// let mut rib: RadixTree<u128, u16> = RadixTree::new();
+/// rib.insert("2001:db8::/32".parse().unwrap(), 1);
+/// let d = Dxr6::from_rib(&rib, 18).unwrap();
+/// assert_eq!(d.lookup(0x2001_0db8u128 << 96 | 1), Some(1));
+/// assert_eq!(d.lookup(0x2002u128 << 112), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dxr6 {
+    direct_bits: u8,
+    direct: Vec<u32>,
+    /// `(in-chunk remainder start, next hop)`, grouped per chunk, each
+    /// group sorted with its first entry at remainder 0.
+    ranges: Vec<(u128, NextHop)>,
+}
+
+impl Dxr6 {
+    /// Compile from an IPv6 RIB. `direct_bits` is 16 or 18 as in §4.10.
+    pub fn from_rib(rib: &RadixTree<u128, NextHop>, direct_bits: u8) -> Result<Self, DxrError> {
+        assert!(
+            direct_bits == 16 || direct_bits == 18,
+            "IPv6 DXR is evaluated at D16R/D18R"
+        );
+        let mut d = Dxr6 {
+            direct_bits,
+            direct: vec![0; 1usize << direct_bits],
+            ranges: Vec::new(),
+        };
+        let mut uniform_cache: std::collections::HashMap<NextHop, u32> =
+            std::collections::HashMap::new();
+        d.fill(rib.root(), NO_ROUTE, 0, 0, &mut uniform_cache)?;
+        Ok(d)
+    }
+
+    #[inline]
+    fn rem_bits(&self) -> u32 {
+        128 - self.direct_bits as u32
+    }
+
+    fn fill(
+        &mut self,
+        node: Option<&RadixNode<NextHop>>,
+        inherited: NextHop,
+        depth: u32,
+        base: u32,
+        uniform_cache: &mut std::collections::HashMap<NextHop, u32>,
+    ) -> Result<(), DxrError> {
+        let s = self.direct_bits as u32;
+        let Some(n) = node else {
+            let entry = match uniform_cache.get(&inherited) {
+                Some(&e) => e,
+                None => {
+                    let e = self.encode_chunk(base << (s - depth), vec![(0, inherited)])?;
+                    uniform_cache.insert(inherited, e);
+                    e
+                }
+            };
+            let width = 1usize << (s - depth);
+            self.direct[(base as usize) * width..(base as usize + 1) * width].fill(entry);
+            return Ok(());
+        };
+        if depth == s {
+            let mut ranges = Vec::new();
+            expand_ranges(Some(n), inherited, 0, 0, self.rem_bits(), &mut ranges);
+            let entry = self.encode_chunk(base, ranges)?;
+            self.direct[base as usize] = entry;
+            return Ok(());
+        }
+        let inh = n.value().copied().unwrap_or(inherited);
+        self.fill(n.child(false), inh, depth + 1, base << 1, uniform_cache)?;
+        self.fill(
+            n.child(true),
+            inh,
+            depth + 1,
+            (base << 1) | 1,
+            uniform_cache,
+        )
+    }
+
+    fn encode_chunk(&mut self, chunk: u32, ranges: Vec<(u128, NextHop)>) -> Result<u32, DxrError> {
+        debug_assert!(!ranges.is_empty() && ranges[0].0 == 0);
+        let count = ranges.len();
+        if count >= (1usize << V6_COUNT_BITS) {
+            return Err(DxrError::ChunkRangeOverflow {
+                chunk,
+                needed: count,
+                limit: (1 << V6_COUNT_BITS) - 1,
+            });
+        }
+        let index = self.ranges.len();
+        if index + count > (1usize << V6_INDEX_BITS) {
+            return Err(DxrError::RangeIndexOverflow {
+                needed: index + count,
+                limit: 1 << V6_INDEX_BITS,
+            });
+        }
+        self.ranges.extend(ranges);
+        Ok(((count as u32) << V6_INDEX_BITS) | index as u32)
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, key: u128) -> Option<NextHop> {
+        let nh = self.lookup_raw(key);
+        (nh != NO_ROUTE).then_some(nh)
+    }
+
+    /// Raw lookup returning [`NO_ROUTE`] on a miss.
+    #[inline]
+    pub fn lookup_raw(&self, key: u128) -> NextHop {
+        let rem_bits = self.rem_bits();
+        let entry = self.direct[(key >> rem_bits) as usize];
+        let rem = key & ((1u128 << rem_bits) - 1);
+        let index = (entry & ((1 << V6_INDEX_BITS) - 1)) as usize;
+        let count = ((entry >> V6_INDEX_BITS) & ((1 << V6_COUNT_BITS) - 1)) as usize;
+        let slice = &self.ranges[index..index + count];
+        let pos = slice.partition_point(|&(start, _)| start <= rem);
+        slice[pos - 1].1
+    }
+
+    /// Total range entries.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// Expand a radix subtree into sorted, merged `(start, nh)` ranges over
+/// the 110/112-bit chunk remainder space.
+fn expand_ranges(
+    node: Option<&RadixNode<NextHop>>,
+    inherited: NextHop,
+    depth: u32,
+    start: u128,
+    rem_bits: u32,
+    out: &mut Vec<(u128, NextHop)>,
+) {
+    fn push(out: &mut Vec<(u128, NextHop)>, start: u128, nh: NextHop) {
+        match out.last() {
+            Some(&(_, last)) if last == nh => {}
+            _ => out.push((start, nh)),
+        }
+    }
+    let Some(n) = node else {
+        push(out, start, inherited);
+        return;
+    };
+    let inh = n.value().copied().unwrap_or(inherited);
+    if depth == rem_bits {
+        push(out, start, inh);
+        return;
+    }
+    let half = 1u128 << (rem_bits - depth - 1);
+    expand_ranges(n.child(false), inh, depth + 1, start, rem_bits, out);
+    expand_ranges(n.child(true), inh, depth + 1, start + half, rem_bits, out);
+}
+
+impl Lpm<u128> for Dxr6 {
+    fn lookup(&self, key: u128) -> Option<NextHop> {
+        Dxr6::lookup(self, key)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.direct.len() * 4 + self.ranges.len() * core::mem::size_of::<(u128, NextHop)>()
+    }
+
+    fn name(&self) -> String {
+        format!("D{}R-IPv6", self.direct_bits)
+    }
+}

@@ -1,0 +1,362 @@
+//! A Luleå-style level-compressed trie.
+//!
+//! Degermark, Brodnik, Carlsson and Pink, *Small Forwarding Tables for
+//! Fast Routing Lookups*, SIGCOMM 1997 — reference \[8\] of the Poptrie
+//! paper, cited as the origin of the compress-the-FIB-into-cache idea
+//! Poptrie perfects: "The Lulea algorithm was proposed to reduce the
+//! memory footprint for the routing table."
+//!
+//! Like the original, this implementation splits the address into levels
+//! of 16, 8 and 8 bits. Within a level, the fully expanded slot array is
+//! compressed to one stored pointer per *interval* of equal values: a
+//! bitmap marks the slot where each interval starts (its *head*), and the
+//! rank of a slot's preceding head — the count of set bits at or below it
+//! — indexes a dense pointer array. A pointer is either a next hop or a
+//! reference to the next level's chunk.
+//!
+//! One deliberate modernization, recorded here and in DESIGN.md: the 1997
+//! design answered rank queries with the *maptable*, a precomputed table
+//! over the 676 bit-masks reachable from complete prefix trees, because
+//! 1997 CPUs had no cheap population count. This implementation keeps the
+//! identical data layout but answers rank with `popcnt` over the bitmap
+//! plus a per-word cumulative directory — the same instruction Poptrie
+//! and the modernized Tree BitMap use (§4 of the paper applies the same
+//! treatment to Tree BitMap's lookup table). Sizes and access patterns
+//! match the original's within the directory overhead (6.25 %).
+//!
+//! The pointer is 16 bits with a level flag, so — exactly like SAIL's
+//! chunk ids (§4.8) — the structure caps at 2^15 chunks per level,
+//! surfaced as [`LuleaError::ChunkOverflow`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use poptrie_rib::radix::Node as RadixNode;
+use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
+
+/// Pointer flag: the low 15 bits are a next-level chunk id.
+const CHUNK_FLAG: u16 = 1 << 15;
+
+/// Maximum chunks per level (15-bit ids).
+pub const MAX_CHUNKS: usize = 1 << 15;
+
+/// Luleå compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LuleaError {
+    /// A level needs more chunks than the 15-bit pointer can address.
+    ChunkOverflow {
+        /// The level (2 or 3) that overflowed.
+        level: u8,
+        /// Chunks the table needs.
+        needed: usize,
+    },
+    /// A next hop collides with the chunk flag (must be < 2^15).
+    NextHopOverflow,
+}
+
+impl core::fmt::Display for LuleaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LuleaError::ChunkOverflow { level, needed } => write!(
+                f,
+                "level {level} needs {needed} chunks, 15-bit pointers allow {MAX_CHUNKS}"
+            ),
+            LuleaError::NextHopOverflow => write!(f, "next hop exceeds 15 bits"),
+        }
+    }
+}
+
+impl std::error::Error for LuleaError {}
+
+/// A head bitmap with a cumulative-popcount rank directory.
+///
+/// `rank(i)` — the number of interval heads at slots `0..=i` — indexes
+/// the level's dense pointer array. The directory stores the running
+/// count before each 64-bit word, so a rank query is one directory load
+/// plus one masked `popcnt` (the modern stand-in for the maptable).
+#[derive(Debug, Clone, Default)]
+struct RankedBitmap {
+    words: Vec<u64>,
+    cum: Vec<u32>,
+}
+
+impl RankedBitmap {
+    /// Build from a head bitmap given as words.
+    fn new(words: Vec<u64>) -> Self {
+        let mut cum = Vec::with_capacity(words.len());
+        let mut running = 0u32;
+        for &w in &words {
+            cum.push(running);
+            running += w.count_ones();
+        }
+        RankedBitmap { words, cum }
+    }
+
+    /// Number of set bits at positions `0..=i`.
+    #[inline]
+    fn rank(&self, i: usize) -> u32 {
+        let word = i >> 6;
+        let bit = (i & 63) as u32;
+        debug_assert!(word < self.words.len());
+        // SAFETY: callers index within the bitmap they built (2^16 or 256
+        // slots); `cum` has one entry per word by construction.
+        let (w, c) = unsafe {
+            (
+                *self.words.get_unchecked(word),
+                *self.cum.get_unchecked(word),
+            )
+        };
+        c + (w & (u64::MAX >> (63 - bit))).count_ones()
+    }
+
+    fn bytes(&self) -> usize {
+        self.words.len() * 8 + self.cum.len() * 4
+    }
+}
+
+/// One level-2 or level-3 chunk: 256 slots compressed to heads+pointers.
+#[derive(Debug, Clone, Default)]
+struct Chunk {
+    heads: RankedBitmap,
+    /// Index of this chunk's first pointer in the level's pointer array.
+    base: u32,
+}
+
+/// A compiled Luleå-style forwarding table (IPv4).
+///
+/// ```
+/// use poptrie_lulea::Lulea;
+/// use poptrie_rib::RadixTree;
+///
+/// let mut rib: RadixTree<u32, u16> = RadixTree::new();
+/// rib.insert("10.0.0.0/8".parse().unwrap(), 1);
+/// rib.insert("10.1.2.0/24".parse().unwrap(), 2);
+/// let l = Lulea::from_rib(&rib).unwrap();
+/// assert_eq!(l.lookup(0x0A01_0203), Some(2));
+/// assert_eq!(l.lookup(0x0A01_0303), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lulea {
+    /// Level 1: heads over 2^16 slots + dense pointers.
+    l1_heads: RankedBitmap,
+    l1_ptrs: Vec<u16>,
+    /// Level 2: per-chunk heads, shared pointer array.
+    l2_chunks: Vec<Chunk>,
+    l2_ptrs: Vec<u16>,
+    /// Level 3: per-chunk heads, shared pointer array (next hops only).
+    l3_chunks: Vec<Chunk>,
+    l3_ptrs: Vec<u16>,
+}
+
+/// Expansion of one level of the radix tree into `1 << bits` slot values:
+/// each slot is either a terminal next hop or a deeper radix subtree.
+enum Slot<'a> {
+    Leaf(NextHop),
+    Deeper(&'a RadixNode<NextHop>, NextHop),
+}
+
+fn expand_level<'a>(
+    node: Option<&'a RadixNode<NextHop>>,
+    inherited: NextHop,
+    depth: u32,
+    bits: u32,
+    base: usize,
+    out: &mut Vec<Option<Slot<'a>>>,
+) {
+    let Some(n) = node else {
+        let width = 1usize << (bits - depth);
+        for s in &mut out[base * width..(base + 1) * width] {
+            *s = Some(Slot::Leaf(inherited));
+        }
+        return;
+    };
+    let inh = n.value().copied().unwrap_or(inherited);
+    if depth == bits {
+        out[base] = Some(if n.has_children() {
+            Slot::Deeper(n, inh)
+        } else {
+            Slot::Leaf(inh)
+        });
+        return;
+    }
+    expand_level(n.child(false), inh, depth + 1, bits, base * 2, out);
+    expand_level(n.child(true), inh, depth + 1, bits, base * 2 + 1, out);
+}
+
+/// Compress an expanded slot array into (head words, pointers), assigning
+/// chunk ids for deeper slots through `alloc_chunk`.
+fn compress<'a>(
+    slots: &[Option<Slot<'a>>],
+    mut alloc_chunk: impl FnMut(&'a RadixNode<NextHop>, NextHop) -> Result<u16, LuleaError>,
+) -> Result<(Vec<u64>, Vec<u16>), LuleaError> {
+    let mut words = vec![0u64; slots.len().div_ceil(64)];
+    let mut ptrs: Vec<u16> = Vec::new();
+    let mut last: Option<u16> = None;
+    for (i, slot) in slots.iter().enumerate() {
+        let ptr = match slot.as_ref().expect("expansion fills every slot") {
+            Slot::Leaf(nh) => {
+                if *nh & CHUNK_FLAG != 0 {
+                    return Err(LuleaError::NextHopOverflow);
+                }
+                *nh
+            }
+            Slot::Deeper(node, inh) => CHUNK_FLAG | alloc_chunk(node, *inh)?,
+        };
+        // New interval iff the pointer differs from the previous slot's —
+        // chunk pointers are unique per slot, so deeper slots always start
+        // an interval.
+        if last != Some(ptr) || ptr & CHUNK_FLAG != 0 {
+            words[i >> 6] |= 1u64 << (i & 63);
+            ptrs.push(ptr);
+            last = Some(ptr);
+        }
+    }
+    Ok((words, ptrs))
+}
+
+impl Lulea {
+    /// Compile from a RIB radix tree.
+    pub fn from_rib(rib: &RadixTree<u32, NextHop>) -> Result<Self, LuleaError> {
+        // Level 1: expand bits 0..16.
+        let mut slots: Vec<Option<Slot<'_>>> = Vec::new();
+        slots.resize_with(1 << 16, || None);
+        expand_level(rib.root(), NO_ROUTE, 0, 16, 0, &mut slots);
+
+        // Collect deeper subtrees level by level, breadth-first, so all
+        // of a level's chunks share one pointer array.
+        let mut l2_pending: Vec<(&RadixNode<NextHop>, NextHop)> = Vec::new();
+        let (w1, p1) = compress(&slots, |node, inh| {
+            if l2_pending.len() >= MAX_CHUNKS {
+                return Err(LuleaError::ChunkOverflow {
+                    level: 2,
+                    needed: l2_pending.len() + 1,
+                });
+            }
+            l2_pending.push((node, inh));
+            Ok((l2_pending.len() - 1) as u16)
+        })?;
+
+        let mut l2_chunks = Vec::with_capacity(l2_pending.len());
+        let mut l2_ptrs = Vec::new();
+        let mut l3_pending: Vec<(&RadixNode<NextHop>, NextHop)> = Vec::new();
+        for &(node, inh) in &l2_pending {
+            let mut slots: Vec<Option<Slot<'_>>> = Vec::new();
+            slots.resize_with(256, || None);
+            expand_level(Some(node), inh, 0, 8, 0, &mut slots);
+            // The value at `node` itself was already folded into `inh` by
+            // the parent level; expand_level re-applies it, which is
+            // idempotent.
+            let (w, p) = compress(&slots, |n3, i3| {
+                if l3_pending.len() >= MAX_CHUNKS {
+                    return Err(LuleaError::ChunkOverflow {
+                        level: 3,
+                        needed: l3_pending.len() + 1,
+                    });
+                }
+                l3_pending.push((n3, i3));
+                Ok((l3_pending.len() - 1) as u16)
+            })?;
+            l2_chunks.push(Chunk {
+                heads: RankedBitmap::new(w),
+                base: l2_ptrs.len() as u32,
+            });
+            l2_ptrs.extend_from_slice(&p);
+        }
+
+        let mut l3_chunks = Vec::with_capacity(l3_pending.len());
+        let mut l3_ptrs = Vec::new();
+        for &(node, inh) in &l3_pending {
+            let mut slots: Vec<Option<Slot<'_>>> = Vec::new();
+            slots.resize_with(256, || None);
+            expand_level(Some(node), inh, 0, 8, 0, &mut slots);
+            let (w, p) = compress(&slots, |_, _| {
+                unreachable!("level 3 covers bits 24..32; nothing is deeper")
+            })?;
+            l3_chunks.push(Chunk {
+                heads: RankedBitmap::new(w),
+                base: l3_ptrs.len() as u32,
+            });
+            l3_ptrs.extend_from_slice(&p);
+        }
+
+        Ok(Lulea {
+            l1_heads: RankedBitmap::new(w1),
+            l1_ptrs: p1,
+            l2_chunks,
+            l2_ptrs,
+            l3_chunks,
+            l3_ptrs,
+        })
+    }
+
+    /// Compile from a route list.
+    pub fn from_routes<I: IntoIterator<Item = (poptrie_rib::Prefix<u32>, NextHop)>>(
+        routes: I,
+    ) -> Result<Self, LuleaError> {
+        Self::from_rib(&RadixTree::from_routes(routes))
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, key: u32) -> Option<NextHop> {
+        let nh = self.lookup_raw(key);
+        (nh != NO_ROUTE).then_some(nh)
+    }
+
+    /// Raw lookup returning [`NO_ROUTE`] (0) on a miss.
+    #[inline]
+    pub fn lookup_raw(&self, key: u32) -> NextHop {
+        let slot1 = (key >> 16) as usize;
+        let r = self.l1_heads.rank(slot1);
+        debug_assert!(r >= 1, "slot 0 is always a head");
+        // SAFETY: rank is in 1..=l1_ptrs.len() by construction (slot 0 is
+        // always a head and every head pushed one pointer).
+        let ptr = unsafe { *self.l1_ptrs.get_unchecked((r - 1) as usize) };
+        if ptr & CHUNK_FLAG == 0 {
+            return ptr;
+        }
+        let chunk = &self.l2_chunks[(ptr & !CHUNK_FLAG) as usize];
+        let slot2 = ((key >> 8) & 0xFF) as usize;
+        let r = chunk.heads.rank(slot2);
+        let ptr = self.l2_ptrs[(chunk.base + r - 1) as usize];
+        if ptr & CHUNK_FLAG == 0 {
+            return ptr;
+        }
+        let chunk = &self.l3_chunks[(ptr & !CHUNK_FLAG) as usize];
+        let slot3 = (key & 0xFF) as usize;
+        let r = chunk.heads.rank(slot3);
+        self.l3_ptrs[(chunk.base + r - 1) as usize]
+    }
+
+    /// Chunk counts at levels 2 and 3.
+    pub fn chunk_counts(&self) -> (usize, usize) {
+        (self.l2_chunks.len(), self.l3_chunks.len())
+    }
+
+    /// Stored pointers per level — the quantity Luleå's interval
+    /// compression minimizes (compare with SAIL's fully expanded arrays).
+    pub fn pointer_counts(&self) -> (usize, usize, usize) {
+        (self.l1_ptrs.len(), self.l2_ptrs.len(), self.l3_ptrs.len())
+    }
+}
+
+impl Lpm<u32> for Lulea {
+    fn lookup(&self, key: u32) -> Option<NextHop> {
+        Lulea::lookup(self, key)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let chunks =
+            |cs: &Vec<Chunk>| -> usize { cs.iter().map(|c| c.heads.bytes() + 4).sum::<usize>() };
+        self.l1_heads.bytes()
+            + (self.l1_ptrs.len() + self.l2_ptrs.len() + self.l3_ptrs.len()) * 2
+            + chunks(&self.l2_chunks)
+            + chunks(&self.l3_chunks)
+    }
+
+    fn name(&self) -> String {
+        "Lulea".into()
+    }
+}
+
+#[cfg(test)]
+mod tests;

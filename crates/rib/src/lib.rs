@@ -1,0 +1,49 @@
+//! Routing Information Base (RIB) substrate for the Poptrie reproduction.
+//!
+//! The Poptrie paper assumes (§3) that "the routes are preserved in a
+//! separate routing table (RIB) such as radix or Patricia trie" from which
+//! the compressed FIB is compiled. This crate provides that substrate and
+//! the vocabulary shared by every lookup algorithm in the workspace:
+//!
+//! * [`Prefix`] — a CIDR prefix over any key width ([`Bits`]), with parsing
+//!   and display for IPv4 (`u32`) and IPv6 (`u128`).
+//! * [`RadixTree`] — the binary (one bit per level) radix tree. It is both
+//!   the RIB from which Poptrie compiles and the paper's `Radix` baseline of
+//!   Table 3 / Figure 9, and it answers the *binary radix depth* query that
+//!   drives Figure 7 and Figure 11.
+//! * [`Patricia`] — a path-compressed trie (Morrison 1968, Sklower 1991),
+//!   the classic BSD RIB the paper cites.
+//! * [`aggregate`](RadixTree::aggregated) — the route aggregation of §3:
+//!   merging same-next-hop siblings that fill a subtree without a gap and
+//!   dropping prefixes shadowed by an equal covering route.
+//! * [`Lpm`] — the longest-prefix-match trait implemented by every
+//!   algorithm crate (Poptrie, Tree BitMap, DXR, SAIL, Radix), which lets
+//!   the benchmark harness and the cross-validation tests treat them
+//!   uniformly.
+//! * [`LinearLpm`] — a naive linear-scan oracle used as ground truth by the
+//!   property tests.
+//!
+//! Next hops are represented as non-zero `u16` FIB indices ([`NextHop`]);
+//! the paper's leaves are 16-bit for the same reason (§5, "the size of a
+//! leaf node is 16 bits"). Zero is reserved as the internal no-route
+//! sentinel so the hot paths stay branch-free; public APIs speak
+//! `Option<NextHop>`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod linear;
+pub mod patricia;
+pub mod prefix;
+pub mod radix;
+pub mod traits;
+
+pub use linear::LinearLpm;
+pub use patricia::Patricia;
+pub use poptrie_bitops::Bits;
+pub use prefix::{ParsePrefixError, Prefix};
+pub use radix::{RadixTree, RouteDiff};
+pub use traits::{Lpm, NextHop, NO_ROUTE};
+
+#[cfg(test)]
+mod tests;

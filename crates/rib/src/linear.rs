@@ -1,0 +1,72 @@
+//! A deliberately naive linear-scan longest-prefix-match oracle.
+//!
+//! Every optimized structure in this workspace — Poptrie, Tree BitMap, DXR,
+//! SAIL, the radix and Patricia tries — is validated against this oracle in
+//! property tests, mirroring the paper's methodology of cross-checking all
+//! algorithms "for each address of the whole IPv4 space" (§4). Its only
+//! virtue is being obviously correct.
+
+use poptrie_bitops::Bits;
+
+use crate::prefix::Prefix;
+use crate::traits::{Lpm, NextHop};
+
+/// Ground-truth LPM: scans every route, keeps the longest match.
+#[derive(Debug, Clone, Default)]
+pub struct LinearLpm<K: Bits> {
+    routes: Vec<(Prefix<K>, NextHop)>,
+}
+
+impl<K: Bits> LinearLpm<K> {
+    /// Build from routes. Later duplicates of the same prefix override
+    /// earlier ones, matching `RadixTree::insert` semantics.
+    pub fn new<I: IntoIterator<Item = (Prefix<K>, NextHop)>>(routes: I) -> Self {
+        let mut out = LinearLpm { routes: Vec::new() };
+        for (p, nh) in routes {
+            out.insert(p, nh);
+        }
+        out
+    }
+
+    /// Insert or replace a route.
+    pub fn insert(&mut self, prefix: Prefix<K>, nh: NextHop) {
+        match self.routes.iter_mut().find(|(p, _)| *p == prefix) {
+            Some(slot) => slot.1 = nh,
+            None => self.routes.push((prefix, nh)),
+        }
+    }
+
+    /// Remove a route by prefix.
+    pub fn remove(&mut self, prefix: Prefix<K>) -> Option<NextHop> {
+        let idx = self.routes.iter().position(|(p, _)| *p == prefix)?;
+        Some(self.routes.swap_remove(idx).1)
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+impl<K: Bits> Lpm<K> for LinearLpm<K> {
+    fn lookup(&self, key: K) -> Option<NextHop> {
+        self.routes
+            .iter()
+            .filter(|(p, _)| p.contains(key))
+            .max_by_key(|(p, _)| p.len())
+            .map(|&(_, nh)| nh)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.routes.capacity() * core::mem::size_of::<(Prefix<K>, NextHop)>()
+    }
+
+    fn name(&self) -> String {
+        "LinearScan".into()
+    }
+}

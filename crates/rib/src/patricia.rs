@@ -1,0 +1,233 @@
+//! A path-compressed binary trie (Patricia / BSD radix).
+//!
+//! The paper cites Patricia tries (Morrison 1968 \[24\], Sklower 1991 \[30\])
+//! as the other classic RIB structure next to the plain radix tree. Unlike
+//! [`RadixTree`](crate::RadixTree), chains of single-child nodes are
+//! collapsed: each node carries the full prefix it represents, and an edge
+//! may skip many bits. Lookups are therefore `O(length of the matched
+//! path)` in *nodes* rather than in *bits*, at the cost of a bit-comparison
+//! per node.
+//!
+//! In this workspace the Patricia trie serves as an independent second RIB
+//! implementation: property tests check it agrees with the radix tree, and
+//! it gives users a drop-in with better insert-heavy behaviour on sparse
+//! tables.
+
+use poptrie_bitops::Bits;
+
+use crate::prefix::Prefix;
+use crate::traits::{Lpm, NextHop};
+
+#[derive(Debug, Clone)]
+struct PNode<K: Bits, V> {
+    /// The full prefix this node stands for.
+    prefix: Prefix<K>,
+    /// Value when a route ends exactly here.
+    value: Option<V>,
+    /// Children; a child's prefix strictly extends ours.
+    children: [Option<Box<PNode<K, V>>>; 2],
+}
+
+impl<K: Bits, V> PNode<K, V> {
+    fn leaf(prefix: Prefix<K>, value: Option<V>) -> Box<Self> {
+        Box::new(PNode {
+            prefix,
+            value,
+            children: [None, None],
+        })
+    }
+}
+
+/// Length of the longest common prefix of two prefixes' address bits.
+fn common_len<K: Bits>(a: &Prefix<K>, b: &Prefix<K>) -> u8 {
+    let max = a.len().min(b.len()) as u32;
+    let mut i = 0;
+    while i < max && a.addr().bit(i) == b.addr().bit(i) {
+        i += 1;
+    }
+    i as u8
+}
+
+/// A path-compressed trie mapping [`Prefix`]es to values.
+///
+/// ```
+/// use poptrie_rib::{Patricia, Prefix};
+///
+/// let mut t: Patricia<u32, u16> = Patricia::new();
+/// t.insert("192.0.2.0/24".parse().unwrap(), 7);
+/// assert_eq!(t.lookup(0xC000_0242), Some(&7));
+/// assert_eq!(t.lookup(0xC000_0342), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Patricia<K: Bits, V> {
+    root: Option<Box<PNode<K, V>>>,
+    len: usize,
+}
+
+impl<K: Bits, V> Patricia<K, V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Patricia { root: None, len: 0 }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `prefix -> value`, returning any previous value.
+    pub fn insert(&mut self, prefix: Prefix<K>, value: V) -> Option<V> {
+        let slot = &mut self.root;
+        let old = Self::insert_at(slot, prefix, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_at(slot: &mut Option<Box<PNode<K, V>>>, prefix: Prefix<K>, value: V) -> Option<V> {
+        let Some(node) = slot.as_deref_mut() else {
+            *slot = Some(PNode::leaf(prefix, Some(value)));
+            return None;
+        };
+        let common = common_len(&node.prefix, &prefix);
+        if common == node.prefix.len() {
+            if prefix.len() == node.prefix.len() {
+                // Exact node.
+                return node.value.replace(value);
+            }
+            // `prefix` extends this node: descend on the next bit.
+            let bit = prefix.bit(common as u32) as usize;
+            return Self::insert_at(&mut node.children[bit], prefix, value);
+        }
+        // Split: make a fork at the common prefix.
+        let fork_prefix = Prefix::new(node.prefix.addr(), common);
+        let taken = slot.take().expect("checked above");
+        let old_bit = taken.prefix.bit(common as u32) as usize;
+        let mut fork = PNode::leaf(fork_prefix, None);
+        fork.children[old_bit] = Some(taken);
+        if prefix.len() == common {
+            fork.value = Some(value);
+        } else {
+            let new_bit = prefix.bit(common as u32) as usize;
+            debug_assert_ne!(new_bit, old_bit);
+            fork.children[new_bit] = Some(PNode::leaf(prefix, Some(value)));
+        }
+        *slot = Some(fork);
+        None
+    }
+
+    /// Remove `prefix`, returning its value. Collapses pass-through nodes.
+    pub fn remove(&mut self, prefix: Prefix<K>) -> Option<V> {
+        fn rec<K: Bits, V>(slot: &mut Option<Box<PNode<K, V>>>, prefix: Prefix<K>) -> Option<V> {
+            let node = slot.as_deref_mut()?;
+            let removed = if node.prefix == prefix {
+                node.value.take()
+            } else if node.prefix.covers(&prefix) {
+                let bit = prefix.bit(node.prefix.len() as u32) as usize;
+                rec(&mut node.children[bit], prefix)
+            } else {
+                None
+            };
+            // Collapse: valueless node with <= 1 child disappears.
+            if node.value.is_none() {
+                let kids =
+                    node.children[0].is_some() as usize + node.children[1].is_some() as usize;
+                if kids == 0 {
+                    *slot = None;
+                } else if kids == 1 {
+                    let child = node.children[0].take().or_else(|| node.children[1].take());
+                    *slot = child;
+                }
+            }
+            removed
+        }
+        let removed = rec(&mut self.root, prefix);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// The value stored at exactly `prefix`.
+    pub fn get(&self, prefix: Prefix<K>) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            if node.prefix == prefix {
+                return node.value.as_ref();
+            }
+            if !node.prefix.covers(&prefix) {
+                return None;
+            }
+            node = node.children[prefix.bit(node.prefix.len() as u32) as usize].as_deref()?;
+        }
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, key: K) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        let mut best = None;
+        loop {
+            if !node.prefix.contains(key) {
+                return best;
+            }
+            if node.value.is_some() {
+                best = node.value.as_ref();
+            }
+            if node.prefix.len() as u32 >= K::BITS {
+                return best;
+            }
+            match node.children[key.bit(node.prefix.len() as u32) as usize].as_deref() {
+                Some(c) => node = c,
+                None => return best,
+            }
+        }
+    }
+
+    /// Iterate over all `(prefix, &value)` pairs, address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix<K>, &V)> {
+        let mut stack: Vec<&PNode<K, V>> = Vec::new();
+        if let Some(r) = self.root.as_deref() {
+            stack.push(r);
+        }
+        core::iter::from_fn(move || {
+            while let Some(node) = stack.pop() {
+                if let Some(c) = node.children[1].as_deref() {
+                    stack.push(c);
+                }
+                if let Some(c) = node.children[0].as_deref() {
+                    stack.push(c);
+                }
+                if let Some(v) = node.value.as_ref() {
+                    return Some((node.prefix, v));
+                }
+            }
+            None
+        })
+    }
+}
+
+impl<K: Bits> Lpm<K> for Patricia<K, NextHop> {
+    fn lookup(&self, key: K) -> Option<NextHop> {
+        Patricia::lookup(self, key).copied()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        fn count<K: Bits, V>(node: Option<&PNode<K, V>>) -> usize {
+            match node {
+                None => 0,
+                Some(n) => 1 + count(n.children[0].as_deref()) + count(n.children[1].as_deref()),
+            }
+        }
+        count(self.root.as_deref()) * core::mem::size_of::<PNode<K, NextHop>>()
+    }
+
+    fn name(&self) -> String {
+        "Patricia".into()
+    }
+}

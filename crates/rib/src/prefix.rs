@@ -1,0 +1,221 @@
+//! CIDR prefixes over arbitrary key widths.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::str::FromStr;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use poptrie_bitops::Bits;
+
+/// A CIDR prefix: a key of width `K::BITS` of which only the `len` most
+/// significant bits are meaningful.
+///
+/// The address is kept canonical — bits beyond `len` are always zero — so
+/// `Prefix` supports `Eq`/`Hash` directly.
+///
+/// ```
+/// use poptrie_rib::Prefix;
+///
+/// let p: Prefix<u32> = "192.0.2.0/24".parse().unwrap();
+/// assert_eq!(p.len(), 24);
+/// assert!(p.contains(0xC000_0201)); // 192.0.2.1
+/// assert!(!p.contains(0xC000_0301)); // 192.0.3.1
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix<K: Bits> {
+    addr: K,
+    len: u8,
+}
+
+impl<K: Bits> Prefix<K> {
+    /// The zero-length prefix matching every address (the default route).
+    pub const DEFAULT: Self = Prefix {
+        addr: K::ZERO,
+        len: 0,
+    };
+
+    /// Create a prefix, masking `addr` down to its `len` significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len > K::BITS`.
+    pub fn new(addr: K, len: u8) -> Self {
+        assert!(
+            (len as u32) <= K::BITS,
+            "prefix length {len} exceeds key width {}",
+            K::BITS
+        );
+        Prefix {
+            addr: addr.and(K::prefix_mask(len as u32)),
+            len,
+        }
+    }
+
+    /// The canonical (masked) address.
+    #[inline]
+    pub fn addr(&self) -> K {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // a prefix length is not a container size
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length (default-route) prefix.
+    #[inline]
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `key` falls inside this prefix.
+    #[inline]
+    pub fn contains(&self, key: K) -> bool {
+        key.and(K::prefix_mask(self.len as u32)) == self.addr
+    }
+
+    /// Whether `other` is equal to or more specific than `self`.
+    #[inline]
+    pub fn covers(&self, other: &Self) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The bit of the address at MSB-first position `i` (`i < len`).
+    #[inline]
+    pub fn bit(&self, i: u32) -> bool {
+        debug_assert!(i < self.len as u32);
+        self.addr.bit(i)
+    }
+
+    /// Extend the prefix by one bit (`0` or `1`), producing one of its two
+    /// halves. Used by split-based table synthesis (SYN1/SYN2 datasets).
+    pub fn child(&self, bit: bool) -> Self {
+        assert!((self.len as u32) < K::BITS, "cannot extend a host prefix");
+        let mut addr = self.addr;
+        if bit {
+            addr = addr.or(K::single_bit(self.len as u32));
+        }
+        Prefix {
+            addr,
+            len: self.len + 1,
+        }
+    }
+
+    /// Split into `2^extra` sub-prefixes of length `len + extra`, in address
+    /// order. The SYN1/SYN2 synthetic tables of §4.1 are built this way.
+    pub fn split(&self, extra: u8) -> impl Iterator<Item = Self> + '_ {
+        let new_len = self.len as u32 + extra as u32;
+        assert!(new_len <= K::BITS, "split beyond key width");
+        let base = self.addr;
+        let len = self.len as u32;
+        (0u32..(1u32 << extra)).map(move |i| {
+            // Place the i counter right below the original prefix bits.
+            let lowered = if extra == 0 {
+                K::ZERO
+            } else {
+                K::from_high_bits(i, extra as u32)
+            };
+            // Shift `lowered` down by `len` bits: rebuild via u128 math to
+            // stay generic; split() is construction-time code, not hot path.
+            let shifted = K::from_u128(lowered.to_u128() >> len);
+            Prefix {
+                addr: base.or(shifted),
+                len: new_len as u8,
+            }
+        })
+    }
+}
+
+impl<K: Bits> PartialOrd for Prefix<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Bits> Ord for Prefix<K> {
+    /// Order by address, then by length — the natural trie pre-order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.addr
+            .cmp(&other.addr)
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
+/// Error parsing a textual prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePrefixError {
+    /// Missing `/` separator.
+    MissingSlash,
+    /// The address part did not parse.
+    BadAddress,
+    /// The length part did not parse or exceeds the key width.
+    BadLength,
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePrefixError::MissingSlash => write!(f, "missing '/' in prefix"),
+            ParsePrefixError::BadAddress => write!(f, "invalid address in prefix"),
+            ParsePrefixError::BadLength => write!(f, "invalid prefix length"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix<u32> {
+    type Err = ParsePrefixError;
+
+    /// Parse IPv4 CIDR notation, e.g. `"10.0.0.0/8"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(ParsePrefixError::MissingSlash)?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| ParsePrefixError::BadAddress)?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError::BadLength)?;
+        if len > 32 {
+            return Err(ParsePrefixError::BadLength);
+        }
+        Ok(Prefix::new(u32::from(addr), len))
+    }
+}
+
+impl FromStr for Prefix<u128> {
+    type Err = ParsePrefixError;
+
+    /// Parse IPv6 CIDR notation, e.g. `"2001:db8::/32"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(ParsePrefixError::MissingSlash)?;
+        let addr: Ipv6Addr = addr.parse().map_err(|_| ParsePrefixError::BadAddress)?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError::BadLength)?;
+        if len > 128 {
+            return Err(ParsePrefixError::BadLength);
+        }
+        Ok(Prefix::new(u128::from(addr), len))
+    }
+}
+
+impl fmt::Display for Prefix<u32> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.addr), self.len)
+    }
+}
+
+impl fmt::Display for Prefix<u128> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv6Addr::from(self.addr), self.len)
+    }
+}
+
+impl<K: Bits> fmt::Debug for Prefix<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Prefix({:0width$b}/{})",
+            self.addr.to_u128(),
+            self.len,
+            width = K::BITS as usize
+        )
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared vocabulary: next hops and the longest-prefix-match trait.
+
+use poptrie_bitops::Bits;
+
+/// A FIB next-hop index.
+///
+/// The Poptrie leaf is 16 bits wide (§5 of the paper), bounding the number
+/// of distinct FIB entries at 2^16; the same width is used across every
+/// algorithm in this workspace for a fair comparison. The value `0`
+/// ([`NO_ROUTE`]) is reserved as the no-route sentinel inside the lookup
+/// structures, so valid next hops are `1..=65535`.
+pub type NextHop = u16;
+
+/// Internal sentinel meaning "no matching route".
+///
+/// Lookup structures store this in default slots so that the hot path needs
+/// no `Option` branching; the public [`Lpm::lookup`] converts it to `None`.
+pub const NO_ROUTE: NextHop = 0;
+
+/// Longest-prefix-match lookup over keys of width `K`.
+///
+/// Implemented by every algorithm in the workspace: [`RadixTree`]
+/// (`poptrie-rib`), `Poptrie` (`poptrie`), `TreeBitmap`
+/// (`poptrie-treebitmap`), `Dxr` (`poptrie-dxr`) and `Sail`
+/// (`poptrie-sail`). The benchmark harness and the cross-validation tests
+/// are generic over this trait.
+///
+/// [`RadixTree`]: crate::RadixTree
+pub trait Lpm<K: Bits> {
+    /// Look up the longest matching prefix for `key` and return its next
+    /// hop, or `None` when no route (not even a default route) matches.
+    fn lookup(&self, key: K) -> Option<NextHop>;
+
+    /// The memory footprint of the lookup structure in bytes, counting the
+    /// arrays a lookup can touch (the quantity reported in Tables 2 and 3
+    /// of the paper). Excludes the RIB the structure was compiled from.
+    fn memory_bytes(&self) -> usize;
+
+    /// Short human-readable algorithm name as it appears in the paper's
+    /// tables, e.g. `"Poptrie18"` or `"D16R"`.
+    fn name(&self) -> String;
+}
+
+impl<K: Bits, T: Lpm<K> + ?Sized> Lpm<K> for &T {
+    fn lookup(&self, key: K) -> Option<NextHop> {
+        (**self).lookup(key)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<K: Bits, T: Lpm<K> + ?Sized> Lpm<K> for Box<T> {
+    fn lookup(&self, key: K) -> Option<NextHop> {
+        (**self).lookup(key)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}

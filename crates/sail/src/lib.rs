@@ -1,0 +1,285 @@
+//! SAIL — the level-split baseline of the Poptrie evaluation.
+//!
+//! Yang, Xie, Li, Fu, Liu, Li and Mathy, *Guarantee IP Lookup Performance
+//! with FIB Explosion*, SIGCOMM 2014 — reference \[36\] of the Poptrie paper
+//! and its strongest cache-locality competitor. This implements the
+//! lookup-oriented variant the paper benchmarks as **SAIL_L**: prefixes are
+//! *level-pushed* to lengths 16, 24 and 32, and lookup is at most three
+//! plain array accesses with no arithmetic beyond index formation:
+//!
+//! ```text
+//! v = N16[addr >> 16]            // 2^16 entries
+//! if v is a next hop -> done     // prefixes <= /16
+//! v = N24[(chunk(v) << 8) | byte2]
+//! if v is a next hop -> done     // prefixes <= /24
+//! N32[(chunk(v) << 8) | byte3]   // prefixes <= /32
+//! ```
+//!
+//! Each entry is 16 bits: the top bit flags "descend into a chunk" and the
+//! low 15 bits carry either the next hop or the chunk id — the encoding
+//! the Poptrie paper pins SAIL's structural limit on (§4.8: "C16\[i\] in
+//! SAIL is encoded in the 15 bits of BCN\[i\], but it exceeds 2^15 for these
+//! datasets"). Compiling a table that needs more than 32767 chunks at a
+//! level therefore returns [`SailError::ChunkOverflow`], reproducing the
+//! `N/A` cells of Table 5.
+//!
+//! The flat arrays are also why SAIL's memory footprint (tens of MiB,
+//! Table 3) exceeds the L3 cache: its speed depends on the traffic's
+//! destination locality, the effect Figures 10–12 dissect.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use poptrie_rib::radix::Node as RadixNode;
+use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
+
+/// Entry flag: descend into a chunk at the next level.
+const CHUNK_FLAG: u16 = 1 << 15;
+
+/// Maximum chunks per level: chunk ids live in 15 bits.
+pub const MAX_CHUNKS: usize = 1 << 15;
+
+/// SAIL compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SailError {
+    /// A level needs more chunks than the 15-bit id can address — the
+    /// structural limit of §4.8 / Table 5.
+    ChunkOverflow {
+        /// The level (24 or 32) that overflowed.
+        level: u8,
+        /// Chunks the table needs at that level.
+        needed: usize,
+    },
+    /// A next hop collides with the chunk flag (must be < 2^15).
+    NextHopOverflow,
+}
+
+impl core::fmt::Display for SailError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SailError::ChunkOverflow { level, needed } => write!(
+                f,
+                "level {level} needs {needed} chunks, 15-bit ids allow {MAX_CHUNKS}"
+            ),
+            SailError::NextHopOverflow => write!(f, "next hop exceeds 15 bits"),
+        }
+    }
+}
+
+impl std::error::Error for SailError {}
+
+/// A compiled SAIL_L lookup structure (IPv4; SAIL as published "does not
+/// support more specific routes than /64" for IPv6 — §4.10 — so, like the
+/// paper, we evaluate it on IPv4 only).
+///
+/// ```
+/// use poptrie_sail::Sail;
+/// use poptrie_rib::RadixTree;
+///
+/// let mut rib: RadixTree<u32, u16> = RadixTree::new();
+/// rib.insert("10.0.0.0/8".parse().unwrap(), 1);
+/// rib.insert("10.1.2.0/24".parse().unwrap(), 2);
+/// let s = Sail::from_rib(&rib).unwrap();
+/// assert_eq!(s.lookup(0x0A01_0203), Some(2));
+/// assert_eq!(s.lookup(0x0A01_0303), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sail {
+    /// Level 16: `2^16` entries.
+    n16: Vec<u16>,
+    /// Level 24: one 256-entry block per level-24 chunk.
+    n24: Vec<u16>,
+    /// Level 32: one 256-entry block per level-32 chunk (plain next hops).
+    n32: Vec<u16>,
+}
+
+impl Sail {
+    /// Compile from a RIB radix tree.
+    pub fn from_rib(rib: &RadixTree<u32, NextHop>) -> Result<Self, SailError> {
+        let mut s = Sail {
+            n16: vec![0; 1 << 16],
+            n24: Vec::new(),
+            n32: Vec::new(),
+        };
+        s.fill16(rib.root(), NO_ROUTE, 0, 0)?;
+        Ok(s)
+    }
+
+    /// Compile from a route list.
+    pub fn from_routes<I: IntoIterator<Item = (poptrie_rib::Prefix<u32>, NextHop)>>(
+        routes: I,
+    ) -> Result<Self, SailError> {
+        Self::from_rib(&RadixTree::from_routes(routes))
+    }
+
+    /// Level-16 fill: `node` is `depth` bits deep, covering N16 entries
+    /// `[base << (16 - depth), (base + 1) << (16 - depth))`.
+    fn fill16(
+        &mut self,
+        node: Option<&RadixNode<NextHop>>,
+        inherited: NextHop,
+        depth: u32,
+        base: usize,
+    ) -> Result<(), SailError> {
+        let Some(n) = node else {
+            let width = 1usize << (16 - depth);
+            self.n16[base * width..(base + 1) * width].fill(encode_nh(inherited)?);
+            return Ok(());
+        };
+        if depth == 16 {
+            let inh = n.value().copied().unwrap_or(inherited);
+            if n.has_children() {
+                let chunk = self.n24.len() / 256;
+                if chunk >= MAX_CHUNKS {
+                    return Err(SailError::ChunkOverflow {
+                        level: 24,
+                        needed: chunk + 1,
+                    });
+                }
+                self.n24.resize(self.n24.len() + 256, 0);
+                self.n16[base] = CHUNK_FLAG | chunk as u16;
+                self.fill24(Some(n), inh, 0, chunk * 256)?;
+            } else {
+                self.n16[base] = encode_nh(inh)?;
+            }
+            return Ok(());
+        }
+        let inh = n.value().copied().unwrap_or(inherited);
+        self.fill16(n.child(false), inh, depth + 1, base << 1)?;
+        self.fill16(n.child(true), inh, depth + 1, (base << 1) | 1)
+    }
+
+    /// Level-24 fill within one chunk: `node` is `depth` bits below the
+    /// /16 boundary, covering `chunk_base + [base << (8 - depth), ...)`.
+    /// `inherited` already includes the value at the /16 node itself.
+    fn fill24(
+        &mut self,
+        node: Option<&RadixNode<NextHop>>,
+        inherited: NextHop,
+        depth: u32,
+        slot: usize,
+    ) -> Result<(), SailError> {
+        let Some(n) = node else {
+            let width = 1usize << (8 - depth);
+            self.n24[slot..slot + width].fill(encode_nh(inherited)?);
+            return Ok(());
+        };
+        let inh = if depth == 0 {
+            inherited // value at the /16 node was applied by the caller
+        } else {
+            n.value().copied().unwrap_or(inherited)
+        };
+        if depth == 8 {
+            if n.has_children() {
+                let chunk = self.n32.len() / 256;
+                if chunk >= MAX_CHUNKS {
+                    return Err(SailError::ChunkOverflow {
+                        level: 32,
+                        needed: chunk + 1,
+                    });
+                }
+                self.n32.resize(self.n32.len() + 256, 0);
+                self.n24[slot] = CHUNK_FLAG | chunk as u16;
+                self.fill32(Some(n), inh, 0, chunk * 256)?;
+            } else {
+                self.n24[slot] = encode_nh(inh)?;
+            }
+            return Ok(());
+        }
+        let width = 1usize << (8 - depth - 1);
+        self.fill24(n.child(false), inh, depth + 1, slot)?;
+        self.fill24(n.child(true), inh, depth + 1, slot + width)
+    }
+
+    /// Level-32 fill within one chunk: plain next hops, no further levels.
+    fn fill32(
+        &mut self,
+        node: Option<&RadixNode<NextHop>>,
+        inherited: NextHop,
+        depth: u32,
+        slot: usize,
+    ) -> Result<(), SailError> {
+        let Some(n) = node else {
+            let width = 1usize << (8 - depth);
+            self.n32[slot..slot + width].fill(encode_nh(inherited)?);
+            return Ok(());
+        };
+        let inh = if depth == 0 {
+            inherited
+        } else {
+            n.value().copied().unwrap_or(inherited)
+        };
+        if depth == 8 {
+            self.n32[slot] = encode_nh(inh)?;
+            return Ok(());
+        }
+        let width = 1usize << (8 - depth - 1);
+        self.fill32(n.child(false), inh, depth + 1, slot)?;
+        self.fill32(n.child(true), inh, depth + 1, slot + width)
+    }
+
+    /// Longest-prefix-match lookup: at most three array reads.
+    pub fn lookup(&self, key: u32) -> Option<NextHop> {
+        let nh = self.lookup_raw(key);
+        (nh != NO_ROUTE).then_some(nh)
+    }
+
+    /// Raw lookup returning [`NO_ROUTE`] (0) on a miss.
+    ///
+    /// Uses unchecked indexing like the paper's C implementation: `n16`
+    /// spans the full 2^16 index space, and every stored chunk id points
+    /// at a fully allocated 256-entry block by construction.
+    #[inline]
+    pub fn lookup_raw(&self, key: u32) -> NextHop {
+        // SAFETY: `key >> 16 < 2^16 == n16.len()`.
+        let v = unsafe { *self.n16.get_unchecked((key >> 16) as usize) };
+        if v & CHUNK_FLAG == 0 {
+            return v;
+        }
+        let j = (((v & !CHUNK_FLAG) as usize) << 8) | ((key >> 8) & 0xFF) as usize;
+        debug_assert!(j < self.n24.len());
+        // SAFETY: chunk ids stored in n16 index fully-allocated 256-entry
+        // blocks of n24.
+        let v = unsafe { *self.n24.get_unchecked(j) };
+        if v & CHUNK_FLAG == 0 {
+            return v;
+        }
+        let k = (((v & !CHUNK_FLAG) as usize) << 8) | (key & 0xFF) as usize;
+        debug_assert!(k < self.n32.len());
+        // SAFETY: chunk ids stored in n24 index fully-allocated 256-entry
+        // blocks of n32.
+        unsafe { *self.n32.get_unchecked(k) }
+    }
+
+    /// Chunk counts at levels 24 and 32 (bounded by [`MAX_CHUNKS`]).
+    pub fn chunk_counts(&self) -> (usize, usize) {
+        (self.n24.len() / 256, self.n32.len() / 256)
+    }
+}
+
+/// Validate that a next hop fits the 15-bit field next to the chunk flag.
+#[inline]
+fn encode_nh(nh: NextHop) -> Result<u16, SailError> {
+    if nh & CHUNK_FLAG != 0 {
+        Err(SailError::NextHopOverflow)
+    } else {
+        Ok(nh)
+    }
+}
+
+impl Lpm<u32> for Sail {
+    fn lookup(&self, key: u32) -> Option<NextHop> {
+        Sail::lookup(self, key)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.n16.len() + self.n24.len() + self.n32.len()) * 2
+    }
+
+    fn name(&self) -> String {
+        "SAIL".into()
+    }
+}
+
+#[cfg(test)]
+mod tests;

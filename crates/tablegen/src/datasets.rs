@@ -1,0 +1,262 @@
+//! The 35 datasets of Table 1, with their exact route and next-hop counts.
+
+use crate::gen::{Dataset, TableKind, TableSpec};
+
+/// One Table 1 row: dataset name, number of prefixes, number of distinct
+/// next hops, and which generator shape it uses.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetInfo {
+    /// Dataset name as printed in Table 1.
+    pub name: &'static str,
+    /// "# of prefixes".
+    pub prefixes: usize,
+    /// "# of nhops".
+    pub next_hops: u16,
+    /// RouteViews snapshot or production-router table.
+    pub kind: TableKind,
+}
+
+/// Table 1 of the paper: the 35 base routing-table datasets.
+pub const TABLE1: [DatasetInfo; 35] = [
+    DatasetInfo {
+        name: "RV-linx-p46",
+        prefixes: 518_231,
+        next_hops: 308,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-linx-p50",
+        prefixes: 512_476,
+        next_hops: 410,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-linx-p52",
+        prefixes: 514_590,
+        next_hops: 419,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-linx-p57",
+        prefixes: 514_070,
+        next_hops: 142,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-linx-p60",
+        prefixes: 508_700,
+        next_hops: 70,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-linx-p61",
+        prefixes: 512_476,
+        next_hops: 149,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-nwax-p1",
+        prefixes: 519_224,
+        next_hops: 60,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-nwax-p2",
+        prefixes: 514_627,
+        next_hops: 46,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-nwax-p5",
+        prefixes: 519_195,
+        next_hops: 49,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-paixisc-p12",
+        prefixes: 519_142,
+        next_hops: 68,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-paixisc-p14",
+        prefixes: 524_168,
+        next_hops: 49,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p12",
+        prefixes: 516_536,
+        next_hops: 510,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p13",
+        prefixes: 517_914,
+        next_hops: 504,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p16",
+        prefixes: 521_405,
+        next_hops: 528,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p18",
+        prefixes: 521_874,
+        next_hops: 522,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p2",
+        prefixes: 523_092,
+        next_hops: 530,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p20",
+        prefixes: 523_574,
+        next_hops: 470,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p23",
+        prefixes: 523_013,
+        next_hops: 517,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p25",
+        prefixes: 532_637,
+        next_hops: 523,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p26",
+        prefixes: 516_408,
+        next_hops: 479,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p8",
+        prefixes: 522_296,
+        next_hops: 477,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-saopaulo-p9",
+        prefixes: 515_639,
+        next_hops: 507,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-singapore-p3",
+        prefixes: 518_620,
+        next_hops: 136,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-singapore-p5",
+        prefixes: 516_557,
+        next_hops: 129,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-sydney-p0",
+        prefixes: 520_580,
+        next_hops: 122,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-sydney-p1",
+        prefixes: 515_809,
+        next_hops: 125,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-sydney-p3",
+        prefixes: 517_511,
+        next_hops: 115,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-sydney-p4",
+        prefixes: 519_246,
+        next_hops: 86,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-sydney-p9",
+        prefixes: 523_400,
+        next_hops: 127,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-telxatl-p3",
+        prefixes: 511_161,
+        next_hops: 56,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-telxatl-p6",
+        prefixes: 519_537,
+        next_hops: 42,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "RV-telxatl-p7",
+        prefixes: 513_339,
+        next_hops: 49,
+        kind: TableKind::RouteViews,
+    },
+    DatasetInfo {
+        name: "REAL-Tier1-A",
+        prefixes: 531_489,
+        next_hops: 13,
+        kind: TableKind::Real,
+    },
+    DatasetInfo {
+        name: "REAL-Tier1-B",
+        prefixes: 524_170,
+        next_hops: 9,
+        kind: TableKind::Real,
+    },
+    DatasetInfo {
+        name: "REAL-RENET",
+        prefixes: 516_100,
+        next_hops: 32,
+        kind: TableKind::Real,
+    },
+];
+
+/// All Table 1 rows.
+pub fn table1() -> &'static [DatasetInfo] {
+    &TABLE1
+}
+
+/// All dataset names, in Table 1 order.
+pub fn all_dataset_names() -> Vec<&'static str> {
+    TABLE1.iter().map(|d| d.name).collect()
+}
+
+/// Synthesize one dataset by its Table 1 name.
+///
+/// # Panics
+///
+/// Panics when `name` is not a Table 1 dataset (SYN tables are derived —
+/// see [`expand_syn1`](crate::expand_syn1) /
+/// [`expand_syn2`](crate::expand_syn2)).
+pub fn dataset(name: &str) -> Dataset {
+    let info = TABLE1
+        .iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown dataset {name:?}; see tablegen::table1()"));
+    TableSpec {
+        name: info.name.to_string(),
+        prefixes: info.prefixes,
+        next_hops: info.next_hops,
+        kind: info.kind,
+    }
+    .generate()
+}

@@ -1,0 +1,109 @@
+//! Prefix-length distributions.
+//!
+//! The BGP histogram below follows the shape of a late-2014 global table
+//! (the snapshot vintage of Table 1): negligible mass below /8, a bump at
+//! /16, a broad ramp through /19–/23, and the dominant spike at /24 —
+//! "most prefixes in the real datasets are distributed in the range of
+//! prefix length from /11 through /24" (§3.4).
+
+/// Relative weight of each IPv4 prefix length in a BGP table
+/// (index = prefix length 0..=32).
+pub const BGP_V4_WEIGHTS: [u32; 33] = [
+    0, 0, 0, 0, 0, 0, 0, 0,      // /0../7
+    20,     // /8
+    13,     // /9
+    37,     // /10
+    93,     // /11
+    265,    // /12
+    518,    // /13
+    1026,   // /14
+    1790,   // /15
+    13600,  // /16
+    7600,   // /17
+    12900,  // /18
+    24800,  // /19
+    38300,  // /20
+    44400,  // /21
+    77100,  // /22
+    67700,  // /23
+    283000, // /24
+    0, 0, 0, 0, 0, 0, 0, 0, // /25../32: absent from BGP snapshots
+];
+
+/// Relative weight of each IPv4 prefix length in the `REAL-*` (tier-1
+/// production router) tables' BGP portion. Core routers see a more
+/// aggregated mid-range than a RouteViews peer; this mix is calibrated so
+/// that the §4.1 SYN1/SYN2 split arithmetic reproduces the paper's
+/// Table 5 route counts (SYN2 ≈ 886K from a 531K base) and structural
+/// pressure (see EXPERIMENTS.md).
+pub const REAL_V4_WEIGHTS: [u32; 33] = [
+    0, 0, 0, 0, 0, 0, 0, 0,      // /0../7
+    20,     // /8
+    13,     // /9
+    37,     // /10
+    93,     // /11
+    265,    // /12
+    518,    // /13
+    1026,   // /14
+    1790,   // /15
+    13600,  // /16
+    3800,   // /17
+    6500,   // /18
+    12400,  // /19
+    19200,  // /20
+    22200,  // /21
+    38500,  // /22
+    33900,  // /23
+    340000, // /24
+    0, 0, 0, 0, 0, 0, 0, 0, // /25../32: the IGP histogram covers these
+];
+
+/// Relative weight of each IPv4 prefix length among IGP routes, for the
+/// `REAL-*` tables: interface networks, customer tails and loopbacks —
+/// the /25–/32 mass visible in Figure 7.
+pub const IGP_V4_WEIGHTS: [u32; 33] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, // /0../15
+    0, 0, 0, 0, 0, 0, 0, 0, 0,  // /16../24
+    5,  // /25
+    8,  // /26
+    10, // /27
+    12, // /28
+    10, // /29
+    25, // /30
+    8,  // /31
+    22, // /32
+];
+
+/// Relative weight of each IPv6 prefix length in a BGP table of the same
+/// vintage: spikes at /32 (LIR allocations) and /48 (end sites).
+pub const BGP_V6_WEIGHTS: [(u8, u32); 12] = [
+    (20, 5),
+    (24, 10),
+    (28, 30),
+    (29, 35),
+    (32, 5500),
+    (36, 350),
+    (40, 700),
+    (44, 500),
+    (48, 11000),
+    (52, 150),
+    (56, 350),
+    (64, 900),
+];
+
+/// Sample from an integer-weighted histogram given a uniform draw in
+/// `0..total_weight`.
+pub fn sample_weighted(weights: &[u32], mut draw: u64) -> usize {
+    for (i, &w) in weights.iter().enumerate() {
+        if draw < w as u64 {
+            return i;
+        }
+        draw -= w as u64;
+    }
+    weights.len() - 1
+}
+
+/// Total weight of a histogram.
+pub fn total_weight(weights: &[u32]) -> u64 {
+    weights.iter().map(|&w| w as u64).sum()
+}

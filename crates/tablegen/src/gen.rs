@@ -1,0 +1,202 @@
+//! The IPv4 table generator.
+
+use poptrie_rib::{NextHop, Prefix, RadixTree};
+use rand::prelude::*;
+use std::collections::HashSet;
+
+use crate::dist::{sample_weighted, total_weight, BGP_V4_WEIGHTS, IGP_V4_WEIGHTS, REAL_V4_WEIGHTS};
+
+/// How many distinct /16 "allocation containers" longer-than-/16 prefixes
+/// nest inside. Real global tables keep this just below SAIL's 2^15 chunk
+/// limit; the SYN2 expansion pushes it past (Table 5).
+const CONTAINER_POOL: usize = 30_000;
+
+/// How many distinct /24 blocks the REAL tables' IGP routes nest inside
+/// (bounds SAIL's level-32 chunks).
+const DEEP_POOL: usize = 12_000;
+
+/// Probability that a route inherits its container's home next hop — the
+/// spatial next-hop locality of real BGP tables that makes route
+/// aggregation (§3) and DXR's range merging effective.
+const LOCALITY: f64 = 0.92;
+
+/// Fraction of a REAL table that is IGP (deep, /25–/32) routes.
+const IGP_FRACTION: f64 = 0.026;
+
+/// What flavour of router produced a table (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// A RouteViews peer: pure BGP, nothing longer than /24.
+    RouteViews,
+    /// A production router: BGP plus IGP routes with longer prefixes,
+    /// "these longer prefixes cause the lookup technology to search down
+    /// to a deeper level of the tree".
+    Real,
+}
+
+/// A dataset to synthesize: name, Table 1 row parameters, and kind.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Dataset name as in Table 1 (e.g. `"RV-linx-p46"`).
+    pub name: String,
+    /// Number of prefixes (Table 1, "# of prefixes").
+    pub prefixes: usize,
+    /// Number of distinct next hops (Table 1, "# of nhops").
+    pub next_hops: u16,
+    /// RouteViews or production-router shape.
+    pub kind: TableKind,
+}
+
+/// A synthesized routing table.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: String,
+    /// Routes, sorted by prefix.
+    pub routes: Vec<(Prefix<u32>, NextHop)>,
+}
+
+impl Dataset {
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Number of distinct next hops.
+    pub fn next_hop_count(&self) -> usize {
+        let mut set: Vec<NextHop> = self.routes.iter().map(|&(_, nh)| nh).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+
+    /// Load into a RIB radix tree.
+    pub fn to_rib(&self) -> RadixTree<u32, NextHop> {
+        RadixTree::from_routes(self.routes.iter().copied())
+    }
+}
+
+/// FNV-1a hash of a dataset name: the per-dataset seed, so every run of
+/// every binary regenerates identical tables.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TableSpec {
+    /// Synthesize the table, deterministically from its name.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed_for(&self.name));
+        let containers = make_containers(&mut rng, self.next_hops);
+        let deep = make_deep_pool(&mut rng, &containers);
+        let bgp_weights: &[u32; 33] = match self.kind {
+            TableKind::RouteViews => &BGP_V4_WEIGHTS,
+            TableKind::Real => &REAL_V4_WEIGHTS,
+        };
+        let bgp_total = total_weight(bgp_weights);
+        let igp_total = total_weight(&IGP_V4_WEIGHTS);
+
+        let mut seen: HashSet<(u32, u8)> = HashSet::with_capacity(self.prefixes * 2);
+        let mut routes: Vec<(Prefix<u32>, NextHop)> = Vec::with_capacity(self.prefixes);
+        while routes.len() < self.prefixes {
+            let (addr, len, container) =
+                if self.kind == TableKind::Real && rng.gen_bool(IGP_FRACTION) {
+                    // IGP route: deep prefix inside a deep-pool /24 block.
+                    let len = sample_weighted(&IGP_V4_WEIGHTS, rng.gen_range(0..igp_total)) as u8;
+                    let &(block, home) = deep.choose(&mut rng).expect("deep pool non-empty");
+                    let addr = block | (rng.gen::<u32>() & 0xFF);
+                    (addr, len, Some(home))
+                } else {
+                    let len = sample_weighted(bgp_weights, rng.gen_range(0..bgp_total)) as u8;
+                    match len {
+                        0..=15 => (random_unicast(&mut rng), len, None),
+                        16 => {
+                            let &(c, home) = containers.choose(&mut rng).expect("pool");
+                            (c, len, Some(home))
+                        }
+                        _ => {
+                            let &(c, home) = containers.choose(&mut rng).expect("pool");
+                            // Quadratic clustering toward the container base:
+                            // real allocations slice blocks densely from the
+                            // bottom, which is what lets DXR merge adjacent
+                            // same-next-hop routes into single ranges.
+                            let r: f64 = rng.gen();
+                            let r2 = r * r;
+                            let addr = c | ((r2 * r2 * 65536.0) as u32 & 0xFFFF);
+                            (addr, len, Some(home))
+                        }
+                    }
+                };
+            let prefix = Prefix::new(addr, len);
+            if !seen.insert((prefix.addr(), len)) {
+                continue;
+            }
+            let nh = if routes.len() < self.next_hops as usize {
+                // Guarantee every advertised next hop appears at least once.
+                routes.len() as NextHop + 1
+            } else {
+                match container {
+                    Some(home) if rng.gen_bool(LOCALITY) => home,
+                    _ => skewed_next_hop(&mut rng, self.next_hops),
+                }
+            };
+            routes.push((prefix, nh));
+        }
+        routes.sort_unstable();
+        Dataset {
+            name: self.name.clone(),
+            routes,
+        }
+    }
+}
+
+/// The allocation-container pool: distinct /16 bases, each with a home
+/// next hop.
+fn make_containers(rng: &mut StdRng, next_hops: u16) -> Vec<(u32, NextHop)> {
+    let mut set = HashSet::with_capacity(CONTAINER_POOL * 2);
+    let mut pool = Vec::with_capacity(CONTAINER_POOL);
+    while pool.len() < CONTAINER_POOL {
+        let base = random_unicast(rng) & 0xFFFF_0000;
+        if set.insert(base) {
+            pool.push((base, skewed_next_hop(rng, next_hops)));
+        }
+    }
+    pool
+}
+
+/// The deep-route pool: distinct /24 bases nested inside containers.
+fn make_deep_pool(rng: &mut StdRng, containers: &[(u32, NextHop)]) -> Vec<(u32, NextHop)> {
+    let mut set = HashSet::with_capacity(DEEP_POOL * 2);
+    let mut pool = Vec::with_capacity(DEEP_POOL);
+    while pool.len() < DEEP_POOL {
+        let &(c, home) = containers.choose(rng).expect("pool non-empty");
+        let base = c | ((rng.gen::<u32>() & 0xFF) << 8);
+        if set.insert(base) {
+            pool.push((base, home));
+        }
+    }
+    pool
+}
+
+/// A random address with a plausibly-unicast first octet (1..=223).
+fn random_unicast(rng: &mut StdRng) -> u32 {
+    let first = rng.gen_range(1u32..=223);
+    (first << 24) | (rng.gen::<u32>() & 0x00FF_FFFF)
+}
+
+/// Skewed next-hop choice: a few peers carry most routes, as in real
+/// tables (quadratic concentration toward low ids).
+fn skewed_next_hop(rng: &mut StdRng, next_hops: u16) -> NextHop {
+    let r: f64 = rng.gen();
+    let idx = (r * r * next_hops as f64) as u16;
+    idx.min(next_hops - 1) + 1
+}

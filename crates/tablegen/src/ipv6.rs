@@ -1,0 +1,114 @@
+//! IPv6 routing-table synthesis (§4.10).
+//!
+//! The paper's primary IPv6 dataset is "the IPv6 routing table from the
+//! same router as REAL-Tier1-A": 20,440 prefixes, evaluated with 2^32
+//! random addresses inside `2000::/8`. It also uses "13 public RIBs …
+//! by RouteViews that contain more than 20K prefixes and more than one
+//! distinct next hop".
+
+use poptrie_rib::{NextHop, Prefix, RadixTree};
+use rand::prelude::*;
+use std::collections::HashSet;
+
+use crate::dist::BGP_V6_WEIGHTS;
+use crate::gen::seed_for;
+
+/// A synthesized IPv6 routing table.
+#[derive(Debug, Clone)]
+pub struct DatasetV6 {
+    /// Dataset name.
+    pub name: String,
+    /// Routes, sorted by prefix.
+    pub routes: Vec<(Prefix<u128>, NextHop)>,
+}
+
+impl DatasetV6 {
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Load into a RIB radix tree.
+    pub fn to_rib(&self) -> RadixTree<u128, NextHop> {
+        RadixTree::from_routes(self.routes.iter().copied())
+    }
+}
+
+/// Names of the 13 RouteViews-style IPv6 tables of §4.10.
+pub fn ipv6_routeviews_names() -> Vec<String> {
+    (0..13).map(|i| format!("RV6-p{i}")).collect()
+}
+
+/// Synthesize an IPv6 table.
+///
+/// `"REAL-Tier1-A-v6"` produces the paper's 20,440-prefix tier-1 table
+/// with 13 next hops; the [`ipv6_routeviews_names`] produce 20–26K-prefix
+/// tables with varied next-hop counts.
+pub fn ipv6_dataset(name: &str) -> DatasetV6 {
+    let (prefixes, next_hops) = match name {
+        "REAL-Tier1-A-v6" => (20_440usize, 13u16),
+        _ => {
+            let h = seed_for(name);
+            (20_000 + (h % 6_000) as usize, 2 + (h % 200) as u16)
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    // Allocation containers: /32 LIR blocks inside 2000::/8, each with a
+    // home next hop (same locality rationale as the IPv4 generator).
+    let n_containers = 3_000;
+    let mut cset = HashSet::new();
+    let mut containers = Vec::with_capacity(n_containers);
+    while containers.len() < n_containers {
+        let base: u128 = (0x20u128 << 120) | ((rng.gen::<u128>() >> 8) & !((1u128 << 96) - 1));
+        if cset.insert(base) {
+            let nh = (rng.gen_range(0..next_hops)) + 1;
+            containers.push((base, nh));
+        }
+    }
+    let total: u64 = BGP_V6_WEIGHTS.iter().map(|&(_, w)| w as u64).sum();
+    let mut seen: HashSet<(u128, u8)> = HashSet::with_capacity(prefixes * 2);
+    let mut routes = Vec::with_capacity(prefixes);
+    while routes.len() < prefixes {
+        let mut draw = rng.gen_range(0..total);
+        let mut len = BGP_V6_WEIGHTS[BGP_V6_WEIGHTS.len() - 1].0;
+        for &(l, w) in &BGP_V6_WEIGHTS {
+            if draw < w as u64 {
+                len = l;
+                break;
+            }
+            draw -= w as u64;
+        }
+        let (addr, home) = if len <= 32 {
+            // Allocation-level prefix: aligned inside 2000::/8.
+            let addr = (0x20u128 << 120) | (rng.gen::<u128>() >> 8);
+            (addr, None)
+        } else {
+            let &(c, home) = containers.choose(&mut rng).expect("pool");
+            let addr = c | ((rng.gen::<u128>() >> 32) & ((1u128 << 96) - 1));
+            (addr, Some(home))
+        };
+        let prefix = Prefix::new(addr, len);
+        if !seen.insert((prefix.addr(), len)) {
+            continue;
+        }
+        let nh = if routes.len() < next_hops as usize {
+            routes.len() as NextHop + 1
+        } else {
+            match home {
+                Some(h) if rng.gen_bool(0.75) => h,
+                _ => rng.gen_range(1..=next_hops),
+            }
+        };
+        routes.push((prefix, nh));
+    }
+    routes.sort_unstable();
+    DatasetV6 {
+        name: name.to_string(),
+        routes,
+    }
+}

@@ -1,0 +1,49 @@
+//! Routing-table dataset synthesis for the Poptrie reproduction.
+//!
+//! The paper evaluates on 35 routing tables (Table 1): 32 RouteViews BGP
+//! snapshots, three tables from routers in production (`REAL-*`), plus
+//! synthetic `SYN1`/`SYN2` expansions (§4.1) and an IPv6 table (§4.10).
+//! Those RIBs are not redistributable, so this crate synthesizes
+//! *structurally faithful* stand-ins, deterministically from each dataset
+//! name (see DESIGN.md, substitution 1):
+//!
+//! * the exact route count and next-hop count of every Table 1 row;
+//! * the empirical BGP prefix-length histogram of late 2014 (mass in
+//!   /11–/24, peak at /24) — the distribution Figure 7 relies on;
+//! * *spatial concentration*: prefixes longer than /16 nest inside a
+//!   bounded pool of allocation blocks, reproducing the chunk counts that
+//!   keep SAIL's 15-bit chunk ids viable on real tables and the range
+//!   merging that keeps DXR within its 2^19 range budget;
+//! * *next-hop locality*: routes within one allocation block mostly share
+//!   a next hop, as consecutive announcements from one peer AS do — this
+//!   is what makes the paper's route aggregation (§3) and DXR's range
+//!   merging effective;
+//! * for `REAL-*` tables, IGP-style deep routes (/25–/32) nested inside
+//!   announced space, producing the binary-radix-depth-beyond-prefix-
+//!   length mass of Figure 7 and the deep-lookup packets of §4.7.
+//!
+//! The SYN1/SYN2 expansions implement §4.1's split procedure directly, so
+//! their structural pressure (SAIL chunk overflow on SYN2, DXR range
+//! overflow) *emerges* rather than being hard-coded.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod datasets;
+pub mod dist;
+pub mod gen;
+pub mod ipv6;
+pub mod mrt;
+pub mod parse;
+pub mod synth;
+pub mod updates;
+
+pub use datasets::{all_dataset_names, dataset, table1, DatasetInfo};
+pub use gen::{Dataset, TableKind, TableSpec};
+pub use ipv6::{ipv6_dataset, ipv6_routeviews_names, DatasetV6};
+pub use parse::{parse_routes_v4, parse_routes_v6, write_routes_v4};
+pub use synth::{expand_syn1, expand_syn2};
+pub use updates::{synthesize_update_stream, UpdateEvent};
+
+#[cfg(test)]
+mod tests;

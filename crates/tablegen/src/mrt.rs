@@ -1,0 +1,368 @@
+//! MRT (RFC 6396) TABLE_DUMP_V2 parsing.
+//!
+//! The paper's 32 RouteViews datasets are MRT RIB dumps; each `RV-…-pN`
+//! table is the view of a single peer (e.g. "RV-linx-p46 is the 46th peer
+//! in the linx RIB snapshot"). This module parses exactly that subset of
+//! MRT — `PEER_INDEX_TABLE` plus `RIB_IPV4_UNICAST` / `RIB_IPV6_UNICAST`
+//! records — and extracts one peer's routes, mapping each distinct BGP
+//! `NEXT_HOP` to a dense FIB index the way the paper's evaluation does
+//! (Table 1 counts "# of nhops" as distinct next hops).
+//!
+//! ```no_run
+//! use poptrie_tablegen::mrt::{parse_table_dump_v2, PeerView};
+//!
+//! let bytes = std::fs::read("rib.20141217.0000.mrt").unwrap();
+//! let dump = parse_table_dump_v2(&bytes).unwrap();
+//! // The paper's RV-linx-p46 == peer index 46 (zero-based).
+//! let PeerView { routes_v4, next_hops, .. } = dump.peer_view(46).unwrap();
+//! println!("{} routes, {} next hops", routes_v4.len(), next_hops.len());
+//! ```
+//!
+//! Only the record types needed for routing-table extraction are
+//! understood; other MRT types are skipped. Compressed dumps must be
+//! decompressed first (`bzcat rib.bz2 > rib.mrt`).
+
+use poptrie_rib::{NextHop, Prefix};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// MRT type TABLE_DUMP_V2.
+const TYPE_TABLE_DUMP_V2: u16 = 13;
+/// TABLE_DUMP_V2 subtypes.
+const SUB_PEER_INDEX_TABLE: u16 = 1;
+const SUB_RIB_IPV4_UNICAST: u16 = 2;
+const SUB_RIB_IPV6_UNICAST: u16 = 4;
+/// BGP path attribute types.
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MP_REACH_NLRI: u8 = 14;
+
+/// A parse failure with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtError {
+    /// Byte offset of the record (or field) that failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for MrtError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "MRT parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+/// One peer from the `PEER_INDEX_TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peer {
+    /// Peer BGP identifier.
+    pub bgp_id: u32,
+    /// Peer address (v4 or v6).
+    pub address: std::net::IpAddr,
+    /// Peer AS number.
+    pub asn: u32,
+}
+
+/// One RIB entry: a prefix as announced by one peer, with the next hop
+/// recovered from its path attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry<K: poptrie_bitops::Bits> {
+    /// The announced prefix.
+    pub prefix: Prefix<K>,
+    /// Index into [`TableDump::peers`].
+    pub peer_index: u16,
+    /// The BGP NEXT_HOP, if present in the attributes.
+    pub next_hop: Option<std::net::IpAddr>,
+}
+
+/// A parsed TABLE_DUMP_V2 file.
+#[derive(Debug, Clone, Default)]
+pub struct TableDump {
+    /// The peer table.
+    pub peers: Vec<Peer>,
+    /// All IPv4 unicast RIB entries (every peer's).
+    pub v4: Vec<RibEntry<u32>>,
+    /// All IPv6 unicast RIB entries (every peer's).
+    pub v6: Vec<RibEntry<u128>>,
+}
+
+/// One peer's view extracted from a dump: the per-peer routing table the
+/// paper benchmarks, with next hops densified to FIB indices `1..`.
+#[derive(Debug, Clone)]
+pub struct PeerView {
+    /// The peer.
+    pub peer: Peer,
+    /// IPv4 routes `(prefix, fib index)`.
+    pub routes_v4: Vec<(Prefix<u32>, NextHop)>,
+    /// IPv6 routes `(prefix, fib index)`.
+    pub routes_v6: Vec<(Prefix<u128>, NextHop)>,
+    /// FIB index → next-hop address (index 0 unused; indices are 1-based).
+    pub next_hops: Vec<std::net::IpAddr>,
+}
+
+/// A bounds-checked big-endian byte cursor.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn err(&self, message: impl Into<String>) -> MrtError {
+        MrtError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MrtError> {
+        if self.remaining() < n {
+            return Err(self.err(format!(
+                "truncated: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, MrtError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, MrtError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, MrtError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Parse a whole TABLE_DUMP_V2 file. Records of other MRT types are
+/// skipped; a missing `PEER_INDEX_TABLE` is an error only if RIB records
+/// reference peers.
+pub fn parse_table_dump_v2(bytes: &[u8]) -> Result<TableDump, MrtError> {
+    let mut cur = Cursor::new(bytes);
+    let mut dump = TableDump::default();
+    while cur.remaining() > 0 {
+        let record_start = cur.pos;
+        let _timestamp = cur.u32()?;
+        let mrt_type = cur.u16()?;
+        let subtype = cur.u16()?;
+        let length = cur.u32()? as usize;
+        let body = cur.take(length).map_err(|mut e| {
+            e.offset = record_start;
+            e.message = format!("record body: {}", e.message);
+            e
+        })?;
+        if mrt_type != TYPE_TABLE_DUMP_V2 {
+            continue; // not a RIB dump record; skip (e.g. BGP4MP updates)
+        }
+        let mut body = Cursor::new(body);
+        match subtype {
+            SUB_PEER_INDEX_TABLE => parse_peer_index(&mut body, &mut dump)?,
+            SUB_RIB_IPV4_UNICAST => parse_rib_v4(&mut body, &mut dump)?,
+            SUB_RIB_IPV6_UNICAST => parse_rib_v6(&mut body, &mut dump)?,
+            _ => {} // RIB_GENERIC, multicast, … — out of scope
+        }
+    }
+    Ok(dump)
+}
+
+fn parse_peer_index(cur: &mut Cursor<'_>, dump: &mut TableDump) -> Result<(), MrtError> {
+    let _collector_id = cur.u32()?;
+    let name_len = cur.u16()? as usize;
+    let _view_name = cur.take(name_len)?;
+    let count = cur.u16()?;
+    for _ in 0..count {
+        let peer_type = cur.u8()?;
+        let bgp_id = cur.u32()?;
+        let address = if peer_type & 0x01 != 0 {
+            let b = cur.take(16)?;
+            let mut a = [0u8; 16];
+            a.copy_from_slice(b);
+            std::net::IpAddr::V6(Ipv6Addr::from(a))
+        } else {
+            let b = cur.take(4)?;
+            std::net::IpAddr::V4(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+        };
+        let asn = if peer_type & 0x02 != 0 {
+            cur.u32()?
+        } else {
+            cur.u16()? as u32
+        };
+        dump.peers.push(Peer {
+            bgp_id,
+            address,
+            asn,
+        });
+    }
+    Ok(())
+}
+
+/// Read an NLRI prefix: length byte + ceil(len/8) address bytes.
+fn read_prefix_bytes(cur: &mut Cursor<'_>, max_len: u8) -> Result<(Vec<u8>, u8), MrtError> {
+    let len = cur.u8()?;
+    if len > max_len {
+        return Err(cur.err(format!("prefix length {len} exceeds {max_len}")));
+    }
+    let nbytes = len.div_ceil(8) as usize;
+    Ok((cur.take(nbytes)?.to_vec(), len))
+}
+
+fn parse_rib_v4(cur: &mut Cursor<'_>, dump: &mut TableDump) -> Result<(), MrtError> {
+    let _seq = cur.u32()?;
+    let (bytes, len) = read_prefix_bytes(cur, 32)?;
+    let mut addr = [0u8; 4];
+    addr[..bytes.len()].copy_from_slice(&bytes);
+    let prefix = Prefix::new(u32::from_be_bytes(addr), len);
+    let entry_count = cur.u16()?;
+    for _ in 0..entry_count {
+        let peer_index = cur.u16()?;
+        let _originated = cur.u32()?;
+        let attr_len = cur.u16()? as usize;
+        let attrs = cur.take(attr_len)?;
+        let next_hop = parse_next_hop(attrs, false)?;
+        dump.v4.push(RibEntry {
+            prefix,
+            peer_index,
+            next_hop,
+        });
+    }
+    Ok(())
+}
+
+fn parse_rib_v6(cur: &mut Cursor<'_>, dump: &mut TableDump) -> Result<(), MrtError> {
+    let _seq = cur.u32()?;
+    let (bytes, len) = read_prefix_bytes(cur, 128)?;
+    let mut addr = [0u8; 16];
+    addr[..bytes.len()].copy_from_slice(&bytes);
+    let prefix = Prefix::new(u128::from_be_bytes(addr), len);
+    let entry_count = cur.u16()?;
+    for _ in 0..entry_count {
+        let peer_index = cur.u16()?;
+        let _originated = cur.u32()?;
+        let attr_len = cur.u16()? as usize;
+        let attrs = cur.take(attr_len)?;
+        let next_hop = parse_next_hop(attrs, true)?;
+        dump.v6.push(RibEntry {
+            prefix,
+            peer_index,
+            next_hop,
+        });
+    }
+    Ok(())
+}
+
+/// Walk BGP path attributes and extract the next hop: attribute 3
+/// (NEXT_HOP) for IPv4, or the next-hop field of attribute 14
+/// (MP_REACH_NLRI) for IPv6 (RFC 4760 §7: in MRT dumps the attribute is
+/// stored with the AFI/SAFI/NLRI elided, starting at the next-hop
+/// length).
+fn parse_next_hop(attrs: &[u8], v6: bool) -> Result<Option<std::net::IpAddr>, MrtError> {
+    let mut cur = Cursor::new(attrs);
+    while cur.remaining() > 0 {
+        let flags = cur.u8()?;
+        let type_code = cur.u8()?;
+        let len = if flags & 0x10 != 0 {
+            cur.u16()? as usize // extended length
+        } else {
+            cur.u8()? as usize
+        };
+        let value = cur.take(len)?;
+        match (type_code, v6) {
+            (ATTR_NEXT_HOP, false) if len == 4 => {
+                return Ok(Some(std::net::IpAddr::V4(Ipv4Addr::new(
+                    value[0], value[1], value[2], value[3],
+                ))));
+            }
+            (ATTR_MP_REACH_NLRI, true) => {
+                // RFC 6396 §4.3.4 form: next-hop length, then the address.
+                if value.is_empty() {
+                    continue;
+                }
+                let nh_len = value[0] as usize;
+                if nh_len >= 16 && value.len() > 16 {
+                    let mut a = [0u8; 16];
+                    a.copy_from_slice(&value[1..17]);
+                    return Ok(Some(std::net::IpAddr::V6(Ipv6Addr::from(a))));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(None)
+}
+
+impl TableDump {
+    /// Extract the per-peer table the paper benchmarks: peer
+    /// `peer_index`'s routes with next hops densified to FIB indices.
+    /// Returns `None` for an unknown peer index.
+    pub fn peer_view(&self, peer_index: u16) -> Option<PeerView> {
+        let peer = self.peers.get(peer_index as usize)?.clone();
+        let mut ids: HashMap<std::net::IpAddr, NextHop> = HashMap::new();
+        let mut next_hops: Vec<std::net::IpAddr> = vec![peer.address]; // slot 0, unused
+        let mut densify = |nh: std::net::IpAddr| -> NextHop {
+            *ids.entry(nh).or_insert_with(|| {
+                next_hops.push(nh);
+                (next_hops.len() - 1) as NextHop
+            })
+        };
+        let mut routes_v4 = Vec::new();
+        for e in self.v4.iter().filter(|e| e.peer_index == peer_index) {
+            if let Some(nh) = e.next_hop {
+                routes_v4.push((e.prefix, densify(nh)));
+            }
+        }
+        let mut routes_v6 = Vec::new();
+        for e in self.v6.iter().filter(|e| e.peer_index == peer_index) {
+            if let Some(nh) = e.next_hop {
+                routes_v6.push((e.prefix, densify(nh)));
+            }
+        }
+        routes_v4.sort_unstable();
+        routes_v4.dedup_by_key(|&mut (p, _)| p);
+        routes_v6.sort_unstable();
+        routes_v6.dedup_by_key(|&mut (p, _)| p);
+        Some(PeerView {
+            peer,
+            routes_v4,
+            routes_v6,
+            next_hops,
+        })
+    }
+
+    /// Peer indices with at least `min_routes` IPv4 routes — how the
+    /// paper selected its RouteViews peers ("filtering out the datasets
+    /// with only one next hop, or with routing table size less than
+    /// 500K").
+    pub fn full_feed_peers(&self, min_routes: usize) -> Vec<u16> {
+        let mut counts: HashMap<u16, usize> = HashMap::new();
+        for e in &self.v4 {
+            *counts.entry(e.peer_index).or_default() += 1;
+        }
+        let mut out: Vec<u16> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_routes)
+            .map(|(p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}

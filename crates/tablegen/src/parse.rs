@@ -1,0 +1,92 @@
+//! Plain-text RIB parsing and serialization.
+//!
+//! Users with real routing tables (RouteViews MRT dumps converted with
+//! `bgpdump -M`, `ip route` output, vendor exports) can feed them to this
+//! workspace through a minimal line format:
+//!
+//! ```text
+//! # comment
+//! 10.0.0.0/8 1
+//! 192.0.2.0/24 17
+//! ```
+//!
+//! one `prefix next-hop-index` pair per line; blank lines and `#` comments
+//! are ignored. Next hops are FIB indices `1..=65535` (map your real
+//! next-hop addresses to indices first — Poptrie looks up FIB indices, as
+//! §3 of the paper prescribes).
+
+use poptrie_rib::{NextHop, Prefix};
+use std::fmt::Write as _;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_lines<K, F>(text: &str, parse_prefix: F) -> Result<Vec<(K, NextHop)>, ParseError>
+where
+    F: Fn(&str) -> Option<K>,
+{
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(pfx), Some(nh), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(ParseError {
+                line: i + 1,
+                message: format!("expected 'prefix next-hop', got {line:?}"),
+            });
+        };
+        let prefix = parse_prefix(pfx).ok_or_else(|| ParseError {
+            line: i + 1,
+            message: format!("invalid prefix {pfx:?}"),
+        })?;
+        let nh: NextHop = nh.parse().map_err(|_| ParseError {
+            line: i + 1,
+            message: format!("invalid next hop {nh:?}"),
+        })?;
+        if nh == 0 {
+            return Err(ParseError {
+                line: i + 1,
+                message: "next hop 0 is reserved".into(),
+            });
+        }
+        out.push((prefix, nh));
+    }
+    Ok(out)
+}
+
+/// Parse IPv4 routes from the line format above.
+pub fn parse_routes_v4(text: &str) -> Result<Vec<(Prefix<u32>, NextHop)>, ParseError> {
+    parse_lines(text, |s| s.parse().ok())
+}
+
+/// Parse IPv6 routes from the line format above.
+pub fn parse_routes_v6(text: &str) -> Result<Vec<(Prefix<u128>, NextHop)>, ParseError> {
+    parse_lines(text, |s| s.parse().ok())
+}
+
+/// Serialize IPv4 routes back to the line format (round-trips through
+/// [`parse_routes_v4`]).
+pub fn write_routes_v4(routes: &[(Prefix<u32>, NextHop)]) -> String {
+    let mut out = String::with_capacity(routes.len() * 24);
+    for &(p, nh) in routes {
+        let _ = writeln!(out, "{p} {nh}");
+    }
+    out
+}

@@ -1,0 +1,75 @@
+//! The SYN1/SYN2 synthetic expansions of §4.1.
+//!
+//! "To test the scalability of our technology against future routing table
+//! growth, we created two types of synthetic routing tables … The first
+//! type (SYN1) … each prefix that is no longer than /24 and /16 is split
+//! into two and four prefixes, respectively. The second type (SYN2) …
+//! each prefix that is no longer than /24, /20, and /16 is split into two,
+//! four, and eight prefixes … Each split prefix is assigned a different
+//! next hop systematically; the i-th split prefix has the next hop n + i
+//! where n is the original next hop."
+//!
+//! Two implementation notes, recorded in EXPERIMENTS.md:
+//!
+//! * The tiers are applied most-specific first (a /15 is split 4-way, not
+//!   both 4-way and 2-way), and /24s themselves are left intact — /25
+//!   children would explode SAIL's level-32 chunks, which Table 5 shows
+//!   does *not* happen (SAIL compiles SYN1).
+//! * The paper notes its `n + i` next hops "did not overlap any existing
+//!   next hops"; since our base next hops are contiguous `1..=N`, we use
+//!   `n + i·N` (with `N` the base next-hop count) to guarantee the same
+//!   non-overlap property.
+
+use poptrie_rib::{NextHop, Prefix};
+
+use crate::gen::Dataset;
+
+/// Split tiers: `(max_len_inclusive, extra_bits)` tried in order.
+fn split_bits(tiers: &[(u8, u8)], len: u8) -> u8 {
+    for &(max, extra) in tiers {
+        if len <= max {
+            return extra;
+        }
+    }
+    0
+}
+
+fn expand(base: &Dataset, suffix: &str, tiers: &[(u8, u8)]) -> Dataset {
+    let n = base.routes.iter().map(|&(_, nh)| nh).max().unwrap_or(0);
+    // Entries carry a rank so that, where a split child collides with a
+    // pre-existing route of the same prefix, the pre-existing route wins —
+    // as it would if the split set were inserted into a RIB already
+    // holding the original table.
+    let mut out: Vec<(Prefix<u32>, u8, NextHop)> = Vec::with_capacity(base.routes.len() * 2);
+    for &(prefix, nh) in &base.routes {
+        let extra = split_bits(tiers, prefix.len());
+        if extra == 0 {
+            out.push((prefix, 0, nh));
+        } else {
+            for (i, child) in prefix.split(extra).enumerate() {
+                // i-th split gets n + i·N: systematically distinct and
+                // guaranteed not to collide with base next hops.
+                let new_nh = nh + (i as NextHop) * n;
+                out.push((child, 1, new_nh));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(p, rank, _)| (p, rank));
+    let mut seen = std::collections::HashSet::with_capacity(out.len() * 2);
+    out.retain(|&(p, _, _)| seen.insert(p));
+    Dataset {
+        name: format!("SYN{suffix}-{}", base.name.trim_start_matches("REAL-")),
+        routes: out.into_iter().map(|(p, _, nh)| (p, nh)).collect(),
+    }
+}
+
+/// SYN1 (§4.1): prefixes ≤ /16 split 4-way, /17–/23 split 2-way.
+pub fn expand_syn1(base: &Dataset) -> Dataset {
+    expand(base, "1", &[(16, 2), (23, 1)])
+}
+
+/// SYN2 (§4.1): prefixes ≤ /16 split 8-way, /17–/20 split 4-way, /21–/23
+/// split 2-way.
+pub fn expand_syn2(base: &Dataset) -> Dataset {
+    expand(base, "2", &[(16, 3), (20, 2), (23, 1)])
+}

@@ -1,0 +1,535 @@
+use crate::gen::{seed_for, Dataset, TableKind, TableSpec};
+use crate::{
+    dataset, expand_syn1, expand_syn2, ipv6_dataset, parse_routes_v4, parse_routes_v6,
+    synthesize_update_stream, table1, write_routes_v4, UpdateEvent,
+};
+use poptrie_rib::Prefix;
+
+/// A smaller spec for tests that don't need half a million routes.
+fn small_spec(kind: TableKind) -> TableSpec {
+    TableSpec {
+        name: "test-small".into(),
+        prefixes: 30_000,
+        next_hops: 40,
+        kind,
+    }
+}
+
+mod generator {
+    use super::*;
+
+    #[test]
+    fn exact_route_and_nexthop_counts() {
+        let d = small_spec(TableKind::RouteViews).generate();
+        assert_eq!(d.len(), 30_000);
+        assert_eq!(d.next_hop_count(), 40);
+    }
+
+    #[test]
+    fn deterministic_by_name() {
+        let a = small_spec(TableKind::Real).generate();
+        let b = small_spec(TableKind::Real).generate();
+        assert_eq!(a.routes, b.routes);
+        let c = TableSpec {
+            name: "test-small-2".into(),
+            ..small_spec(TableKind::Real)
+        }
+        .generate();
+        assert_ne!(a.routes, c.routes);
+    }
+
+    #[test]
+    fn routes_are_sorted_and_unique() {
+        let d = small_spec(TableKind::RouteViews).generate();
+        for w in d.routes.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn routeviews_tables_have_no_igp_routes() {
+        let d = small_spec(TableKind::RouteViews).generate();
+        assert!(d.routes.iter().all(|(p, _)| p.len() <= 24));
+        assert!(d.routes.iter().all(|(p, _)| p.len() >= 8));
+    }
+
+    #[test]
+    fn real_tables_have_deep_routes() {
+        let d = TableSpec {
+            name: "test-real".into(),
+            prefixes: 30_000,
+            next_hops: 13,
+            kind: TableKind::Real,
+        }
+        .generate();
+        let deep = d.routes.iter().filter(|(p, _)| p.len() > 24).count();
+        // IGP fraction is 2.6%; allow generous slack for sampling noise.
+        assert!(
+            deep > d.len() / 100 && deep < d.len() / 15,
+            "deep routes: {deep}/{}",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn length_distribution_peaks_at_24() {
+        let d = small_spec(TableKind::RouteViews).generate();
+        let mut hist = [0usize; 33];
+        for (p, _) in &d.routes {
+            hist[p.len() as usize] += 1;
+        }
+        let max_len = hist.iter().enumerate().max_by_key(|&(_, c)| c).unwrap().0;
+        assert_eq!(max_len, 24, "hist: {hist:?}");
+        // §4.1: most prefixes lie in /11../24.
+        let in_band: usize = hist[11..=24].iter().sum();
+        assert!(in_band * 10 >= d.len() * 9);
+    }
+
+    #[test]
+    fn chunk_concentration_matches_sail_budget() {
+        // Longer-than-/16 prefixes must concentrate into fewer than 2^15
+        // distinct /16 blocks, or SAIL could not compile the base tables
+        // (it does, per Table 3).
+        let d = small_spec(TableKind::RouteViews).generate();
+        let chunks: std::collections::HashSet<u32> = d
+            .routes
+            .iter()
+            .filter(|(p, _)| p.len() > 16)
+            .map(|(p, _)| p.addr() >> 16)
+            .collect();
+        assert!(chunks.len() < 1 << 15, "chunks: {}", chunks.len());
+    }
+
+    #[test]
+    fn next_hops_have_spatial_locality() {
+        // Within one /16, the plurality next hop should cover well over
+        // the 1/next_hops a uniform assignment would give.
+        let d = small_spec(TableKind::RouteViews).generate();
+        let mut per_chunk: std::collections::HashMap<u32, Vec<u16>> = Default::default();
+        for (p, nh) in &d.routes {
+            if p.len() > 16 {
+                per_chunk.entry(p.addr() >> 16).or_default().push(*nh);
+            }
+        }
+        let mut dominant = 0usize;
+        let mut total = 0usize;
+        for nhs in per_chunk.values().filter(|v| v.len() >= 4) {
+            let mut counts: std::collections::HashMap<u16, usize> = Default::default();
+            for &nh in nhs {
+                *counts.entry(nh).or_default() += 1;
+            }
+            dominant += counts.values().max().unwrap();
+            total += nhs.len();
+        }
+        assert!(total > 0);
+        assert!(
+            dominant as f64 / total as f64 > 0.5,
+            "locality {dominant}/{total}"
+        );
+    }
+
+    #[test]
+    fn seed_for_is_stable_fnv() {
+        // Pinned values: changing the hash would silently regenerate every
+        // dataset differently.
+        assert_eq!(seed_for(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(seed_for("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}
+
+mod table1_data {
+    use super::*;
+
+    #[test]
+    fn has_35_rows_matching_paper() {
+        assert_eq!(table1().len(), 35);
+        let a = table1().iter().find(|d| d.name == "REAL-Tier1-A").unwrap();
+        assert_eq!(a.prefixes, 531_489);
+        assert_eq!(a.next_hops, 13);
+        let b = table1()
+            .iter()
+            .find(|d| d.name == "RV-saopaulo-p25")
+            .unwrap();
+        assert_eq!(b.prefixes, 532_637);
+        assert_eq!(b.next_hops, 523);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        let _ = dataset("RV-nonexistent-p0");
+    }
+
+    #[test]
+    fn full_dataset_generation() {
+        // One full-size dataset end to end (the others share the code
+        // path).
+        let d = dataset("REAL-Tier1-B");
+        assert_eq!(d.len(), 524_170);
+        assert_eq!(d.next_hop_count(), 9);
+    }
+}
+
+mod syn {
+    use super::*;
+
+    fn tiny_base() -> Dataset {
+        Dataset {
+            name: "REAL-Tier1-T".into(),
+            routes: vec![
+                (Prefix::new(0x0A00_0000, 8), 1),  // /8: 4-way (SYN1), 8-way (SYN2)
+                (Prefix::new(0x0B0B_0000, 16), 2), // /16: 4-way, 8-way
+                (Prefix::new(0x0C0C_0000, 18), 3), // /18: 2-way, 4-way
+                (Prefix::new(0x0D0D_0C00, 22), 4), // /22: 2-way, 2-way
+                (Prefix::new(0x0E0E_0E00, 24), 5), // /24: untouched
+            ],
+        }
+    }
+
+    #[test]
+    fn syn1_split_counts() {
+        let s = expand_syn1(&tiny_base());
+        // 4 + 4 + 2 + 2 + 1
+        assert_eq!(s.len(), 13);
+        assert_eq!(s.name, "SYN1-Tier1-T");
+        // /8 splits into four /10s.
+        assert!(s
+            .routes
+            .iter()
+            .any(|&(p, _)| p == Prefix::new(0x0A00_0000, 10)));
+        assert!(s
+            .routes
+            .iter()
+            .any(|&(p, _)| p == Prefix::new(0x0AC0_0000, 10)));
+        // /24 untouched with original next hop.
+        assert!(s.routes.contains(&(Prefix::new(0x0E0E_0E00, 24), 5)));
+    }
+
+    #[test]
+    fn syn2_split_counts() {
+        let s = expand_syn2(&tiny_base());
+        // 8 + 8 + 4 + 2 + 1
+        assert_eq!(s.len(), 23);
+        assert_eq!(s.name, "SYN2-Tier1-T");
+    }
+
+    #[test]
+    fn split_next_hops_are_systematic_and_disjoint() {
+        let base = tiny_base();
+        let n = 5; // max base next hop
+        let s = expand_syn1(&base);
+        // i-th split of nh gets nh + i*n; the 0th keeps nh.
+        let tens: Vec<u16> = s
+            .routes
+            .iter()
+            .filter(|(p, _)| p.len() == 10)
+            .map(|&(_, nh)| nh)
+            .collect();
+        assert_eq!(tens, vec![1, 1 + n, 1 + 2 * n, 1 + 3 * n]);
+        // Next-hop count grows, as in Table 1 (13 -> 45 style growth).
+        assert!(s.next_hop_count() > base.next_hop_count());
+    }
+
+    #[test]
+    fn collision_keeps_preexisting_route() {
+        let base = Dataset {
+            name: "REAL-X".into(),
+            routes: vec![
+                (Prefix::new(0x0A00_0000, 23), 1), // splits into two /24s
+                (Prefix::new(0x0A00_0100, 24), 7), // pre-existing /24 collides
+            ],
+        };
+        let s = expand_syn1(&base);
+        assert_eq!(s.len(), 2);
+        let nh = s
+            .routes
+            .iter()
+            .find(|&&(p, _)| p == Prefix::new(0x0A00_0100, 24))
+            .unwrap()
+            .1;
+        assert_eq!(nh, 7, "pre-existing route must win the collision");
+    }
+
+    #[test]
+    fn syn_tables_grow_like_table5() {
+        let base = dataset("REAL-Tier1-B");
+        let s1 = expand_syn1(&base);
+        let s2 = expand_syn2(&base);
+        assert!(s1.len() > base.len());
+        assert!(s2.len() > s1.len());
+        assert!(s1.next_hop_count() > base.next_hop_count());
+        // No split may produce prefixes longer than /24 (SAIL's level-32
+        // chunks must stay within budget — Table 5 shows SAIL compiles
+        // SYN1).
+        let base_deep = base.routes.iter().filter(|(p, _)| p.len() > 24).count();
+        let s2_deep = s2.routes.iter().filter(|(p, _)| p.len() > 24).count();
+        assert_eq!(base_deep, s2_deep);
+    }
+}
+
+mod v6 {
+    use super::*;
+
+    #[test]
+    fn tier1_v6_matches_paper_size() {
+        let d = ipv6_dataset("REAL-Tier1-A-v6");
+        assert_eq!(d.len(), 20_440);
+        assert!(d.routes.iter().all(|(p, _)| p.addr() >> 120 == 0x20));
+        assert!(d.routes.iter().all(|(p, _)| p.len() <= 64));
+    }
+
+    #[test]
+    fn v6_deterministic() {
+        let a = ipv6_dataset("RV6-p3");
+        let b = ipv6_dataset("RV6-p3");
+        assert_eq!(a.routes, b.routes);
+        assert!(a.len() >= 20_000);
+    }
+}
+
+mod parse {
+    use super::*;
+
+    #[test]
+    fn parse_and_roundtrip_v4() {
+        let text = "# full table\n10.0.0.0/8 1\n\n192.0.2.0/24 17 # edge\n";
+        let routes = parse_routes_v4(text).unwrap();
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0], ("10.0.0.0/8".parse().unwrap(), 1));
+        let out = write_routes_v4(&routes);
+        assert_eq!(parse_routes_v4(&out).unwrap(), routes);
+    }
+
+    #[test]
+    fn parse_v6() {
+        let routes = parse_routes_v6("2001:db8::/32 3\n").unwrap();
+        assert_eq!(routes[0].0.len(), 32);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_routes_v4("10.0.0.0/8 1\nbogus\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_routes_v4("10.0.0.0/8 0\n").unwrap_err();
+        assert!(err.message.contains("reserved"));
+        let err = parse_routes_v4("10.0.0.0/8 1 extra\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_routes_v4("10.0.0.0/40 1\n").unwrap_err();
+        assert!(err.message.contains("invalid prefix"));
+    }
+}
+
+mod mrt {
+    use crate::mrt::{parse_table_dump_v2, MrtError, TableDump};
+    use poptrie_rib::Prefix;
+
+    /// Builder for synthetic TABLE_DUMP_V2 byte streams.
+    struct MrtBuilder {
+        bytes: Vec<u8>,
+    }
+
+    impl MrtBuilder {
+        fn new() -> Self {
+            MrtBuilder { bytes: Vec::new() }
+        }
+
+        fn record(&mut self, mrt_type: u16, subtype: u16, body: &[u8]) -> &mut Self {
+            self.bytes
+                .extend_from_slice(&1_418_774_400u32.to_be_bytes()); // timestamp
+            self.bytes.extend_from_slice(&mrt_type.to_be_bytes());
+            self.bytes.extend_from_slice(&subtype.to_be_bytes());
+            self.bytes
+                .extend_from_slice(&(body.len() as u32).to_be_bytes());
+            self.bytes.extend_from_slice(body);
+            self
+        }
+
+        /// PEER_INDEX_TABLE with v4 peers (2-byte AS).
+        fn peer_table(&mut self, peers: &[(u32, [u8; 4], u16)]) -> &mut Self {
+            let mut b = Vec::new();
+            b.extend_from_slice(&0x0A00_0001u32.to_be_bytes()); // collector id
+            b.extend_from_slice(&4u16.to_be_bytes()); // view name length
+            b.extend_from_slice(b"test");
+            b.extend_from_slice(&(peers.len() as u16).to_be_bytes());
+            for &(bgp_id, ip, asn) in peers {
+                b.push(0x00); // v4 address, 2-byte AS
+                b.extend_from_slice(&bgp_id.to_be_bytes());
+                b.extend_from_slice(&ip);
+                b.extend_from_slice(&asn.to_be_bytes());
+            }
+            self.record(13, 1, &b)
+        }
+
+        /// RIB_IPV4_UNICAST with one entry per (peer, next hop).
+        fn rib_v4(&mut self, seq: u32, prefix: &str, entries: &[(u16, [u8; 4])]) -> &mut Self {
+            let p: Prefix<u32> = prefix.parse().unwrap();
+            let mut b = Vec::new();
+            b.extend_from_slice(&seq.to_be_bytes());
+            b.push(p.len());
+            let nbytes = (p.len() as usize).div_ceil(8);
+            b.extend_from_slice(&p.addr().to_be_bytes()[..nbytes]);
+            b.extend_from_slice(&(entries.len() as u16).to_be_bytes());
+            for &(peer, nh) in entries {
+                b.extend_from_slice(&peer.to_be_bytes());
+                b.extend_from_slice(&0u32.to_be_bytes()); // originated
+                                                          // Attributes: ORIGIN (irrelevant) + NEXT_HOP.
+                let mut attrs = Vec::new();
+                attrs.extend_from_slice(&[0x40, 1, 1, 0]); // ORIGIN IGP
+                attrs.extend_from_slice(&[0x40, 3, 4]); // NEXT_HOP, len 4
+                attrs.extend_from_slice(&nh);
+                b.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+                b.extend_from_slice(&attrs);
+            }
+            self.record(13, 2, &b)
+        }
+
+        fn parse(&self) -> Result<TableDump, MrtError> {
+            parse_table_dump_v2(&self.bytes)
+        }
+    }
+
+    #[test]
+    fn parses_peers_and_routes() {
+        let mut m = MrtBuilder::new();
+        m.peer_table(&[
+            (0x0101_0101, [192, 0, 2, 1], 64500),
+            (0x0202_0202, [192, 0, 2, 2], 64501),
+        ]);
+        m.rib_v4(0, "10.0.0.0/8", &[(0, [192, 0, 2, 1]), (1, [192, 0, 2, 2])]);
+        m.rib_v4(1, "10.1.0.0/16", &[(0, [192, 0, 2, 9])]);
+        let dump = m.parse().unwrap();
+        assert_eq!(dump.peers.len(), 2);
+        assert_eq!(dump.peers[1].asn, 64501);
+        assert_eq!(dump.v4.len(), 3);
+
+        let view = dump.peer_view(0).unwrap();
+        assert_eq!(view.routes_v4.len(), 2);
+        // Two distinct next hops -> FIB indices 1 and 2.
+        assert_eq!(view.next_hops.len(), 3); // slot 0 + two real
+        let nh_of = |p: &str| {
+            let want: Prefix<u32> = p.parse().unwrap();
+            view.routes_v4.iter().find(|(q, _)| *q == want).unwrap().1
+        };
+        assert_eq!(nh_of("10.0.0.0/8"), 1);
+        assert_eq!(nh_of("10.1.0.0/16"), 2);
+
+        let view1 = dump.peer_view(1).unwrap();
+        assert_eq!(view1.routes_v4.len(), 1);
+        assert!(dump.peer_view(7).is_none());
+    }
+
+    #[test]
+    fn skips_foreign_record_types() {
+        let mut m = MrtBuilder::new();
+        m.record(16, 4, &[0xAA; 20]); // BGP4MP update, skipped
+        m.peer_table(&[(1, [10, 0, 0, 1], 1)]);
+        m.rib_v4(0, "192.0.2.0/24", &[(0, [10, 0, 0, 1])]);
+        let dump = m.parse().unwrap();
+        assert_eq!(dump.v4.len(), 1);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error_with_offset() {
+        let mut m = MrtBuilder::new();
+        m.peer_table(&[(1, [10, 0, 0, 1], 1)]);
+        let mut bytes = m.bytes.clone();
+        bytes.extend_from_slice(&[0, 0, 0, 0, 0, 13, 0, 2, 0, 0, 1, 0]); // claims 256-byte body
+        let err = parse_table_dump_v2(&bytes).unwrap_err();
+        assert!(err.message.contains("truncated"), "{err}");
+        assert!(err.offset > 0);
+    }
+
+    #[test]
+    fn zero_length_prefix_and_default_route() {
+        let mut m = MrtBuilder::new();
+        m.peer_table(&[(1, [10, 0, 0, 1], 1)]);
+        m.rib_v4(0, "0.0.0.0/0", &[(0, [10, 0, 0, 1])]);
+        let dump = m.parse().unwrap();
+        assert_eq!(dump.v4[0].prefix, Prefix::new(0, 0));
+    }
+
+    #[test]
+    fn full_feed_peer_filter() {
+        let mut m = MrtBuilder::new();
+        m.peer_table(&[(1, [10, 0, 0, 1], 1), (2, [10, 0, 0, 2], 2)]);
+        for i in 0..10u32 {
+            m.rib_v4(i, &format!("10.{i}.0.0/16"), &[(0, [10, 0, 0, 1])]);
+        }
+        m.rib_v4(10, "11.0.0.0/8", &[(1, [10, 0, 0, 2])]);
+        let dump = m.parse().unwrap();
+        assert_eq!(dump.full_feed_peers(5), vec![0]);
+        assert_eq!(dump.full_feed_peers(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_prefix_entries_dedup_in_view() {
+        // The same prefix can appear in multiple RIB records for one peer
+        // (add-path exports); the view keeps one.
+        let mut m = MrtBuilder::new();
+        m.peer_table(&[(1, [10, 0, 0, 1], 1)]);
+        m.rib_v4(0, "10.0.0.0/8", &[(0, [10, 0, 0, 1])]);
+        m.rib_v4(1, "10.0.0.0/8", &[(0, [10, 0, 0, 9])]);
+        let view = m.parse().unwrap().peer_view(0).unwrap();
+        assert_eq!(view.routes_v4.len(), 1);
+    }
+
+    #[test]
+    fn parsed_routes_drive_a_fib() {
+        // End-to-end: MRT bytes -> routes -> radix, consistent lookups.
+        let mut m = MrtBuilder::new();
+        m.peer_table(&[(1, [10, 0, 0, 1], 64500)]);
+        m.rib_v4(0, "10.0.0.0/8", &[(0, [192, 0, 2, 1])]);
+        m.rib_v4(1, "10.1.0.0/16", &[(0, [192, 0, 2, 2])]);
+        let view = m.parse().unwrap().peer_view(0).unwrap();
+        let rib = poptrie_rib::RadixTree::from_routes(view.routes_v4.clone());
+        assert_eq!(rib.lookup(0x0A01_0001).copied(), Some(2));
+        assert_eq!(rib.lookup(0x0A02_0001).copied(), Some(1));
+        assert_eq!(
+            view.next_hops[2],
+            "192.0.2.2".parse::<std::net::IpAddr>().unwrap()
+        );
+    }
+}
+
+mod updates {
+    use super::*;
+
+    #[test]
+    fn stream_has_requested_mix() {
+        let base = small_spec(TableKind::RouteViews).generate();
+        let stream = synthesize_update_stream(&base, 18_141, 5_305);
+        assert_eq!(stream.len(), 18_141 + 5_305);
+        let announces = stream
+            .iter()
+            .filter(|e| matches!(e, UpdateEvent::Announce(..)))
+            .count();
+        assert_eq!(announces, 18_141);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let base = small_spec(TableKind::RouteViews).generate();
+        assert_eq!(
+            synthesize_update_stream(&base, 100, 30),
+            synthesize_update_stream(&base, 100, 30)
+        );
+    }
+
+    #[test]
+    fn withdrawals_reference_present_prefixes() {
+        let base = small_spec(TableKind::RouteViews).generate();
+        let stream = synthesize_update_stream(&base, 500, 200);
+        let mut present: std::collections::HashSet<Prefix<u32>> =
+            base.routes.iter().map(|&(p, _)| p).collect();
+        for e in stream {
+            match e {
+                UpdateEvent::Announce(p, _) => {
+                    present.insert(p);
+                }
+                UpdateEvent::Withdraw(p) => {
+                    assert!(present.remove(&p), "withdraw of absent prefix {p}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Synthetic BGP update streams (§4.9).
+//!
+//! The paper replays one hour of RouteViews update archives against
+//! RV-linx-p52: "23,446 route updates (18,141 announced and 5,305
+//! withdrawn) in 7,824 messages". This module synthesizes a stream with
+//! the same announce/withdraw mix and the churn structure of real BGP:
+//! most announcements re-advertise an existing prefix with a different
+//! next hop (path changes), a smaller share announce new, mostly long
+//! prefixes; withdrawals remove currently present prefixes.
+
+use poptrie_rib::{NextHop, Prefix};
+use rand::prelude::*;
+
+use crate::gen::{seed_for, Dataset};
+
+/// One BGP update event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateEvent {
+    /// Announce (insert or replace) `prefix -> next hop`.
+    Announce(Prefix<u32>, NextHop),
+    /// Withdraw `prefix`.
+    Withdraw(Prefix<u32>),
+}
+
+/// Synthesize an update stream against `base`, deterministically.
+///
+/// Produces `announces + withdraws` events interleaved the way update
+/// bursts arrive (withdrawals reference prefixes that exist at that point
+/// in the replay, including ones announced earlier in the stream).
+pub fn synthesize_update_stream(
+    base: &Dataset,
+    announces: usize,
+    withdraws: usize,
+) -> Vec<UpdateEvent> {
+    let mut rng = StdRng::seed_from_u64(seed_for(&base.name) ^ 0x5eed_0f09);
+    let max_nh = base
+        .routes
+        .iter()
+        .map(|&(_, nh)| nh)
+        .max()
+        .unwrap_or(1)
+        .max(2);
+    // Candidate pool for re-announcements and withdrawals.
+    let mut present: Vec<Prefix<u32>> = base.routes.iter().map(|&(p, _)| p).collect();
+    let total = announces + withdraws;
+    let mut events = Vec::with_capacity(total);
+    let mut remaining_a = announces;
+    let mut remaining_w = withdraws;
+    while remaining_a + remaining_w > 0 {
+        let announce = remaining_w == 0
+            || (remaining_a > 0 && rng.gen_range(0..remaining_a + remaining_w) < remaining_a);
+        if announce {
+            remaining_a -= 1;
+            if rng.gen_bool(0.85) && !present.is_empty() {
+                // Path change: re-announce an existing prefix with a new
+                // next hop.
+                let p = *present.choose(&mut rng).expect("non-empty");
+                events.push(UpdateEvent::Announce(p, rng.gen_range(1..=max_nh)));
+            } else {
+                // New announcement: typically a long, specific prefix.
+                let len = *[20u8, 22, 24, 24, 24].choose(&mut rng).unwrap();
+                let first = rng.gen_range(1u32..=223);
+                let addr = (first << 24) | (rng.gen::<u32>() & 0x00FF_FFFF);
+                let p = Prefix::new(addr, len);
+                events.push(UpdateEvent::Announce(p, rng.gen_range(1..=max_nh)));
+                present.push(p);
+            }
+        } else {
+            remaining_w -= 1;
+            if present.is_empty() {
+                continue;
+            }
+            let idx = rng.gen_range(0..present.len());
+            let p = present.swap_remove(idx);
+            events.push(UpdateEvent::Withdraw(p));
+        }
+    }
+    events
+}

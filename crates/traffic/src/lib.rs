@@ -1,0 +1,31 @@
+//! Traffic patterns for the lookup benchmarks (§4.2 of the paper).
+//!
+//! Four patterns drive the evaluation:
+//!
+//! * **random** — addresses from a Marsaglia xorshift generator, produced
+//!   *inside* the measurement loop so the pattern state never pollutes the
+//!   cache (the paper measures the ~1.2 ns generator overhead and leaves
+//!   it in the results; so do we).
+//! * **sequential** — `0.0.0.0` through `255.255.255.255` in order:
+//!   maximal spatial and temporal locality.
+//! * **repeated** — each random address issued 16 times: high temporal
+//!   locality.
+//! * **real-trace** — a synthetic stand-in for the MAWI trace of §4.2 /
+//!   §4.7 (see DESIGN.md substitution 3): 644,790 distinct destinations
+//!   biased toward deep (IGP) routes, replayed with Zipf-like popularity.
+//!
+//! All generators are deterministic and allocation-free on the hot path.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod patterns;
+pub mod trace;
+pub mod xorshift;
+
+pub use patterns::{random_v4, random_v6_in_2000, repeated_v4, sequential_v4};
+pub use trace::{RealTrace, TraceConfig};
+pub use xorshift::{Xorshift128, Xorshift32};
+
+#[cfg(test)]
+mod tests;

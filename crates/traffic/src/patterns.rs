@@ -1,0 +1,41 @@
+//! The synthetic query patterns: random, sequential, repeated.
+
+use crate::xorshift::Xorshift128;
+
+/// `count` random IPv4 addresses from xorshift128 (the paper's *random*
+/// pattern; the full run uses `count = 2^32`).
+pub fn random_v4(seed: u32, count: u64) -> impl Iterator<Item = u32> {
+    let mut rng = Xorshift128::new(seed);
+    (0..count).map(move |_| rng.next_u32())
+}
+
+/// The *sequential* pattern: all addresses from `start`, in order,
+/// wrapping at the top of the address space.
+pub fn sequential_v4(start: u32, count: u64) -> impl Iterator<Item = u32> {
+    (0..count).map(move |i| start.wrapping_add(i as u32))
+}
+
+/// The *repeated* pattern: random addresses, each issued `times` times
+/// consecutively (the paper uses `times = 16` for "traffic with high
+/// temporal locality").
+pub fn repeated_v4(seed: u32, count: u64, times: u32) -> impl Iterator<Item = u32> {
+    assert!(times > 0);
+    let mut rng = Xorshift128::new(seed);
+    let mut current = rng.next_u32();
+    let mut remaining = times;
+    (0..count).map(move |_| {
+        if remaining == 0 {
+            current = rng.next_u32();
+            remaining = times;
+        }
+        remaining -= 1;
+        current
+    })
+}
+
+/// `count` random IPv6 addresses within `2000::/8`, four 32-bit xorshift
+/// draws each — the §4.10 IPv6 random pattern.
+pub fn random_v6_in_2000(seed: u32, count: u64) -> impl Iterator<Item = u128> {
+    let mut rng = Xorshift128::new(seed);
+    (0..count).map(move |_| (0x20u128 << 120) | (rng.next_u128() >> 8))
+}

@@ -1,0 +1,160 @@
+use crate::patterns::{random_v4, random_v6_in_2000, repeated_v4, sequential_v4};
+use crate::trace::{RealTrace, TraceConfig};
+use crate::xorshift::{Xorshift128, Xorshift32};
+
+mod xorshift {
+    use super::*;
+
+    #[test]
+    fn xorshift32_known_sequence() {
+        // Marsaglia (13, 17, 5) from seed 1.
+        let mut x = Xorshift32::new(1);
+        assert_eq!(x.next_u32(), 270_369);
+        assert_eq!(x.next_u32(), 67_634_689);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut x = Xorshift32::new(0);
+        assert_ne!(x.next_u32(), 0);
+        let mut y = Xorshift128::new(0);
+        // Must not get stuck.
+        let a = y.next_u32();
+        let b = y.next_u32();
+        assert!(a != 0 || b != 0);
+    }
+
+    #[test]
+    fn xorshift128_is_deterministic_and_spread() {
+        let a: Vec<u32> = Xorshift128::new(42).take(1000).collect();
+        let b: Vec<u32> = Xorshift128::new(42).take(1000).collect();
+        assert_eq!(a, b);
+        let c: Vec<u32> = Xorshift128::new(43).take(1000).collect();
+        assert_ne!(a, c);
+        // Crude uniformity: top bit roughly balanced.
+        let ones = a.iter().filter(|v| *v >> 31 == 1).count();
+        assert!((350..=650).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn u128_uses_four_draws() {
+        let mut a = Xorshift128::new(7);
+        let mut b = Xorshift128::new(7);
+        let wide = a.next_u128();
+        let parts = [b.next_u32(), b.next_u32(), b.next_u32(), b.next_u32()];
+        let expect = (parts[0] as u128) << 96
+            | (parts[1] as u128) << 64
+            | (parts[2] as u128) << 32
+            | parts[3] as u128;
+        assert_eq!(wide, expect);
+    }
+}
+
+mod patterns {
+    use super::*;
+
+    #[test]
+    fn random_count_and_determinism() {
+        let a: Vec<u32> = random_v4(1, 100).collect();
+        let b: Vec<u32> = random_v4(1, 100).collect();
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let v: Vec<u32> = sequential_v4(u32::MAX - 1, 4).collect();
+        assert_eq!(v, vec![u32::MAX - 1, u32::MAX, 0, 1]);
+    }
+
+    #[test]
+    fn repeated_runs_of_16() {
+        let v: Vec<u32> = repeated_v4(9, 64, 16).collect();
+        for chunk in v.chunks(16) {
+            assert!(chunk.iter().all(|&x| x == chunk[0]));
+        }
+        assert_ne!(v[0], v[16], "distinct random values between runs");
+    }
+
+    #[test]
+    fn v6_random_stays_in_2000_slash_8() {
+        for addr in random_v6_in_2000(3, 1000) {
+            assert_eq!(addr >> 120, 0x20);
+        }
+    }
+}
+
+mod trace {
+    use super::*;
+    use poptrie_tablegen::{TableKind, TableSpec};
+
+    fn small_real_table() -> poptrie_tablegen::Dataset {
+        TableSpec {
+            name: "trace-test".into(),
+            prefixes: 20_000,
+            next_hops: 16,
+            kind: TableKind::Real,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn destinations_count_and_determinism() {
+        let table = small_real_table();
+        let cfg = TraceConfig {
+            destinations: 10_000,
+            ..TraceConfig::default()
+        };
+        let a = RealTrace::synthesize(&table, cfg);
+        let b = RealTrace::synthesize(&table, cfg);
+        assert_eq!(a.destinations.len(), 10_000);
+        assert_eq!(a.destinations, b.destinations);
+    }
+
+    #[test]
+    fn trace_is_depth_biased() {
+        // The paper's headline trace property: packets hit deep routes far
+        // more often than uniform traffic would.
+        let table = small_real_table();
+        let rib = table.to_rib();
+        let trace = RealTrace::synthesize(
+            &table,
+            TraceConfig {
+                destinations: 20_000,
+                ..TraceConfig::default()
+            },
+        );
+        let deep = trace
+            .destinations
+            .iter()
+            .filter(|&&d| rib.lookup_with_depth(d).1 > 18)
+            .count();
+        let frac = deep as f64 / trace.destinations.len() as f64;
+        assert!(frac > 0.25, "deep-depth fraction {frac}");
+    }
+
+    #[test]
+    fn packets_have_temporal_locality() {
+        let table = small_real_table();
+        let trace = RealTrace::synthesize(
+            &table,
+            TraceConfig {
+                destinations: 10_000,
+                ..TraceConfig::default()
+            },
+        );
+        let pkts = trace.packet_array(50_000);
+        assert_eq!(pkts.len(), 50_000);
+        // Zipf replay: the most popular destination must appear far more
+        // often than 1/N of the time.
+        let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+        for &p in &pkts {
+            *counts.entry(p).or_default() += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max > 50, "heavy hitter count {max}");
+        // All packets resolve to real destinations.
+        let set: std::collections::HashSet<u32> = trace.destinations.iter().copied().collect();
+        assert!(pkts.iter().all(|p| set.contains(p)));
+    }
+}

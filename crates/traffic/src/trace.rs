@@ -1,0 +1,127 @@
+//! The synthetic real-trace (DESIGN.md substitution 3).
+//!
+//! §4.2/§4.7 of the paper replay a 15-minute MAWI transit-link capture
+//! against REAL-RENET: 97,126,495 IPv4 packets over 644,790 distinct
+//! destinations, with two properties the paper pins its Figure 12
+//! analysis on:
+//!
+//! * **depth bias** — "32.5% of the packets … have the binary radix depth
+//!   more than 18" and "21.8% … more than 24": real traffic
+//!   disproportionately hits the deep IGP routes;
+//! * **temporal locality** — "sequences of packets with the identical
+//!   destination IP address", which is what lets SAIL ride its caches.
+//!
+//! [`RealTrace`] reproduces both: destinations are drawn inside the
+//! table's routes with extra weight on long prefixes, and the replay picks
+//! destinations with a Zipf-like popularity law. Like the paper, the
+//! destination array is materialized in memory in advance and queried in
+//! sequence.
+
+use poptrie_rib::Prefix;
+use poptrie_tablegen::Dataset;
+
+use crate::xorshift::Xorshift128;
+
+/// Parameters for trace synthesis; defaults reproduce the paper's trace
+/// statistics (scaled packet count).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Number of distinct destination addresses (paper: 644,790).
+    pub destinations: usize,
+    /// Fraction of destinations inside prefixes longer than /18.
+    pub deep18_fraction: f64,
+    /// Fraction of destinations inside prefixes longer than /24 (subset of
+    /// the above, the IGP tail).
+    pub deep24_fraction: f64,
+    /// Seed for destination selection and replay.
+    pub seed: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            destinations: 644_790,
+            deep18_fraction: 0.325,
+            deep24_fraction: 0.218,
+            seed: 0x7ACE,
+        }
+    }
+}
+
+/// A materialized synthetic trace.
+#[derive(Debug, Clone)]
+pub struct RealTrace {
+    /// The distinct destination addresses.
+    pub destinations: Vec<u32>,
+}
+
+impl RealTrace {
+    /// Synthesize a trace against `table` (the paper pairs the MAWI trace
+    /// with REAL-RENET, the RIB of the same border router).
+    pub fn synthesize(table: &Dataset, cfg: TraceConfig) -> Self {
+        let mut rng = Xorshift128::new(cfg.seed);
+        // Partition routes by depth class.
+        let mut deep24: Vec<Prefix<u32>> = Vec::new();
+        let mut deep18: Vec<Prefix<u32>> = Vec::new();
+        let mut shallow: Vec<Prefix<u32>> = Vec::new();
+        for &(p, _) in &table.routes {
+            if p.len() > 24 {
+                deep24.push(p);
+            } else if p.len() > 18 {
+                deep18.push(p);
+            } else {
+                shallow.push(p);
+            }
+        }
+        let pick = |pool: &[Prefix<u32>], rng: &mut Xorshift128| -> u32 {
+            let p = pool[(rng.next_u32() as usize) % pool.len()];
+            let host_bits = 32 - p.len() as u32;
+            let noise = if host_bits == 0 {
+                0
+            } else {
+                rng.next_u32() & (u32::MAX >> (32 - host_bits))
+            };
+            p.addr() | noise
+        };
+        let mut destinations = Vec::with_capacity(cfg.destinations);
+        for i in 0..cfg.destinations {
+            let f = i as f64 / cfg.destinations as f64;
+            let addr = if f < cfg.deep24_fraction && !deep24.is_empty() {
+                pick(&deep24, &mut rng)
+            } else if f < cfg.deep18_fraction && !deep18.is_empty() {
+                pick(&deep18, &mut rng)
+            } else if !shallow.is_empty() {
+                pick(&shallow, &mut rng)
+            } else {
+                rng.next_u32()
+            };
+            destinations.push(addr);
+        }
+        // Shuffle so popularity rank (index-based Zipf below) is not
+        // correlated with depth class.
+        for i in (1..destinations.len()).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            destinations.swap(i, j);
+        }
+        RealTrace { destinations }
+    }
+
+    /// Replay `count` packets: each draws a destination with Zipf-like
+    /// (log-uniform rank) popularity, giving the heavy-hitter temporal
+    /// locality of real transit traffic.
+    pub fn packets(&self, count: u64) -> impl Iterator<Item = u32> + '_ {
+        let n = self.destinations.len() as f64;
+        let mut rng = Xorshift128::new(0x9ACE_7001);
+        (0..count).map(move |_| {
+            let u = (rng.next_u32() as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+            let rank = (n.powf(u) - 1.0) as usize; // log-uniform in [0, n)
+            self.destinations[rank.min(self.destinations.len() - 1)]
+        })
+    }
+
+    /// Materialize a packet array (the paper loads "all the destination IP
+    /// addresses of real-trace into an array in memory in advance").
+    pub fn packet_array(&self, count: usize) -> Vec<u32> {
+        self.packets(count as u64).collect()
+    }
+}

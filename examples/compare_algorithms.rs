@@ -1,0 +1,100 @@
+//! Build every algorithm of the paper's evaluation on one table and
+//! compare memory, build time and lookup rate — a miniature Table 3.
+//!
+//! ```text
+//! cargo run --release --example compare_algorithms [n_routes]
+//! ```
+
+use poptrie_suite::baselines::{Dxr, DxrConfig, Sail, TreeBitmap4, TreeBitmap64};
+use poptrie_suite::tablegen::{TableKind, TableSpec};
+use poptrie_suite::traffic::Xorshift128;
+use poptrie_suite::{Lpm, Poptrie};
+use std::time::Instant;
+
+fn main() {
+    let n_routes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let table = TableSpec {
+        name: "compare-demo".into(),
+        prefixes: n_routes,
+        next_hops: 32,
+        kind: TableKind::Real,
+    }
+    .generate();
+    let rib = table.to_rib();
+    println!(
+        "table: {} routes, {} next hops\n",
+        table.len(),
+        table.next_hop_count()
+    );
+
+    // Build every structure, timing compilation.
+    let mut algos: Vec<(String, Box<dyn Lpm<u32>>, f64)> = Vec::new();
+    let add =
+        |fib: Box<dyn Lpm<u32>>, ms: f64, algos: &mut Vec<(String, Box<dyn Lpm<u32>>, f64)>| {
+            algos.push((fib.name(), fib, ms));
+        };
+    macro_rules! timed {
+        ($build:expr) => {{
+            let start = Instant::now();
+            let fib = $build;
+            (
+                Box::new(fib) as Box<dyn Lpm<u32>>,
+                start.elapsed().as_secs_f64() * 1e3,
+            )
+        }};
+    }
+    let (f, ms) = timed!(rib.clone());
+    add(f, ms, &mut algos);
+    let (f, ms) = timed!(TreeBitmap4::from_rib(&rib));
+    add(f, ms, &mut algos);
+    let (f, ms) = timed!(TreeBitmap64::from_rib(&rib));
+    add(f, ms, &mut algos);
+    let (f, ms) = timed!(Sail::from_rib(&rib).expect("within limits"));
+    add(f, ms, &mut algos);
+    let (f, ms) = timed!(Dxr::from_rib(&rib, DxrConfig::d16r()).expect("within limits"));
+    add(f, ms, &mut algos);
+    let (f, ms) = timed!(Dxr::from_rib(&rib, DxrConfig::d18r()).expect("within limits"));
+    add(f, ms, &mut algos);
+    let (f, ms) = timed!(Poptrie::builder().direct_bits(16).build(&rib));
+    add(f, ms, &mut algos);
+    let (f, ms) = timed!(Poptrie::builder().direct_bits(18).build(&rib));
+    add(f, ms, &mut algos);
+
+    // Cross-validate: every algorithm must agree with the RIB on a large
+    // random sample (the paper validated over the whole IPv4 space).
+    let mut rng = Xorshift128::new(0xC0FFEE);
+    for _ in 0..200_000 {
+        let key = rng.next_u32();
+        let want = Lpm::lookup(&rib, key);
+        for (name, fib, _) in &algos {
+            assert_eq!(fib.lookup(key), want, "{name} disagrees at {key:#010x}");
+        }
+    }
+    println!("cross-validation passed: all algorithms agree on 200K random keys\n");
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>12}",
+        "algorithm", "mem [KiB]", "build [ms]", "rate [Mlps]"
+    );
+    const N: u64 = 4_000_000;
+    for (name, fib, build_ms) in &algos {
+        let mut rng = Xorshift128::new(0xBEEF);
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..N {
+            acc = acc.wrapping_add(fib.lookup(rng.next_u32()).unwrap_or(0) as u64);
+        }
+        std::hint::black_box(acc);
+        let rate = N as f64 / start.elapsed().as_secs_f64() / 1e6;
+        println!(
+            "{:<22} {:>10} {:>12.2} {:>12.1}",
+            name,
+            fib.memory_bytes() / 1024,
+            build_ms,
+            rate
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Compile once, serialize, and reload a FIB — the fast-restart path.
+//!
+//! Routers restart far more often than routing tables change shape; the
+//! binary FIB format (`poptrie::serial`) lets a forwarding process come
+//! back up without recompiling half a million routes.
+//!
+//! ```text
+//! cargo run --release --example fib_persistence
+//! ```
+
+use poptrie_suite::tablegen::{TableKind, TableSpec};
+use poptrie_suite::{Lpm, Poptrie};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-size production-shaped table.
+    let table = TableSpec {
+        name: "persistence-demo".into(),
+        prefixes: 150_000,
+        next_hops: 32,
+        kind: TableKind::Real,
+    }
+    .generate();
+    let rib = table.to_rib();
+
+    // Cold path: full compilation.
+    let start = Instant::now();
+    let fib: Poptrie<u32> = Poptrie::builder().direct_bits(18).build(&rib);
+    let compile = start.elapsed();
+
+    // Persist.
+    let path = std::env::temp_dir().join("poptrie-demo.fib");
+    let start = Instant::now();
+    let bytes = fib.to_bytes();
+    std::fs::write(&path, &bytes)?;
+    let save = start.elapsed();
+
+    // Warm path: load + validate instead of recompiling.
+    let start = Instant::now();
+    let raw = std::fs::read(&path)?;
+    let loaded: Poptrie<u32> = Poptrie::from_bytes(&raw)?;
+    let load = start.elapsed();
+
+    println!("routes:        {}", table.len());
+    println!(
+        "compile:       {:>8.2} ms   ({} bytes in memory)",
+        compile.as_secs_f64() * 1e3,
+        Lpm::memory_bytes(&fib)
+    );
+    println!(
+        "serialize:     {:>8.2} ms   ({} bytes on disk)",
+        save.as_secs_f64() * 1e3,
+        bytes.len()
+    );
+    println!(
+        "load+validate: {:>8.2} ms   ({:.1}x faster than compiling)",
+        load.as_secs_f64() * 1e3,
+        compile.as_secs_f64() / load.as_secs_f64()
+    );
+
+    // The loaded FIB is semantically identical: same effective ranges.
+    assert_eq!(loaded.ranges(), fib.ranges());
+    println!("range lists identical: loaded FIB is semantically equal");
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a FIB, look up addresses, apply route updates.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use poptrie_suite::{Fib, Lpm, Poptrie, Prefix, RadixTree};
+
+fn main() {
+    // --- 1. Compile-once usage: RIB -> Poptrie ---------------------------
+    //
+    // The paper's model (§3): routes live in a RIB (binary radix tree);
+    // Poptrie is the compiled FIB the data plane reads.
+    let mut rib: RadixTree<u32, u16> = RadixTree::new();
+    for (prefix, next_hop) in [
+        ("0.0.0.0/0", 1u16),     // default route -> upstream
+        ("10.0.0.0/8", 2),       // corporate aggregate
+        ("10.20.0.0/16", 3),     // one site
+        ("10.20.30.0/24", 4),    // one rack
+        ("192.0.2.0/24", 5),     // a peering LAN
+        ("198.51.100.42/32", 6), // a host route
+    ] {
+        rib.insert(prefix.parse().unwrap(), next_hop);
+    }
+
+    // s = 18 direct pointing and route aggregation, the paper's
+    // best-performing configuration (Poptrie18).
+    let fib: Poptrie<u32> = Poptrie::builder().direct_bits(18).build(&rib);
+
+    println!("compiled FIB: {:?}", fib.stats());
+    for (addr, label) in [
+        (0x0A14_1E07u32, "10.20.30.7   (rack route)"),
+        (0x0A14_FF07, "10.20.255.7  (site route)"),
+        (0x0A40_0001, "10.64.0.1    (aggregate)"),
+        (0xC000_0280, "192.0.2.128  (peering LAN)"),
+        (0xC633_642A, "198.51.100.42 (host route)"),
+        (0x0808_0808, "8.8.8.8      (default)"),
+    ] {
+        println!("  {label} -> next hop {:?}", fib.lookup(addr));
+    }
+
+    // --- 2. Incremental usage: a Fib owns RIB + Poptrie together ---------
+    //
+    // Route changes patch only the affected subtree (§3.5), through the
+    // buddy allocator — no full recompilation.
+    let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+    fib.insert("203.0.113.0/24".parse::<Prefix<u32>>().unwrap(), 7);
+    assert_eq!(fib.lookup(0xCB00_7101), Some(7));
+
+    fib.insert("203.0.113.128/25".parse::<Prefix<u32>>().unwrap(), 8);
+    assert_eq!(fib.lookup(0xCB00_71FF), Some(8)); // more specific wins
+
+    fib.remove("203.0.113.128/25".parse::<Prefix<u32>>().unwrap());
+    assert_eq!(fib.lookup(0xCB00_71FF), Some(7)); // back to the /24
+
+    let st = fib.stats();
+    println!(
+        "\nincremental updates: {} updates, {} nodes built, {} nodes freed",
+        st.updates, st.nodes_built, st.nodes_freed
+    );
+    println!("memory: {} bytes", Lpm::memory_bytes(fib.poptrie()));
+}

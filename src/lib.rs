@@ -1,0 +1,69 @@
+//! # poptrie-suite
+//!
+//! Umbrella crate for the reproduction of *Poptrie: A Compressed Trie
+//! with Population Count for Fast and Scalable Software IP Routing Table
+//! Lookup* (Asai & Ohara, SIGCOMM 2015).
+//!
+//! This crate re-exports the whole workspace under one roof so examples,
+//! integration tests and downstream users can depend on a single package:
+//!
+//! * [`poptrie`] — the paper's contribution: the Poptrie FIB
+//!   ([`Poptrie`]), incremental updates ([`Fib`]), and the concurrent
+//!   wrapper ([`poptrie::sync::SharedFib`]).
+//! * [`rib`] — prefixes, the radix/Patricia RIBs and the [`Lpm`] trait.
+//! * [`baselines`] — Tree BitMap, DXR and SAIL, the paper's competitors.
+//! * [`tablegen`] — the Table 1 dataset synthesizer and RIB parser.
+//! * [`traffic`] — the §4.2 query patterns.
+//! * [`cycles`] — TSC measurement and distribution statistics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use poptrie_suite::Fib;
+//!
+//! let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+//! fib.insert("192.0.2.0/24".parse().unwrap(), 1);
+//! fib.insert("0.0.0.0/0".parse().unwrap(), 2);
+//! assert_eq!(fib.lookup(0xC000_0263), Some(1)); // 192.0.2.99
+//! assert_eq!(fib.lookup(0x0808_0808), Some(2)); // default route
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `cargo run --release -p
+//! poptrie-bench --bin repro -- all` for the paper's full evaluation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// The core Poptrie crate (re-export of [`poptrie`]).
+pub use poptrie;
+
+/// RIB substrate (re-export of `poptrie-rib`).
+pub use poptrie_rib as rib;
+
+/// Bit-vector primitives (re-export of `poptrie-bitops`).
+pub use poptrie_bitops as bitops;
+
+/// Buddy allocator (re-export of `poptrie-buddy`).
+pub use poptrie_buddy as buddy;
+
+/// Dataset synthesis (re-export of `poptrie-tablegen`).
+pub use poptrie_tablegen as tablegen;
+
+/// Traffic patterns (re-export of `poptrie-traffic`).
+pub use poptrie_traffic as traffic;
+
+/// Measurement utilities (re-export of `poptrie-cycles`).
+pub use poptrie_cycles as cycles;
+
+/// The baseline lookup algorithms the paper compares against.
+pub mod baselines {
+    pub use poptrie_dir248::{Dir248, Dir248Error};
+    pub use poptrie_dxr::{Dxr, Dxr6, DxrConfig, DxrError};
+    pub use poptrie_lulea::{Lulea, LuleaError};
+    pub use poptrie_sail::{Sail, SailError, MAX_CHUNKS as SAIL_MAX_CHUNKS};
+    pub use poptrie_treebitmap::{TreeBitmap, TreeBitmap4, TreeBitmap64};
+}
+
+// The types most users need, at the root.
+pub use poptrie::{Builder, Fib, Poptrie, PoptrieBasic};
+pub use poptrie_rib::{LinearLpm, Lpm, NextHop, Patricia, Prefix, RadixTree};

@@ -1,0 +1,234 @@
+//! End-to-end tests of the `poptrie-fib` command-line tool: build a FIB
+//! from a text RIB, reload it, query it, and inspect it — the full user
+//! workflow, through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_poptrie-fib"))
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("poptrie-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn build_lookup_stats_ranges_roundtrip() {
+    let dir = tmpdir();
+    let rib = dir.join("t1.rib");
+    let fib = dir.join("t1.fib");
+    std::fs::write(
+        &rib,
+        "# demo\n0.0.0.0/0 1\n10.0.0.0/8 2\n10.1.0.0/16 3\n192.0.2.0/24 4\n",
+    )
+    .unwrap();
+
+    let out = bin()
+        .args(["build", rib.to_str().unwrap(), "-o", fib.to_str().unwrap()])
+        .output()
+        .expect("run build");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compiled 4 routes"), "{stdout}");
+
+    // Lookup against the compiled blob.
+    let out = bin()
+        .args([
+            "lookup",
+            fib.to_str().unwrap(),
+            "10.1.2.3",
+            "10.2.2.3",
+            "8.8.8.8",
+        ])
+        .output()
+        .expect("run lookup");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("10.1.2.3 -> next hop 3"), "{stdout}");
+    assert!(stdout.contains("10.2.2.3 -> next hop 2"), "{stdout}");
+    assert!(stdout.contains("8.8.8.8 -> next hop 1"), "{stdout}");
+
+    // Lookup against the text RIB gives identical answers.
+    let out = bin()
+        .args(["lookup", rib.to_str().unwrap(), "10.1.2.3"])
+        .output()
+        .expect("run lookup on text");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("next hop 3"));
+
+    // Stats and ranges.
+    let out = bin()
+        .args(["stats", fib.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("direct bits:   18"), "{stdout}");
+    assert!(stdout.contains("effective ranges: 7"), "{stdout}");
+
+    let out = bin()
+        .args(["ranges", fib.to_str().unwrap(), "--limit", "3"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0.0.0.0 1"), "{stdout}");
+    assert!(stdout.contains("10.0.0.0 2"), "{stdout}");
+    assert!(stdout.contains("more"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_options_are_honored() {
+    let dir = tmpdir();
+    let rib = dir.join("t2.rib");
+    let fib = dir.join("t2.fib");
+    std::fs::write(&rib, "10.0.0.0/9 5\n10.128.0.0/9 5\n").unwrap();
+    let out = bin()
+        .args([
+            "build",
+            rib.to_str().unwrap(),
+            "-o",
+            fib.to_str().unwrap(),
+            "--direct-bits",
+            "16",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["stats", fib.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("direct bits:   16"), "{stdout}");
+    // Aggregation merged the two /9s: two ranges (the /8 and the miss).
+    assert!(
+        stdout.contains("effective ranges: 3") || stdout.contains("effective ranges: 2"),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    // Unknown command.
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Bad RIB line.
+    let dir = tmpdir();
+    let rib = dir.join("bad.rib");
+    std::fs::write(&rib, "10.0.0.0/8 2\nnot-a-route\n").unwrap();
+    let out = bin()
+        .args([
+            "build",
+            rib.to_str().unwrap(),
+            "-o",
+            dir.join("x.fib").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+
+    // Corrupt FIB blob.
+    let blob = dir.join("corrupt.fib");
+    std::fs::write(&blob, b"PTRIgarbage-that-is-not-a-fib").unwrap();
+    let out = bin()
+        .args(["stats", blob.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Unknown dataset name.
+    let out = bin().args(["gen", "RV-bogus-p99"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn mrt_extract_roundtrip() {
+    // Synthesize a tiny MRT file (same byte layout the tablegen tests
+    // use), extract a peer, and compile the result.
+    let dir = tmpdir();
+    let mrt_path = dir.join("mini.mrt");
+    let mut bytes = Vec::new();
+    let mut record = |subtype: u16, body: &[u8]| {
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&13u16.to_be_bytes());
+        bytes.extend_from_slice(&subtype.to_be_bytes());
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(body);
+    };
+    // PEER_INDEX_TABLE with one v4 peer.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u32.to_be_bytes());
+    body.extend_from_slice(&0u16.to_be_bytes()); // empty view name
+    body.extend_from_slice(&1u16.to_be_bytes());
+    body.push(0x00);
+    body.extend_from_slice(&7u32.to_be_bytes());
+    body.extend_from_slice(&[192, 0, 2, 1]);
+    body.extend_from_slice(&64500u16.to_be_bytes());
+    record(1, &body);
+    // One RIB_IPV4_UNICAST record: 10.0.0.0/8 via 192.0.2.9.
+    let mut body = Vec::new();
+    body.extend_from_slice(&0u32.to_be_bytes());
+    body.push(8); // prefix length
+    body.push(10); // one prefix byte
+    body.extend_from_slice(&1u16.to_be_bytes()); // one entry
+    body.extend_from_slice(&0u16.to_be_bytes()); // peer 0
+    body.extend_from_slice(&0u32.to_be_bytes()); // originated
+    let attrs: &[u8] = &[0x40, 3, 4, 192, 0, 2, 9]; // NEXT_HOP
+    body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+    body.extend_from_slice(attrs);
+    record(2, &body);
+    std::fs::write(&mrt_path, &bytes).unwrap();
+
+    // Listing mode (no --peer).
+    let out = bin()
+        .args(["mrt-extract", mrt_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Extraction mode.
+    let rib = dir.join("p0.rib");
+    let out = bin()
+        .args([
+            "mrt-extract",
+            mrt_path.to_str().unwrap(),
+            "--peer",
+            "0",
+            "-o",
+            rib.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&rib).unwrap();
+    assert_eq!(text.trim(), "10.0.0.0/8 1");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,206 @@
+//! Cross-crate validation: every lookup algorithm in the workspace must
+//! agree with the binary radix tree (ground truth) on synthesized tables
+//! of every kind — the workspace equivalent of the paper's whole-address-
+//! space validation ("we implemented these algorithms ourselves, and
+//! validated their correctness by comparing all lookup results of all
+//! algorithms", §4).
+
+use poptrie_suite::baselines::{Dir248, Dxr, DxrConfig, Lulea, Sail, TreeBitmap4, TreeBitmap64};
+use poptrie_suite::tablegen::{expand_syn1, expand_syn2, Dataset, TableKind, TableSpec};
+use poptrie_suite::traffic::Xorshift128;
+use poptrie_suite::{Builder, LinearLpm, Lpm, Patricia, Poptrie, PoptrieBasic, Prefix};
+
+/// Build every algorithm and check agreement on random + adversarial keys.
+fn validate(dataset: &Dataset, random_keys: usize) {
+    let rib = dataset.to_rib();
+    let mut algos: Vec<(String, Box<dyn Lpm<u32>>)> = Vec::new();
+    let mut pat: Patricia<u32, u16> = Patricia::new();
+    for &(p, nh) in &dataset.routes {
+        pat.insert(p, nh);
+    }
+    algos.push(("Patricia".into(), Box::new(pat)));
+    algos.push(("TreeBitmap4".into(), Box::new(TreeBitmap4::from_rib(&rib))));
+    algos.push((
+        "TreeBitmap64".into(),
+        Box::new(TreeBitmap64::from_rib(&rib)),
+    ));
+    algos.push(("SAIL".into(), Box::new(Sail::from_rib(&rib).expect("sail"))));
+    algos.push((
+        "DIR-24-8".into(),
+        Box::new(Dir248::from_rib(&rib).expect("dir248")),
+    ));
+    algos.push((
+        "Lulea".into(),
+        Box::new(Lulea::from_rib(&rib).expect("lulea")),
+    ));
+    for cfg in [DxrConfig::d16r(), DxrConfig::d18r()] {
+        algos.push((
+            format!("D{}R", cfg.direct_bits),
+            Box::new(Dxr::from_rib(&rib, cfg).expect("dxr")),
+        ));
+    }
+    for s in [0u8, 16, 18] {
+        let agg = s != 16; // cover both aggregation settings
+        algos.push((
+            format!("Poptrie{s}"),
+            Box::new(
+                Builder::<u32, poptrie_suite::poptrie::Node24>::new()
+                    .direct_bits(s)
+                    .aggregate(agg)
+                    .build(&rib),
+            ),
+        ));
+    }
+    algos.push((
+        "PoptrieBasic18".into(),
+        Box::new(
+            Builder::<u32, poptrie_suite::poptrie::Node16>::new()
+                .direct_bits(18)
+                .aggregate(false)
+                .build(&rib),
+        ),
+    ));
+
+    let check = |key: u32| {
+        let want = Lpm::lookup(&rib, key);
+        for (name, fib) in &algos {
+            assert_eq!(
+                fib.lookup(key),
+                want,
+                "{name} at {key:#010x} on {}",
+                dataset.name
+            );
+        }
+    };
+    let mut rng = Xorshift128::new(0xCAFE);
+    for _ in 0..random_keys {
+        check(rng.next_u32());
+    }
+    // Adversarial: prefix boundaries of every 50th route.
+    for (p, _) in dataset.routes.iter().step_by(50) {
+        let base = p.addr();
+        let host = 32 - p.len() as u32;
+        let last = if host == 0 {
+            base
+        } else {
+            base | (u32::MAX >> (32 - host))
+        };
+        for key in [
+            base,
+            base.wrapping_sub(1),
+            base.wrapping_add(1),
+            last,
+            last.wrapping_add(1),
+        ] {
+            check(key);
+        }
+    }
+}
+
+fn spec(name: &str, n: usize, nh: u16, kind: TableKind) -> Dataset {
+    TableSpec {
+        name: name.into(),
+        prefixes: n,
+        next_hops: nh,
+        kind,
+    }
+    .generate()
+}
+
+#[test]
+fn routeviews_shape_agrees() {
+    validate(&spec("xval-rv", 30_000, 64, TableKind::RouteViews), 20_000);
+}
+
+#[test]
+fn real_shape_agrees() {
+    validate(&spec("xval-real", 30_000, 13, TableKind::Real), 20_000);
+}
+
+#[test]
+fn syn_expansions_agree() {
+    let base = spec("xval-real-syn", 15_000, 13, TableKind::Real);
+    validate(&expand_syn1(&base), 10_000);
+    validate(&expand_syn2(&base), 10_000);
+}
+
+#[test]
+fn tiny_and_pathological_tables_agree() {
+    // Empty table.
+    validate(
+        &Dataset {
+            name: "xval-empty".into(),
+            routes: vec![],
+        },
+        2_000,
+    );
+    // Default route only.
+    validate(
+        &Dataset {
+            name: "xval-default".into(),
+            routes: vec![(Prefix::new(0, 0), 1)],
+        },
+        2_000,
+    );
+    // Nested chain from /1 to /32 on one path, alternating next hops.
+    let chain: Vec<(Prefix<u32>, u16)> = (1..=32u8)
+        .map(|len| (Prefix::new(0xF0F0_F0F0, len), (len % 7 + 1) as u16))
+        .collect();
+    validate(
+        &Dataset {
+            name: "xval-chain".into(),
+            routes: chain,
+        },
+        5_000,
+    );
+    // All /32 host routes around chunk boundaries of every algorithm.
+    let hosts: Vec<(Prefix<u32>, u16)> = (0..64u32)
+        .map(|i| {
+            (
+                Prefix::new(0x0A00_0000 + i * 0x0003_FFFF, 32),
+                (i % 9 + 1) as u16,
+            )
+        })
+        .collect();
+    validate(
+        &Dataset {
+            name: "xval-hosts".into(),
+            routes: hosts,
+        },
+        5_000,
+    );
+}
+
+#[test]
+fn linear_oracle_agrees_with_radix() {
+    // The oracle itself is validated against the RIB here; the per-crate
+    // proptests lean on it.
+    let d = spec("xval-oracle", 2_000, 8, TableKind::Real);
+    let rib = d.to_rib();
+    let lin = LinearLpm::new(d.routes.clone());
+    let mut rng = Xorshift128::new(5);
+    for _ in 0..20_000 {
+        let key = rng.next_u32();
+        assert_eq!(Lpm::lookup(&rib, key), Lpm::lookup(&lin, key));
+    }
+}
+
+#[test]
+fn poptrie_variants_are_equivalent() {
+    // Basic vs leafvec vs aggregated: identical lookup behaviour, very
+    // different sizes (§3.3, Table 2).
+    let d = spec("xval-variants", 25_000, 16, TableKind::Real);
+    let rib = d.to_rib();
+    let basic: PoptrieBasic<u32> = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+    let leafvec: Poptrie<u32> = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+    let full: Poptrie<u32> = Builder::new().direct_bits(16).aggregate(true).build(&rib);
+    assert!(leafvec.stats().leaves < basic.stats().leaves / 5);
+    assert!(full.stats().memory_bytes <= leafvec.stats().memory_bytes);
+    let mut rng = Xorshift128::new(11);
+    for _ in 0..50_000 {
+        let key = rng.next_u32();
+        let want = basic.lookup(key);
+        assert_eq!(leafvec.lookup(key), want);
+        assert_eq!(full.lookup(key), want);
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration checks on the dataset synthesizer as consumed by the
+//! harness: the structural properties the evaluation depends on must hold
+//! on harness-scale tables (the per-crate unit tests cover small scales).
+
+use poptrie_suite::baselines::{Dxr, DxrConfig, Sail};
+use poptrie_suite::tablegen::{self, expand_syn1, expand_syn2, TableKind, TableSpec};
+use poptrie_suite::Builder;
+
+#[test]
+fn all_table1_rows_are_generatable_as_specs() {
+    // Every Table 1 row must have a spec; generate scaled-down replicas
+    // (the full 520K-route versions are exercised by the harness and the
+    // ignored full-scale test).
+    for info in tablegen::table1().iter().step_by(7) {
+        let d = TableSpec {
+            name: info.name.to_string(),
+            prefixes: 25_000,
+            next_hops: info.next_hops,
+            kind: info.kind,
+        }
+        .generate();
+        assert_eq!(d.len(), 25_000, "{}", info.name);
+        assert_eq!(d.next_hop_count(), info.next_hops as usize, "{}", info.name);
+    }
+}
+
+#[test]
+fn structural_limits_scale_correctly_downward() {
+    // At reduced scale, everything must compile (no false positives in
+    // the limit checks) and SYN expansion must grow tables monotonically.
+    let base = TableSpec {
+        name: "props-real".into(),
+        prefixes: 40_000,
+        next_hops: 13,
+        kind: TableKind::Real,
+    }
+    .generate();
+    let syn1 = expand_syn1(&base);
+    let syn2 = expand_syn2(&base);
+    assert!(base.len() < syn1.len() && syn1.len() < syn2.len());
+    for d in [&base, &syn1, &syn2] {
+        let rib = d.to_rib();
+        assert!(Sail::from_rib(&rib).is_ok(), "{}", d.name);
+        assert!(Dxr::from_rib(&rib, DxrConfig::d18r()).is_ok(), "{}", d.name);
+        let t: poptrie_suite::Poptrie<u32> = Builder::new().direct_bits(18).build(&rib);
+        t.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn syn_growth_ratio_matches_table5() {
+    // Paper: 531,489 -> 764,847 (SYN1, x1.44) -> 885,645 (SYN2, x1.67).
+    // The ratio is scale-invariant for a fixed length mix; check it on a
+    // reduced REAL table.
+    let base = TableSpec {
+        name: "props-ratio".into(),
+        prefixes: 60_000,
+        next_hops: 13,
+        kind: TableKind::Real,
+    }
+    .generate();
+    let r1 = expand_syn1(&base).len() as f64 / base.len() as f64;
+    let r2 = expand_syn2(&base).len() as f64 / base.len() as f64;
+    assert!((1.25..=1.55).contains(&r1), "SYN1 ratio {r1:.3}");
+    assert!((1.50..=1.80).contains(&r2), "SYN2 ratio {r2:.3}");
+}
+
+#[test]
+fn parse_roundtrip_through_files() {
+    // The text format round-trips a generated table through disk — the
+    // path users with real RIBs take.
+    let d = TableSpec {
+        name: "props-io".into(),
+        prefixes: 5_000,
+        next_hops: 8,
+        kind: TableKind::RouteViews,
+    }
+    .generate();
+    let text = tablegen::write_routes_v4(&d.routes);
+    let dir = std::env::temp_dir().join("poptrie-suite-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("props-io.rib");
+    std::fs::write(&path, &text).unwrap();
+    let read = std::fs::read_to_string(&path).unwrap();
+    let routes = tablegen::parse_routes_v4(&read).unwrap();
+    assert_eq!(routes, d.routes);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn update_stream_replays_cleanly_against_its_base() {
+    let base = TableSpec {
+        name: "props-upd".into(),
+        prefixes: 10_000,
+        next_hops: 16,
+        kind: TableKind::RouteViews,
+    }
+    .generate();
+    let stream = tablegen::synthesize_update_stream(&base, 700, 300);
+    let mut fib = poptrie_suite::Fib::from_rib(base.to_rib(), 16, false);
+    let mut announced = 0;
+    let mut withdrawn = 0;
+    for ev in stream {
+        match ev {
+            tablegen::UpdateEvent::Announce(p, nh) => {
+                fib.insert(p, nh);
+                announced += 1;
+            }
+            tablegen::UpdateEvent::Withdraw(p) => {
+                assert!(fib.remove(p).is_some(), "withdraw of absent prefix");
+                withdrawn += 1;
+            }
+        }
+    }
+    assert_eq!((announced, withdrawn), (700, 300));
+    fib.poptrie().check_invariants().unwrap();
+}

@@ -1,0 +1,95 @@
+//! IPv6 cross-validation (§4.10): Poptrie over `u128` keys against the
+//! radix ground truth and the IPv6 DXR baseline.
+
+use poptrie_suite::baselines::Dxr6;
+use poptrie_suite::tablegen::ipv6_dataset;
+use poptrie_suite::traffic::random_v6_in_2000;
+use poptrie_suite::{Builder, Poptrie, Prefix, RadixTree};
+
+#[test]
+fn v6_algorithms_agree_on_tier1_table() {
+    let table = ipv6_dataset("REAL-Tier1-A-v6");
+    let rib = table.to_rib();
+    let tries: Vec<(String, Poptrie<u128>)> = [0u8, 16, 18]
+        .into_iter()
+        .map(|s| {
+            (
+                format!("Poptrie{s}"),
+                Builder::new().direct_bits(s).aggregate(s != 16).build(&rib),
+            )
+        })
+        .collect();
+    let dxrs: Vec<(String, Dxr6)> = [16u8, 18]
+        .into_iter()
+        .map(|s| (format!("D{s}R-v6"), Dxr6::from_rib(&rib, s).expect("fits")))
+        .collect();
+    for t in &tries {
+        t.1.check_invariants().expect("invariants");
+    }
+    for addr in random_v6_in_2000(0x1234, 100_000) {
+        let want = rib.lookup(addr).copied();
+        for (name, t) in &tries {
+            assert_eq!(t.lookup(addr), want, "{name} at {addr:#034x}");
+        }
+        for (name, d) in &dxrs {
+            assert_eq!(d.lookup(addr), want, "{name} at {addr:#034x}");
+        }
+    }
+}
+
+#[test]
+fn v6_boundary_addresses() {
+    let table = ipv6_dataset("RV6-p0");
+    let rib = table.to_rib();
+    let fib: Poptrie<u128> = Builder::new().direct_bits(18).build(&rib);
+    for (p, _) in table.routes.iter().step_by(20) {
+        let base = p.addr();
+        let host = 128 - p.len() as u32;
+        let last = if host == 0 {
+            base
+        } else {
+            base | (u128::MAX >> (128 - host))
+        };
+        for key in [base, base.wrapping_sub(1), last, last.wrapping_add(1)] {
+            assert_eq!(fib.lookup(key), rib.lookup(key).copied(), "{key:#x}");
+        }
+    }
+}
+
+#[test]
+fn v6_deep_prefixes_and_host_routes() {
+    // Prefixes past /64, down to /128 hosts — 22 poptrie levels.
+    let mut rib: RadixTree<u128, u16> = RadixTree::new();
+    let host = 0x2001_0db8_0000_0000_0000_0000_0000_0001u128;
+    rib.insert(Prefix::new(host, 128), 1);
+    rib.insert(Prefix::new(host, 127), 2);
+    rib.insert(Prefix::new(host, 100), 3);
+    rib.insert(Prefix::new(host, 65), 4);
+    rib.insert(Prefix::new(host, 48), 5);
+    for s in [0u8, 16, 18] {
+        let fib: Poptrie<u128> = Builder::new().direct_bits(s).build(&rib);
+        assert_eq!(fib.lookup(host), Some(1), "s={s}");
+        assert_eq!(fib.lookup(host - 1), Some(2), "s={s}"); // ::0 under /127
+        assert_eq!(fib.lookup(host + 0x100), Some(3), "s={s}");
+        assert_eq!(fib.lookup(host + (1u128 << 40)), Some(4), "s={s}");
+        assert_eq!(fib.lookup(host + (1u128 << 70)), Some(5), "s={s}");
+        assert_eq!(fib.lookup(0x2001_0db9u128 << 96), None, "s={s}");
+    }
+}
+
+#[test]
+fn v6_incremental_updates() {
+    let mut fib: poptrie_suite::Fib<u128> = poptrie_suite::Fib::with_direct_bits(18);
+    let p48: Prefix<u128> = "2001:db8:1::/48".parse().unwrap();
+    let p64: Prefix<u128> = "2001:db8:1:2::/64".parse().unwrap();
+    let inside64 = 0x2001_0db8_0001_0002_0000_0000_0000_0001u128;
+    fib.insert(p48, 1);
+    assert_eq!(fib.lookup(inside64), Some(1));
+    fib.insert(p64, 2);
+    assert_eq!(fib.lookup(inside64), Some(2));
+    fib.remove(p64);
+    assert_eq!(fib.lookup(inside64), Some(1));
+    fib.remove(p48);
+    assert_eq!(fib.lookup(inside64), None);
+    assert_eq!(fib.poptrie().stats().inodes, 0);
+}
