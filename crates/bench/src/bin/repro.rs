@@ -26,8 +26,8 @@
 use poptrie::{Builder, Fib, Poptrie};
 use poptrie_bench::algorithms::{build_all_v4, build_v4, Algo, BuildOutcome};
 use poptrie_bench::measure::{
-    cycle_percentiles, cycle_samples, mean_std, measure_mlps, measure_mlps_keys, CycleSample,
-    MeasureConfig,
+    batched_cycles_per_lookup, cycle_percentiles, cycle_samples, mean_std, measure_mlps,
+    measure_mlps_batch, measure_mlps_keys, measure_mlps_keys_batch, CycleSample, MeasureConfig,
 };
 use poptrie_bench::report::{mean_std_cell, mib, Table};
 use poptrie_cycles::{Candlestick, Cdf, Heatmap};
@@ -78,6 +78,7 @@ fn main() {
         "stats" => stats(&mut ctx, &args),
         "serial" => serial(&mut ctx),
         "locality" => locality(&mut ctx),
+        "batch" => batch(&mut ctx),
         "all" => {
             table1(&mut ctx);
             table2(&mut ctx);
@@ -110,6 +111,10 @@ experiments: table1 table2 table3 table4 table5 table6
              stats <dataset|SYN1-...|SYN2-...>   structural diagnostics
              serial   dependent-lookup latency comparison (ablation)
              locality sequential/repeated rates on REAL-Tier1-B (§4.5)
+             batch    scalar vs batched+prefetch lookup rate (ablation)
+
+fig8, fig9, fig10 and fig12 report both the scalar and the batched
+(interleaved, software-prefetched) lookup modes side by side.
 ";
 
 struct Ctx {
@@ -560,39 +565,74 @@ fn fig7(ctx: &mut Ctx) {
 
 fn fig8(ctx: &mut Ctx) {
     section("Figure 8: aggregated lookup rate by thread count (Poptrie18)");
+    println!("(scalar = the paper's per-thread loop; batched = lookup_batch with");
+    println!(" software prefetch, {} keys per call)", ctx.cfg.batch);
     let cfg = ctx.cfg;
     let max_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8);
-    let mut t = Table::new(vec!["Dataset", "Threads", "Aggregate rate [Mlps]"]);
+    let mut t = Table::new(vec![
+        "Dataset",
+        "Threads",
+        "Scalar [Mlps]",
+        "Batched [Mlps]",
+    ]);
     for ds in ["REAL-Tier1-A", "REAL-Tier1-B"] {
         let rib = ctx.dataset(ds).to_rib();
         let trie: Poptrie<u32> = Builder::new().direct_bits(18).build(&rib);
         for threads in 1..=max_threads {
-            let total: f64 = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|tid| {
-                        let trie = &trie;
-                        scope.spawn(move || {
-                            let mut rng = Xorshift128::new(0xF00D + tid as u32);
-                            let start = Instant::now();
-                            let mut acc = 0u64;
-                            for _ in 0..cfg.lookups {
-                                acc = acc
-                                    .wrapping_add(trie.lookup(rng.next_u32()).unwrap_or(0) as u64);
-                            }
-                            std::hint::black_box(acc);
-                            cfg.lookups as f64 / start.elapsed().as_secs_f64() / 1e6
+            let run = |batched: bool| -> f64 {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|tid| {
+                            let trie = &trie;
+                            scope.spawn(move || {
+                                if batched {
+                                    let batch = cfg.batch.max(1);
+                                    let mut src =
+                                        poptrie_traffic::fill::RandomV4::new(0xF00D + tid as u32);
+                                    let mut keys = vec![0u32; batch];
+                                    let mut nhs = vec![0u16; batch];
+                                    let start = Instant::now();
+                                    let mut acc = 0u64;
+                                    let mut done = 0u64;
+                                    while done < cfg.lookups {
+                                        let n = batch.min((cfg.lookups - done) as usize);
+                                        src.fill(&mut keys[..n]);
+                                        trie.lookup_batch(&keys[..n], &mut nhs[..n]);
+                                        for &nh in &nhs[..n] {
+                                            acc = acc.wrapping_add(nh as u64);
+                                        }
+                                        done += n as u64;
+                                    }
+                                    std::hint::black_box(acc);
+                                    done as f64 / start.elapsed().as_secs_f64() / 1e6
+                                } else {
+                                    let mut rng = Xorshift128::new(0xF00D + tid as u32);
+                                    let start = Instant::now();
+                                    let mut acc = 0u64;
+                                    for _ in 0..cfg.lookups {
+                                        acc = acc.wrapping_add(
+                                            trie.lookup(rng.next_u32()).unwrap_or(0) as u64,
+                                        );
+                                    }
+                                    std::hint::black_box(acc);
+                                    cfg.lookups as f64 / start.elapsed().as_secs_f64() / 1e6
+                                }
+                            })
                         })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("thread")).sum()
-            });
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("thread")).sum()
+                })
+            };
+            let scalar = run(false);
+            let batched = run(true);
             t.row(vec![
                 ds.to_string(),
                 threads.to_string(),
-                format!("{total:.2}"),
+                format!("{scalar:.2}"),
+                format!("{batched:.2}"),
             ]);
         }
     }
@@ -603,6 +643,7 @@ fn fig8(ctx: &mut Ctx) {
 
 fn fig9(ctx: &mut Ctx) {
     section("Figure 9: average lookup rate for random traffic, all datasets");
+    println!("(each cell: scalar / batched+prefetch lookup rate [Mlps])");
     let cfg = ctx.cfg;
     let names = ctx.sweep_names();
     let algos = Algo::figure9();
@@ -616,7 +657,8 @@ fn fig9(ctx: &mut Ctx) {
             match outcome {
                 BuildOutcome::Ok(fib) => {
                     let (rate, _) = measure_mlps(fib.as_ref(), &cfg);
-                    row.push(format!("{rate:.1}"));
+                    let (brate, _) = measure_mlps_batch(fib.as_ref(), &cfg);
+                    row.push(format!("{rate:.1} / {brate:.1}"));
                 }
                 BuildOutcome::StructuralLimit(_) => row.push("N/A".into()),
             }
@@ -636,12 +678,16 @@ fn fig10(ctx: &mut Ctx) {
     let n = ctx.cfg.cycle_samples;
     let rib = ctx.dataset("REAL-Tier1-A").to_rib();
     let mut cdfs: Vec<(&'static str, Cdf)> = Vec::new();
+    let mut means: Vec<(&'static str, f64, f64)> = Vec::new();
     for algo in CYCLE_ALGOS {
         let BuildOutcome::Ok(fib) = build_v4(algo, &rib) else {
             continue;
         };
         let samples = cycle_samples(fib.as_ref(), n);
         let raw: Vec<u64> = samples.iter().map(|s| s.cycles).collect();
+        let scalar_mean = raw.iter().sum::<u64>() as f64 / raw.len().max(1) as f64;
+        let batched_mean = batched_cycles_per_lookup(fib.as_ref(), n, ctx.cfg.batch);
+        means.push((algo_label(algo), scalar_mean, batched_mean));
         cdfs.push((algo_label(algo), Cdf::from_samples(&raw)));
     }
     let mut header = vec!["cycles".to_string()];
@@ -653,6 +699,23 @@ fn fig10(ctx: &mut Ctx) {
             row.push(format!("{:.3}", cdf.at(x)));
         }
         t.row(row);
+    }
+    print!("{}", t.render());
+
+    // Batched mode has no per-lookup distribution (one TSC bracket spans
+    // a whole batch), so its column is the amortized mean next to the
+    // scalar mean from the samples above.
+    println!(
+        "\nmean cycles per lookup, scalar vs batched+prefetch ({} keys/batch):",
+        ctx.cfg.batch
+    );
+    let mut t = Table::new(vec!["Algorithm", "Scalar mean", "Batched mean"]);
+    for (label, s, b) in means {
+        t.row(vec![
+            label.to_string(),
+            format!("{s:.1}"),
+            format!("{b:.1}"),
+        ]);
     }
     print!("{}", t.render());
 }
@@ -707,7 +770,11 @@ fn fig12(ctx: &mut Ctx) {
     let trace = RealTrace::synthesize(&dataset, TraceConfig::default());
     let packets = trace.packet_array(if ctx.quick { 1 << 20 } else { 1 << 24 });
     let rib = dataset.to_rib();
-    let mut t = Table::new(vec!["Algorithm", "Rate (std.) [Mlps]"]);
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "Scalar (std.) [Mlps]",
+        "Batched (std.) [Mlps]",
+    ]);
     for algo in [
         Algo::TreeBitmap,
         Algo::Sail,
@@ -719,10 +786,19 @@ fn fig12(ctx: &mut Ctx) {
         match build_v4(algo, &rib) {
             BuildOutcome::Ok(fib) => {
                 let rate = measure_mlps_keys(fib.as_ref(), &packets, &cfg);
-                t.row(vec![algo_label(algo).to_string(), mean_std_cell(rate)]);
+                let brate = measure_mlps_keys_batch(fib.as_ref(), &packets, &cfg);
+                t.row(vec![
+                    algo_label(algo).to_string(),
+                    mean_std_cell(rate),
+                    mean_std_cell(brate),
+                ]);
             }
             BuildOutcome::StructuralLimit(e) => {
-                t.row(vec![algo_label(algo).to_string(), format!("N/A ({e})")]);
+                t.row(vec![
+                    algo_label(algo).to_string(),
+                    format!("N/A ({e})"),
+                    "N/A".into(),
+                ]);
             }
         }
     }
@@ -811,6 +887,53 @@ fn serial(ctx: &mut Ctx) {
             algo_label(algo).to_string(),
             format!("{ind:.2}"),
             format!("{dep:.2}"),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ------------------------------------------------------- batch ablation
+
+/// Scalar vs batched+prefetch lookup rate (not a paper figure — an
+/// ablation for this reproduction's batched mode): random traffic on
+/// REAL-Tier1-A across every algorithm in the workspace. Algorithms
+/// without an interleaved override (the radix tree's pointer-chasing
+/// nodes give a prefetch nothing to run ahead of) fall back to the
+/// scalar loop, so their two columns should agree within noise.
+fn batch(ctx: &mut Ctx) {
+    section("Ablation: scalar vs batched+prefetch lookup rate (REAL-Tier1-A, random)");
+    let cfg = ctx.cfg;
+    println!(
+        "({} keys per lookup_batch call, 8 interleaved lanes)",
+        cfg.batch
+    );
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "Scalar [Mlps]",
+        "Batched [Mlps]",
+        "Speedup",
+    ]);
+    let dataset = ctx.dataset("REAL-Tier1-A").clone();
+    let mut algos: Vec<Algo> = Algo::table3().to_vec();
+    algos.push(Algo::Dir248);
+    algos.push(Algo::Lulea);
+    for (algo, outcome) in build_all_v4(&algos, &dataset) {
+        let BuildOutcome::Ok(fib) = outcome else {
+            t.row(vec![
+                algo_label(algo).to_string(),
+                "N/A".into(),
+                "N/A".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
+        let (scalar, _) = measure_mlps(fib.as_ref(), &cfg);
+        let (batched, _) = measure_mlps_batch(fib.as_ref(), &cfg);
+        t.row(vec![
+            algo_label(algo).to_string(),
+            format!("{scalar:.2}"),
+            format!("{batched:.2}"),
+            format!("{:.2}x", batched / scalar),
         ]);
     }
     print!("{}", t.render());

@@ -1,5 +1,8 @@
 use crate::algorithms::{build_all_v4, Algo, BuildOutcome};
-use crate::measure::{cycle_samples, mean_std, measure_mlps, measure_mlps_keys, MeasureConfig};
+use crate::measure::{
+    batched_cycles_per_lookup, cycle_samples, mean_std, measure_mlps, measure_mlps_batch,
+    measure_mlps_keys, measure_mlps_keys_batch, MeasureConfig,
+};
 use crate::report::{mean_std_cell, mib, Table};
 use poptrie_rib::Lpm;
 use poptrie_tablegen::{TableKind, TableSpec};
@@ -45,12 +48,19 @@ fn mlps_measurement_is_positive() {
         lookups: 1 << 16,
         reps: 2,
         cycle_samples: 1 << 10,
+        batch: 64,
     };
     let (rate, std) = measure_mlps(fib.as_ref(), &cfg);
     assert!(rate > 0.0 && std >= 0.0);
+    let (rate, _) = measure_mlps_batch(fib.as_ref(), &cfg);
+    assert!(rate > 0.0);
     let keys: Vec<u32> = (0..1000).collect();
     let (rate, _) = measure_mlps_keys(fib.as_ref(), &keys, &cfg);
     assert!(rate > 0.0);
+    let (rate, _) = measure_mlps_keys_batch(fib.as_ref(), &keys, &cfg);
+    assert!(rate > 0.0);
+    let cycles = batched_cycles_per_lookup(fib.as_ref(), 1 << 12, cfg.batch);
+    assert!(cycles >= 0.0);
     let _ = rib;
 }
 

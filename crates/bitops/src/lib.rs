@@ -22,10 +22,12 @@
 #![warn(missing_debug_implementations)]
 
 mod bits;
+mod prefetch;
 mod rank;
 mod vec64;
 
 pub use bits::Bits;
+pub use prefetch::{prefetch_index, prefetch_read, BATCH_LANES};
 pub use rank::{mask_low, rank0, rank1};
 pub use vec64::BitVec64;
 

@@ -148,6 +148,7 @@ fn bitvec_rank_and_iter() {
     assert_eq!(v.iter_ones().len(), 4);
 }
 
+#[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod prop {
     use super::*;
     use proptest::prelude::*;

@@ -1,5 +1,5 @@
 use crate::{order_of, Buddy};
-use rand::prelude::*;
+use poptrie_rng::prelude::*;
 use std::collections::HashMap;
 
 #[test]
@@ -151,6 +151,7 @@ fn churn_random_workload() {
     );
 }
 
+#[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod prop {
     use crate::Buddy;
     use proptest::prelude::*;

@@ -66,7 +66,7 @@ pub mod update;
 pub use builder::Builder;
 pub use node::{Node16, Node24, NodeRepr};
 pub use serial::SerializeError;
-pub use trie::{Poptrie, PoptrieBasic, PoptrieStats};
+pub use trie::{Poptrie, PoptrieBasic, PoptrieStats, BATCH_LANES};
 pub use update::{Fib, UpdateStats};
 
 // Re-export the vocabulary types callers need.

@@ -1,42 +1,51 @@
-//! Lock-free concurrent FIB access (§3.5's update model).
+//! Concurrent FIB access (§3.5's update model).
 //!
 //! The paper requires that "blocking the read access to Poptrie using
 //! write lock is not acceptable": the forwarding path keeps looking up the
 //! current FIB while an update constructs the replacement, and the switch
-//! is a single atomic operation. This module reproduces that model with an
-//! epoch-based read-copy-update cell:
+//! is a single atomic operation. This module reproduces that model with a
+//! read-copy-update cell:
 //!
-//! * **Readers** ([`SharedFib::lookup`]) pin the epoch, load the current
-//!   `Poptrie` pointer with an acquire load, and run the lookup — no locks,
-//!   no reference-count contention, wait-free with respect to writers.
+//! * **Readers** ([`SharedFib::lookup`]) grab an [`Arc`] snapshot of the
+//!   current `Poptrie` and run the lookup against it — updates never
+//!   invalidate a snapshot a reader holds.
 //! * **Writers** ([`SharedFib::insert`] / [`SharedFib::remove`]) serialize
 //!   on a mutex (the paper likewise assumes "the single-threaded update
 //!   operation"), apply the incremental update of §3.5 to a private
-//!   [`Fib`], publish a snapshot with an atomic pointer swap, and defer
-//!   destruction of the old snapshot until no reader can hold it.
+//!   [`Fib`], and publish a new snapshot by swapping the `Arc`. The old
+//!   snapshot is freed when its last reader drops it.
 //!
 //! The paper swaps `base1`/`base0` fields in place with atomic stores; in
 //! Rust that fine-grained scheme would require pervasive `unsafe` shared
 //! mutation of the node arrays. Publishing a whole-structure snapshot has
 //! identical reader-visible semantics (readers always see a complete,
-//! consistent FIB, updates never block readers) at the cost of one
-//! `memcpy` of the compact arrays per update batch — a few hundred
-//! microseconds for a full BGP table, amortizable over batches via
-//! [`SharedFib::update_batch`]. DESIGN.md records this substitution.
+//! consistent FIB, updates never block readers for the duration of a
+//! rebuild) at the cost of one `memcpy` of the compact arrays per update
+//! batch — a few hundred microseconds for a full BGP table, amortizable
+//! over batches via [`SharedFib::update_batch`]. Earlier revisions used
+//! epoch-based reclamation (`crossbeam-epoch`) for strictly wait-free
+//! reads; the cell now swaps an `Arc` under a [`RwLock`] whose read-side
+//! critical section is a single reference-count increment, so the
+//! workspace builds with no external dependencies and readers still never
+//! wait for a FIB rebuild. DESIGN.md records both substitutions.
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned};
-use parking_lot::Mutex;
 use poptrie_bitops::Bits;
 use poptrie_rib::{NextHop, Prefix, RadixTree};
-use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use crate::trie::Poptrie;
 use crate::update::{Fib, UpdateStats};
 
-/// An epoch-based RCU cell: lock-free reads of a heap value that is
-/// replaced wholesale by writers.
+/// An RCU cell: cheap snapshot reads of a heap value that is replaced
+/// wholesale by writers.
+///
+/// Readers never hold a lock while using the value — [`RcuCell::read`]
+/// and [`RcuCell::snapshot`] clone the inner [`Arc`] (one atomic
+/// increment under a briefly-held read lock) and the caller works on
+/// that snapshot for as long as it likes. Writers swap in a new `Arc`;
+/// the old value is dropped when its last snapshot goes away.
 pub struct RcuCell<T> {
-    ptr: Atomic<T>,
+    ptr: RwLock<Arc<T>>,
 }
 
 impl<T> core::fmt::Debug for RcuCell<T> {
@@ -49,7 +58,21 @@ impl<T> RcuCell<T> {
     /// Create a cell holding `value`.
     pub fn new(value: T) -> Self {
         RcuCell {
-            ptr: Atomic::new(value),
+            ptr: RwLock::new(Arc::new(value)),
+        }
+    }
+
+    /// A shared snapshot of the current value. The snapshot stays valid
+    /// (and unchanged) even if writers replace the cell's value
+    /// afterwards.
+    #[inline]
+    pub fn snapshot(&self) -> Arc<T> {
+        // Poisoning cannot leave the Arc in a torn state (replacing it is
+        // a single pointer swap), so a panic elsewhere must not take the
+        // forwarding path down with it.
+        match self.ptr.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
         }
     }
 
@@ -58,34 +81,18 @@ impl<T> RcuCell<T> {
     /// concurrently.
     #[inline]
     pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
-        let guard = epoch::pin();
-        let shared = self.ptr.load(Ordering::Acquire, &guard);
-        // SAFETY: `shared` was stored by `new` or `replace` and is never
-        // null; destruction is deferred past this pinned epoch.
-        f(unsafe { shared.deref() })
+        f(&self.snapshot())
     }
 
-    /// Atomically publish `value`, retiring the previous one once all
-    /// current readers have unpinned.
+    /// Atomically publish `value`; the previous value is freed once the
+    /// last outstanding snapshot drops.
     pub fn replace(&self, value: T) {
-        let guard = epoch::pin();
-        let old = self.ptr.swap(Owned::new(value), Ordering::AcqRel, &guard);
-        // SAFETY: `old` is the unique previous allocation; no new reader
-        // can acquire it after the swap, and existing readers are covered
-        // by the deferred destruction.
-        unsafe {
-            guard.defer_destroy(old);
-        }
-    }
-}
-
-impl<T> Drop for RcuCell<T> {
-    fn drop(&mut self) {
-        // SAFETY: `&mut self` proves no readers exist; reclaim immediately.
-        unsafe {
-            let ptr = std::mem::replace(&mut self.ptr, Atomic::null());
-            drop(ptr.into_owned());
-        }
+        let next = Arc::new(value);
+        let mut g = match self.ptr.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *g = next;
     }
 }
 
@@ -135,35 +142,62 @@ impl<K: Bits> SharedFib<K> {
         }
     }
 
-    /// Lock-free longest-prefix-match lookup on the current snapshot.
+    /// Longest-prefix-match lookup on the current snapshot; never blocks
+    /// on writers rebuilding the FIB.
     #[inline]
     pub fn lookup(&self, key: K) -> Option<NextHop> {
         self.current.read(|t| t.lookup(key))
     }
 
-    /// Run `f` against one consistent FIB snapshot, lock-free. The
-    /// general form of [`SharedFib::lookup`]/[`SharedFib::lookup_batch`]:
-    /// use it to amortize the epoch pin over an entire packet burst or to
-    /// read auxiliary state ([`Poptrie::stats`], [`Poptrie::ranges`])
-    /// coherently with lookups.
+    /// A shared snapshot of the current compiled FIB. The general form of
+    /// [`SharedFib::lookup`] / [`SharedFib::lookup_batch`]: hold it to
+    /// amortize snapshot acquisition over an entire packet burst or to
+    /// read auxiliary state ([`Poptrie::stats`](crate::Poptrie::stats),
+    /// [`Poptrie::ranges`](crate::Poptrie::ranges)) coherently with
+    /// lookups.
+    #[inline]
+    pub fn snapshot(&self) -> Arc<Poptrie<K>> {
+        self.current.snapshot()
+    }
+
+    /// Run `f` against one consistent FIB snapshot.
     #[inline]
     pub fn with_current<R>(&self, f: impl FnOnce(&Poptrie<K>) -> R) -> R {
         self.current.read(f)
     }
 
-    /// Lock-free batched lookup: runs `keys` against one snapshot, storing
-    /// next hops into `out`. Pinning once per batch keeps the read-side
-    /// overhead negligible for forwarding-style workloads.
+    /// Batched lookup: runs `keys` against one snapshot, storing next
+    /// hops into `out`. Acquiring the snapshot once per batch keeps the
+    /// read-side overhead negligible for forwarding-style workloads, and
+    /// the underlying [`Poptrie::lookup_batch`](crate::Poptrie::lookup_batch)
+    /// interleaves the keys with software prefetch.
     pub fn lookup_batch(&self, keys: &[K], out: &mut Vec<Option<NextHop>>) {
         out.clear();
-        self.current.read(|t| {
-            out.extend(keys.iter().map(|&k| t.lookup(k)));
-        });
+        out.resize(keys.len(), None);
+        let snap = self.snapshot();
+        let mut raw = vec![poptrie_rib::NO_ROUTE; keys.len()];
+        snap.lookup_batch(keys, &mut raw);
+        for (o, nh) in out.iter_mut().zip(raw) {
+            *o = (nh != poptrie_rib::NO_ROUTE).then_some(nh);
+        }
+    }
+
+    /// Batched raw lookup against one snapshot: next hops into `out`
+    /// ([`NO_ROUTE`](poptrie_rib::NO_ROUTE) for a miss), no allocation.
+    pub fn lookup_batch_raw(&self, keys: &[K], out: &mut [NextHop]) {
+        self.snapshot().lookup_batch(keys, out);
+    }
+
+    fn writer(&self) -> MutexGuard<'_, Fib<K>> {
+        match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 
     /// Announce a route and publish the updated FIB.
     pub fn insert(&self, prefix: Prefix<K>, nh: NextHop) -> Option<NextHop> {
-        let mut w = self.writer.lock();
+        let mut w = self.writer();
         let old = w.insert(prefix, nh);
         self.current.replace(w.poptrie().clone());
         old
@@ -171,7 +205,7 @@ impl<K: Bits> SharedFib<K> {
 
     /// Withdraw a route and publish the updated FIB.
     pub fn remove(&self, prefix: Prefix<K>) -> Option<NextHop> {
-        let mut w = self.writer.lock();
+        let mut w = self.writer();
         let old = w.remove(prefix)?;
         self.current.replace(w.poptrie().clone());
         Some(old)
@@ -181,7 +215,7 @@ impl<K: Bits> SharedFib<K> {
     /// publish a single snapshot at the end — the efficient way to replay
     /// BGP update bursts.
     pub fn update_batch(&self, updates: impl IntoIterator<Item = RouteUpdate<K>>) {
-        let mut w = self.writer.lock();
+        let mut w = self.writer();
         for u in updates {
             match u {
                 RouteUpdate::Announce(p, nh) => {
@@ -197,7 +231,7 @@ impl<K: Bits> SharedFib<K> {
 
     /// Cumulative update-work counters from the writer side.
     pub fn stats(&self) -> UpdateStats {
-        self.writer.lock().stats()
+        self.writer().stats()
     }
 }
 

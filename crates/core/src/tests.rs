@@ -1,7 +1,9 @@
 use crate::sync::{RouteUpdate, SharedFib};
 use crate::{Builder, Fib, Poptrie, PoptrieBasic};
-use poptrie_rib::{LinearLpm, Lpm, Prefix, RadixTree};
-use rand::prelude::*;
+#[cfg(feature = "proptest")] // the oracle is only used by the gated proptests
+use poptrie_rib::LinearLpm;
+use poptrie_rib::{Lpm, Prefix, RadixTree};
+use poptrie_rng::prelude::*;
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
@@ -759,15 +761,19 @@ mod rcu {
         {
             let cell = RcuCell::new(Counted(Arc::clone(&drops)));
             cell.replace(Counted(Arc::clone(&drops)));
+            // With no outstanding snapshots, a replaced value is freed at
+            // the swap itself.
+            assert_eq!(drops.load(Ordering::SeqCst), 1, "replaced value freed");
             cell.replace(Counted(Arc::clone(&drops)));
-            // Epoch reclamation is deferred, but dropping the cell itself
-            // must reclaim the final value immediately.
+            // A held snapshot keeps the value alive across a replace...
+            let snap = cell.snapshot();
+            cell.replace(Counted(Arc::clone(&drops)));
+            assert_eq!(drops.load(Ordering::SeqCst), 2, "snapshot pins value");
+            // ...until it drops.
+            drop(snap);
+            assert_eq!(drops.load(Ordering::SeqCst), 3, "freed with snapshot");
         }
-        // Flush deferred destructions.
-        for _ in 0..512 {
-            crossbeam_epoch::pin().flush();
-        }
-        assert_eq!(drops.load(Ordering::SeqCst), 3, "all three values dropped");
+        assert_eq!(drops.load(Ordering::SeqCst), 4, "all four values dropped");
     }
 
     #[test]
@@ -800,6 +806,7 @@ mod rcu {
     }
 }
 
+#[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -1,6 +1,8 @@
 use crate::{Dir248, Dir248Error, MAX_LONG_BLOCKS};
-use poptrie_rib::{LinearLpm, Lpm, Prefix, RadixTree};
-use rand::prelude::*;
+#[cfg(feature = "proptest")] // the oracle is only used by the gated proptests
+use poptrie_rib::LinearLpm;
+use poptrie_rib::{Lpm, Prefix, RadixTree};
+use poptrie_rng::prelude::*;
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
@@ -113,6 +115,7 @@ fn next_hop_limits() {
     );
 }
 
+#[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod prop {
     use super::*;
     use proptest::prelude::*;

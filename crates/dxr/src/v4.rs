@@ -1,5 +1,6 @@
 //! IPv4 DXR: D16R and D18R.
 
+use poptrie_bitops::BATCH_LANES;
 use poptrie_rib::radix::Node as RadixNode;
 use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
 
@@ -274,6 +275,81 @@ impl Dxr {
         }
     }
 
+    /// Batched lookup: `keys[i]` resolves into `out[i]` ([`NO_ROUTE`] on
+    /// a miss). DXR's two memory stages are interleaved over
+    /// [`BATCH_LANES`]-key chunks: every lane's directory line is
+    /// prefetched before any is read, then each lane decodes its entry
+    /// and prefetches the first and middle lines of its range fragment —
+    /// the cache lines a binary search touches first — before any lane
+    /// runs its search. Per-key semantics are exactly those of
+    /// [`Dxr::lookup_raw`].
+    ///
+    /// # Panics
+    /// If `keys.len() != out.len()`.
+    pub fn lookup_batch(&self, keys: &[u32], out: &mut [NextHop]) {
+        assert_eq!(keys.len(), out.len(), "keys/out length mismatch");
+        for (keys, out) in keys.chunks(BATCH_LANES).zip(out.chunks_mut(BATCH_LANES)) {
+            self.lookup_batch_chunk(keys, out);
+        }
+    }
+
+    fn lookup_batch_chunk(&self, keys: &[u32], out: &mut [NextHop]) {
+        debug_assert!(keys.len() <= BATCH_LANES && keys.len() == out.len());
+        let n = keys.len();
+        let s = self.cfg.direct_bits as u32;
+        let rem_bits = 32 - s;
+        // Wave 1: directory lines.
+        let mut di = [0usize; BATCH_LANES];
+        for (i, &k) in keys.iter().enumerate() {
+            di[i] = (k >> rem_bits) as usize;
+            poptrie_bitops::prefetch_index(&self.direct, di[i]);
+        }
+        // Wave 2: decode entries and hint the range fragments.
+        let mut index = [0usize; BATCH_LANES];
+        let mut count = [0usize; BATCH_LANES];
+        let mut short_fmt = [false; BATCH_LANES];
+        for i in 0..n {
+            debug_assert!(di[i] < self.direct.len());
+            // SAFETY: `key >> rem_bits` has `s` bits; `direct.len() == 1 << s`.
+            let entry = unsafe { *self.direct.get_unchecked(di[i]) };
+            if self.cfg.extended_index {
+                index[i] = (entry & ((1 << EXT_INDEX_BITS) - 1)) as usize;
+                count[i] = (entry >> EXT_INDEX_BITS) as usize;
+            } else {
+                index[i] = (entry & ((1 << STD_INDEX_BITS) - 1)) as usize;
+                count[i] = ((entry >> STD_INDEX_BITS) & ((1 << COUNT_BITS) - 1)) as usize;
+                short_fmt[i] = entry >> 31 != 0;
+            }
+            if short_fmt[i] {
+                poptrie_bitops::prefetch_index(&self.short, index[i]);
+                poptrie_bitops::prefetch_index(&self.short, index[i] + count[i] / 2);
+            } else {
+                poptrie_bitops::prefetch_index(&self.long, index[i]);
+                poptrie_bitops::prefetch_index(&self.long, index[i] + count[i] / 2);
+            }
+        }
+        // Wave 3: per-lane binary search over the (now in-flight) ranges.
+        for i in 0..n {
+            let rem = keys[i] & ((1u32 << rem_bits) - 1);
+            if short_fmt[i] {
+                let hi = (rem >> (rem_bits - 8)) as u16;
+                debug_assert!(index[i] + count[i] <= self.short.len());
+                // SAFETY: encode_chunk wrote `count` entries at `index`.
+                let slice = unsafe { self.short.get_unchecked(index[i]..index[i] + count[i]) };
+                let pos = slice.partition_point(|&r| (r >> 8) <= hi);
+                // SAFETY: the first entry has start 0 <= hi, so pos >= 1.
+                out[i] = (unsafe { *slice.get_unchecked(pos - 1) } & 0xFF) as NextHop;
+            } else {
+                debug_assert!(index[i] + count[i] <= self.long.len());
+                // SAFETY: as above, for the long-format array.
+                let slice = unsafe { self.long.get_unchecked(index[i]..index[i] + count[i]) };
+                let pos = slice.partition_point(|&r| (r >> 16) <= rem);
+                // SAFETY: the first entry has start 0 <= rem, so pos >= 1.
+                out[i] = (unsafe { *slice.get_unchecked(pos - 1) } & 0xFFFF) as NextHop;
+            }
+        }
+    }
+
     /// Total range entries (short + long) — the quantity with the 2^19 /
     /// 2^20 structural limit.
     pub fn range_count(&self) -> usize {
@@ -314,6 +390,10 @@ fn expand_ranges(
 impl Lpm<u32> for Dxr {
     fn lookup(&self, key: u32) -> Option<NextHop> {
         Dxr::lookup(self, key)
+    }
+
+    fn lookup_batch(&self, keys: &[u32], out: &mut [NextHop]) {
+        Dxr::lookup_batch(self, keys, out)
     }
 
     fn memory_bytes(&self) -> usize {

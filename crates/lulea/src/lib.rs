@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use poptrie_bitops::BATCH_LANES;
 use poptrie_rib::radix::Node as RadixNode;
 use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
 
@@ -107,6 +108,14 @@ impl RankedBitmap {
             )
         };
         c + (w & (u64::MAX >> (63 - bit))).count_ones()
+    }
+
+    /// Hint the word and directory lines a `rank(i)` query will read.
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        let word = i >> 6;
+        poptrie_bitops::prefetch_index(&self.words, word);
+        poptrie_bitops::prefetch_index(&self.cum, word);
     }
 
     fn bytes(&self) -> usize {
@@ -327,6 +336,113 @@ impl Lulea {
         self.l3_ptrs[(chunk.base + r - 1) as usize]
     }
 
+    /// Batched lookup: `keys[i]` resolves into `out[i]` ([`NO_ROUTE`] on
+    /// a miss). Each of Luleå's three levels is a short chain — bitmap
+    /// word + rank directory, then the dense pointer array — so the batch
+    /// advances [`BATCH_LANES`] keys through each level in waves: all
+    /// lanes' bitmap lines are hinted before any rank runs, all pointer
+    /// lines before any pointer is read, and lanes descending a level
+    /// hint the next chunk's metadata before it is touched. Per-key
+    /// semantics are exactly those of [`Lulea::lookup_raw`].
+    ///
+    /// # Panics
+    /// If `keys.len() != out.len()`.
+    pub fn lookup_batch(&self, keys: &[u32], out: &mut [NextHop]) {
+        assert_eq!(keys.len(), out.len(), "keys/out length mismatch");
+        for (keys, out) in keys.chunks(BATCH_LANES).zip(out.chunks_mut(BATCH_LANES)) {
+            self.lookup_batch_chunk(keys, out);
+        }
+    }
+
+    fn lookup_batch_chunk(&self, keys: &[u32], out: &mut [NextHop]) {
+        debug_assert!(keys.len() <= BATCH_LANES && keys.len() == out.len());
+        let n = keys.len();
+        let mut pi = [0usize; BATCH_LANES]; // pointer index per lane
+        let mut cid = [0usize; BATCH_LANES]; // chunk id per lane
+
+        // Level 1: rank over the 2^16-slot bitmap, then the pointer.
+        for &k in keys {
+            self.l1_heads.prefetch((k >> 16) as usize);
+        }
+        for i in 0..n {
+            let r = self.l1_heads.rank((keys[i] >> 16) as usize);
+            debug_assert!(r >= 1, "slot 0 is always a head");
+            pi[i] = (r - 1) as usize;
+            poptrie_bitops::prefetch_index(&self.l1_ptrs, pi[i]);
+        }
+        let mut pending: u32 = 0;
+        for i in 0..n {
+            // SAFETY: rank is in 1..=l1_ptrs.len() by construction (slot 0
+            // is always a head and every head pushed one pointer).
+            let ptr = unsafe { *self.l1_ptrs.get_unchecked(pi[i]) };
+            if ptr & CHUNK_FLAG == 0 {
+                out[i] = ptr;
+            } else {
+                cid[i] = (ptr & !CHUNK_FLAG) as usize;
+                pending |= 1 << i;
+                poptrie_bitops::prefetch_index(&self.l2_chunks, cid[i]);
+            }
+        }
+
+        // Level 2.
+        let mut m = pending;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.l2_chunks[cid[i]]
+                .heads
+                .prefetch(((keys[i] >> 8) & 0xFF) as usize);
+        }
+        let mut m = pending;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let chunk = &self.l2_chunks[cid[i]];
+            let r = chunk.heads.rank(((keys[i] >> 8) & 0xFF) as usize);
+            pi[i] = (chunk.base + r - 1) as usize;
+            poptrie_bitops::prefetch_index(&self.l2_ptrs, pi[i]);
+        }
+        let mut m = pending;
+        pending = 0;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let ptr = self.l2_ptrs[pi[i]];
+            if ptr & CHUNK_FLAG == 0 {
+                out[i] = ptr;
+            } else {
+                cid[i] = (ptr & !CHUNK_FLAG) as usize;
+                pending |= 1 << i;
+                poptrie_bitops::prefetch_index(&self.l3_chunks, cid[i]);
+            }
+        }
+
+        // Level 3: next hops only.
+        let mut m = pending;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.l3_chunks[cid[i]]
+                .heads
+                .prefetch((keys[i] & 0xFF) as usize);
+        }
+        let mut m = pending;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let chunk = &self.l3_chunks[cid[i]];
+            let r = chunk.heads.rank((keys[i] & 0xFF) as usize);
+            pi[i] = (chunk.base + r - 1) as usize;
+            poptrie_bitops::prefetch_index(&self.l3_ptrs, pi[i]);
+        }
+        let mut m = pending;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            out[i] = self.l3_ptrs[pi[i]];
+        }
+    }
+
     /// Chunk counts at levels 2 and 3.
     pub fn chunk_counts(&self) -> (usize, usize) {
         (self.l2_chunks.len(), self.l3_chunks.len())
@@ -342,6 +458,10 @@ impl Lulea {
 impl Lpm<u32> for Lulea {
     fn lookup(&self, key: u32) -> Option<NextHop> {
         Lulea::lookup(self, key)
+    }
+
+    fn lookup_batch(&self, keys: &[u32], out: &mut [NextHop]) {
+        Lulea::lookup_batch(self, keys, out)
     }
 
     fn memory_bytes(&self) -> usize {

@@ -1,6 +1,8 @@
 use crate::{Lulea, LuleaError, MAX_CHUNKS};
-use poptrie_rib::{LinearLpm, Lpm, Prefix, RadixTree};
-use rand::prelude::*;
+#[cfg(feature = "proptest")] // the oracle is only used by the gated proptests
+use poptrie_rib::LinearLpm;
+use poptrie_rib::{Lpm, Prefix, RadixTree};
+use poptrie_rng::prelude::*;
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
@@ -144,6 +146,7 @@ fn next_hop_overflow_reported() {
     assert_eq!(Lpm::name(&l), "Lulea");
 }
 
+#[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod prop {
     use super::*;
     use proptest::prelude::*;

@@ -1,4 +1,6 @@
-use crate::{LinearLpm, Lpm, Patricia, Prefix, RadixTree};
+#[cfg(feature = "proptest")] // the oracle is only used by the gated proptests
+use crate::LinearLpm;
+use crate::{Lpm, Patricia, Prefix, RadixTree};
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
@@ -286,7 +288,7 @@ mod aggregate {
     #[test]
     fn preserves_semantics_exhaustively_u8() {
         // Dense random tables over an 8-bit space, checked for every key.
-        use rand::prelude::*;
+        use poptrie_rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..200 {
             let n = rng.gen_range(0..40);
@@ -409,7 +411,7 @@ mod aggregate_more {
 
     #[test]
     fn aggregation_is_idempotent() {
-        use rand::prelude::*;
+        use poptrie_rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(41);
         for _ in 0..50 {
             let mut t: RadixTree<u16, u16> = RadixTree::new();
@@ -462,7 +464,7 @@ mod aggregate_more {
 
 mod depth {
     use super::*;
-    use rand::prelude::*;
+    use poptrie_rng::prelude::*;
 
     #[test]
     fn depth_lookup_agrees_with_plain_lookup() {
@@ -541,7 +543,7 @@ mod diff {
 
     #[test]
     fn applying_a_diff_converges_the_tables() {
-        use rand::prelude::*;
+        use poptrie_rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(44);
         for _ in 0..20 {
             let mut old: RadixTree<u16, u16> = RadixTree::new();
@@ -612,6 +614,7 @@ mod u64_keys {
     }
 }
 
+#[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod cross_validation {
     use super::*;
     use proptest::prelude::*;

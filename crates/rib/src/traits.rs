@@ -31,6 +31,27 @@ pub trait Lpm<K: Bits> {
     /// hop, or `None` when no route (not even a default route) matches.
     fn lookup(&self, key: K) -> Option<NextHop>;
 
+    /// Batched longest-prefix-match: resolve `keys[i]` into `out[i]`,
+    /// storing [`NO_ROUTE`] for a miss (the raw-sentinel convention of
+    /// the hot paths, so no `Option` materializes per key).
+    ///
+    /// The default implementation is the scalar loop; structures with an
+    /// array-based layout override it with an interleaved walk that
+    /// issues software prefetches one step ahead of each in-flight key,
+    /// converting dependent-load latency into memory-level parallelism.
+    /// Semantics are identical either way — the `lookup_batch` ≡
+    /// `lookup` differential test in `tests/cross_validation.rs` holds
+    /// for every implementation in the workspace.
+    ///
+    /// # Panics
+    /// If `keys.len() != out.len()`.
+    fn lookup_batch(&self, keys: &[K], out: &mut [NextHop]) {
+        assert_eq!(keys.len(), out.len(), "keys/out length mismatch");
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.lookup(k).unwrap_or(NO_ROUTE);
+        }
+    }
+
     /// The memory footprint of the lookup structure in bytes, counting the
     /// arrays a lookup can touch (the quantity reported in Tables 2 and 3
     /// of the paper). Excludes the RIB the structure was compiled from.
@@ -45,6 +66,12 @@ impl<K: Bits, T: Lpm<K> + ?Sized> Lpm<K> for &T {
     fn lookup(&self, key: K) -> Option<NextHop> {
         (**self).lookup(key)
     }
+    // Forwarded explicitly (not left to the default body) so that a
+    // `&dyn Lpm` reaches the underlying type's interleaved override
+    // rather than falling back to the scalar loop.
+    fn lookup_batch(&self, keys: &[K], out: &mut [NextHop]) {
+        (**self).lookup_batch(keys, out)
+    }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
     }
@@ -56,6 +83,9 @@ impl<K: Bits, T: Lpm<K> + ?Sized> Lpm<K> for &T {
 impl<K: Bits, T: Lpm<K> + ?Sized> Lpm<K> for Box<T> {
     fn lookup(&self, key: K) -> Option<NextHop> {
         (**self).lookup(key)
+    }
+    fn lookup_batch(&self, keys: &[K], out: &mut [NextHop]) {
+        (**self).lookup_batch(keys, out)
     }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()

@@ -1,0 +1,105 @@
+//! Marsaglia xorshift generators (reference \[22\] of the paper).
+//!
+//! The paper generates "each random number … just before the lookup
+//! routine using the xorshift, which allocates only four 32-bit
+//! variables" — i.e. the xorshift128 generator below. A 128-bit IPv6
+//! address costs "four xorshift 32-bit random number generation" (§4.10).
+
+/// The classic 32-bit xorshift (13, 17, 5) — one word of state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xorshift32 {
+    state: u32,
+}
+
+impl Xorshift32 {
+    /// Seed the generator. A zero seed is remapped (xorshift has no zero
+    /// state).
+    pub fn new(seed: u32) -> Self {
+        Xorshift32 {
+            state: if seed == 0 { 0x9E37_79B9 } else { seed },
+        }
+    }
+
+    /// Next 32-bit value.
+    #[inline(always)]
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+}
+
+impl Iterator for Xorshift32 {
+    type Item = u32;
+
+    #[inline(always)]
+    fn next(&mut self) -> Option<u32> {
+        Some(self.next_u32())
+    }
+}
+
+/// Marsaglia's xorshift128: four 32-bit words of state, the generator the
+/// paper cites for its random traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xorshift128 {
+    x: u32,
+    y: u32,
+    z: u32,
+    w: u32,
+}
+
+impl Xorshift128 {
+    /// Seed from a single word (expanded with splitmix-style mixing so
+    /// nearby seeds diverge immediately).
+    pub fn new(seed: u32) -> Self {
+        let mut s = seed.wrapping_add(0x9E37_79B9);
+        let mut next = || {
+            s = s.wrapping_mul(0x85EB_CA6B) ^ (s >> 13);
+            s = s.wrapping_add(0xC2B2_AE35);
+            if s == 0 {
+                s = 1;
+            }
+            s
+        };
+        Xorshift128 {
+            x: next(),
+            y: next(),
+            z: next(),
+            w: next(),
+        }
+    }
+
+    /// Next 32-bit value (Marsaglia's xor128).
+    #[inline(always)]
+    pub fn next_u32(&mut self) -> u32 {
+        let t = self.x ^ (self.x << 11);
+        self.x = self.y;
+        self.y = self.z;
+        self.z = self.w;
+        self.w = (self.w ^ (self.w >> 19)) ^ (t ^ (t >> 8));
+        self.w
+    }
+
+    /// Next 128-bit value from four 32-bit draws (the §4.10 recipe for a
+    /// random IPv6 address).
+    #[inline(always)]
+    pub fn next_u128(&mut self) -> u128 {
+        let a = self.next_u32() as u128;
+        let b = self.next_u32() as u128;
+        let c = self.next_u32() as u128;
+        let d = self.next_u32() as u128;
+        (a << 96) | (b << 64) | (c << 32) | d
+    }
+}
+
+impl Iterator for Xorshift128 {
+    type Item = u32;
+
+    #[inline(always)]
+    fn next(&mut self) -> Option<u32> {
+        Some(self.next_u32())
+    }
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use poptrie_bitops::BATCH_LANES;
 use poptrie_rib::radix::Node as RadixNode;
 use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
 
@@ -251,6 +252,76 @@ impl Sail {
         unsafe { *self.n32.get_unchecked(k) }
     }
 
+    /// Batched lookup: `keys[i]` resolves into `out[i]` ([`NO_ROUTE`] on a
+    /// miss). SAIL has at most three dependent reads per key, so the batch
+    /// runs level by level over [`BATCH_LANES`]-key chunks: all lanes'
+    /// level-16 lines are prefetched before any is read, lanes that
+    /// descend prefetch their level-24 line while the remaining lanes are
+    /// still being classified, and likewise for level 32. Per-key
+    /// semantics are exactly those of [`Sail::lookup_raw`].
+    ///
+    /// # Panics
+    /// If `keys.len() != out.len()`.
+    pub fn lookup_batch(&self, keys: &[u32], out: &mut [NextHop]) {
+        assert_eq!(keys.len(), out.len(), "keys/out length mismatch");
+        for (keys, out) in keys.chunks(BATCH_LANES).zip(out.chunks_mut(BATCH_LANES)) {
+            self.lookup_batch_chunk(keys, out);
+        }
+    }
+
+    fn lookup_batch_chunk(&self, keys: &[u32], out: &mut [NextHop]) {
+        debug_assert!(keys.len() <= BATCH_LANES && keys.len() == out.len());
+        let n = keys.len();
+        let mut idx = [0usize; BATCH_LANES];
+        // Level 16: hint every lane's line, then read.
+        for (i, &k) in keys.iter().enumerate() {
+            idx[i] = (k >> 16) as usize;
+            poptrie_bitops::prefetch_index(&self.n16, idx[i]);
+        }
+        let mut pending: u32 = 0; // lanes descending to the next level
+        for i in 0..n {
+            // SAFETY: `key >> 16 < 2^16 == n16.len()`.
+            let v = unsafe { *self.n16.get_unchecked(idx[i]) };
+            if v & CHUNK_FLAG == 0 {
+                out[i] = v;
+            } else {
+                let j = (((v & !CHUNK_FLAG) as usize) << 8) | ((keys[i] >> 8) & 0xFF) as usize;
+                idx[i] = j;
+                pending |= 1 << i;
+                poptrie_bitops::prefetch_index(&self.n24, j);
+            }
+        }
+        // Level 24.
+        let mut m = pending;
+        pending = 0;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            debug_assert!(idx[i] < self.n24.len());
+            // SAFETY: chunk ids stored in n16 index fully-allocated
+            // 256-entry blocks of n24.
+            let v = unsafe { *self.n24.get_unchecked(idx[i]) };
+            if v & CHUNK_FLAG == 0 {
+                out[i] = v;
+            } else {
+                let k = (((v & !CHUNK_FLAG) as usize) << 8) | (keys[i] & 0xFF) as usize;
+                idx[i] = k;
+                pending |= 1 << i;
+                poptrie_bitops::prefetch_index(&self.n32, k);
+            }
+        }
+        // Level 32.
+        let mut m = pending;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            debug_assert!(idx[i] < self.n32.len());
+            // SAFETY: chunk ids stored in n24 index fully-allocated
+            // 256-entry blocks of n32.
+            out[i] = unsafe { *self.n32.get_unchecked(idx[i]) };
+        }
+    }
+
     /// Chunk counts at levels 24 and 32 (bounded by [`MAX_CHUNKS`]).
     pub fn chunk_counts(&self) -> (usize, usize) {
         (self.n24.len() / 256, self.n32.len() / 256)
@@ -270,6 +341,10 @@ fn encode_nh(nh: NextHop) -> Result<u16, SailError> {
 impl Lpm<u32> for Sail {
     fn lookup(&self, key: u32) -> Option<NextHop> {
         Sail::lookup(self, key)
+    }
+
+    fn lookup_batch(&self, keys: &[u32], out: &mut [NextHop]) {
+        Sail::lookup_batch(self, keys, out)
     }
 
     fn memory_bytes(&self) -> usize {

@@ -1,6 +1,8 @@
 use crate::{Sail, SailError, MAX_CHUNKS};
-use poptrie_rib::{LinearLpm, Lpm, Prefix, RadixTree};
-use rand::prelude::*;
+#[cfg(feature = "proptest")] // the oracle is only used by the gated proptests
+use poptrie_rib::LinearLpm;
+use poptrie_rib::{Lpm, Prefix, RadixTree};
+use poptrie_rng::prelude::*;
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
@@ -171,6 +173,7 @@ fn memory_accounting() {
     assert_eq!(Lpm::name(&s), "SAIL");
 }
 
+#[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod prop {
     use super::*;
     use proptest::prelude::*;

@@ -1,7 +1,7 @@
 //! The IPv4 table generator.
 
 use poptrie_rib::{NextHop, Prefix, RadixTree};
-use rand::prelude::*;
+use poptrie_rng::prelude::*;
 use std::collections::HashSet;
 
 use crate::dist::{sample_weighted, total_weight, BGP_V4_WEIGHTS, IGP_V4_WEIGHTS, REAL_V4_WEIGHTS};

@@ -7,7 +7,7 @@
 //! distinct next hop".
 
 use poptrie_rib::{NextHop, Prefix, RadixTree};
-use rand::prelude::*;
+use poptrie_rng::prelude::*;
 use std::collections::HashSet;
 
 use crate::dist::BGP_V6_WEIGHTS;

@@ -9,7 +9,7 @@
 //! prefixes; withdrawals remove currently present prefixes.
 
 use poptrie_rib::{NextHop, Prefix};
-use rand::prelude::*;
+use poptrie_rng::prelude::*;
 
 use crate::gen::{seed_for, Dataset};
 

@@ -23,7 +23,7 @@ pub mod patterns;
 pub mod trace;
 pub mod xorshift;
 
-pub use patterns::{random_v4, random_v6_in_2000, repeated_v4, sequential_v4};
+pub use patterns::{fill, random_v4, random_v6_in_2000, repeated_v4, sequential_v4};
 pub use trace::{RealTrace, TraceConfig};
 pub use xorshift::{Xorshift128, Xorshift32};
 

@@ -39,3 +39,115 @@ pub fn random_v6_in_2000(seed: u32, count: u64) -> impl Iterator<Item = u128> {
     let mut rng = Xorshift128::new(seed);
     (0..count).map(move |_| (0x20u128 << 120) | (rng.next_u128() >> 8))
 }
+
+/// Resumable slice fillers for the batched measurement loops: the bench
+/// harness refills one reusable key buffer per batch instead of
+/// materializing the full pattern, so the generator has to carry its
+/// state across calls. Each pattern's `fill` produces exactly the same
+/// key sequence as its iterator counterpart above.
+pub mod fill {
+    use crate::xorshift::Xorshift128;
+
+    /// Streaming source of the *random* IPv4 pattern ([`random_v4`]).
+    ///
+    /// [`random_v4`]: super::random_v4
+    #[derive(Debug, Clone)]
+    pub struct RandomV4(Xorshift128);
+
+    impl RandomV4 {
+        /// Start the stream that [`random_v4`](super::random_v4) yields
+        /// for `seed`.
+        pub fn new(seed: u32) -> Self {
+            RandomV4(Xorshift128::new(seed))
+        }
+
+        /// Fill `out` with the next `out.len()` keys of the stream.
+        pub fn fill(&mut self, out: &mut [u32]) {
+            for k in out {
+                *k = self.0.next_u32();
+            }
+        }
+    }
+
+    /// Streaming source of the *sequential* pattern ([`sequential_v4`]).
+    ///
+    /// [`sequential_v4`]: super::sequential_v4
+    #[derive(Debug, Clone)]
+    pub struct SequentialV4(u32);
+
+    impl SequentialV4 {
+        /// Start at `start`, wrapping at the top of the address space.
+        pub fn new(start: u32) -> Self {
+            SequentialV4(start)
+        }
+
+        /// Fill `out` with the next `out.len()` addresses.
+        pub fn fill(&mut self, out: &mut [u32]) {
+            for k in out {
+                *k = self.0;
+                self.0 = self.0.wrapping_add(1);
+            }
+        }
+    }
+
+    /// Streaming source of the *repeated* pattern ([`repeated_v4`]).
+    ///
+    /// [`repeated_v4`]: super::repeated_v4
+    #[derive(Debug, Clone)]
+    pub struct RepeatedV4 {
+        rng: Xorshift128,
+        current: u32,
+        remaining: u32,
+        times: u32,
+    }
+
+    impl RepeatedV4 {
+        /// Random addresses, each issued `times` times consecutively.
+        pub fn new(seed: u32, times: u32) -> Self {
+            assert!(times > 0);
+            let mut rng = Xorshift128::new(seed);
+            let current = rng.next_u32();
+            RepeatedV4 {
+                rng,
+                current,
+                remaining: times,
+                times,
+            }
+        }
+
+        /// Fill `out` with the next `out.len()` addresses.
+        pub fn fill(&mut self, out: &mut [u32]) {
+            for k in out {
+                if self.remaining == 0 {
+                    self.current = self.rng.next_u32();
+                    self.remaining = self.times;
+                }
+                self.remaining -= 1;
+                *k = self.current;
+            }
+        }
+    }
+
+    /// Streaming source of the IPv6 random pattern
+    /// ([`random_v6_in_2000`]).
+    ///
+    /// [`random_v6_in_2000`]: super::random_v6_in_2000
+    #[derive(Debug, Clone)]
+    pub struct RandomV6In2000(Xorshift128);
+
+    impl RandomV6In2000 {
+        /// Start the stream that
+        /// [`random_v6_in_2000`](super::random_v6_in_2000) yields for
+        /// `seed`.
+        pub fn new(seed: u32) -> Self {
+            RandomV6In2000(Xorshift128::new(seed))
+        }
+
+        /// Fill `out` with the next `out.len()` addresses.
+        pub fn fill(&mut self, out: &mut [u128]) {
+            for k in out {
+                *k = (0x20u128 << 120) | (self.0.next_u128() >> 8);
+            }
+        }
+    }
+}

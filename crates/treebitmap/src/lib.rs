@@ -30,7 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use poptrie_bitops::Bits;
+use poptrie_bitops::{Bits, BATCH_LANES};
 use poptrie_rib::radix::Node as RadixNode;
 use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
 
@@ -211,6 +211,95 @@ impl<K: Bits, const S: u32> TreeBitmap<K, S> {
         Some(nh)
     }
 
+    /// Batched lookup: `keys[i]` resolves into `out[i]` (`NO_ROUTE` on a
+    /// miss), interleaving up to [`BATCH_LANES`] keys so their
+    /// dependent-load chains overlap, with a software prefetch issued for
+    /// each lane's next node one round before it is read. Per-key
+    /// semantics are exactly those of [`TreeBitmap::lookup`].
+    ///
+    /// # Panics
+    /// If `keys.len() != out.len()`.
+    pub fn lookup_batch(&self, keys: &[K], out: &mut [NextHop]) {
+        assert_eq!(keys.len(), out.len(), "keys/out length mismatch");
+        for (keys, out) in keys.chunks(BATCH_LANES).zip(out.chunks_mut(BATCH_LANES)) {
+            self.lookup_batch_chunk(keys, out);
+        }
+    }
+
+    fn lookup_batch_chunk(&self, keys: &[K], out: &mut [NextHop]) {
+        debug_assert!(keys.len() <= BATCH_LANES && keys.len() == out.len());
+        let n = keys.len();
+        let mut idx = [0u32; BATCH_LANES];
+        let mut offset = [0u32; BATCH_LANES];
+        // (node index, internal bit) of the deepest match per lane;
+        // u32::MAX marks "no match yet".
+        let mut best = [(u32::MAX, 0u32); BATCH_LANES];
+        let mut live: u32 = (1u32 << n) - 1;
+        poptrie_bitops::prefetch_index(&self.nodes, 0);
+
+        while live != 0 {
+            let mut m = live;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                debug_assert!((idx[i] as usize) < self.nodes.len());
+                // SAFETY: as in `lookup`: index 0 or `child_base + rank - 1`
+                // of a fully allocated child block.
+                let node = unsafe { self.nodes.get_unchecked(idx[i] as usize) };
+                let v = keys[i].extract(offset[i], S);
+                let mut r = S;
+                while r > 0 {
+                    r -= 1;
+                    let bit = internal_bit(r, v >> (S - r));
+                    if node.internal & (1u64 << bit) != 0 {
+                        best[i] = (idx[i], bit);
+                        break;
+                    }
+                }
+                if node.external & (1u64 << v) != 0 {
+                    let rank = (node.external & (u64::MAX >> (63 - v))).count_ones();
+                    let next = node.child_base + rank - 1;
+                    idx[i] = next;
+                    offset[i] += S;
+                    poptrie_bitops::prefetch_index(&self.nodes, next as usize);
+                } else {
+                    live &= !(1 << i);
+                    // The best-match node is hot if it is this node; if the
+                    // match was levels up its line may have been evicted —
+                    // hint it back before the resolution pass below.
+                    if best[i].0 != u32::MAX && best[i].0 != idx[i] {
+                        poptrie_bitops::prefetch_index(&self.nodes, best[i].0 as usize);
+                    }
+                }
+            }
+        }
+
+        // Resolution: compute each lane's result index, prefetch the
+        // result lines as a group, then read them.
+        let mut ri = [u32::MAX; BATCH_LANES];
+        for i in 0..n {
+            let (nidx, bit) = best[i];
+            if nidx == u32::MAX {
+                out[i] = NO_ROUTE;
+                continue;
+            }
+            let node = &self.nodes[nidx as usize];
+            let below = if bit == 0 {
+                0
+            } else {
+                (node.internal & ((1u64 << bit) - 1)).count_ones()
+            };
+            ri[i] = node.result_base + below;
+            poptrie_bitops::prefetch_index(&self.results, ri[i] as usize);
+        }
+        for i in 0..n {
+            if ri[i] != u32::MAX {
+                out[i] = self.results[ri[i] as usize];
+                debug_assert_ne!(out[i], NO_ROUTE);
+            }
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -225,6 +314,10 @@ impl<K: Bits, const S: u32> TreeBitmap<K, S> {
 impl<K: Bits, const S: u32> Lpm<K> for TreeBitmap<K, S> {
     fn lookup(&self, key: K) -> Option<NextHop> {
         TreeBitmap::lookup(self, key)
+    }
+
+    fn lookup_batch(&self, keys: &[K], out: &mut [NextHop]) {
+        TreeBitmap::lookup_batch(self, keys, out)
     }
 
     fn memory_bytes(&self) -> usize {

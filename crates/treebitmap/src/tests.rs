@@ -1,6 +1,8 @@
 use crate::{internal_bit, TreeBitmap, TreeBitmap4, TreeBitmap64};
-use poptrie_rib::{LinearLpm, Lpm, Prefix, RadixTree};
-use rand::prelude::*;
+#[cfg(feature = "proptest")] // the oracle is only used by the gated proptests
+use poptrie_rib::LinearLpm;
+use poptrie_rib::{Lpm, Prefix, RadixTree};
+use poptrie_rng::prelude::*;
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
@@ -120,6 +122,7 @@ fn memory_and_name() {
     assert_eq!(Lpm::<u32>::name(&t), "Tree BitMap");
 }
 
+#[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod prop {
     use super::*;
     use proptest::prelude::*;

@@ -1,0 +1,177 @@
+//! Edge cases of the batched lookup path: degenerate FIBs, miss
+//! handling, tail batches, and batches against an RCU snapshot while a
+//! writer churns the FIB. The differential test in `cross_validation.rs`
+//! covers the bulk semantics; this file covers the boundaries.
+
+use poptrie_suite::poptrie::sync::{RouteUpdate, SharedFib};
+use poptrie_suite::poptrie::BATCH_LANES;
+use poptrie_suite::traffic::Xorshift128;
+use poptrie_suite::{Builder, Fib, Poptrie, Prefix, RadixTree};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const NO_ROUTE: u16 = 0;
+
+fn build(routes: &[(Prefix<u32>, u16)], s: u8) -> Poptrie<u32> {
+    let rib = RadixTree::from_routes(routes.iter().copied());
+    Builder::new().direct_bits(s).build(&rib)
+}
+
+#[test]
+fn empty_fib_batches_to_all_misses() {
+    for s in [0u8, 16, 18] {
+        let trie = build(&[], s);
+        let mut rng = Xorshift128::new(1);
+        // Cover the empty batch, sub-lane batches, one full lane block,
+        // and a multi-block batch with a partial tail.
+        for n in [0usize, 1, BATCH_LANES - 1, BATCH_LANES, 3 * BATCH_LANES + 5] {
+            let keys: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+            let mut out = vec![0xAAAA; n];
+            trie.lookup_batch(&keys, &mut out);
+            assert!(
+                out.iter().all(|&nh| nh == NO_ROUTE),
+                "s={s}, n={n}: empty FIB must miss every key"
+            );
+        }
+    }
+}
+
+#[test]
+fn default_route_only_fib_batches_to_default() {
+    for s in [0u8, 16, 18] {
+        let trie = build(&[(Prefix::new(0, 0), 7)], s);
+        let mut rng = Xorshift128::new(2);
+        let keys: Vec<u32> = (0..1000).map(|_| rng.next_u32()).collect();
+        let mut out = vec![NO_ROUTE; keys.len()];
+        trie.lookup_batch(&keys, &mut out);
+        assert!(
+            out.iter().all(|&nh| nh == 7),
+            "s={s}: default route must catch every key"
+        );
+    }
+}
+
+#[test]
+fn misses_and_hits_interleave_correctly() {
+    // One covered /8 among uncovered space: lanes resolving to a leaf
+    // (hit) and lanes resolving to NO_ROUTE run in the same batch.
+    let trie = build(&[(Prefix::new(0x0A00_0000, 8), 3)], 18);
+    let keys: Vec<u32> = (0..100u32)
+        .map(|i| {
+            if i % 3 == 0 {
+                0x0A00_0000 | (i * 0x0101)
+            } else {
+                0x4200_0000 | (i * 0x0101) // 66.0.0.0/8: no route
+            }
+        })
+        .collect();
+    let mut out = vec![0xAAAA; keys.len()];
+    trie.lookup_batch(&keys, &mut out);
+    for (i, (&k, &nh)) in keys.iter().zip(&out).enumerate() {
+        let want = if k >> 24 == 0x0A { 3 } else { NO_ROUTE };
+        assert_eq!(nh, want, "lane {i} key {k:#010x}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "length mismatch")]
+fn mismatched_output_length_panics() {
+    let trie = build(&[(Prefix::new(0, 0), 1)], 16);
+    let keys = [1u32, 2, 3];
+    let mut out = [NO_ROUTE; 2];
+    trie.lookup_batch(&keys, &mut out);
+}
+
+#[test]
+fn incremental_fib_batches_like_scalar_across_updates() {
+    // The Fib updater produces tries the builder never emits verbatim
+    // (buddy-reallocated blocks, patched direct slots); the batched
+    // walker must agree with the scalar one on those, too.
+    let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+    let mut rng = Xorshift128::new(3);
+    for i in 0..300u32 {
+        let len = 8 + (rng.next_u32() % 17) as u8;
+        let p = Prefix::new(rng.next_u32() & (u32::MAX << (32 - len)), len);
+        fib.insert(p, (i % 200 + 1) as u16);
+        if i % 5 == 0 {
+            fib.remove(p);
+        }
+        if i % 32 == 0 {
+            let keys: Vec<u32> = (0..257).map(|_| rng.next_u32()).collect();
+            let mut out = vec![NO_ROUTE; keys.len()];
+            fib.poptrie().lookup_batch(&keys, &mut out);
+            for (&k, &nh) in keys.iter().zip(&out) {
+                assert_eq!(nh, fib.lookup(k).unwrap_or(NO_ROUTE), "key {k:#010x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_fib_batch_is_consistent_under_concurrent_updates() {
+    // A batch runs against one RCU snapshot, so while a writer churns
+    // some routes, (a) untouched routes must always resolve, and (b) a
+    // churned route must resolve to exactly its inserted next hop or a
+    // miss — never garbage and never a torn read.
+    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_direct_bits(16));
+    fib.insert("10.0.0.0/8".parse().unwrap(), 1);
+    fib.insert("172.16.0.0/12".parse().unwrap(), 2);
+    let churn_prefix: Prefix<u32> = "192.168.0.0/16".parse().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let fib = Arc::clone(&fib);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut announced = false;
+            while !stop.load(Ordering::Relaxed) {
+                if announced {
+                    fib.update_batch([RouteUpdate::Withdraw(churn_prefix)]);
+                } else {
+                    fib.update_batch([RouteUpdate::Announce(churn_prefix, 9)]);
+                }
+                announced = !announced;
+            }
+        })
+    };
+
+    let keys: Vec<u32> = vec![
+        0x0A01_0203, // 10.1.2.3      -> always 1
+        0xC0A8_0001, // 192.168.0.1   -> 9 or miss, per snapshot
+        0xAC10_0101, // 172.16.1.1    -> always 2
+        0xC0A8_FFFF, // 192.168.255.255
+        0x0808_0808, // 8.8.8.8       -> always miss
+    ];
+    let mut opt_out = Vec::new();
+    let mut raw_out = vec![NO_ROUTE; keys.len()];
+    for _ in 0..2_000 {
+        fib.lookup_batch(&keys, &mut opt_out);
+        assert_eq!(opt_out[0], Some(1));
+        assert_eq!(opt_out[2], Some(2));
+        assert_eq!(opt_out[4], None);
+        for churned in [opt_out[1], opt_out[3]] {
+            assert!(churned == Some(9) || churned.is_none(), "got {churned:?}");
+        }
+        // The raw variant sees one snapshot per call, so within a call
+        // the two churned keys must agree with each other.
+        fib.lookup_batch_raw(&keys, &mut raw_out);
+        assert_eq!(raw_out[0], 1);
+        assert_eq!(raw_out[2], 2);
+        assert_eq!(raw_out[4], NO_ROUTE);
+        assert_eq!(
+            raw_out[1], raw_out[3],
+            "one batch must see one consistent snapshot"
+        );
+        assert!(raw_out[1] == 9 || raw_out[1] == NO_ROUTE);
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread");
+
+    // A snapshot taken before an update keeps answering from the old FIB.
+    let pre = fib.snapshot();
+    let had = pre.lookup(0xC0A8_0001);
+    fib.insert(churn_prefix, 9);
+    assert_eq!(pre.lookup(0xC0A8_0001), had, "snapshot must be immutable");
+    assert_eq!(fib.lookup(0xC0A8_0001), Some(9));
+}

@@ -10,8 +10,8 @@ use poptrie_suite::tablegen::{expand_syn1, expand_syn2, Dataset, TableKind, Tabl
 use poptrie_suite::traffic::Xorshift128;
 use poptrie_suite::{Builder, LinearLpm, Lpm, Patricia, Poptrie, PoptrieBasic, Prefix};
 
-/// Build every algorithm and check agreement on random + adversarial keys.
-fn validate(dataset: &Dataset, random_keys: usize) {
+/// Build one instance of every algorithm in the workspace for `dataset`.
+fn build_algos(dataset: &Dataset) -> Vec<(String, Box<dyn Lpm<u32>>)> {
     let rib = dataset.to_rib();
     let mut algos: Vec<(String, Box<dyn Lpm<u32>>)> = Vec::new();
     let mut pat: Patricia<u32, u16> = Patricia::new();
@@ -60,6 +60,13 @@ fn validate(dataset: &Dataset, random_keys: usize) {
                 .build(&rib),
         ),
     ));
+    algos
+}
+
+/// Build every algorithm and check agreement on random + adversarial keys.
+fn validate(dataset: &Dataset, random_keys: usize) {
+    let rib = dataset.to_rib();
+    let algos = build_algos(dataset);
 
     let check = |key: u32| {
         let want = Lpm::lookup(&rib, key);
@@ -169,6 +176,34 @@ fn tiny_and_pathological_tables_agree() {
         },
         5_000,
     );
+}
+
+#[test]
+fn batched_lookup_matches_scalar() {
+    // The differential contract of Lpm::lookup_batch: for every algorithm
+    // (interleaved+prefetch overrides and default scalar loops alike),
+    // batching must be unobservable except in speed. 100_003 keys makes
+    // the count a non-multiple of every exercised batch size, so each
+    // partial tail chunk — and the overrides' internal 8-lane tail — is
+    // hit too.
+    let d = spec("xval-batch", 30_000, 32, TableKind::Real);
+    let algos = build_algos(&d);
+    let mut rng = Xorshift128::new(0xBA7C);
+    let keys: Vec<u32> = (0..100_003).map(|_| rng.next_u32()).collect();
+    for (name, fib) in &algos {
+        let want: Vec<u16> = keys.iter().map(|&k| fib.lookup(k).unwrap_or(0)).collect();
+        for batch in [1usize, 7, 8, 1000] {
+            let mut got = vec![0u16; keys.len()];
+            for (kc, oc) in keys.chunks(batch).zip(got.chunks_mut(batch)) {
+                fib.lookup_batch(kc, oc);
+            }
+            assert_eq!(got, want, "{name}, batch size {batch}");
+        }
+        // One whole-array call, driving the implementation's own chunking.
+        let mut got = vec![0u16; keys.len()];
+        fib.lookup_batch(&keys, &mut got);
+        assert_eq!(got, want, "{name}, single 100_003-key call");
+    }
 }
 
 #[test]

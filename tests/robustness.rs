@@ -4,6 +4,8 @@
 //! from the network and from disk, so panicking on malformed input would
 //! be a denial-of-service bug.
 
+#![cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
+
 use poptrie_suite::poptrie::{Poptrie, PoptrieBasic};
 use poptrie_suite::tablegen::mrt::parse_table_dump_v2;
 use proptest::prelude::*;
