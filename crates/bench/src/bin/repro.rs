@@ -23,7 +23,7 @@
 //! `--quick` shrinks workloads for smoke runs; `--full` uses paper-scale
 //! 2^32-lookup measurements (slow).
 
-use poptrie::{Builder, Fib, Poptrie};
+use poptrie::{Builder, Fib, Poptrie, UpdateStrategy};
 use poptrie_bench::algorithms::{build_all_v4, build_v4, Algo, BuildOutcome};
 use poptrie_bench::measure::{
     batched_cycles_per_lookup, cycle_percentiles, cycle_samples, mean_std, measure_mlps,
@@ -33,7 +33,9 @@ use poptrie_bench::report::{mean_std_cell, mib, Table};
 use poptrie_cycles::{Candlestick, Cdf, Heatmap};
 use poptrie_dxr::Dxr6;
 use poptrie_rib::Lpm;
+use poptrie_rng::StdRng;
 use poptrie_tablegen as tablegen;
+use poptrie_tablegen::{churn_stream, ChurnConfig, ChurnEvent};
 use poptrie_traffic::{random_v6_in_2000, RealTrace, TraceConfig, Xorshift128};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -75,6 +77,7 @@ fn main() {
         "fig11" => fig11(&mut ctx),
         "fig12" => fig12(&mut ctx),
         "updates" => updates(&mut ctx),
+        "audit" => audit(&mut ctx),
         "stats" => stats(&mut ctx, &args),
         "serial" => serial(&mut ctx),
         "locality" => locality(&mut ctx),
@@ -109,6 +112,10 @@ usage: repro <experiment> [--quick | --full] [--compare]
 experiments: table1 table2 table3 table4 table5 table6
              fig7 fig8 fig9 fig10 fig11 fig12 updates all
              stats <dataset|SYN1-...|SYN2-...>   structural diagnostics
+             audit    structural invariant audit: fresh builds, the §4.9
+                      replay under both update strategies, and a seeded
+                      churn-fuzz run cross-checked against the RIB
+                      (--quick bounds it to a few seconds; CI runs that)
              serial   dependent-lookup latency comparison (ablation)
              locality sequential/repeated rates on REAL-Tier1-B (§4.5)
              batch    scalar vs batched+prefetch lookup rate (ablation)
@@ -1073,4 +1080,171 @@ fn updates(ctx: &mut Ctx) {
             dt * 1e6 / dataset.len() as f64
         );
     }
+}
+
+// --------------------------------------------------------------- audit
+
+fn print_report(label: &str, r: poptrie::AuditReport) {
+    println!(
+        "  {label}: audit ok — {} inodes / {} leaves in {} node + {} leaf blocks \
+         ({} + {} rounded slots), depth {}",
+        r.inodes,
+        r.leaves,
+        r.node_blocks,
+        r.leaf_blocks,
+        r.node_slots_rounded,
+        r.leaf_slots_rounded,
+        r.max_depth
+    );
+}
+
+/// Replay a seeded adversarial churn stream against a fresh FIB and a
+/// RIB oracle, probing the touched prefix's address range after every
+/// event and auditing the structure periodically.
+fn churn_audit<K: poptrie_bitops::Bits>(label: &str, cfg: &ChurnConfig, audit_every: usize) {
+    let stream = churn_stream::<K>(cfg);
+    let mut oracle: poptrie_rib::RadixTree<K, poptrie_rib::NextHop> = poptrie_rib::RadixTree::new();
+    let mut fib: Fib<K> = Fib::with_direct_bits(cfg.direct_bits);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0b5e_55ed);
+    let (mut effective, mut checked) = (0u64, 0u64);
+    let start = Instant::now();
+    for (i, ev) in stream.iter().enumerate() {
+        match *ev {
+            ChurnEvent::Announce(p, nh) => {
+                if fib.insert(p, nh) != Some(nh) {
+                    effective += 1;
+                }
+                oracle.insert(p, nh);
+            }
+            ChurnEvent::Withdraw(p) => {
+                if fib.remove(p).is_some() {
+                    effective += 1;
+                }
+                oracle.remove(p);
+            }
+        }
+        let p = ev.prefix();
+        let inside = K::from_u128(
+            p.first_addr().to_u128()
+                | (rng.gen::<u128>() & !K::prefix_mask(p.len() as u32).to_u128()),
+        );
+        for key in [p.first_addr(), p.last_addr(), inside] {
+            let want = Lpm::lookup(&oracle, key);
+            assert_eq!(
+                fib.lookup(key),
+                want,
+                "seed {} event {i}: key {:#x} diverged from the RIB oracle",
+                cfg.seed,
+                key.to_u128()
+            );
+            checked += 1;
+        }
+        if (i + 1) % audit_every == 0 {
+            fib.poptrie()
+                .audit()
+                .unwrap_or_else(|e| panic!("seed {} event {i}: {e}", cfg.seed));
+        }
+    }
+    let r = fib
+        .poptrie()
+        .audit()
+        .unwrap_or_else(|e| panic!("seed {}: final audit: {e}", cfg.seed));
+    println!(
+        "  {label}: {} events ({} effective), {} oracle-checked lookups in {:.2} s",
+        stream.len(),
+        effective,
+        checked,
+        start.elapsed().as_secs_f64()
+    );
+    print_report(label, r);
+}
+
+fn audit(ctx: &mut Ctx) {
+    section("structural audit: fresh builds, §4.9 replay, churn fuzz");
+
+    // 1. Fresh compilations must audit clean, IPv4 and IPv6.
+    let names: &[&str] = if ctx.quick {
+        &["RV-sydney-p0"]
+    } else {
+        &["REAL-Tier1-A", "RV-linx-p52"]
+    };
+    for name in names {
+        let rib = ctx.dataset(name).clone().to_rib();
+        let t: Poptrie<u32> = Builder::new().direct_bits(18).aggregate(false).build(&rib);
+        print_report(name, t.audit().expect("fresh v4 build must audit clean"));
+    }
+    let d6 = tablegen::ipv6_dataset("RV6-linx-p0");
+    let t6: Poptrie<u128> = Builder::new()
+        .direct_bits(16)
+        .aggregate(false)
+        .build(&d6.to_rib());
+    print_report(
+        "RV6-linx-p0",
+        t6.audit().expect("fresh v6 build must audit clean"),
+    );
+
+    // 2. The §4.9 update replay, audited every 2k events, under both
+    // update strategies.
+    let base = ctx
+        .dataset(if ctx.quick {
+            "RV-sydney-p0"
+        } else {
+            "RV-linx-p52"
+        })
+        .clone();
+    let (ann, wd) = if ctx.quick {
+        (2_000, 600)
+    } else {
+        (18_141, 5_305)
+    };
+    let stream = tablegen::synthesize_update_stream(&base, ann, wd);
+    for (label, strategy) in [
+        ("replay/NodeRefresh", UpdateStrategy::NodeRefresh),
+        ("replay/SubtreeRebuild", UpdateStrategy::SubtreeRebuild),
+    ] {
+        let mut fib = Fib::from_rib(base.to_rib(), 18, false);
+        fib.set_update_strategy(strategy);
+        for (i, ev) in stream.iter().enumerate() {
+            match *ev {
+                tablegen::UpdateEvent::Announce(p, nh) => {
+                    fib.insert(p, nh);
+                }
+                tablegen::UpdateEvent::Withdraw(p) => {
+                    fib.remove(p);
+                }
+            }
+            if (i + 1) % 2_000 == 0 {
+                fib.poptrie()
+                    .audit()
+                    .unwrap_or_else(|e| panic!("{label} event {i}: {e}"));
+            }
+        }
+        print_report(label, fib.poptrie().audit().expect("post-replay audit"));
+    }
+
+    // 3. Seeded adversarial churn, cross-checked against the RIB oracle
+    // on every event (the bounded CI variant of tests/churn_fuzz.rs).
+    let events = if ctx.quick { 10_000 } else { 100_000 };
+    churn_audit::<u32>(
+        "churn/u32",
+        &ChurnConfig {
+            seed: 0x0417_0001,
+            events,
+            direct_bits: 8,
+            pool: 256,
+            max_nh: 13,
+        },
+        2_000,
+    );
+    churn_audit::<u128>(
+        "churn/u128",
+        &ChurnConfig {
+            seed: 0x0417_0002,
+            events,
+            direct_bits: 8,
+            pool: 256,
+            max_nh: 13,
+        },
+        2_000,
+    );
 }

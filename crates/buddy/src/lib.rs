@@ -224,6 +224,65 @@ impl Buddy {
         }
     }
 
+    /// The rounded (power-of-two) slot count a request for `n` slots
+    /// actually reserves. Auditors use this to reconstruct the exact
+    /// extent of a live block from the logical size the caller recorded.
+    pub fn rounded(n: u32) -> u32 {
+        1u32 << order_of(n)
+    }
+
+    /// Whether the block `[off, off + rounded(n))` is currently live
+    /// (allocated): correctly aligned, inside the managed capacity, and
+    /// intersecting no free block. This is the allocation-map
+    /// introspection the structural auditor uses to prove that every
+    /// node/leaf block the compiled trie references is backed by an
+    /// outstanding allocation rather than dangling into freed space.
+    pub fn is_live_block(&self, off: u32, n: u32) -> bool {
+        if n == 0 {
+            return false;
+        }
+        let size = Self::rounded(n);
+        if !off.is_multiple_of(size) || off.checked_add(size).is_none_or(|e| e > self.capacity) {
+            return false;
+        }
+        let (start, end) = (off as u64, off as u64 + size as u64);
+        for (o, set) in self.free.iter().enumerate() {
+            let fsize = 1u64 << o;
+            // The only free block of order `o` that could overlap
+            // [start, end) begins strictly below `end`; take the largest
+            // such offset and test it.
+            if let Some(&foff) = set.range(..end.min(u32::MAX as u64 + 1) as u32).next_back() {
+                if foff as u64 + fsize > start {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The free regions of the index space as sorted, disjoint
+    /// `(start, end)` half-open spans (adjacent free blocks of different
+    /// orders are merged). Everything outside these spans and below
+    /// [`Buddy::capacity`] is allocated.
+    pub fn free_spans(&self) -> Vec<(u32, u32)> {
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        for (o, set) in self.free.iter().enumerate() {
+            let size = 1u32 << o;
+            for &off in set {
+                spans.push((off, off + size));
+            }
+        }
+        spans.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::new();
+        for (s, e) in spans {
+            match merged.last_mut() {
+                Some(last) if last.1 == s => last.1 = e,
+                _ => merged.push((s, e)),
+            }
+        }
+        merged
+    }
+
     /// Internal consistency check used by tests and debug assertions:
     /// free blocks are aligned, in range, non-overlapping, and the free +
     /// allocated accounting covers the whole capacity.

@@ -151,6 +151,78 @@ fn churn_random_workload() {
     );
 }
 
+#[test]
+fn rounded_matches_order() {
+    for n in 1u32..=130 {
+        assert_eq!(Buddy::rounded(n), n.next_power_of_two());
+    }
+}
+
+#[test]
+fn live_block_introspection() {
+    let mut b = Buddy::new();
+    let a = b.alloc(5); // rounds to 8
+    let c = b.alloc(3); // rounds to 4
+    assert!(b.is_live_block(a, 5));
+    assert!(b.is_live_block(a, 8), "same rounded extent");
+    assert!(b.is_live_block(c, 3));
+    // Misaligned, out-of-range and freed extents are not live.
+    assert!(!b.is_live_block(a + 1, 5), "unaligned");
+    assert!(!b.is_live_block(b.capacity(), 1), "past capacity");
+    assert!(!b.is_live_block(a, 0), "empty extent");
+    b.free(c, 3);
+    assert!(!b.is_live_block(c, 3), "freed block no longer live");
+    assert!(b.is_live_block(a, 5), "sibling unaffected");
+}
+
+#[test]
+fn free_spans_cover_exactly_the_unallocated_space() {
+    let mut b = Buddy::new();
+    let offs: Vec<u32> = (0..7).map(|_| b.alloc(16)).collect();
+    b.free(offs[2], 16);
+    b.free(offs[5], 16);
+    let spans = b.free_spans();
+    // Spans are sorted, disjoint, and their total plus the live rounded
+    // sizes equals the capacity.
+    let mut total = 0u64;
+    for w in spans.windows(2) {
+        assert!(w[0].1 <= w[1].0, "unsorted or overlapping spans");
+    }
+    for &(s, e) in &spans {
+        assert!(s < e && e <= b.capacity());
+        total += (e - s) as u64;
+    }
+    assert_eq!(total + b.allocated_slots() as u64, b.capacity() as u64);
+    // Freed blocks fall inside free spans; live ones don't.
+    let inside = |x: u32| spans.iter().any(|&(s, e)| s <= x && x < e);
+    assert!(inside(offs[2]) && inside(offs[5]));
+    assert!(!inside(offs[0]) && !inside(offs[6]));
+}
+
+#[test]
+fn live_block_tracks_random_churn() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut b = Buddy::new();
+    let mut live: HashMap<u32, u32> = HashMap::new();
+    for _ in 0..5_000 {
+        if live.is_empty() || rng.gen_bool(0.6) {
+            let n = rng.gen_range(1..=64);
+            let off = b.alloc(n);
+            live.insert(off, n);
+        } else {
+            let &off = live.keys().choose(&mut rng).unwrap();
+            let n = live.remove(&off).unwrap();
+            b.free(off, n);
+            assert!(!b.is_live_block(off, n));
+        }
+    }
+    for (&off, &n) in &live {
+        assert!(b.is_live_block(off, n), "live block {off}+{n} not reported");
+    }
+    let free_total: u64 = b.free_spans().iter().map(|&(s, e)| (e - s) as u64).sum();
+    assert_eq!(free_total + b.allocated_slots() as u64, b.capacity() as u64);
+}
+
 #[cfg(feature = "proptest")] // needs the proptest dev-dependency (see Cargo.toml)
 mod prop {
     use crate::Buddy;

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod builder;
 pub mod node;
 pub mod serial;
@@ -63,11 +64,12 @@ pub mod sync;
 pub mod trie;
 pub mod update;
 
+pub use audit::AuditReport;
 pub use builder::Builder;
 pub use node::{Node16, Node24, NodeRepr};
 pub use serial::SerializeError;
 pub use trie::{Poptrie, PoptrieBasic, PoptrieStats, BATCH_LANES};
-pub use update::{Fib, UpdateStats};
+pub use update::{Fib, UpdateStats, UpdateStrategy};
 
 // Re-export the vocabulary types callers need.
 pub use poptrie_rib::{Lpm, NextHop, Prefix, RadixTree, NO_ROUTE};

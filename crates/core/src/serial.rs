@@ -282,7 +282,7 @@ fn sized_buddy(len: usize) -> Buddy {
 /// expose the raw leafvec (the 16-byte layout has none), so recover it
 /// from `leaf_rank`: bit `v` of the leafvec is set iff the rank increases
 /// at `v`.
-fn node_leafvec<N: NodeRepr>(n: &N) -> u64 {
+pub(crate) fn node_leafvec<N: NodeRepr>(n: &N) -> u64 {
     let mut leafvec = 0u64;
     let mut prev = 0;
     for v in 0..64 {

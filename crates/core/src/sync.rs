@@ -86,13 +86,23 @@ impl<T> RcuCell<T> {
 
     /// Atomically publish `value`; the previous value is freed once the
     /// last outstanding snapshot drops.
+    ///
+    /// The write lock is held only for the pointer swap itself. The old
+    /// `Arc` is moved out of the critical section and dropped after the
+    /// guard is released: when the cell holds the last reference to a
+    /// full BGP-table Poptrie, its deallocation takes long enough that
+    /// dropping it under the lock would stall every reader for the
+    /// duration.
     pub fn replace(&self, value: T) {
         let next = Arc::new(value);
-        let mut g = match self.ptr.write() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
+        let old = {
+            let mut g = match self.ptr.write() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            core::mem::replace(&mut *g, next)
         };
-        *g = next;
+        drop(old);
     }
 }
 

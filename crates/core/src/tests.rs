@@ -949,3 +949,221 @@ mod shared {
         assert_eq!(out, vec![Some(1), Some(2), None]);
     }
 }
+
+mod audit {
+    use super::*;
+    use crate::trie::DIRECT_LEAF_BIT;
+
+    #[test]
+    fn audit_passes_after_build_and_churn() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let rib = random_v4_table(&mut rng, 3_000);
+        let t: Poptrie<u32> = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        let report = t.audit().expect("fresh build audits clean");
+        assert_eq!(report.inodes, t.stats().inodes);
+        assert_eq!(report.leaves, t.stats().leaves);
+        assert!(report.node_blocks > 0 && report.leaf_blocks > 0);
+
+        let mut fib = Fib::from_rib(rib, 16, false);
+        for i in 0..200u32 {
+            let p = Prefix::new(rng.gen(), *[8, 16, 20, 24, 32].choose(&mut rng).unwrap());
+            if i % 3 == 0 {
+                fib.remove(p);
+            } else {
+                fib.insert(p, rng.gen_range(1..=64));
+            }
+        }
+        fib.poptrie().audit().expect("churned FIB audits clean");
+    }
+
+    #[test]
+    fn audit_detects_count_drift() {
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        rib.insert(p4("10.0.0.0/24"), 1);
+        let mut t: Poptrie<u32> = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        t.audit().unwrap();
+        t.leaf_count += 1;
+        let err = t.audit().unwrap_err();
+        assert!(err.contains("leaf count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn audit_detects_freed_block_still_referenced() {
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        rib.insert(p4("10.0.0.0/24"), 1);
+        let mut t: Poptrie<u32> = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        // Free the leaf block of the first reachable node behind the
+        // structure's back: the trie still references it, so the auditor
+        // must flag the dangling block (a lookup would still "work",
+        // returning whatever the allocator later puts there).
+        let e = *t
+            .direct
+            .iter()
+            .find(|&&e| e & DIRECT_LEAF_BIT == 0)
+            .expect("a slot with a subtree");
+        let node = t.nodes[e as usize];
+        let nleaves = node.leafvec.count_ones();
+        assert!(nleaves > 0);
+        t.leaf_buddy.free(node.base0, nleaves);
+        t.leaf_count -= nleaves as usize; // keep counts consistent: only the block is stale
+        let err = t.audit().unwrap_err();
+        assert!(err.contains("not a live allocation"), "{err}");
+    }
+
+    #[test]
+    fn audit_detects_vector_leafvec_overlap() {
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        // A /24 below s = 16 spans two 6-bit levels, so the slot's root
+        // node has an internal child.
+        rib.insert(p4("10.0.0.0/24"), 1);
+        let mut t: Poptrie<u32> = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        let e = *t
+            .direct
+            .iter()
+            .find(|&&e| e & DIRECT_LEAF_BIT == 0)
+            .unwrap();
+        let node = &mut t.nodes[e as usize];
+        assert_ne!(node.vector, 0, "test premise: node has an internal child");
+        let child_bit = node.vector & node.vector.wrapping_neg(); // lowest set bit
+        node.leafvec |= child_bit;
+        let err = t.audit().unwrap_err();
+        assert!(err.contains("vector and leafvec share slots"), "{err}");
+    }
+
+    #[test]
+    fn audit_detects_leaked_allocation() {
+        let mut rib: RadixTree<u32, u16> = RadixTree::new();
+        rib.insert(p4("10.0.0.0/24"), 1);
+        let mut t: Poptrie<u32> = Builder::new().direct_bits(16).aggregate(false).build(&rib);
+        // An allocation nothing references: the incremental updater lost
+        // track of a block (leak). Reachability-only checks cannot see it.
+        t.node_buddy.alloc(1);
+        let err = t.audit().unwrap_err();
+        assert!(err.contains("block leak"), "{err}");
+    }
+}
+
+mod satellite_regressions {
+    use super::*;
+    use crate::sync::RcuCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::{Duration, Instant};
+
+    /// `UpdateStats::updates` counts only inserts and removes that changed
+    /// the RIB; a re-announcement of the current next hop takes no patch
+    /// and must not be counted.
+    #[test]
+    fn noop_reannouncement_is_not_counted_or_patched() {
+        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        fib.insert(p4("10.0.0.0/24"), 1);
+        let st = fib.stats();
+        assert_eq!(st.updates, 1);
+        // Same prefix, same next hop: the RIB is unchanged, so no update
+        // is counted and no patch work happens.
+        assert_eq!(fib.insert(p4("10.0.0.0/24"), 1), Some(1));
+        assert_eq!(fib.stats(), st, "no-op announce must do zero work");
+        // A genuine path change is counted.
+        assert_eq!(fib.insert(p4("10.0.0.0/24"), 2), Some(1));
+        assert_eq!(fib.stats().updates, 2);
+        // Withdrawing an absent prefix is also a no-op.
+        assert_eq!(fib.remove(p4("192.0.2.0/24")), None);
+        assert_eq!(fib.stats().updates, 2);
+    }
+
+    /// A value whose drop blocks until released, standing in for the
+    /// multi-hundred-megabyte deallocation of a full BGP-table Poptrie.
+    struct SlowDrop {
+        id: u32,
+        entered: Arc<AtomicBool>,
+        release: Arc<AtomicBool>,
+    }
+
+    impl Drop for SlowDrop {
+        fn drop(&mut self) {
+            self.entered.store(true, Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while !self.release.load(Ordering::SeqCst) && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// `RcuCell::replace` must publish the new value and release the write
+    /// lock *before* dropping the previous value: readers' snapshot
+    /// acquisition may not stall behind a large deallocation.
+    #[test]
+    fn rcu_replace_drops_old_value_outside_the_lock() {
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let released = Arc::new(AtomicBool::new(true)); // successor drops freely
+        let cell = Arc::new(RcuCell::new(SlowDrop {
+            id: 1,
+            entered: Arc::clone(&entered),
+            release: Arc::clone(&release),
+        }));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let released = Arc::clone(&released);
+            std::thread::spawn(move || {
+                // The cell holds the only reference, so replace() itself
+                // runs the old value's (blocking) destructor.
+                cell.replace(SlowDrop {
+                    id: 2,
+                    entered: Arc::new(AtomicBool::new(false)),
+                    release: released,
+                });
+            })
+        };
+        // Wait until the old value's destructor is running inside replace().
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // A reader must now be able to take a snapshot immediately — and it
+        // must already see the *new* value. Run it on a helper thread with a
+        // timeout so a regression fails instead of deadlocking the suite.
+        let (tx, rx) = mpsc::channel();
+        let reader = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                let id = cell.read(|v| v.id);
+                let _ = tx.send(id);
+            })
+        };
+        let seen = rx.recv_timeout(Duration::from_secs(5));
+        release.store(true, Ordering::SeqCst); // unblock the drop either way
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(
+            seen.expect("reader stalled behind the old value's drop"),
+            2,
+            "reader must observe the newly published value"
+        );
+    }
+
+    /// Prefix construction canonicalizes (masks bits below `len`), and
+    /// `Fib::patch` re-masks defensively — a sloppy host-address spelling
+    /// of a short prefix must patch the prefix's real direct-slot range.
+    #[test]
+    fn non_canonical_addresses_are_canonicalized() {
+        let sloppy = Prefix::<u32>::new(0x0A7F_FFFF, 8); // "10.127.255.255/8"
+        assert_eq!(sloppy, p4("10.0.0.0/8"), "construction must mask");
+        assert_eq!(sloppy.addr(), 0x0A00_0000);
+
+        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        fib.insert(sloppy, 1);
+        // The whole /8 range resolves, including slots *before* the slot
+        // of the unmasked address (a non-canonical patch would have
+        // refreshed [0x0A7F.., 0x0B7F..) instead of [0x0A00.., 0x0B00..)).
+        assert_eq!(fib.lookup(0x0A00_0000), Some(1));
+        assert_eq!(fib.lookup(0x0A7F_FFFF), Some(1));
+        assert_eq!(fib.lookup(0x0AFF_FFFF), Some(1));
+        assert_eq!(fib.lookup(0x09FF_FFFF), None);
+        assert_eq!(fib.lookup(0x0B00_0000), None);
+        // Withdraw through a different non-canonical spelling.
+        assert_eq!(fib.remove(Prefix::new(0x0A01_0203, 8)), Some(1));
+        assert_eq!(fib.lookup(0x0A00_0000), None);
+        assert_eq!(fib.lookup(0x0AFF_FFFF), None);
+        fib.poptrie().audit().unwrap();
+    }
+}

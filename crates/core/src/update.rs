@@ -154,6 +154,11 @@ impl<K: Bits> Fib<K> {
     /// Announce a route: insert (or replace) `prefix -> nh` and patch the
     /// FIB. Returns the previous next hop for the prefix, if any.
     ///
+    /// A re-announcement of the prefix's current next hop is a no-op: the
+    /// RIB is unchanged, nothing is patched, and
+    /// [`UpdateStats::updates`] is not incremented (it counts only
+    /// updates that changed the RIB).
+    ///
     /// # Panics
     ///
     /// Panics when `nh` is [`NO_ROUTE`] (0), which is reserved.
@@ -162,8 +167,8 @@ impl<K: Bits> Fib<K> {
         let old = self.rib.insert(prefix, nh);
         if old != Some(nh) {
             self.patch(prefix);
+            self.stats.updates += 1;
         }
-        self.stats.updates += 1;
         old
     }
 
@@ -188,6 +193,17 @@ impl<K: Bits> Fib<K> {
     fn patch(&mut self, prefix: Prefix<K>) {
         let s = self.trie.s as u32;
         let len = prefix.len() as u32;
+        // Canonicalize defensively: a prefix with set bits below `len`
+        // would make `extract(0, s)` land on the wrong direct slot and
+        // refresh a range the route change never touched, leaving the
+        // real range stale. `Prefix::new` masks at construction, so this
+        // is belt-and-braces against any future constructor that forgets.
+        let addr = prefix.addr().and(K::prefix_mask(len));
+        debug_assert!(
+            addr == prefix.addr(),
+            "non-canonical prefix reached patch: {prefix:?}"
+        );
+        let prefix = Prefix::new(addr, len as u8);
         if s == 0 {
             // Without direct pointing the root subtree is the only
             // replaceable unit (the paper evaluates updates with s = 18).

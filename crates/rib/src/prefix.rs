@@ -70,6 +70,23 @@ impl<K: Bits> Prefix<K> {
         self.len == 0
     }
 
+    /// The lowest address covered by the prefix (the canonical address
+    /// itself). Together with [`Prefix::last_addr`] this bounds the
+    /// covered range — oracle-driven fuzzers probe both ends plus their
+    /// outside neighbours to catch off-by-one range refreshes.
+    #[inline]
+    pub fn first_addr(&self) -> K {
+        self.addr
+    }
+
+    /// The highest address covered by the prefix: the address with every
+    /// bit below `len` set.
+    #[inline]
+    pub fn last_addr(&self) -> K {
+        let mask = K::prefix_mask(self.len as u32).to_u128();
+        K::from_u128(self.addr.to_u128() | (mask ^ K::ONES.to_u128()))
+    }
+
     /// Whether `key` falls inside this prefix.
     #[inline]
     pub fn contains(&self, key: K) -> bool {

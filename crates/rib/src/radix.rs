@@ -215,6 +215,43 @@ impl<K: Bits, V> RadixTree<K, V> {
         (best, depth, best.and(best_len))
     }
 
+    /// Verify the tree's own structural invariants, for use as a trusted
+    /// oracle in the churn-fuzz harness: every node either stores a value
+    /// or leads to one (no dead interior nodes survive
+    /// [`RadixTree::remove`]'s pruning), no node sits deeper than the key
+    /// width, and the stored route count matches a full traversal.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn rec<V>(node: &Node<V>, depth: u32, max: u32, values: &mut usize) -> Result<(), String> {
+            if depth > max {
+                return Err(format!("node at depth {depth} exceeds key width {max}"));
+            }
+            if node.value().is_some() {
+                *values += 1;
+            } else if !node.has_children() {
+                return Err(format!(
+                    "dead node (no value, no children) at depth {depth}"
+                ));
+            }
+            for bit in [false, true] {
+                if let Some(c) = node.child(bit) {
+                    rec(c, depth + 1, max, values)?;
+                }
+            }
+            Ok(())
+        }
+        let mut values = 0usize;
+        if let Some(root) = self.root() {
+            rec(root, 0, K::BITS, &mut values)?;
+        }
+        if values != self.len {
+            return Err(format!(
+                "route count mismatch: traversal found {values}, len records {}",
+                self.len
+            ));
+        }
+        Ok(())
+    }
+
     /// Iterate over all `(prefix, &value)` pairs in trie pre-order
     /// (address order, shorter prefixes first at equal address).
     pub fn iter(&self) -> Iter<'_, K, V> {

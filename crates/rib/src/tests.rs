@@ -679,3 +679,42 @@ mod cross_validation {
         }
     }
 }
+
+mod oracle_hooks {
+    use super::*;
+
+    #[test]
+    fn prefix_first_and_last_addr() {
+        let p = p4("192.0.2.0/24");
+        assert_eq!(p.first_addr(), 0xC000_0200);
+        assert_eq!(p.last_addr(), 0xC000_02FF);
+        let host = p4("10.1.2.3/32");
+        assert_eq!(host.first_addr(), host.last_addr());
+        let all: Prefix<u32> = Prefix::DEFAULT;
+        assert_eq!(all.first_addr(), 0);
+        assert_eq!(all.last_addr(), u32::MAX);
+        let v6 = p6("2001:db8::/32");
+        assert_eq!(v6.first_addr(), 0x2001_0db8_u128 << 96);
+        assert_eq!(
+            v6.last_addr(),
+            (0x2001_0db8_u128 << 96) | ((1u128 << 96) - 1)
+        );
+    }
+
+    #[test]
+    fn radix_check_invariants_tracks_churn() {
+        let mut t: RadixTree<u32, u16> = RadixTree::new();
+        t.check_invariants().unwrap();
+        t.insert(p4("10.0.0.0/8"), 1);
+        t.insert(p4("10.1.0.0/16"), 2);
+        t.insert(p4("10.1.2.0/24"), 3);
+        t.check_invariants().unwrap();
+        // Removing the middle prefix must not leave a dead interior node.
+        t.remove(p4("10.1.0.0/16"));
+        t.check_invariants().unwrap();
+        t.remove(p4("10.1.2.0/24"));
+        t.remove(p4("10.0.0.0/8"));
+        t.check_invariants().unwrap();
+        assert!(t.is_empty());
+    }
+}

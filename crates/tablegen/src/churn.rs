@@ -1,0 +1,186 @@
+//! Deterministic churn streams over adversarial prefix pools.
+//!
+//! [`synthesize_update_stream`](crate::synthesize_update_stream) models
+//! *realistic* BGP churn (§4.9's replay mix). This module is the opposite
+//! tool: a stream built to hit every structurally awkward case of the
+//! §3.5 incremental-update path, for the model-based churn fuzzer
+//! (`tests/churn_fuzz.rs`) that cross-checks a [`Fib`] against its RIB
+//! oracle and audits the compiled trie as it churns. The pool a stream
+//! draws from deliberately over-represents:
+//!
+//! * the **default route** `/0` and full-length **host routes**
+//!   (`/32`, `/128`), the two ends every off-by-one in prefix-length
+//!   handling falls off of;
+//! * prefixes **straddling the direct-pointing boundary** `s` (§3.4):
+//!   lengths `s-1`, `s`, `s+1`, where an update flips between patching
+//!   one direct slot and patching a range of them;
+//! * **chunk-boundary lengths** `s + 6k ± 1` where a prefix gains or
+//!   loses a trie level;
+//! * deeply **nested chains** (`/0 ⊃ /4 ⊃ /8 ⊃ …`) sharing one address,
+//!   so announcing or withdrawing an outer prefix must rewrite the leaf
+//!   runs *around* the inner ones;
+//! * **non-canonical spellings**: announce/withdraw pairs where the
+//!   withdraw uses a different host-bit pattern than the announce, which
+//!   must still refer to the same route ([`Prefix::new`] masks).
+//!
+//! Everything is deterministic per seed, so a failing run is replayable
+//! from two integers (seed, event index).
+//!
+//! [`Fib`]: ../../poptrie/update/struct.Fib.html
+
+use poptrie_bitops::Bits;
+use poptrie_rib::{NextHop, Prefix};
+use poptrie_rng::prelude::*;
+
+/// One churn event, generic over the key width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent<K: Bits> {
+    /// Announce (insert or replace) `prefix -> next hop`.
+    Announce(Prefix<K>, NextHop),
+    /// Withdraw `prefix`.
+    Withdraw(Prefix<K>),
+}
+
+impl<K: Bits> ChurnEvent<K> {
+    /// The prefix this event refers to.
+    pub fn prefix(&self) -> Prefix<K> {
+        match *self {
+            ChurnEvent::Announce(p, _) => p,
+            ChurnEvent::Withdraw(p) => p,
+        }
+    }
+}
+
+/// Parameters of a churn stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnConfig {
+    /// RNG seed; equal configs produce identical streams.
+    pub seed: u64,
+    /// Number of events to generate.
+    pub events: usize,
+    /// The direct-pointing size `s` of the structure under test — the
+    /// pool concentrates prefixes around this boundary.
+    pub direct_bits: u8,
+    /// Prefixes in the adversarial pool. Smaller pools revisit the same
+    /// prefixes more, stressing replace/withdraw/re-announce cycles.
+    pub pool: usize,
+    /// Next hops are drawn from `1..=max_nh`; small values make repeat
+    /// announcements of the *same* next hop (no-op updates) likely.
+    pub max_nh: NextHop,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            seed: 0,
+            events: 10_000,
+            direct_bits: 8,
+            pool: 256,
+            max_nh: 13,
+        }
+    }
+}
+
+/// A random key of width `K::BITS`.
+fn random_key<K: Bits>(rng: &mut StdRng) -> K {
+    K::from_u128(rng.gen::<u128>() & K::ONES.to_u128())
+}
+
+/// The adversarial prefix-length menu for width `K::BITS` and boundary
+/// `s`: extremes, the direct-pointing straddle, chunk boundaries, and a
+/// spread of ordinary lengths.
+fn length_menu<K: Bits>(s: u8) -> Vec<u8> {
+    let w = K::BITS as u8;
+    let mut lens = vec![0, w]; // default route and host routes
+    for d in [-1i16, 0, 1] {
+        let l = s as i16 + d;
+        if (0..=w as i16).contains(&l) {
+            lens.push(l as u8);
+        }
+    }
+    // Chunk boundaries below the direct table: a prefix of length
+    // s + 6k resolves exactly at level k; ±1 forces the straddle.
+    let mut level = s as i16;
+    while level <= w as i16 {
+        for d in [-1i16, 0, 1] {
+            let l = level + d;
+            if (0..=w as i16).contains(&l) {
+                lens.push(l as u8);
+            }
+        }
+        level += 6;
+    }
+    // A spread of ordinary lengths so pools on wide keys are not all
+    // boundary cases.
+    let mut l = 1u8;
+    while l < w {
+        lens.push(l);
+        l = l.saturating_add(w.max(8) / 8);
+    }
+    lens.sort_unstable();
+    lens.dedup();
+    lens
+}
+
+/// Build the adversarial prefix pool for a config. Exposed so harnesses
+/// can print or minimize a failing pool.
+pub fn adversarial_pool<K: Bits>(cfg: &ChurnConfig) -> Vec<Prefix<K>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xAD5E_7001);
+    let lens = length_menu::<K>(cfg.direct_bits);
+    let w = K::BITS as u8;
+    let mut pool: Vec<Prefix<K>> = Vec::with_capacity(cfg.pool);
+    // A third of the pool is nested chains: one random address spelled at
+    // every length in the menu, so the chain shares all its high bits.
+    while pool.len() < cfg.pool / 3 {
+        let addr = random_key::<K>(&mut rng);
+        for &len in &lens {
+            if pool.len() >= cfg.pool / 3 {
+                break;
+            }
+            // Deliberately unmasked: Prefix::new canonicalizes, and the
+            // fuzzer wants that path exercised on every construction.
+            pool.push(Prefix::new(addr, len));
+        }
+    }
+    // The rest are independent random prefixes over the menu, with a few
+    // forced extremes in case the menu draw misses them.
+    pool.push(Prefix::new(K::ZERO, 0));
+    pool.push(Prefix::new(random_key::<K>(&mut rng), w));
+    while pool.len() < cfg.pool {
+        let len = *lens.choose(&mut rng).expect("non-empty menu");
+        pool.push(Prefix::new(random_key::<K>(&mut rng), len));
+    }
+    pool
+}
+
+/// Synthesize a deterministic churn stream from `cfg`.
+///
+/// Roughly 60% announces / 40% withdraws, all over the adversarial pool,
+/// so every prefix cycles through announce → replace → withdraw →
+/// re-announce many times. Withdraws of absent prefixes and repeat
+/// announcements of the current next hop occur naturally and are
+/// intentional: both must be observable no-ops.
+pub fn churn_stream<K: Bits>(cfg: &ChurnConfig) -> Vec<ChurnEvent<K>> {
+    let pool = adversarial_pool::<K>(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xAD5E_7002);
+    let mut events = Vec::with_capacity(cfg.events);
+    for _ in 0..cfg.events {
+        let p = *pool.choose(&mut rng).expect("non-empty pool");
+        // Respell the prefix from a random host address inside it: a
+        // different (non-canonical) spelling of the same route, which
+        // construction must canonicalize back.
+        let p = if rng.gen_bool(0.25) {
+            let noise =
+                random_key::<K>(&mut rng).to_u128() & !K::prefix_mask(p.len() as u32).to_u128();
+            Prefix::new(K::from_u128(p.addr().to_u128() | noise), p.len())
+        } else {
+            p
+        };
+        if rng.gen_bool(0.6) {
+            events.push(ChurnEvent::Announce(p, rng.gen_range(1..=cfg.max_nh)));
+        } else {
+            events.push(ChurnEvent::Withdraw(p));
+        }
+    }
+    events
+}

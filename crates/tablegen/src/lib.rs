@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod datasets;
 pub mod dist;
 pub mod gen;
@@ -38,6 +39,7 @@ pub mod parse;
 pub mod synth;
 pub mod updates;
 
+pub use churn::{adversarial_pool, churn_stream, ChurnConfig, ChurnEvent};
 pub use datasets::{all_dataset_names, dataset, table1, DatasetInfo};
 pub use gen::{Dataset, TableKind, TableSpec};
 pub use ipv6::{ipv6_dataset, ipv6_routeviews_names, DatasetV6};

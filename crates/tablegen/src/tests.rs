@@ -533,3 +533,79 @@ mod updates {
         }
     }
 }
+
+mod churn {
+    use crate::churn::{adversarial_pool, churn_stream, ChurnConfig, ChurnEvent};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let cfg = ChurnConfig {
+            seed: 42,
+            events: 2_000,
+            ..ChurnConfig::default()
+        };
+        let a = churn_stream::<u32>(&cfg);
+        let b = churn_stream::<u32>(&cfg);
+        assert_eq!(a, b);
+        let c = churn_stream::<u32>(&ChurnConfig { seed: 43, ..cfg });
+        assert_ne!(a, c, "different seeds must diverge");
+        assert_eq!(a.len(), 2_000);
+    }
+
+    #[test]
+    fn pool_covers_the_adversarial_cases() {
+        let cfg = ChurnConfig {
+            seed: 7,
+            direct_bits: 16,
+            pool: 512,
+            ..ChurnConfig::default()
+        };
+        for (w, lens) in [
+            (
+                32u32,
+                adversarial_pool::<u32>(&cfg)
+                    .iter()
+                    .map(|p| p.len())
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                128,
+                adversarial_pool::<u128>(&cfg)
+                    .iter()
+                    .map(|p| p.len())
+                    .collect::<Vec<_>>(),
+            ),
+        ] {
+            // Extremes, the direct-pointing straddle and the first chunk
+            // boundary below it must all be present.
+            for want in [0, w as u8, 15, 16, 17, 21, 22, 23] {
+                assert!(
+                    lens.contains(&want),
+                    "width {w}: pool misses length {want}: {lens:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefixes_are_canonical_and_events_mix() {
+        let cfg = ChurnConfig {
+            seed: 99,
+            events: 5_000,
+            ..ChurnConfig::default()
+        };
+        let stream = churn_stream::<u128>(&cfg);
+        let announces = stream
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Announce(..)))
+            .count();
+        assert!(announces > stream.len() / 2 && announces < stream.len() * 7 / 10);
+        for e in &stream {
+            let p = e.prefix();
+            // Construction canonicalizes even the deliberately sloppy
+            // spellings the generator produces.
+            let mask = <u128 as poptrie_bitops::Bits>::prefix_mask(p.len() as u32);
+            assert_eq!(p.addr() & mask, p.addr());
+        }
+    }
+}

@@ -55,6 +55,9 @@ pub use poptrie_traffic as traffic;
 /// Measurement utilities (re-export of `poptrie-cycles`).
 pub use poptrie_cycles as cycles;
 
+/// Deterministic RNG (re-export of `poptrie-rng`).
+pub use poptrie_rng as rng;
+
 /// The baseline lookup algorithms the paper compares against.
 pub mod baselines {
     pub use poptrie_dir248::{Dir248, Dir248Error};

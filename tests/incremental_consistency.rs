@@ -5,11 +5,43 @@
 //! throughout.
 
 use poptrie_suite::poptrie::sync::{RouteUpdate, SharedFib};
-use poptrie_suite::tablegen::{synthesize_update_stream, TableKind, TableSpec, UpdateEvent};
+use poptrie_suite::tablegen::{
+    churn_stream, ipv6_dataset, synthesize_update_stream, ChurnConfig, ChurnEvent, TableKind,
+    TableSpec, UpdateEvent,
+};
 use poptrie_suite::traffic::Xorshift128;
-use poptrie_suite::{Builder, Fib, Lpm, Poptrie};
+use poptrie_suite::{Builder, Fib, Lpm, Poptrie, Prefix};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Apply `stream` to `fib`, auditing the compiled structure every
+/// `audit_every` events, and return the number of *effective* events —
+/// the ones that actually changed the RIB (a re-announcement of the
+/// current next hop or a withdrawal of an absent prefix is a no-op and
+/// is not counted by `UpdateStats::updates`).
+fn replay_audited(fib: &mut Fib<u32>, stream: &[UpdateEvent], audit_every: usize) -> u64 {
+    let mut effective = 0u64;
+    for (i, ev) in stream.iter().enumerate() {
+        match *ev {
+            UpdateEvent::Announce(p, nh) => {
+                if fib.insert(p, nh) != Some(nh) {
+                    effective += 1;
+                }
+            }
+            UpdateEvent::Withdraw(p) => {
+                if fib.remove(p).is_some() {
+                    effective += 1;
+                }
+            }
+        }
+        if (i + 1).is_multiple_of(audit_every) {
+            fib.poptrie()
+                .audit()
+                .unwrap_or_else(|e| panic!("audit after event {i}: {e}"));
+        }
+    }
+    effective
+}
 
 fn base(n: usize) -> poptrie_suite::tablegen::Dataset {
     TableSpec {
@@ -26,16 +58,7 @@ fn replay_matches_rebuild() {
     let dataset = base(20_000);
     let stream = synthesize_update_stream(&dataset, 1_500, 500);
     let mut fib = Fib::from_rib(dataset.to_rib(), 18, false);
-    for ev in &stream {
-        match *ev {
-            UpdateEvent::Announce(p, nh) => {
-                fib.insert(p, nh);
-            }
-            UpdateEvent::Withdraw(p) => {
-                fib.remove(p);
-            }
-        }
-    }
+    let effective = replay_audited(&mut fib, &stream, 250);
     fib.poptrie().check_invariants().expect("invariants hold");
     // Fresh compilation from the updated RIB must agree everywhere.
     let fresh: Poptrie<u32> = Builder::new()
@@ -47,10 +70,99 @@ fn replay_matches_rebuild() {
         let key = rng.next_u32();
         assert_eq!(fib.lookup(key), fresh.lookup(key), "key {key:#010x}");
     }
-    // Update stats must reflect real work.
+    // Update stats count exactly the effective events: the synthesized
+    // stream contains path changes that re-announce the current next hop
+    // (no-ops), which must not be counted — or patched.
     let st = fib.stats();
-    assert_eq!(st.updates, stream.len() as u64);
+    assert_eq!(st.updates, effective);
+    assert!(st.updates < stream.len() as u64, "stream had no no-ops");
     assert!(st.nodes_built > 0 && st.nodes_freed > 0);
+    fib.poptrie().audit().expect("final audit");
+}
+
+/// The IPv6 counterpart of `replay_matches_rebuild`: adversarial churn
+/// over a synthesized RouteViews-style v6 table, audited every 250
+/// events, then compared against a from-scratch compilation.
+#[test]
+fn replay_matches_rebuild_v6() {
+    let dataset = ipv6_dataset("RV6-linx-p0");
+    let mut fib: Fib<u128> = Fib::from_rib(dataset.to_rib(), 16, false);
+    let stream = churn_stream::<u128>(&ChurnConfig {
+        seed: 0x6666_0001,
+        events: 2_000,
+        direct_bits: 16,
+        pool: 192,
+        max_nh: 13,
+    });
+    let mut effective = 0u64;
+    for (i, ev) in stream.iter().enumerate() {
+        match *ev {
+            ChurnEvent::Announce(p, nh) => {
+                if fib.insert(p, nh) != Some(nh) {
+                    effective += 1;
+                }
+            }
+            ChurnEvent::Withdraw(p) => {
+                if fib.remove(p).is_some() {
+                    effective += 1;
+                }
+            }
+        }
+        if (i + 1).is_multiple_of(250) {
+            fib.poptrie()
+                .audit()
+                .unwrap_or_else(|e| panic!("v6 audit after event {i}: {e}"));
+        }
+    }
+    assert_eq!(fib.stats().updates, effective);
+    let fresh: Poptrie<u128> = Builder::new()
+        .direct_bits(16)
+        .aggregate(false)
+        .build(fib.rib());
+    assert_eq!(fib.poptrie().ranges(), fresh.ranges());
+}
+
+/// Pinned-seed regressions: minimized reproductions of the bugs the
+/// churn fuzzer flushed out, kept as fixed tests so they can never come
+/// back silently.
+mod pinned {
+    use super::*;
+
+    /// A no-op announce (same prefix, same next hop) used to increment
+    /// `UpdateStats::updates` even though no patch work happened, so the
+    /// §4.9 per-update work averages were diluted by free events.
+    #[test]
+    fn noop_announces_do_no_work() {
+        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        let p: Prefix<u32> = "192.0.2.0/24".parse().unwrap();
+        fib.insert(p, 7);
+        let before = fib.stats();
+        for _ in 0..100 {
+            assert_eq!(fib.insert(p, 7), Some(7));
+            assert_eq!(fib.remove("198.51.100.0/24".parse().unwrap()), None);
+        }
+        assert_eq!(fib.stats(), before, "no-ops must not move any counter");
+    }
+
+    /// Announce and withdraw through *different* non-canonical spellings
+    /// of one prefix: both must canonicalize to the same route, and the
+    /// whole direct-slot range of the short prefix must be patched (a
+    /// spelling-derived slot range would leave stale slots behind).
+    #[test]
+    fn non_canonical_spellings_are_one_route() {
+        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        // "10.255.238.119/12" canonicalizes to 10.240.0.0/12.
+        fib.insert(Prefix::new(0x0AFF_EE77, 12), 3);
+        assert_eq!(fib.lookup(0x0AF0_0000), Some(3));
+        assert_eq!(fib.lookup(0x0AFF_FFFF), Some(3));
+        assert_eq!(fib.lookup(0x0AEF_FFFF), None);
+        assert_eq!(fib.lookup(0x0B00_0000), None);
+        // Withdraw via a different host-bit pattern of the same /12.
+        assert_eq!(fib.remove(Prefix::new(0x0AF1_2345, 12)), Some(3));
+        assert_eq!(fib.lookup(0x0AF0_0000), None);
+        fib.poptrie().audit().expect("audit after sloppy churn");
+        assert_eq!(fib.poptrie().stats().inodes, 0, "trie must drain");
+    }
 }
 
 #[test]
