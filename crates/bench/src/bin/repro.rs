@@ -111,6 +111,11 @@ usage: repro <experiment> [--quick | --full] [--compare]
 
 experiments: table1 table2 table3 table4 table5 table6
              fig7 fig8 fig9 fig10 fig11 fig12 updates all
+             stats    with no dataset argument: live-telemetry replay —
+                      a seeded lookup + churn workload whose counters are
+                      reconciled against the script, dumped as Prometheus
+                      text and results/BENCH_telemetry.json (requires
+                      building with --features telemetry)
              stats <dataset|SYN1-...|SYN2-...>   structural diagnostics
              audit    structural invariant audit: fresh builds, the §4.9
                       replay under both update strategies, and a seeded
@@ -948,23 +953,26 @@ fn batch(ctx: &mut Ctx) {
 
 // ------------------------------------------------------------ diagnostics
 
+/// `repro stats`: with a dataset argument, structural diagnostics of the
+/// dataset; with none, the live-telemetry replay (`telemetry` feature).
+fn stats(ctx: &mut Ctx, args: &[String]) {
+    match args.iter().filter(|a| !a.starts_with("--")).nth(1).cloned() {
+        Some(name) => dataset_stats(ctx, &name),
+        None => telemetry_stats(ctx),
+    }
+}
+
 /// Structural statistics of a dataset: prefix-length histogram, SAIL
 /// chunk pressure, DXR range pressure. Not a paper artifact — a tool for
 /// verifying that synthesized tables sit on the right side of each
 /// algorithm's structural limits.
-fn stats(ctx: &mut Ctx, args: &[String]) {
-    let name = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .nth(1)
-        .cloned()
-        .unwrap_or_else(|| "REAL-Tier1-A".to_string());
+fn dataset_stats(ctx: &mut Ctx, name: &str) {
     let dataset = if let Some(base) = name.strip_prefix("SYN1-") {
         tablegen::expand_syn1(ctx.dataset(&format!("REAL-{base}")))
     } else if let Some(base) = name.strip_prefix("SYN2-") {
         tablegen::expand_syn2(ctx.dataset(&format!("REAL-{base}")))
     } else {
-        ctx.dataset(&name).clone()
+        ctx.dataset(name).clone()
     };
     section(&format!("Structural statistics: {}", dataset.name));
     println!(
@@ -1020,6 +1028,149 @@ fn stats(ctx: &mut Ctx, args: &[String]) {
     }
 }
 
+/// The live-telemetry replay: a seeded lookup + churn workload against a
+/// `SharedFib`, with every process-wide counter reconciled against what
+/// the script did, a Prometheus-format dump, and a machine-readable
+/// `results/BENCH_telemetry.json`. The churn phase is the Fig. 12 regime
+/// (lookups served while updates land); the reconciliation is the
+/// acceptance check that the instrumentation counts what it claims to.
+#[cfg(feature = "telemetry")]
+fn telemetry_stats(ctx: &mut Ctx) {
+    use poptrie::sync::SharedFib;
+    use poptrie::telemetry;
+
+    section("Live telemetry: seeded lookup + churn replay (REAL-RENET)");
+    telemetry::reset();
+    let dataset = ctx.dataset("REAL-RENET").clone();
+    let shared = SharedFib::from_rib(dataset.to_rib(), 18, false);
+
+    // Lookup phase: half the trace scalar, half batched, one snapshot.
+    let trace = RealTrace::synthesize(&dataset, TraceConfig::default());
+    let packets = trace.packet_array(if ctx.quick { 1 << 16 } else { 1 << 20 });
+    let half = packets.len() / 2;
+    let snap = shared.snapshot();
+    let mut acc = 0u64;
+    for &k in &packets[..half] {
+        acc = acc.wrapping_add(snap.lookup_raw(k) as u64);
+    }
+    let mut out = vec![0 as poptrie::NextHop; packets.len() - half];
+    snap.lookup_batch(&packets[half..], &mut out);
+    acc = acc.wrapping_add(out.iter().map(|&nh| nh as u64).sum::<u64>());
+    drop(snap);
+
+    // Churn phase: an adversarial seeded stream through the RCU writer,
+    // with a reader parked on a pre-churn snapshot for the first half so
+    // the outstanding-snapshot gauge sees real pinning.
+    let events = churn_stream::<u32>(&ChurnConfig {
+        seed: 0xF1612,
+        events: if ctx.quick { 2_000 } else { 20_000 },
+        direct_bits: 18,
+        ..ChurnConfig::default()
+    });
+    let parked = shared.snapshot();
+    let (mut announces, mut withdraws, mut publishes) = (0u64, 0u64, 0u64);
+    for (i, ev) in events.iter().enumerate() {
+        if i == events.len() / 2 {
+            drop(shared.snapshot()); // touch, then release
+        }
+        match *ev {
+            ChurnEvent::Announce(p, nh) => {
+                // `SharedFib::insert` publishes unconditionally; the
+                // update counter moves only when the RIB changed.
+                if shared.insert(p, nh) != Some(nh) {
+                    announces += 1;
+                }
+                publishes += 1;
+            }
+            ChurnEvent::Withdraw(p) => {
+                // A withdraw of an absent prefix publishes nothing.
+                if shared.remove(p).is_some() {
+                    withdraws += 1;
+                    publishes += 1;
+                }
+            }
+        }
+    }
+    drop(parked);
+
+    // Reconcile every scripted total against the counters.
+    let snap = telemetry::snapshot().attach_structure(&*shared.snapshot());
+    let mut failures = 0u32;
+    let mut check = |label: &str, got: u64, want: u64| {
+        let ok = got == want;
+        println!(
+            "  {:<38} {:>12} want {:>12}  {}",
+            label,
+            got,
+            want,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    };
+    println!("reconciliation (counter vs script):");
+    check("lookups (scalar)", snap.lookups_scalar, half as u64);
+    check(
+        "lookups (batched)",
+        snap.lookups_batched,
+        (packets.len() - half) as u64,
+    );
+    check(
+        "depth histogram mass",
+        snap.depth.iter().sum::<u64>(),
+        packets.len() as u64,
+    );
+    check(
+        "direct hits + leaf resolutions",
+        snap.direct_hits + snap.leafvec_resolutions + snap.vector_resolutions,
+        packets.len() as u64,
+    );
+    check("applied announces", snap.announces, announces);
+    check("applied withdraws", snap.withdraws, withdraws);
+    check(
+        "update latency histogram mass",
+        snap.update_latency.iter().sum::<u64>(),
+        announces + withdraws,
+    );
+    check("rcu publishes", snap.rcu_publishes, publishes);
+    println!(
+        "  (lookup checksum {acc:#x}, peak outstanding snapshots {})",
+        snap.rcu_outstanding_peak
+    );
+
+    println!();
+    print!("{}", snap.render_prometheus());
+
+    let json = snap.registry().render_json();
+    let path = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(path)
+        .and_then(|()| std::fs::write(path.join("BENCH_telemetry.json"), &json))
+    {
+        eprintln!("warning: could not write results/BENCH_telemetry.json: {e}");
+    } else {
+        println!("\nwrote results/BENCH_telemetry.json");
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} reconciliation mismatch(es)");
+        std::process::exit(1);
+    }
+}
+
+/// Without the `telemetry` feature the counters do not exist; point at
+/// the feature and fall back to the structural diagnostics.
+#[cfg(not(feature = "telemetry"))]
+fn telemetry_stats(ctx: &mut Ctx) {
+    eprintln!(
+        "repro stats with no dataset argument is the live-telemetry replay, which\n\
+         needs the counters compiled in:\n\
+         \n    cargo run --release -p poptrie-bench --features telemetry --bin repro -- stats\n\
+         \nfalling back to structural diagnostics of REAL-Tier1-A.\n"
+    );
+    dataset_stats(ctx, "REAL-Tier1-A");
+}
+
 // ----------------------------------------------------------------- §4.9
 
 fn updates(ctx: &mut Ctx) {
@@ -1053,8 +1204,8 @@ fn updates(ctx: &mut Ctx) {
         "  {:.2} us/update; per update: {:.3} direct slots, {:.2} nodes built, {:.2} leaves built",
         elapsed.as_secs_f64() * 1e6 / n,
         (after.direct_replacements - before.direct_replacements) as f64 / n,
-        (after.nodes_built - before.nodes_built) as f64 / n,
-        (after.leaves_built - before.leaves_built) as f64 / n,
+        (after.nodes_allocated - before.nodes_allocated) as f64 / n,
+        (after.leaves_allocated - before.leaves_allocated) as f64 / n,
     );
 
     // Full-route insertion in randomized order (the paper's second

@@ -60,6 +60,28 @@ impl Default for Buddy {
     }
 }
 
+/// A point-in-time fragmentation summary of a [`Buddy`]'s index space
+/// (see [`Buddy::fragmentation`]). The §3.5 concern this quantifies:
+/// update churn frees and reallocates sibling runs, and the buddy
+/// discipline is what keeps `slack` (and so Table 5's memory footprint)
+/// bounded over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fragmentation {
+    /// Total managed slots ([`Buddy::capacity`]).
+    pub capacity: u32,
+    /// Slots currently allocated, counting buddy rounding.
+    pub allocated_slots: u32,
+    /// Number of outstanding allocations.
+    pub live_blocks: u32,
+    /// Slots lost to rounding and free-list fragmentation.
+    pub slack: u32,
+    /// Number of maximal free spans (1 when the free space is contiguous).
+    pub free_spans: u32,
+    /// Size of the largest contiguous free span, in slots — the largest
+    /// child block allocatable without growing the arrays.
+    pub largest_free_span: u32,
+}
+
 /// Order (log2 of rounded size) for a requested run of `n` slots.
 #[inline]
 fn order_of(n: u32) -> usize {
@@ -258,6 +280,20 @@ impl Buddy {
             }
         }
         true
+    }
+
+    /// A one-shot fragmentation summary derived from the free-list state,
+    /// cheap enough to sample at telemetry-scrape frequency.
+    pub fn fragmentation(&self) -> Fragmentation {
+        let spans = self.free_spans();
+        Fragmentation {
+            capacity: self.capacity,
+            allocated_slots: self.allocated,
+            live_blocks: self.live_blocks,
+            slack: self.slack(),
+            free_spans: spans.len() as u32,
+            largest_free_span: spans.iter().map(|&(s, e)| e - s).max().unwrap_or(0),
+        }
     }
 
     /// The free regions of the index space as sorted, disjoint

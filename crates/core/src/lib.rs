@@ -61,6 +61,8 @@ pub mod builder;
 pub mod node;
 pub mod serial;
 pub mod sync;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 pub mod trie;
 pub mod update;
 

@@ -102,7 +102,28 @@ impl<T> RcuCell<T> {
             };
             core::mem::replace(&mut *g, next)
         };
+        #[cfg(feature = "telemetry")]
+        crate::telemetry::record_rcu_publish(Arc::strong_count(&old) as u64 - 1);
         drop(old);
+    }
+
+    /// Number of snapshots of the *current* value held outside the cell
+    /// — readers mid-lookup, or batch handles pinned across a burst.
+    /// Superseded values (kept alive by parked readers after a
+    /// [`RcuCell::replace`]) are not counted; each is freed when its last
+    /// holder drops it.
+    ///
+    /// The count is a momentary observation: concurrent readers may
+    /// acquire or drop snapshots around the call. It is exact when the
+    /// caller can rule out concurrent snapshot traffic (tests, quiesced
+    /// scrapes).
+    pub fn snapshot_count(&self) -> usize {
+        let g = match self.ptr.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // One reference is the cell's own; the rest are snapshots.
+        Arc::strong_count(&g) - 1
     }
 }
 
@@ -242,6 +263,12 @@ impl<K: Bits> SharedFib<K> {
     /// Cumulative update-work counters from the writer side.
     pub fn stats(&self) -> UpdateStats {
         self.writer().stats()
+    }
+
+    /// Snapshots of the current FIB held outside the cell (see
+    /// [`RcuCell::snapshot_count`]).
+    pub fn snapshot_count(&self) -> usize {
+        self.current.snapshot_count()
     }
 }
 

@@ -422,7 +422,7 @@ mod update {
         fib.insert(p4("10.0.0.128/25"), 2);
         let st = fib.stats();
         assert_eq!(st.updates, 2);
-        assert!(st.nodes_built > 0);
+        assert!(st.nodes_allocated > 0);
         // The first insert converts the direct slot from a leaf to a node;
         // the second lands inside the same slot's subtree, which the §3.5
         // node-refresh repairs without touching the top-level array.
@@ -493,7 +493,7 @@ mod update {
         rebuild.poptrie().check_invariants().unwrap();
         // The §3.5 node-reuse strategy must rebuild strictly fewer nodes.
         assert!(
-            refresh.stats().nodes_built < rebuild.stats().nodes_built,
+            refresh.stats().nodes_allocated < rebuild.stats().nodes_allocated,
             "refresh {:?} vs rebuild {:?}",
             refresh.stats(),
             rebuild.stats()
@@ -510,9 +510,12 @@ mod update {
         let before = fib.stats();
         fib.insert(p4("10.0.1.0/24"), 3); // path change
         let after = fib.stats();
-        assert_eq!(after.nodes_built, before.nodes_built, "no node churn");
+        assert_eq!(
+            after.nodes_allocated, before.nodes_allocated,
+            "no node churn"
+        );
         assert_eq!(after.nodes_freed, before.nodes_freed);
-        assert!(after.leaves_built > before.leaves_built);
+        assert!(after.leaves_allocated > before.leaves_allocated);
         assert_eq!(fib.lookup(0x0A00_0101), Some(3));
     }
 
@@ -774,6 +777,46 @@ mod rcu {
             assert_eq!(drops.load(Ordering::SeqCst), 3, "freed with snapshot");
         }
         assert_eq!(drops.load(Ordering::SeqCst), 4, "all four values dropped");
+    }
+
+    #[test]
+    fn parked_reader_keeps_exactly_one_old_snapshot_alive() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = RcuCell::new(Counted(Arc::clone(&drops)));
+        assert_eq!(cell.snapshot_count(), 0, "fresh cell has no snapshots");
+
+        // A reader parks on a snapshot of the initial value.
+        let parked = cell.snapshot();
+        assert_eq!(cell.snapshot_count(), 1);
+
+        // Writers publish twice. The parked reader pins exactly its own
+        // generation: the first value stays alive, the intermediate one
+        // (never snapshotted) is freed at the swap that superseded it.
+        cell.replace(Counted(Arc::clone(&drops)));
+        cell.replace(Counted(Arc::clone(&drops)));
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            1,
+            "only the un-snapshotted intermediate value was freed"
+        );
+        // Superseded snapshots are no longer counted by the cell...
+        assert_eq!(cell.snapshot_count(), 0);
+        // ...but the parked reader still holds the sole reference to its
+        // generation (the cell released its own at the first replace).
+        assert_eq!(Arc::strong_count(&parked), 1);
+
+        drop(parked);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            2,
+            "dropping the parked snapshot frees its generation"
+        );
     }
 
     #[test]

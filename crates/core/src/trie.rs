@@ -124,6 +124,8 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
             // `direct.len() == 1 << s` by construction.
             let entry = unsafe { *self.direct.get_unchecked(di) };
             if entry & DIRECT_LEAF_BIT != 0 {
+                #[cfg(feature = "telemetry")]
+                crate::telemetry::record_direct_hit(false);
                 return (entry & !DIRECT_LEAF_BIT) as NextHop;
             }
             index = entry;
@@ -152,6 +154,12 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                 // Algorithm 1 line 13–15 / Algorithm 2.
                 let li = (node.base0() + node.leaf_rank(v) - 1) as usize;
                 debug_assert!(li < self.leaves.len());
+                #[cfg(feature = "telemetry")]
+                crate::telemetry::record_leaf_resolution(
+                    false,
+                    (offset - self.s as u32) / 6 + 1,
+                    N::COMPRESSES_LEAVES,
+                );
                 // SAFETY: `leaf_rank(v)` is in `1..=leaf_count()` for a
                 // relevant slot and the node's leaf block
                 // `[base0, base0 + leaf_count)` lies inside `leaves`.
@@ -195,6 +203,8 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
     fn lookup_batch_chunk(&self, keys: &[K], out: &mut [NextHop]) {
         debug_assert!(keys.len() <= BATCH_LANES && keys.len() == out.len());
         let n = keys.len();
+        #[cfg(feature = "telemetry")]
+        crate::telemetry::record_batch_call(n);
         let mut index = [0u32; BATCH_LANES];
         let mut offset = [0u32; BATCH_LANES];
         let mut leaf = [0u32; BATCH_LANES];
@@ -218,6 +228,8 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                 // s bits and `direct.len() == 1 << s`.
                 let entry = unsafe { *self.direct.get_unchecked(di) };
                 if entry & DIRECT_LEAF_BIT != 0 {
+                    #[cfg(feature = "telemetry")]
+                    crate::telemetry::record_direct_hit(true);
                     out[i] = (entry & !DIRECT_LEAF_BIT) as NextHop;
                 } else {
                     index[i] = entry;
@@ -274,6 +286,12 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                     leaf[i] = li;
                     live &= !(1 << i);
                     leaf_mask |= 1 << i;
+                    #[cfg(feature = "telemetry")]
+                    crate::telemetry::record_leaf_resolution(
+                        true,
+                        (offset[i] - self.s as u32) / 6 + 1,
+                        N::COMPRESSES_LEAVES,
+                    );
                     poptrie_bitops::prefetch_index(&self.leaves, li as usize);
                 }
             }

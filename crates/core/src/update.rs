@@ -54,20 +54,65 @@ pub enum UpdateStrategy {
 /// Counters describing incremental-update work, in the units of §4.9
 /// ("the average number of replacements for the top-level array …, the
 /// leaf node, and the internal node, per update").
+///
+/// The allocated/freed pairs account for the §3.5 patch discipline: an
+/// update tears down the affected part of the structure (freeing slots
+/// back to the buddy allocator) and compiles a replacement (allocating
+/// slots), so under steady churn each `*_allocated` counter tracks its
+/// `*_freed` twin and the gap between them is the structure's net growth.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UpdateStats {
     /// Route updates applied (inserts + removes that changed the RIB).
+    /// Re-announcements of an unchanged next hop do not count.
     pub updates: u64,
-    /// Direct-pointing (top-level array) entries rewritten.
+    /// Direct-pointing (top-level array) entries rewritten — §4.9's
+    /// "replacements for the top-level array". A prefix no longer than
+    /// `s` covers `2^(s - len)` slots; a longer prefix covers one.
     pub direct_replacements: u64,
-    /// Internal nodes newly built.
-    pub nodes_built: u64,
-    /// Internal nodes freed.
+    /// Internal nodes newly allocated. Under [`UpdateStrategy::NodeRefresh`]
+    /// this stays near zero for BGP-style path changes: §3.5 reuses every
+    /// node whose child-type `vector` is unchanged.
+    pub nodes_allocated: u64,
+    /// Internal nodes freed back to the buddy allocator.
     pub nodes_freed: u64,
-    /// Leaves newly written.
-    pub leaves_built: u64,
-    /// Leaves freed.
+    /// Leaves newly allocated. The §4.9 common case: a path change
+    /// replaces one leaf block and nothing else.
+    pub leaves_allocated: u64,
+    /// Leaves freed back to the buddy allocator.
     pub leaves_freed: u64,
+}
+
+impl UpdateStats {
+    /// The work done since `earlier`, field-wise. All fields are
+    /// monotonic, so this is exact for any two snapshots of the same
+    /// [`Fib`] taken in order.
+    pub fn delta_since(&self, earlier: UpdateStats) -> UpdateStats {
+        UpdateStats {
+            updates: self.updates - earlier.updates,
+            direct_replacements: self.direct_replacements - earlier.direct_replacements,
+            nodes_allocated: self.nodes_allocated - earlier.nodes_allocated,
+            nodes_freed: self.nodes_freed - earlier.nodes_freed,
+            leaves_allocated: self.leaves_allocated - earlier.leaves_allocated,
+            leaves_freed: self.leaves_freed - earlier.leaves_freed,
+        }
+    }
+
+    /// Render as a flat JSON object (stable field order). Available
+    /// without the `serde` feature so offline builds can still emit
+    /// machine-readable stats.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"updates\": {}, \"direct_replacements\": {}, \"nodes_allocated\": {}, \
+             \"nodes_freed\": {}, \"leaves_allocated\": {}, \"leaves_freed\": {} }}",
+            self.updates,
+            self.direct_replacements,
+            self.nodes_allocated,
+            self.nodes_freed,
+            self.leaves_allocated,
+            self.leaves_freed,
+        )
+    }
 }
 
 /// A RIB + Poptrie pair with incremental update.
@@ -166,8 +211,16 @@ impl<K: Bits> Fib<K> {
         assert_ne!(nh, NO_ROUTE, "next hop 0 is reserved for no-route");
         let old = self.rib.insert(prefix, nh);
         if old != Some(nh) {
+            #[cfg(feature = "telemetry")]
+            let (t0, before) = (poptrie_cycles::rdtsc_serialized(), self.stats);
             self.patch(prefix);
             self.stats.updates += 1;
+            #[cfg(feature = "telemetry")]
+            crate::telemetry::record_update(
+                true,
+                poptrie_cycles::rdtsc_serialized().wrapping_sub(t0),
+                &self.stats.delta_since(before),
+            );
         }
         old
     }
@@ -175,18 +228,30 @@ impl<K: Bits> Fib<K> {
     /// Withdraw a route. Returns its next hop if it existed.
     pub fn remove(&mut self, prefix: Prefix<K>) -> Option<NextHop> {
         let old = self.rib.remove(prefix)?;
+        #[cfg(feature = "telemetry")]
+        let (t0, before) = (poptrie_cycles::rdtsc_serialized(), self.stats);
         self.patch(prefix);
         self.stats.updates += 1;
+        #[cfg(feature = "telemetry")]
+        crate::telemetry::record_update(
+            false,
+            poptrie_cycles::rdtsc_serialized().wrapping_sub(t0),
+            &self.stats.delta_since(before),
+        );
         Some(old)
     }
 
     /// Rebuild the whole FIB from the RIB (the paper's "compilation from
     /// scratch", Table 2's compilation-time column).
     pub fn rebuild(&mut self) {
+        #[cfg(feature = "telemetry")]
+        let t0 = poptrie_cycles::rdtsc_serialized();
         self.trie = Builder::new()
             .direct_bits(self.trie.s)
             .aggregate(false)
             .build(&self.rib);
+        #[cfg(feature = "telemetry")]
+        crate::telemetry::record_rebuild(poptrie_cycles::rdtsc_serialized().wrapping_sub(t0));
     }
 
     /// Patch the Poptrie after `prefix` changed in the RIB.
@@ -334,7 +399,7 @@ fn refresh_node<K: Bits>(
             trie.leaves[off as usize..off as usize + spec.leaf_vals.len()]
                 .copy_from_slice(&spec.leaf_vals);
             trie.leaf_count += spec.leaf_vals.len();
-            stats.leaves_built += spec.leaf_vals.len() as u64;
+            stats.leaves_allocated += spec.leaf_vals.len() as u64;
             off
         };
         let node = &mut trie.nodes[idx as usize];
@@ -353,8 +418,8 @@ fn credit_freed(stats: &mut UpdateStats, before: (usize, usize), after: (usize, 
 }
 
 fn credit_built(stats: &mut UpdateStats, before: (usize, usize), after: (usize, usize)) {
-    stats.nodes_built += (after.0 - before.0) as u64;
-    stats.leaves_built += (after.1 - before.1) as u64;
+    stats.nodes_allocated += (after.0 - before.0) as u64;
+    stats.leaves_allocated += (after.1 - before.1) as u64;
 }
 
 /// (inodes, leaves) snapshot for stats accounting.
@@ -373,8 +438,8 @@ fn credit(
 ) {
     stats.nodes_freed += (before.0 - mid.0) as u64;
     stats.leaves_freed += (before.1 - mid.1) as u64;
-    stats.nodes_built += (after.0 - mid.0) as u64;
-    stats.leaves_built += (after.1 - mid.1) as u64;
+    stats.nodes_allocated += (after.0 - mid.0) as u64;
+    stats.leaves_allocated += (after.1 - mid.1) as u64;
 }
 
 /// Recursively free the child and leaf blocks under node `idx` and

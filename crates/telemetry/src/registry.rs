@@ -1,0 +1,308 @@
+//! Metric exposition: a materialized registry that renders as Prometheus
+//! text format or flat JSON.
+//!
+//! The registry is a *snapshot*, not a live subscription: the instrumented
+//! crate reads its static counters at scrape time, pushes the values here,
+//! and renders. That keeps this crate free of any registration machinery
+//! (and of any dependency), at the cost of the caller enumerating its
+//! metrics explicitly — which it must do anyway to document them.
+
+/// The value of a single metric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing total.
+    Counter(u64),
+    /// A point-in-time value.
+    Gauge(f64),
+    /// A distribution, rendered as Prometheus cumulative buckets.
+    Histogram {
+        /// `(upper_bound, cumulative_count)` pairs, sorted by bound. The
+        /// implicit `+Inf` bucket (== `count`) is appended at render time.
+        buckets: Vec<(f64, u64)>,
+        /// Total number of observations.
+        count: u64,
+        /// Sum of all observed values.
+        sum: f64,
+    },
+}
+
+/// One metric sample: family name, help text, optional labels, value.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Prometheus family name, e.g. `app_requests_total`.
+    pub name: String,
+    /// One-line help text emitted as `# HELP`.
+    pub help: String,
+    /// Label pairs, e.g. `[("mode", "scalar")]`.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+/// An ordered collection of metric samples with Prometheus-text and JSON
+/// renderers.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl TelemetryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push a counter sample.
+    pub fn counter(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) -> &mut Self {
+        self.push(name, help, labels, MetricValue::Counter(value))
+    }
+
+    /// Push a gauge sample.
+    pub fn gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) -> &mut Self {
+        self.push(name, help, labels, MetricValue::Gauge(value))
+    }
+
+    /// Push a histogram sample from per-bucket (non-cumulative) counts and
+    /// their inclusive upper bounds.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds_and_counts: &[(f64, u64)],
+        sum: f64,
+    ) -> &mut Self {
+        let mut cumulative = 0u64;
+        let buckets: Vec<(f64, u64)> = bounds_and_counts
+            .iter()
+            .map(|&(bound, n)| {
+                cumulative += n;
+                (bound, cumulative)
+            })
+            .collect();
+        self.push(
+            name,
+            help,
+            labels,
+            MetricValue::Histogram {
+                buckets,
+                count: cumulative,
+                sum,
+            },
+        )
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: MetricValue,
+    ) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+        self
+    }
+
+    /// The samples, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Render as Prometheus text exposition format (version 0.0.4).
+    /// `# HELP`/`# TYPE` lines are emitted once per family, on the first
+    /// sample of that family.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !seen.contains(&m.name.as_str()) {
+                seen.push(&m.name);
+                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+                let ty = match m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram { .. } => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {}\n", m.name, ty));
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {}\n", m.name, label_set(&m.labels, None), v));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        label_set(&m.labels, None),
+                        fmt_f64(*v)
+                    ));
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    for &(bound, cumulative) in buckets {
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            m.name,
+                            label_set(&m.labels, Some(&fmt_f64(bound))),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        label_set(&m.labels, Some("+Inf")),
+                        count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        label_set(&m.labels, None),
+                        fmt_f64(*sum)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        label_set(&m.labels, None),
+                        count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a flat JSON object: one key per sample, labels folded
+    /// into the key as `name{k=v,...}`; histograms become objects with
+    /// `buckets` (upper bound → cumulative count), `count` and `sum`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let mut key = m.name.clone();
+            if !m.labels.is_empty() {
+                key.push('{');
+                for (j, (k, v)) in m.labels.iter().enumerate() {
+                    if j > 0 {
+                        key.push(',');
+                    }
+                    key.push_str(&format!("{}={}", k, v));
+                }
+                key.push('}');
+            }
+            out.push_str(&format!("  \"{}\": ", json_escape(&key)));
+            match &m.value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&fmt_f64(*v)),
+                MetricValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    out.push_str("{ \"buckets\": {");
+                    for (j, &(bound, cumulative)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!(
+                            "\"{}\": {}",
+                            json_escape(&fmt_f64(bound)),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "}}, \"count\": {}, \"sum\": {} }}",
+                        count,
+                        fmt_f64(*sum)
+                    ));
+                }
+            }
+            if i + 1 < self.metrics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Format a label set, optionally with an extra `le` label (for histogram
+/// buckets). Returns the empty string when there are no labels at all.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}=\"{}\"", k, prom_escape(v)));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{}\"", le));
+    }
+    out.push('}');
+    out
+}
+
+/// Format an f64 the way Prometheus expects: integers without a trailing
+/// `.0`, everything else via the shortest round-trip representation.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{}", v)
+    }
+}
+
+/// Escape a Prometheus label value (backslash, double quote, newline).
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escape a JSON string value.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

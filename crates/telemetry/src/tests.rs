@@ -1,0 +1,147 @@
+use super::*;
+
+#[test]
+fn counter_sums_across_threads() {
+    static C: Counter = Counter::new();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..10_000 {
+                    C.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(C.get(), 80_000);
+    C.reset();
+    assert_eq!(C.get(), 0);
+}
+
+#[test]
+fn counter_add_accumulates() {
+    let c = Counter::new();
+    c.add(3);
+    c.add(4);
+    assert_eq!(c.get(), 7);
+}
+
+#[test]
+fn gauge_set_and_record_max() {
+    let g = Gauge::new();
+    g.set(10);
+    assert_eq!(g.get(), 10);
+    g.record_max(5);
+    assert_eq!(g.get(), 10);
+    g.record_max(42);
+    assert_eq!(g.get(), 42);
+    g.reset();
+    assert_eq!(g.get(), 0);
+}
+
+#[test]
+fn histogram_records_and_clamps() {
+    let h: Histogram<4> = Histogram::new();
+    h.record(0);
+    h.record(1);
+    h.record(1);
+    h.record(3);
+    h.record(99); // clamps into the last bucket
+    assert_eq!(h.counts(), [1, 2, 0, 2]);
+    assert_eq!(h.total(), 5);
+    h.reset();
+    assert_eq!(h.total(), 0);
+}
+
+#[test]
+fn histogram_concurrent_mass_is_exact() {
+    static H: Histogram<8> = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            s.spawn(move || {
+                for i in 0..5_000 {
+                    H.record((t + i) % 8);
+                }
+            });
+        }
+    });
+    assert_eq!(H.total(), 20_000);
+}
+
+#[test]
+fn log2_histogram_buckets_and_sum() {
+    let h = Log2Histogram::new();
+    h.record(0); // bucket 0
+    h.record(1); // bucket 1
+    h.record(2); // bucket 2
+    h.record(3); // bucket 2
+    h.record(1024); // bucket 11
+    let counts = h.counts();
+    assert_eq!(counts[0], 1);
+    assert_eq!(counts[1], 1);
+    assert_eq!(counts[2], 2);
+    assert_eq!(counts[11], 1);
+    assert_eq!(h.total(), 5);
+    assert_eq!(h.sum(), 1 + 2 + 3 + 1024); // the recorded 0 adds nothing
+    assert!((h.mean() - 206.0).abs() < 1e-9);
+    assert_eq!(Log2Histogram::upper_bound(0), 0);
+    assert_eq!(Log2Histogram::upper_bound(1), 1);
+    assert_eq!(Log2Histogram::upper_bound(2), 3);
+    assert_eq!(Log2Histogram::upper_bound(11), 2047);
+}
+
+#[test]
+fn registry_renders_prometheus_families_once() {
+    let mut reg = TelemetryRegistry::new();
+    reg.counter("demo_total", "A demo counter.", &[("mode", "scalar")], 7)
+        .counter("demo_total", "A demo counter.", &[("mode", "batched")], 3)
+        .gauge("demo_gauge", "A demo gauge.", &[], 1.5);
+    let text = reg.render_prometheus();
+    assert_eq!(text.matches("# HELP demo_total").count(), 1);
+    assert_eq!(text.matches("# TYPE demo_total counter").count(), 1);
+    assert!(text.contains("demo_total{mode=\"scalar\"} 7\n"));
+    assert!(text.contains("demo_total{mode=\"batched\"} 3\n"));
+    assert!(text.contains("demo_gauge 1.5\n"));
+}
+
+#[test]
+fn registry_renders_cumulative_histogram() {
+    let mut reg = TelemetryRegistry::new();
+    reg.histogram(
+        "depth",
+        "Descent depth.",
+        &[],
+        &[(1.0, 5), (2.0, 3), (3.0, 0)],
+        13.0,
+    );
+    let text = reg.render_prometheus();
+    assert!(text.contains("# TYPE depth histogram"));
+    assert!(text.contains("depth_bucket{le=\"1\"} 5\n"));
+    assert!(text.contains("depth_bucket{le=\"2\"} 8\n"));
+    assert!(text.contains("depth_bucket{le=\"3\"} 8\n"));
+    assert!(text.contains("depth_bucket{le=\"+Inf\"} 8\n"));
+    assert!(text.contains("depth_sum 13\n"));
+    assert!(text.contains("depth_count 8\n"));
+}
+
+#[test]
+fn registry_renders_json() {
+    let mut reg = TelemetryRegistry::new();
+    reg.counter("a_total", "h", &[("k", "v")], 2)
+        .gauge("b", "h", &[], 0.5)
+        .histogram("c", "h", &[], &[(1.0, 1), (2.0, 2)], 4.0);
+    let json = reg.render_json();
+    assert!(json.contains("\"a_total{k=v}\": 2"));
+    assert!(json.contains("\"b\": 0.5"));
+    assert!(json.contains("\"count\": 3"));
+    assert!(json.contains("\"sum\": 4"));
+    // Balanced braces as a cheap well-formedness check.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn prometheus_escapes_label_values() {
+    let mut reg = TelemetryRegistry::new();
+    reg.counter("e_total", "h", &[("k", "a\"b\\c")], 1);
+    let text = reg.render_prometheus();
+    assert!(text.contains("e_total{k=\"a\\\"b\\\\c\"} 1"));
+}

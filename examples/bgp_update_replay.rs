@@ -84,7 +84,7 @@ fn main() {
     );
     println!(
         "update work: {} direct slots, {} nodes built, {} leaves built",
-        st.direct_replacements, st.nodes_built, st.leaves_built
+        st.direct_replacements, st.nodes_allocated, st.leaves_allocated
     );
     println!(
         "data plane sustained {} lookups concurrently, never blocked",

@@ -56,7 +56,7 @@ fn main() {
     let st = fib.stats();
     println!(
         "\nincremental updates: {} updates, {} nodes built, {} nodes freed",
-        st.updates, st.nodes_built, st.nodes_freed
+        st.updates, st.nodes_allocated, st.nodes_freed
     );
     println!("memory: {} bytes", Lpm::memory_bytes(fib.poptrie()));
 }

@@ -10,6 +10,15 @@
 //! ```text
 //! cargo run --release --example software_router
 //! ```
+//!
+//! With the `telemetry` feature the router also behaves like a production
+//! data plane with a metrics endpoint: a compact telemetry line after
+//! every traffic round (the periodic scrape) and a full Prometheus-format
+//! dump at shutdown:
+//!
+//! ```text
+//! cargo run --release --features telemetry --example software_router
+//! ```
 
 use poptrie_suite::tablegen::{TableKind, TableSpec};
 use poptrie_suite::traffic::Xorshift128;
@@ -47,16 +56,36 @@ fn main() {
     let mut interfaces = vec![Interface::default(); 25];
     let mut rng = Xorshift128::new(0xDA7A);
     const PACKETS: u64 = 4_000_000;
+    const ROUNDS: u64 = 4;
 
     let start = Instant::now();
-    for _ in 0..PACKETS {
-        let dst = rng.next_u32();
-        // IPv4 minimum frame: 64 bytes on the wire; synthetic size mix.
-        let size = 64 + (dst & 0x3FF) as u64;
-        let egress = fib.lookup_raw(dst) as usize; // 0 = no route
-        let ifc = &mut interfaces[egress];
-        ifc.packets += 1;
-        ifc.bytes += size;
+    for round in 1..=ROUNDS {
+        for _ in 0..PACKETS / ROUNDS {
+            let dst = rng.next_u32();
+            // IPv4 minimum frame: 64 bytes on the wire; synthetic size mix.
+            let size = 64 + (dst & 0x3FF) as u64;
+            let egress = fib.lookup_raw(dst) as usize; // 0 = no route
+            let ifc = &mut interfaces[egress];
+            ifc.packets += 1;
+            ifc.bytes += size;
+        }
+        // The periodic scrape a production router would expose: one
+        // compact line per traffic round.
+        #[cfg(feature = "telemetry")]
+        {
+            use poptrie_suite::poptrie::telemetry;
+            let t = telemetry::snapshot();
+            let deepest = t.depth.iter().rposition(|&n| n > 0).unwrap_or(0);
+            println!(
+                "[telemetry] round {round}/{ROUNDS}: {} lookups, {} direct hits ({:.1}%), max depth {}",
+                t.lookups_total(),
+                t.direct_hits,
+                100.0 * t.direct_hits as f64 / t.lookups_total().max(1) as f64,
+                deepest,
+            );
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = round;
     }
     let dt = start.elapsed().as_secs_f64();
 
@@ -74,6 +103,19 @@ fn main() {
         println!(
             "  if{:<2}  {:>9} packets  {:>12} bytes",
             idx, ifc.packets, ifc.bytes
+        );
+    }
+
+    // Shutdown dump: the full metrics page a scraper would have fetched.
+    #[cfg(feature = "telemetry")]
+    {
+        use poptrie_suite::poptrie::telemetry;
+        println!("\n# final telemetry (Prometheus text format)");
+        print!(
+            "{}",
+            telemetry::snapshot()
+                .attach_structure(&fib)
+                .render_prometheus()
         );
     }
 }

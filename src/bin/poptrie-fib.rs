@@ -40,6 +40,11 @@ usage:
   poptrie-fib ranges <fib.bin | rib.txt> [--limit N]
   poptrie-fib gen <dataset-name> [-o rib.txt]
   poptrie-fib mrt-extract <dump.mrt> --peer <index> [-o rib.txt]
+
+options:
+  --telemetry   after the command, dump the process-wide lookup/update
+                counters in Prometheus text format (requires a build with
+                --features telemetry)
 ";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -47,6 +52,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut direct_bits: u8 = 18;
     let mut aggregate = true;
+    let mut telemetry = false;
     let mut peer: Option<u16> = None;
     let mut limit: Option<usize> = None;
     let mut it = args.iter();
@@ -63,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "invalid --direct-bits")?;
             }
             "--no-aggregate" => aggregate = false,
+            "--telemetry" => telemetry = true,
             "--peer" => {
                 peer = Some(
                     it.next()
@@ -90,7 +97,7 @@ fn run(args: &[String]) -> Result<(), String> {
         print!("{USAGE}");
         return Err("no command given".into());
     };
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "build" => build(&pos[1..], out_path, direct_bits, aggregate),
         "lookup" => lookup(&pos[1..]),
         "stats" => stats(&pos[1..]),
@@ -98,7 +105,30 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen" => gen(&pos[1..], out_path),
         "mrt-extract" => mrt_extract(&pos[1..], peer, out_path),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    if telemetry && result.is_ok() {
+        dump_telemetry();
     }
+    result
+}
+
+/// `--telemetry`: dump the process-wide counters the command just drove
+/// (lookup totals, descent-depth histogram, update work) as Prometheus
+/// text.
+#[cfg(feature = "telemetry")]
+fn dump_telemetry() {
+    use poptrie_suite::poptrie::telemetry;
+    println!("\n# --telemetry dump (process-wide counters)");
+    print!("{}", telemetry::snapshot().render_prometheus());
+}
+
+/// Without the `telemetry` feature the counters are compiled out.
+#[cfg(not(feature = "telemetry"))]
+fn dump_telemetry() {
+    eprintln!(
+        "poptrie-fib: --telemetry requires a build with the counters compiled in:\n  \
+         cargo run --release --features telemetry --bin poptrie-fib -- ..."
+    );
 }
 
 /// Load a FIB from either a compiled blob or a text RIB.

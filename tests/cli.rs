@@ -9,15 +9,17 @@ fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_poptrie-fib"))
 }
 
-fn tmpdir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("poptrie-cli-test-{}", std::process::id()));
+fn tmpdir(label: &str) -> PathBuf {
+    // Keyed by test name, not just PID: the tests run as parallel threads
+    // of one process and each deletes its directory when done.
+    let dir = std::env::temp_dir().join(format!("poptrie-cli-test-{}-{label}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
     dir
 }
 
 #[test]
 fn build_lookup_stats_ranges_roundtrip() {
-    let dir = tmpdir();
+    let dir = tmpdir("roundtrip");
     let rib = dir.join("t1.rib");
     let fib = dir.join("t1.fib");
     std::fs::write(
@@ -85,7 +87,7 @@ fn build_lookup_stats_ranges_roundtrip() {
 
 #[test]
 fn build_options_are_honored() {
-    let dir = tmpdir();
+    let dir = tmpdir("options");
     let rib = dir.join("t2.rib");
     let fib = dir.join("t2.fib");
     std::fs::write(&rib, "10.0.0.0/9 5\n10.128.0.0/9 5\n").unwrap();
@@ -123,7 +125,7 @@ fn errors_are_reported_with_nonzero_exit() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     // Bad RIB line.
-    let dir = tmpdir();
+    let dir = tmpdir("errors");
     let rib = dir.join("bad.rib");
     std::fs::write(&rib, "10.0.0.0/8 2\nnot-a-route\n").unwrap();
     let out = bin()
@@ -165,7 +167,7 @@ fn help_prints_usage() {
 fn mrt_extract_roundtrip() {
     // Synthesize a tiny MRT file (same byte layout the tablegen tests
     // use), extract a peer, and compile the result.
-    let dir = tmpdir();
+    let dir = tmpdir("mrt");
     let mrt_path = dir.join("mini.mrt");
     let mut bytes = Vec::new();
     let mut record = |subtype: u16, body: &[u8]| {

@@ -76,7 +76,7 @@ fn replay_matches_rebuild() {
     let st = fib.stats();
     assert_eq!(st.updates, effective);
     assert!(st.updates < stream.len() as u64, "stream had no no-ops");
-    assert!(st.nodes_built > 0 && st.nodes_freed > 0);
+    assert!(st.nodes_allocated > 0 && st.nodes_freed > 0);
     fib.poptrie().audit().expect("final audit");
 }
 
