@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick | --full] [--compare]
+//! repro fig10 --live --threads N [--churn] [--quick]
 //!
 //! experiments:
 //!   table1   dataset inventory (Table 1)
@@ -13,7 +14,10 @@
 //!   fig7     binary-radix-depth heat map (Figure 7)
 //!   fig8     multi-thread scaling (Figure 8)
 //!   fig9     lookup rate on all 35 datasets (Figure 9)
-//!   fig10    CDF of CPU cycles per lookup (Figure 10)
+//!   fig10    CDF of CPU cycles per lookup (Figure 10); with --live:
+//!            aggregate rate through the sharded forwarding engine,
+//!            sweeping worker counts up to --threads N, optionally under
+//!            concurrent control-plane churn (--churn)
 //!   fig11    cycles vs binary radix depth candlesticks (Figure 11)
 //!   fig12    real-trace lookup rate on REAL-RENET (Figure 12)
 //!   updates  incremental update performance (§4.9)
@@ -23,7 +27,7 @@
 //! `--quick` shrinks workloads for smoke runs; `--full` uses paper-scale
 //! 2^32-lookup measurements (slow).
 
-use poptrie::{Builder, Fib, Poptrie, UpdateStrategy};
+use poptrie::{Builder, Fib, Poptrie, PoptrieConfig, UpdateStrategy};
 use poptrie_bench::algorithms::{build_all_v4, build_v4, Algo, BuildOutcome};
 use poptrie_bench::measure::{
     batched_cycles_per_lookup, cycle_percentiles, cycle_samples, mean_std, measure_mlps,
@@ -45,6 +49,8 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let full = args.iter().any(|a| a == "--full");
     let compare = args.iter().any(|a| a == "--compare");
+    let live = args.iter().any(|a| a == "--live");
+    let churn = args.iter().any(|a| a == "--churn");
     let cfg = if full {
         MeasureConfig::full()
     } else if quick {
@@ -52,11 +58,23 @@ fn main() {
     } else {
         MeasureConfig::standard()
     };
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("help");
+    // `--threads` consumes the next token, so the command word is picked
+    // from the positionals that remain after flag parsing.
+    let mut threads: Option<usize> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut words = args.iter();
+    while let Some(a) = words.next() {
+        if a == "--threads" {
+            threads = words.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+            if threads.is_none() {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            }
+        } else if !a.starts_with("--") {
+            positional.push(a);
+        }
+    }
+    let cmd = positional.first().copied().unwrap_or("help");
     let mut ctx = Ctx {
         cfg,
         quick,
@@ -73,6 +91,7 @@ fn main() {
         "fig7" => fig7(&mut ctx),
         "fig8" => fig8(&mut ctx),
         "fig9" => fig9(&mut ctx),
+        "fig10" if live => fig10_live(&mut ctx, threads.unwrap_or(2), churn),
         "fig10" => fig10(&mut ctx),
         "fig11" => fig11(&mut ctx),
         "fig12" => fig12(&mut ctx),
@@ -108,9 +127,16 @@ const HELP: &str = "\
 repro — regenerate the tables and figures of the Poptrie paper (SIGCOMM 2015)
 
 usage: repro <experiment> [--quick | --full] [--compare]
+       repro fig10 --live --threads N [--churn] [--quick]
 
 experiments: table1 table2 table3 table4 table5 table6
              fig7 fig8 fig9 fig10 fig11 fig12 updates all
+             fig10 --live      drive the sharded forwarding engine:
+                      N pinned workers draining bounded batch queues
+                      against the RCU snapshot, sweeping worker counts
+                      1..=N; --churn replays a seeded BGP update stream
+                      through the control-plane writer concurrently;
+                      writes results/BENCH_engine.json
              stats    with no dataset argument: live-telemetry replay —
                       a seeded lookup + churn workload whose counters are
                       reconciled against the script, dumped as Prometheus
@@ -732,6 +758,213 @@ fn fig10(ctx: &mut Ctx) {
     print!("{}", t.render());
 }
 
+// ---------------------------------------------------------- fig 10 --live
+
+/// One engine run: feed pre-generated packet batches round-robin into the
+/// worker queues for `duration` (non-blocking; full queues shed load and
+/// are counted as drops), optionally replaying a churn stream through the
+/// control channel, then drain-shutdown and report the aggregate rate.
+fn live_run(
+    fib: &std::sync::Arc<poptrie::sync::SharedFib<u32>>,
+    workers: usize,
+    pool: &[std::sync::Arc<[u32]>],
+    churn: &[ChurnEvent<u32>],
+    duration: std::time::Duration,
+) -> (f64, poptrie_engine::EngineReport) {
+    use poptrie::sync::RouteUpdate;
+    use poptrie_engine::{Engine, EngineConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let engine = Engine::start(
+        Arc::clone(fib),
+        // Engine defaults: workers pinned round-robin (pinning degrades
+        // to a no-op for worker indices beyond the core count), 64-batch
+        // queues. The feeder below floats — it bursts and sleeps, so the
+        // scheduler slots it into whichever core has slack.
+        EngineConfig::new(workers).queue_capacity(64),
+    );
+    let ingress = engine.ingress();
+    let control = engine.control();
+    let deadline = Instant::now() + duration;
+    let (mut i, mut ev) = (0usize, 0usize);
+    'feed: loop {
+        // Burst-submit between clock checks: keeping the 64-deep queues
+        // topped up (not the clock) paces this loop, and a drained queue
+        // would park its worker on the condvar — the expensive case.
+        for _ in 0..256 {
+            // ~1 control-plane event per 64 data batches keeps the
+            // writer busy without dominating the run.
+            if !churn.is_empty() && i % 64 == 0 {
+                let update = match churn[ev % churn.len()] {
+                    ChurnEvent::Announce(p, nh) => RouteUpdate::Announce(p, nh),
+                    ChurnEvent::Withdraw(p) => RouteUpdate::Withdraw(p),
+                };
+                let _ = control.send(update); // full channel: shed, counted
+                ev += 1;
+            }
+            i += 1;
+            if ingress
+                .try_submit(Arc::clone(&pool[i % pool.len()]))
+                .is_err()
+            {
+                // Every queue is full: the workers are saturated with
+                // ~400 µs of buffered work each. Sleep it off rather
+                // than burn a core the workers could use.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        if Instant::now() >= deadline {
+            break 'feed;
+        }
+    }
+    let report = engine.shutdown(Duration::from_secs(30));
+    let mlps = report.packets as f64 / report.elapsed.as_secs_f64() / 1e6;
+    (mlps, report)
+}
+
+/// `repro fig10 --live --threads N [--churn]`: the §4.8 multi-core
+/// experiment through the real forwarding engine instead of bare
+/// per-thread loops — bounded ingress queues, RCU snapshot re-acquired
+/// per batch, and (with `--churn`) a concurrent seeded BGP stream through
+/// the single control-plane writer.
+fn fig10_live(ctx: &mut Ctx, threads: usize, churn: bool) {
+    use poptrie::sync::SharedFib;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let threads = threads.max(1);
+    section(&format!(
+        "Figure 10 (live engine): aggregate rate by worker count, 1..={threads}{}",
+        if churn { ", under churn" } else { "" }
+    ));
+    let ds_name = if ctx.quick {
+        "RV-sydney-p0"
+    } else {
+        "REAL-Tier1-A"
+    };
+    let dataset = ctx.dataset(ds_name).clone();
+    let pcfg = PoptrieConfig::new().direct_bits(18).build().unwrap();
+
+    // Pre-generate the traffic: a pool of random packet batches the
+    // feeder recycles, so the hot loop only clones `Arc`s. An ingress
+    // batch is an rx-burst of many lookup_batch calls (64x the
+    // measurement batch): each queue handoff costs a mutex and possibly
+    // a futex wake, and on a small host the feeder shares cores with the
+    // workers, so a handoff has to carry enough lookup work that the
+    // feeder's core share stays negligible.
+    let batch = ctx.cfg.batch.max(1) * 64;
+    let mut src = poptrie_traffic::fill::RandomV4::new(0x000F_1610);
+    let pool: Vec<Arc<[u32]>> = (0..256)
+        .map(|_| {
+            let mut keys = vec![0u32; batch];
+            src.fill(&mut keys);
+            Arc::from(keys)
+        })
+        .collect();
+    let events = if churn {
+        churn_stream::<u32>(&ChurnConfig {
+            seed: 0x16F1,
+            events: if ctx.quick { 2_000 } else { 20_000 },
+            direct_bits: 18,
+            ..ChurnConfig::default()
+        })
+    } else {
+        Vec::new()
+    };
+
+    let duration = if ctx.quick {
+        Duration::from_millis(250)
+    } else {
+        Duration::from_millis(1500)
+    };
+    let reps = if ctx.quick { 2 } else { 3 };
+    let mut counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&n| n <= threads)
+        .collect();
+    if !counts.contains(&threads) {
+        counts.push(threads);
+    }
+
+    let mut t = Table::new(vec![
+        "Workers",
+        "Rate [Mlps]",
+        "Batches",
+        "Dropped",
+        "Publishes",
+        "Coalesced",
+        "Respawns",
+        "FIB ver.",
+    ]);
+    let mut runs = Vec::new();
+    for &workers in &counts {
+        // Fresh FIB per worker count so every sweep point replays the
+        // same churn against the same starting table.
+        let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(dataset.to_rib(), pcfg));
+        // Best of `reps`: on a small host the feeder competes with the
+        // workers for cores, so a single run is noisy.
+        let mut best: Option<(f64, poptrie_engine::EngineReport)> = None;
+        for _ in 0..reps {
+            let run = live_run(&fib, workers, &pool, &events, duration);
+            match &best {
+                Some((b, _)) if run.0 <= *b => {}
+                _ => best = Some(run),
+            }
+        }
+        let (mlps, report) = best.expect("reps >= 1");
+        assert!(report.drained_clean, "engine failed to drain on shutdown");
+        assert_eq!(report.leaked_threads, 0, "engine leaked threads");
+        let respawns: u64 = report.workers.iter().map(|w| w.respawns).sum();
+        let version = fib.version();
+        t.row(vec![
+            workers.to_string(),
+            format!("{mlps:.2}"),
+            report.batches.to_string(),
+            report.dropped_batches.to_string(),
+            report.publishes.to_string(),
+            report.updates_coalesced.to_string(),
+            respawns.to_string(),
+            version.to_string(),
+        ]);
+        runs.push(format!(
+            "    {{\"workers\": {workers}, \"mlps\": {mlps:.3}, \"packets\": {}, \
+             \"batches\": {}, \"dropped_batches\": {}, \"publishes\": {}, \
+             \"update_events\": {}, \"updates_coalesced\": {}, \"control_dropped\": {}, \
+             \"respawns\": {respawns}, \"fib_version\": {version}, \"drained_clean\": {}}}",
+            report.packets,
+            report.batches,
+            report.dropped_batches,
+            report.publishes,
+            report.update_events,
+            report.updates_coalesced,
+            report.control_dropped,
+            report.drained_clean,
+        ));
+    }
+    print!("{}", t.render());
+    println!(
+        "(best of {reps} runs of {} ms each; drops are shed ingress batches)",
+        duration.as_millis()
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fig10_live\",\n  \"dataset\": \"{ds_name}\",\n  \
+         \"batch\": {batch},\n  \"duration_ms\": {},\n  \"reps\": {reps},\n  \
+         \"churn\": {churn},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        duration.as_millis(),
+        runs.join(",\n"),
+    );
+    let path = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(path)
+        .and_then(|()| std::fs::write(path.join("BENCH_engine.json"), &json))
+    {
+        eprintln!("warning: could not write results/BENCH_engine.json: {e}");
+    } else {
+        println!("wrote results/BENCH_engine.json");
+    }
+}
+
 // ----------------------------------------------------------------- fig 11
 
 fn fig11(ctx: &mut Ctx) {
@@ -1042,7 +1275,14 @@ fn telemetry_stats(ctx: &mut Ctx) {
     section("Live telemetry: seeded lookup + churn replay (REAL-RENET)");
     telemetry::reset();
     let dataset = ctx.dataset("REAL-RENET").clone();
-    let shared = SharedFib::from_rib(dataset.to_rib(), 18, false);
+    let shared = SharedFib::compile(
+        dataset.to_rib(),
+        PoptrieConfig::new()
+            .direct_bits(18)
+            .aggregate(false)
+            .build()
+            .unwrap(),
+    );
 
     // Lookup phase: half the trace scalar, half batched, one snapshot.
     let trace = RealTrace::synthesize(&dataset, TraceConfig::default());
@@ -1077,14 +1317,14 @@ fn telemetry_stats(ctx: &mut Ctx) {
             ChurnEvent::Announce(p, nh) => {
                 // `SharedFib::insert` publishes unconditionally; the
                 // update counter moves only when the RIB changed.
-                if shared.insert(p, nh) != Some(nh) {
+                if shared.insert(p, nh).unwrap().changed() {
                     announces += 1;
                 }
                 publishes += 1;
             }
             ChurnEvent::Withdraw(p) => {
                 // A withdraw of an absent prefix publishes nothing.
-                if shared.remove(p).is_some() {
+                if shared.remove(p).unwrap().changed() {
                     withdraws += 1;
                     publishes += 1;
                 }
@@ -1179,16 +1419,21 @@ fn updates(ctx: &mut Ctx) {
     // the paper's announce/withdraw mix.
     let base = ctx.dataset("RV-linx-p52").clone();
     let stream = tablegen::synthesize_update_stream(&base, 18_141, 5_305);
-    let mut fib = Fib::from_rib(base.to_rib(), 18, false);
+    let pcfg = PoptrieConfig::new()
+        .direct_bits(18)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let mut fib = Fib::compile(base.to_rib(), pcfg);
     let before = fib.stats();
     let start = Instant::now();
     for ev in &stream {
         match *ev {
             tablegen::UpdateEvent::Announce(p, nh) => {
-                fib.insert(p, nh);
+                fib.insert(p, nh).unwrap();
             }
             tablegen::UpdateEvent::Withdraw(p) => {
-                fib.remove(p);
+                fib.remove(p).unwrap();
             }
         }
     }
@@ -1218,10 +1463,10 @@ fn updates(ctx: &mut Ctx) {
         for i in (1..routes.len()).rev() {
             routes.swap(i, rng.next_u32() as usize % (i + 1));
         }
-        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        let mut fib: Fib<u32> = Fib::with_config(pcfg);
         let start = Instant::now();
         for (p, nh) in routes {
-            fib.insert(p, nh);
+            fib.insert(p, nh).unwrap();
         }
         let dt = start.elapsed().as_secs_f64();
         println!(
@@ -1255,20 +1500,26 @@ fn print_report(label: &str, r: poptrie::AuditReport) {
 fn churn_audit<K: poptrie_bitops::Bits>(label: &str, cfg: &ChurnConfig, audit_every: usize) {
     let stream = churn_stream::<K>(cfg);
     let mut oracle: poptrie_rib::RadixTree<K, poptrie_rib::NextHop> = poptrie_rib::RadixTree::new();
-    let mut fib: Fib<K> = Fib::with_direct_bits(cfg.direct_bits);
+    let mut fib: Fib<K> = Fib::with_config(
+        PoptrieConfig::new()
+            .direct_bits(cfg.direct_bits)
+            .aggregate(false)
+            .build()
+            .unwrap(),
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0b5e_55ed);
     let (mut effective, mut checked) = (0u64, 0u64);
     let start = Instant::now();
     for (i, ev) in stream.iter().enumerate() {
         match *ev {
             ChurnEvent::Announce(p, nh) => {
-                if fib.insert(p, nh) != Some(nh) {
+                if fib.insert(p, nh).unwrap().changed() {
                     effective += 1;
                 }
                 oracle.insert(p, nh);
             }
             ChurnEvent::Withdraw(p) => {
-                if fib.remove(p).is_some() {
+                if fib.remove(p).unwrap().changed() {
                     effective += 1;
                 }
                 oracle.remove(p);
@@ -1353,15 +1604,22 @@ fn audit(ctx: &mut Ctx) {
         ("replay/NodeRefresh", UpdateStrategy::NodeRefresh),
         ("replay/SubtreeRebuild", UpdateStrategy::SubtreeRebuild),
     ] {
-        let mut fib = Fib::from_rib(base.to_rib(), 18, false);
+        let mut fib = Fib::compile(
+            base.to_rib(),
+            PoptrieConfig::new()
+                .direct_bits(18)
+                .aggregate(false)
+                .build()
+                .unwrap(),
+        );
         fib.set_update_strategy(strategy);
         for (i, ev) in stream.iter().enumerate() {
             match *ev {
                 tablegen::UpdateEvent::Announce(p, nh) => {
-                    fib.insert(p, nh);
+                    fib.insert(p, nh).unwrap();
                 }
                 tablegen::UpdateEvent::Withdraw(p) => {
-                    fib.remove(p);
+                    fib.remove(p).unwrap();
                 }
             }
             if (i + 1) % 2_000 == 0 {

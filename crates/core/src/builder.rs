@@ -38,6 +38,8 @@ pub(crate) type ChildRef<'a> = (&'a RadixNode<NextHop>, NextHop);
 pub struct Builder<K: Bits, N: NodeRepr = Node24> {
     s: u8,
     aggregate: bool,
+    node_capacity: u32,
+    leaf_capacity: u32,
     _marker: core::marker::PhantomData<(K, N)>,
 }
 
@@ -54,8 +56,38 @@ impl<K: Bits, N: NodeRepr> Builder<K, N> {
         Builder {
             s: 18,
             aggregate: true,
+            node_capacity: 0,
+            leaf_capacity: 0,
             _marker: core::marker::PhantomData,
         }
+    }
+
+    /// A builder shaped by a validated [`PoptrieConfig`](crate::PoptrieConfig)
+    /// (direct-pointing size, aggregation, arena reservations).
+    ///
+    /// ```
+    /// use poptrie::{Poptrie, Builder, PoptrieConfig};
+    /// use poptrie_rib::RadixTree;
+    ///
+    /// let cfg = PoptrieConfig::new().direct_bits(16).aggregate(false).build()?;
+    /// let mut rib = RadixTree::new();
+    /// rib.insert("192.0.2.0/24".parse().unwrap(), 3u16);
+    /// let fib: Poptrie = Builder::from_config(&cfg).build(&rib);
+    /// assert_eq!(fib.lookup(0xC000_0205), Some(3));
+    /// # Ok::<(), poptrie::ConfigError>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS` (the key-width rule a
+    /// width-agnostic config cannot check itself).
+    pub fn from_config(config: &crate::config::PoptrieConfig) -> Self {
+        let mut b = Self::new()
+            .direct_bits(config.direct_bits)
+            .aggregate(config.aggregate);
+        b.node_capacity = config.node_capacity;
+        b.leaf_capacity = config.leaf_capacity;
+        b
     }
 
     /// Set the direct-pointing size `s` (§3.4): the top-level array has
@@ -94,8 +126,8 @@ impl<K: Bits, N: NodeRepr> Builder<K, N> {
             direct: Vec::new(),
             nodes: Vec::new(),
             leaves: Vec::new(),
-            node_buddy: Buddy::new(),
-            leaf_buddy: Buddy::new(),
+            node_buddy: Buddy::with_capacity(self.node_capacity),
+            leaf_buddy: Buddy::with_capacity(self.leaf_capacity),
             root: 0,
             inode_count: 0,
             leaf_count: 0,

@@ -58,7 +58,9 @@
 
 pub mod audit;
 pub mod builder;
+pub mod config;
 pub mod node;
+pub mod prelude;
 pub mod serial;
 pub mod sync;
 #[cfg(feature = "telemetry")]
@@ -68,13 +70,14 @@ pub mod update;
 
 pub use audit::AuditReport;
 pub use builder::Builder;
+pub use config::{ConfigError, PoptrieConfig, PoptrieConfigBuilder};
 pub use node::{Node16, Node24, NodeRepr};
 pub use serial::SerializeError;
 pub use trie::{Poptrie, PoptrieBasic, PoptrieStats, BATCH_LANES};
-pub use update::{Fib, UpdateStats, UpdateStrategy};
+pub use update::{Applied, Fib, UpdateError, UpdateStats, UpdateStrategy};
 
 // Re-export the vocabulary types callers need.
-pub use poptrie_rib::{Lpm, NextHop, Prefix, RadixTree, NO_ROUTE};
+pub use poptrie_rib::{Lpm, NextHop, Prefix, PrefixError, RadixTree, NO_ROUTE};
 
 #[cfg(test)]
 mod tests;

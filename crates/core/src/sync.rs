@@ -33,8 +33,9 @@ use poptrie_bitops::Bits;
 use poptrie_rib::{NextHop, Prefix, RadixTree};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
+use crate::config::PoptrieConfig;
 use crate::trie::Poptrie;
-use crate::update::{Fib, UpdateStats};
+use crate::update::{Applied, Fib, UpdateError, UpdateStats};
 
 /// An RCU cell: cheap snapshot reads of a heap value that is replaced
 /// wholesale by writers.
@@ -127,22 +128,80 @@ impl<T> RcuCell<T> {
     }
 }
 
+/// One published FIB state: the compiled [`Poptrie`] plus the RCU version
+/// it was published as.
+///
+/// `FibSnapshot` dereferences to the [`Poptrie`], so every lookup-side
+/// method ([`Poptrie::lookup`](crate::Poptrie::lookup),
+/// [`Poptrie::lookup_batch`](crate::Poptrie::lookup_batch),
+/// [`Poptrie::stats`](crate::Poptrie::stats), …) is available directly on
+/// a snapshot. The version is what lets a dataplane attribute each served
+/// batch to a specific published state — the forwarding engine's
+/// oracle-exactness test hangs off it.
+#[derive(Debug)]
+pub struct FibSnapshot<K: Bits> {
+    trie: Poptrie<K>,
+    version: u64,
+}
+
+impl<K: Bits> FibSnapshot<K> {
+    /// The publish sequence number: 0 for the initially compiled state,
+    /// +1 for every snapshot published after it.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl<K: Bits> core::ops::Deref for FibSnapshot<K> {
+    type Target = Poptrie<K>;
+
+    #[inline]
+    fn deref(&self) -> &Poptrie<K> {
+        &self.trie
+    }
+}
+
+/// What one [`SharedFib::update_batch`] call did: how many events it
+/// consumed, how many were effective (changed the RIB), and the version
+/// of the single snapshot it published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Events consumed from the iterator.
+    pub events: usize,
+    /// Events that changed the RIB (re-announcements and absent
+    /// withdraws don't).
+    pub applied: usize,
+    /// The version of the snapshot published at the end of the batch.
+    pub version: u64,
+}
+
+/// The writer half of a [`SharedFib`]: the private [`Fib`] plus the
+/// version counter its next publish will take.
+struct Writer<K: Bits> {
+    fib: Fib<K>,
+    version: u64,
+}
+
 /// A concurrently readable FIB with serialized incremental updates.
 ///
 /// ```
 /// use poptrie::sync::SharedFib;
+/// use poptrie::PoptrieConfig;
 /// use std::sync::Arc;
 ///
-/// let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_direct_bits(18));
-/// fib.insert("10.0.0.0/8".parse().unwrap(), 1);
+/// let cfg = PoptrieConfig::new().direct_bits(18).build()?;
+/// let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_config(cfg));
+/// fib.insert("10.0.0.0/8".parse().unwrap(), 1)?;
 ///
 /// let reader = Arc::clone(&fib);
 /// let t = std::thread::spawn(move || reader.lookup(0x0A00_0001));
 /// assert_eq!(t.join().unwrap(), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct SharedFib<K: Bits> {
-    writer: Mutex<Fib<K>>,
-    current: RcuCell<Poptrie<K>>,
+    writer: Mutex<Writer<K>>,
+    current: RcuCell<FibSnapshot<K>>,
 }
 
 impl<K: Bits> core::fmt::Debug for SharedFib<K> {
@@ -152,25 +211,64 @@ impl<K: Bits> core::fmt::Debug for SharedFib<K> {
 }
 
 impl<K: Bits> SharedFib<K> {
-    /// An empty shared FIB with direct-pointing size `s`.
-    pub fn with_direct_bits(s: u8) -> Self {
-        let fib = Fib::with_direct_bits(s);
-        let current = RcuCell::new(fib.poptrie().clone());
+    fn from_fib(fib: Fib<K>) -> Self {
+        let current = RcuCell::new(FibSnapshot {
+            trie: fib.poptrie().clone(),
+            version: 0,
+        });
         SharedFib {
-            writer: Mutex::new(fib),
+            writer: Mutex::new(Writer { fib, version: 0 }),
             current,
         }
     }
 
+    /// An empty shared FIB shaped by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS`.
+    pub fn with_config(config: PoptrieConfig) -> Self {
+        Self::from_fib(Fib::with_config(config))
+    }
+
+    /// Build from an existing RIB (full compilation, §3's aggregation per
+    /// `config.aggregate`), then serve concurrent lookups and serialized
+    /// incremental updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS`.
+    pub fn compile(rib: RadixTree<K, NextHop>, config: PoptrieConfig) -> Self {
+        Self::from_fib(Fib::compile(rib, config))
+    }
+
+    /// An empty shared FIB with direct-pointing size `s`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SharedFib::with_config` with a `PoptrieConfig`"
+    )]
+    pub fn with_direct_bits(s: u8) -> Self {
+        let cfg = PoptrieConfig::new()
+            .direct_bits(s)
+            .aggregate(false)
+            .build()
+            .expect("legacy direct_bits out of range");
+        Self::with_config(cfg)
+    }
+
     /// Build from an existing RIB (full compilation with aggregation
     /// optionally applied, as in the paper's evaluation setup).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SharedFib::compile` with a `PoptrieConfig`"
+    )]
     pub fn from_rib(rib: RadixTree<K, NextHop>, s: u8, aggregate: bool) -> Self {
-        let fib = Fib::from_rib(rib, s, aggregate);
-        let current = RcuCell::new(fib.poptrie().clone());
-        SharedFib {
-            writer: Mutex::new(fib),
-            current,
-        }
+        let cfg = PoptrieConfig::new()
+            .direct_bits(s)
+            .aggregate(aggregate)
+            .build()
+            .expect("legacy direct_bits out of range");
+        Self::compile(rib, cfg)
     }
 
     /// Longest-prefix-match lookup on the current snapshot; never blocks
@@ -185,16 +283,26 @@ impl<K: Bits> SharedFib<K> {
     /// amortize snapshot acquisition over an entire packet burst or to
     /// read auxiliary state ([`Poptrie::stats`](crate::Poptrie::stats),
     /// [`Poptrie::ranges`](crate::Poptrie::ranges)) coherently with
-    /// lookups.
+    /// lookups. The snapshot carries its publish [version]
+    /// ([`FibSnapshot::version`]), so a dataplane can attribute every
+    /// served batch to a specific published state.
+    ///
+    /// [version]: FibSnapshot::version
     #[inline]
-    pub fn snapshot(&self) -> Arc<Poptrie<K>> {
+    pub fn snapshot(&self) -> Arc<FibSnapshot<K>> {
         self.current.snapshot()
     }
 
     /// Run `f` against one consistent FIB snapshot.
     #[inline]
-    pub fn with_current<R>(&self, f: impl FnOnce(&Poptrie<K>) -> R) -> R {
+    pub fn with_current<R>(&self, f: impl FnOnce(&FibSnapshot<K>) -> R) -> R {
         self.current.read(f)
+    }
+
+    /// The version of the currently published snapshot.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.current.read(|s| s.version)
     }
 
     /// Batched lookup: runs `keys` against one snapshot, storing next
@@ -219,50 +327,78 @@ impl<K: Bits> SharedFib<K> {
         self.snapshot().lookup_batch(keys, out);
     }
 
-    fn writer(&self) -> MutexGuard<'_, Fib<K>> {
+    fn writer(&self) -> MutexGuard<'_, Writer<K>> {
         match self.writer.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
     }
 
-    /// Announce a route and publish the updated FIB.
-    pub fn insert(&self, prefix: Prefix<K>, nh: NextHop) -> Option<NextHop> {
-        let mut w = self.writer();
-        let old = w.insert(prefix, nh);
-        self.current.replace(w.poptrie().clone());
-        old
+    /// Publish the writer's current state as the next snapshot version.
+    fn publish(&self, w: &mut Writer<K>) -> u64 {
+        w.version += 1;
+        self.current.replace(FibSnapshot {
+            trie: w.fib.poptrie().clone(),
+            version: w.version,
+        });
+        w.version
     }
 
-    /// Withdraw a route and publish the updated FIB.
-    pub fn remove(&self, prefix: Prefix<K>) -> Option<NextHop> {
+    /// Announce a route and publish the updated FIB.
+    ///
+    /// Returns what happened ([`Applied::Inserted`], [`Applied::Replaced`]
+    /// or [`Applied::Unchanged`]); a new snapshot is published on any
+    /// `Ok`. Fails without publishing when the route is rejected (see
+    /// [`UpdateError`]).
+    pub fn insert(&self, prefix: Prefix<K>, nh: NextHop) -> Result<Applied, UpdateError> {
         let mut w = self.writer();
-        let old = w.remove(prefix)?;
-        self.current.replace(w.poptrie().clone());
-        Some(old)
+        let applied = w.fib.insert(prefix, nh)?;
+        self.publish(&mut w);
+        Ok(applied)
+    }
+
+    /// Withdraw a route. A new snapshot is published only when the route
+    /// actually existed ([`Applied::Withdrawn`]); [`Applied::Absent`]
+    /// leaves the current snapshot in place.
+    pub fn remove(&self, prefix: Prefix<K>) -> Result<Applied, UpdateError> {
+        let mut w = self.writer();
+        let applied = w.fib.remove(prefix)?;
+        if applied.changed() {
+            self.publish(&mut w);
+        }
+        Ok(applied)
     }
 
     /// Apply a batch of updates under one writer critical section and
     /// publish a single snapshot at the end — the efficient way to replay
-    /// BGP update bursts.
-    pub fn update_batch(&self, updates: impl IntoIterator<Item = RouteUpdate<K>>) {
+    /// BGP update bursts. Per-event rejections ([`UpdateError`]) are
+    /// counted out of `applied` but do not abort the batch, matching how
+    /// a BGP speaker treats malformed updates in a burst.
+    pub fn update_batch(&self, updates: impl IntoIterator<Item = RouteUpdate<K>>) -> BatchOutcome {
         let mut w = self.writer();
+        let mut events = 0usize;
+        let mut applied = 0usize;
         for u in updates {
-            match u {
-                RouteUpdate::Announce(p, nh) => {
-                    w.insert(p, nh);
-                }
-                RouteUpdate::Withdraw(p) => {
-                    w.remove(p);
-                }
+            events += 1;
+            let outcome = match u {
+                RouteUpdate::Announce(p, nh) => w.fib.insert(p, nh),
+                RouteUpdate::Withdraw(p) => w.fib.remove(p),
+            };
+            if matches!(outcome, Ok(a) if a.changed()) {
+                applied += 1;
             }
         }
-        self.current.replace(w.poptrie().clone());
+        let version = self.publish(&mut w);
+        BatchOutcome {
+            events,
+            applied,
+            version,
+        }
     }
 
     /// Cumulative update-work counters from the writer side.
     pub fn stats(&self) -> UpdateStats {
-        self.writer().stats()
+        self.writer().fib.stats()
     }
 
     /// Snapshots of the current FIB held outside the cell (see

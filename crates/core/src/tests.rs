@@ -1,5 +1,5 @@
 use crate::sync::{RouteUpdate, SharedFib};
-use crate::{Builder, Fib, Poptrie, PoptrieBasic};
+use crate::{Applied, Builder, Fib, Poptrie, PoptrieBasic, PoptrieConfig};
 #[cfg(feature = "proptest")] // the oracle is only used by the gated proptests
 use poptrie_rib::LinearLpm;
 use poptrie_rib::{Lpm, Prefix, RadixTree};
@@ -7,6 +7,16 @@ use poptrie_rng::prelude::*;
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
+}
+
+/// The config most tests want: direct-pointing size `s`, no aggregation
+/// (so incremental patches can be compared against full rebuilds).
+fn cfg(s: u8) -> PoptrieConfig {
+    PoptrieConfig::new()
+        .direct_bits(s)
+        .aggregate(false)
+        .build()
+        .unwrap()
 }
 
 /// A random BGP-shaped table over `u32` keys.
@@ -361,51 +371,56 @@ mod update {
 
     #[test]
     fn insert_then_lookup() {
-        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(18));
         assert_eq!(fib.lookup(0x0A00_0001), None);
-        fib.insert(p4("10.0.0.0/8"), 1);
+        assert_eq!(fib.insert(p4("10.0.0.0/8"), 1), Ok(Applied::Inserted));
         assert_eq!(fib.lookup(0x0A00_0001), Some(1));
-        fib.insert(p4("10.0.0.0/24"), 2);
+        assert_eq!(fib.insert(p4("10.0.0.0/24"), 2), Ok(Applied::Inserted));
         assert_eq!(fib.lookup(0x0A00_0001), Some(2));
         assert_eq!(fib.lookup(0x0A00_0101), Some(1));
-        assert_eq!(fib.remove(p4("10.0.0.0/24")), Some(2));
+        assert_eq!(fib.remove(p4("10.0.0.0/24")), Ok(Applied::Withdrawn(2)));
         assert_eq!(fib.lookup(0x0A00_0001), Some(1));
         fib.poptrie().check_invariants().unwrap();
     }
 
     #[test]
     fn short_prefix_update_touches_direct_range() {
-        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
-        fib.insert(p4("10.0.0.0/8"), 1); // 2^10 direct slots
+        let mut fib: Fib<u32> = Fib::with_config(cfg(18));
+        fib.insert(p4("10.0.0.0/8"), 1).unwrap(); // 2^10 direct slots
         assert_eq!(fib.lookup(0x0A12_3456), Some(1));
         assert!(fib.stats().direct_replacements >= 1 << 10);
-        fib.remove(p4("10.0.0.0/8"));
+        fib.remove(p4("10.0.0.0/8")).unwrap();
         assert_eq!(fib.lookup(0x0A12_3456), None);
     }
 
     #[test]
-    #[should_panic(expected = "reserved")]
     fn zero_next_hop_rejected() {
-        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
-        fib.insert(p4("10.0.0.0/8"), 0);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(16));
+        assert_eq!(
+            fib.insert(p4("10.0.0.0/8"), 0),
+            Err(crate::UpdateError::ReservedNextHop)
+        );
+        // The rejection left no trace.
+        assert_eq!(fib.lookup(0x0A00_0001), None);
+        assert_eq!(fib.stats().updates, 0);
     }
 
     #[test]
     fn random_churn_matches_rebuild_u16() {
         let mut rng = StdRng::seed_from_u64(7);
         for s in [0u8, 7, 12] {
-            let mut fib: Fib<u16> = Fib::with_direct_bits(s);
+            let mut fib: Fib<u16> = Fib::with_config(cfg(s));
             let mut live: Vec<Prefix<u16>> = Vec::new();
             for step in 0..300 {
                 if live.is_empty() || rng.gen_bool(0.6) {
                     let p = Prefix::new(rng.gen::<u16>(), rng.gen_range(0..=16));
-                    fib.insert(p, rng.gen_range(1..=9));
+                    fib.insert(p, rng.gen_range(1..=9)).unwrap();
                     if !live.contains(&p) {
                         live.push(p);
                     }
                 } else {
                     let p = live.swap_remove(rng.gen_range(0..live.len()));
-                    assert!(fib.remove(p).is_some());
+                    assert!(fib.remove(p).unwrap().changed());
                 }
                 if step % 60 == 59 {
                     assert_matches_rebuild(&fib);
@@ -417,9 +432,9 @@ mod update {
 
     #[test]
     fn update_stats_accumulate() {
-        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
-        fib.insert(p4("10.0.0.0/24"), 1);
-        fib.insert(p4("10.0.0.128/25"), 2);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(16));
+        fib.insert(p4("10.0.0.0/24"), 1).unwrap();
+        fib.insert(p4("10.0.0.128/25"), 2).unwrap();
         let st = fib.stats();
         assert_eq!(st.updates, 2);
         assert!(st.nodes_allocated > 0);
@@ -427,10 +442,10 @@ mod update {
         // the second lands inside the same slot's subtree, which the §3.5
         // node-refresh repairs without touching the top-level array.
         assert_eq!(st.direct_replacements, 1);
-        fib.remove(p4("10.0.0.0/24"));
+        fib.remove(p4("10.0.0.0/24")).unwrap();
         assert!(fib.stats().leaves_freed > 0, "{:?}", fib.stats());
         // Withdrawing the last route in the slot tears the subtree down.
-        fib.remove(p4("10.0.0.128/25"));
+        fib.remove(p4("10.0.0.128/25")).unwrap();
         assert!(fib.stats().nodes_freed > 0, "{:?}", fib.stats());
         assert_eq!(fib.poptrie().stats().inodes, 0);
     }
@@ -441,21 +456,21 @@ mod update {
         // the reason the paper uses a buddy allocator for update-heavy
         // FIBs.
         let mut rng = StdRng::seed_from_u64(8);
-        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(16));
         let mut live: Vec<Prefix<u32>> = Vec::new();
         for _ in 0..3000 {
             if live.len() < 400 && rng.gen_bool(0.55) {
                 let p = Prefix::new(rng.gen(), *[20u8, 24, 28, 32].choose(&mut rng).unwrap());
-                fib.insert(p, rng.gen_range(1..=32));
+                fib.insert(p, rng.gen_range(1..=32)).unwrap();
                 live.push(p);
             } else if !live.is_empty() {
                 let p = live.swap_remove(rng.gen_range(0..live.len()));
-                fib.remove(p);
+                fib.remove(p).unwrap();
             }
         }
         fib.poptrie().check_invariants().unwrap();
         for p in live.drain(..) {
-            fib.remove(p);
+            fib.remove(p).unwrap();
         }
         let st = fib.poptrie().stats();
         assert_eq!(st.inodes, 0, "all nodes must be freed");
@@ -466,8 +481,8 @@ mod update {
     fn update_strategies_are_equivalent_and_refresh_is_cheaper() {
         use crate::update::UpdateStrategy;
         let mut rng = StdRng::seed_from_u64(21);
-        let mut refresh: Fib<u16> = Fib::with_direct_bits(7);
-        let mut rebuild: Fib<u16> = Fib::with_direct_bits(7);
+        let mut refresh: Fib<u16> = Fib::with_config(cfg(7));
+        let mut rebuild: Fib<u16> = Fib::with_config(cfg(7));
         rebuild.set_update_strategy(UpdateStrategy::SubtreeRebuild);
         assert_eq!(rebuild.update_strategy(), UpdateStrategy::SubtreeRebuild);
         let mut live: Vec<Prefix<u16>> = Vec::new();
@@ -475,15 +490,15 @@ mod update {
             if live.is_empty() || rng.gen_bool(0.6) {
                 let p = Prefix::new(rng.gen::<u16>(), rng.gen_range(0..=16));
                 let nh = rng.gen_range(1..=9);
-                refresh.insert(p, nh);
-                rebuild.insert(p, nh);
+                refresh.insert(p, nh).unwrap();
+                rebuild.insert(p, nh).unwrap();
                 if !live.contains(&p) {
                     live.push(p);
                 }
             } else {
                 let p = live.swap_remove(rng.gen_range(0..live.len()));
-                refresh.remove(p);
-                rebuild.remove(p);
+                refresh.remove(p).unwrap();
+                rebuild.remove(p).unwrap();
             }
         }
         for key in 0..=u16::MAX {
@@ -504,11 +519,12 @@ mod update {
     fn refresh_leaf_only_update_touches_no_nodes() {
         // A pure path change (same prefix, new next hop) in a populated
         // subtree must replace leaves only — the §4.9 common case.
-        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
-        fib.insert(p4("10.0.0.0/24"), 1);
-        fib.insert(p4("10.0.1.0/24"), 2);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(16));
+        fib.insert(p4("10.0.0.0/24"), 1).unwrap();
+        fib.insert(p4("10.0.1.0/24"), 2).unwrap();
         let before = fib.stats();
-        fib.insert(p4("10.0.1.0/24"), 3); // path change
+        // Path change: same prefix, new next hop.
+        assert_eq!(fib.insert(p4("10.0.1.0/24"), 3), Ok(Applied::Replaced(2)));
         let after = fib.stats();
         assert_eq!(
             after.nodes_allocated, before.nodes_allocated,
@@ -522,10 +538,10 @@ mod update {
     #[test]
     fn rebuild_matches_incremental() {
         let mut rng = StdRng::seed_from_u64(9);
-        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(18));
         for _ in 0..2000 {
             let p = Prefix::new(rng.gen(), *[8u8, 16, 24, 32].choose(&mut rng).unwrap());
-            fib.insert(p, rng.gen_range(1..=16));
+            fib.insert(p, rng.gen_range(1..=16)).unwrap();
         }
         let incremental = fib.poptrie().clone();
         fib.rebuild();
@@ -539,7 +555,10 @@ mod update {
     fn from_rib_initial_state() {
         let mut rng = StdRng::seed_from_u64(10);
         let rib = random_v4_table(&mut rng, 1000);
-        let fib = Fib::from_rib(rib.clone(), 16, true);
+        let fib = Fib::compile(
+            rib.clone(),
+            PoptrieConfig::new().direct_bits(16).build().unwrap(),
+        );
         for _ in 0..10_000 {
             let key: u32 = rng.gen();
             assert_eq!(fib.lookup(key), rib.lookup(key).copied());
@@ -897,15 +916,15 @@ mod proptests {
             ops in proptest::collection::vec((any::<bool>(), any::<u16>(), 0u8..=16, 1u16..=9), 1..60),
             keys in proptest::collection::vec(any::<u16>(), 64),
         ) {
-            let mut fib: Fib<u16> = Fib::with_direct_bits(7);
+            let mut fib: Fib<u16> = Fib::with_config(cfg(7));
             let mut lin = LinearLpm::new(Vec::new());
             for (is_insert, addr, len, nh) in ops {
                 let p = Prefix::new(addr, len);
                 if is_insert {
-                    fib.insert(p, nh);
+                    fib.insert(p, nh).unwrap();
                     lin.insert(p, nh);
                 } else {
-                    fib.remove(p);
+                    fib.remove(p).unwrap();
                     lin.remove(p);
                 }
             }
@@ -924,8 +943,8 @@ mod shared {
 
     #[test]
     fn readers_progress_during_writes() {
-        let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_direct_bits(16));
-        fib.insert(p4("10.0.0.0/8"), 1);
+        let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_config(cfg(16)));
+        fib.insert(p4("10.0.0.0/8"), 1).unwrap();
         let stop = Arc::new(AtomicBool::new(false));
         let mut readers = Vec::new();
         for _ in 0..4 {
@@ -946,9 +965,9 @@ mod shared {
         for i in 0..2000u32 {
             let p = Prefix::new(0x0A00_0000 | ((i % 64) << 10), 24);
             if i % 2 == 0 {
-                fib.insert(p, ((i % 60) + 2) as u16);
+                fib.insert(p, ((i % 60) + 2) as u16).unwrap();
             } else {
-                fib.remove(p);
+                fib.remove(p).unwrap();
             }
         }
         stop.store(true, Ordering::Relaxed);
@@ -959,20 +978,43 @@ mod shared {
 
     #[test]
     fn batch_update_is_atomic_at_publish() {
-        let fib: SharedFib<u32> = SharedFib::with_direct_bits(16);
-        fib.update_batch(vec![
+        let fib: SharedFib<u32> = SharedFib::with_config(cfg(16));
+        let outcome = fib.update_batch(vec![
             RouteUpdate::Announce(p4("10.0.0.0/8"), 1),
             RouteUpdate::Announce(p4("10.1.0.0/16"), 2),
             RouteUpdate::Withdraw(p4("10.1.0.0/16")),
         ]);
         assert_eq!(fib.lookup(0x0A01_0001), Some(1));
         assert!(fib.stats().updates >= 3);
+        assert_eq!(outcome.events, 3);
+        assert_eq!(outcome.applied, 3);
+        // One batch = one published snapshot version.
+        assert_eq!(outcome.version, 1);
+        assert_eq!(fib.version(), 1);
+    }
+
+    #[test]
+    fn versions_advance_per_publish_not_per_event() {
+        let fib: SharedFib<u32> = SharedFib::with_config(cfg(16));
+        assert_eq!(fib.version(), 0);
+        fib.insert(p4("10.0.0.0/8"), 1).unwrap();
+        assert_eq!(fib.version(), 1);
+        // An absent withdraw publishes nothing.
+        assert_eq!(fib.remove(p4("192.0.2.0/24")), Ok(Applied::Absent));
+        assert_eq!(fib.version(), 1);
+        let outcome = fib.update_batch(vec![
+            RouteUpdate::Announce(p4("10.0.0.0/8"), 1), // no-op re-announce
+            RouteUpdate::Announce(p4("10.2.0.0/16"), 3),
+        ]);
+        assert_eq!((outcome.events, outcome.applied), (2, 1));
+        assert_eq!(fib.version(), 2);
+        assert_eq!(fib.snapshot().version(), 2);
     }
 
     #[test]
     fn with_current_reads_coherent_snapshot() {
-        let fib: SharedFib<u32> = SharedFib::with_direct_bits(16);
-        fib.insert(p4("10.0.0.0/8"), 1);
+        let fib: SharedFib<u32> = SharedFib::with_config(cfg(16));
+        fib.insert(p4("10.0.0.0/8"), 1).unwrap();
         let (nh, stats) = fib.with_current(|t| (t.lookup(0x0A00_0001), t.stats()));
         assert_eq!(nh, Some(1));
         assert!(stats.memory_bytes > 0);
@@ -983,9 +1025,9 @@ mod shared {
 
     #[test]
     fn lookup_batch_uses_single_snapshot() {
-        let fib: SharedFib<u32> = SharedFib::with_direct_bits(16);
-        fib.insert(p4("10.0.0.0/8"), 1);
-        fib.insert(p4("11.0.0.0/8"), 2);
+        let fib: SharedFib<u32> = SharedFib::with_config(cfg(16));
+        fib.insert(p4("10.0.0.0/8"), 1).unwrap();
+        fib.insert(p4("11.0.0.0/8"), 2).unwrap();
         let keys = [0x0A00_0001u32, 0x0B00_0001, 0x0C00_0001];
         let mut out = Vec::new();
         fib.lookup_batch(&keys, &mut out);
@@ -1007,13 +1049,13 @@ mod audit {
         assert_eq!(report.leaves, t.stats().leaves);
         assert!(report.node_blocks > 0 && report.leaf_blocks > 0);
 
-        let mut fib = Fib::from_rib(rib, 16, false);
+        let mut fib = Fib::compile(rib, cfg(16));
         for i in 0..200u32 {
             let p = Prefix::new(rng.gen(), *[8, 16, 20, 24, 32].choose(&mut rng).unwrap());
             if i % 3 == 0 {
-                fib.remove(p);
+                fib.remove(p).unwrap();
             } else {
-                fib.insert(p, rng.gen_range(1..=64));
+                fib.insert(p, rng.gen_range(1..=64)).unwrap();
             }
         }
         fib.poptrie().audit().expect("churned FIB audits clean");
@@ -1098,19 +1140,19 @@ mod satellite_regressions {
     /// and must not be counted.
     #[test]
     fn noop_reannouncement_is_not_counted_or_patched() {
-        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
-        fib.insert(p4("10.0.0.0/24"), 1);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(16));
+        fib.insert(p4("10.0.0.0/24"), 1).unwrap();
         let st = fib.stats();
         assert_eq!(st.updates, 1);
         // Same prefix, same next hop: the RIB is unchanged, so no update
         // is counted and no patch work happens.
-        assert_eq!(fib.insert(p4("10.0.0.0/24"), 1), Some(1));
+        assert_eq!(fib.insert(p4("10.0.0.0/24"), 1), Ok(Applied::Unchanged(1)));
         assert_eq!(fib.stats(), st, "no-op announce must do zero work");
         // A genuine path change is counted.
-        assert_eq!(fib.insert(p4("10.0.0.0/24"), 2), Some(1));
+        assert_eq!(fib.insert(p4("10.0.0.0/24"), 2), Ok(Applied::Replaced(1)));
         assert_eq!(fib.stats().updates, 2);
         // Withdrawing an absent prefix is also a no-op.
-        assert_eq!(fib.remove(p4("192.0.2.0/24")), None);
+        assert_eq!(fib.remove(p4("192.0.2.0/24")), Ok(Applied::Absent));
         assert_eq!(fib.stats().updates, 2);
     }
 
@@ -1193,8 +1235,8 @@ mod satellite_regressions {
         assert_eq!(sloppy, p4("10.0.0.0/8"), "construction must mask");
         assert_eq!(sloppy.addr(), 0x0A00_0000);
 
-        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
-        fib.insert(sloppy, 1);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(16));
+        fib.insert(sloppy, 1).unwrap();
         // The whole /8 range resolves, including slots *before* the slot
         // of the unmasked address (a non-canonical patch would have
         // refreshed [0x0A7F.., 0x0B7F..) instead of [0x0A00.., 0x0B00..)).
@@ -1204,9 +1246,180 @@ mod satellite_regressions {
         assert_eq!(fib.lookup(0x09FF_FFFF), None);
         assert_eq!(fib.lookup(0x0B00_0000), None);
         // Withdraw through a different non-canonical spelling.
-        assert_eq!(fib.remove(Prefix::new(0x0A01_0203, 8)), Some(1));
+        assert_eq!(
+            fib.remove(Prefix::new(0x0A01_0203, 8)),
+            Ok(Applied::Withdrawn(1))
+        );
         assert_eq!(fib.lookup(0x0A00_0000), None);
         assert_eq!(fib.lookup(0x0AFF_FFFF), None);
         fib.poptrie().audit().unwrap();
     }
 }
+
+mod api {
+    use super::*;
+    use crate::{ConfigError, UpdateError};
+
+    #[test]
+    fn config_builder_validates_once() {
+        let cfg = PoptrieConfig::new()
+            .direct_bits(16)
+            .strategy(crate::UpdateStrategy::SubtreeRebuild)
+            .aggregate(false)
+            .node_capacity(1 << 10)
+            .leaf_capacity(1 << 12)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.direct_bits, 16);
+        assert_eq!(cfg.strategy, crate::UpdateStrategy::SubtreeRebuild);
+        assert!(!cfg.aggregate);
+        assert_eq!((cfg.node_capacity, cfg.leaf_capacity), (1 << 10, 1 << 12));
+
+        assert_eq!(
+            PoptrieConfig::new().direct_bits(25).build(),
+            Err(ConfigError::DirectBitsTooLarge(25))
+        );
+        assert_eq!(
+            PoptrieConfig::new().node_capacity(1 << 31).build(),
+            Err(ConfigError::CapacityTooLarge(1 << 31))
+        );
+        // Errors render as real std errors.
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::DirectBitsTooLarge(25));
+        assert!(e.to_string().contains("25"));
+    }
+
+    #[test]
+    fn config_respects_strategy_and_capacity() {
+        let cfg = PoptrieConfig::new()
+            .direct_bits(12)
+            .strategy(crate::UpdateStrategy::SubtreeRebuild)
+            .aggregate(false)
+            .node_capacity(64)
+            .leaf_capacity(64)
+            .build()
+            .unwrap();
+        let mut fib: Fib<u32> = Fib::with_config(cfg);
+        assert_eq!(fib.update_strategy(), crate::UpdateStrategy::SubtreeRebuild);
+        fib.insert(p4("10.0.0.0/24"), 1).unwrap();
+        assert_eq!(fib.lookup(0x0A00_0001), Some(1));
+        fib.poptrie().check_invariants().unwrap();
+    }
+
+    /// The deprecated positional constructors must keep old code compiling
+    /// with identical semantics.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let rib = random_v4_table(&mut rng, 300);
+
+        let old: Fib<u32> = Fib::from_rib(rib.clone(), 16, true);
+        let new = Fib::compile(
+            rib.clone(),
+            PoptrieConfig::new().direct_bits(16).build().unwrap(),
+        );
+        for _ in 0..5_000 {
+            let key: u32 = rng.gen();
+            assert_eq!(old.lookup(key), new.lookup(key));
+        }
+
+        let mut empty: Fib<u32> = Fib::with_direct_bits(18);
+        empty.insert(p4("10.0.0.0/8"), 1).unwrap();
+        assert_eq!(empty.lookup(0x0A00_0001), Some(1));
+
+        let shared: SharedFib<u32> = SharedFib::from_rib(rib, 16, false);
+        let shared_empty: SharedFib<u32> = SharedFib::with_direct_bits(16);
+        assert_eq!(shared.version(), 0);
+        assert_eq!(shared_empty.lookup(0), None);
+    }
+
+    /// The wire-format entry points reject what `Prefix::new` would
+    /// silently canonicalize.
+    #[test]
+    fn announce_rejects_malformed_wire_routes() {
+        let mut fib: Fib<u32> = Fib::with_config(cfg(16));
+        assert_eq!(
+            fib.announce(0x0A00_0000, 33, 1),
+            Err(UpdateError::PrefixTooLong { len: 33, width: 32 })
+        );
+        assert_eq!(
+            fib.announce(0x0A00_0001, 8, 1),
+            Err(UpdateError::NonCanonical { len: 8 })
+        );
+        assert_eq!(fib.announce(0x0A00_0000, 8, 1), Ok(Applied::Inserted));
+        assert_eq!(fib.lookup(0x0A00_0001), Some(1));
+        assert_eq!(
+            fib.withdraw(0x0A00_0001, 8),
+            Err(UpdateError::NonCanonical { len: 8 })
+        );
+        assert_eq!(fib.withdraw(0x0A00_0000, 8), Ok(Applied::Withdrawn(1)));
+        assert_eq!(fib.lookup(0x0A00_0001), None);
+    }
+
+    #[test]
+    fn applied_reports_previous_and_changed() {
+        assert_eq!(Applied::Inserted.previous(), None);
+        assert!(Applied::Inserted.changed());
+        assert_eq!(Applied::Replaced(4).previous(), Some(4));
+        assert!(Applied::Replaced(4).changed());
+        assert_eq!(Applied::Unchanged(4).previous(), Some(4));
+        assert!(!Applied::Unchanged(4).changed());
+        assert_eq!(Applied::Withdrawn(4).previous(), Some(4));
+        assert!(Applied::Withdrawn(4).changed());
+        assert_eq!(Applied::Absent.previous(), None);
+        assert!(!Applied::Absent.changed());
+        assert!(!Applied::Refreshed.changed());
+    }
+
+    #[test]
+    fn update_errors_render() {
+        let cases: Vec<(UpdateError, &str)> = vec![
+            (
+                UpdateError::PrefixTooLong {
+                    len: 129,
+                    width: 128,
+                },
+                "exceeds key width",
+            ),
+            (UpdateError::NonCanonical { len: 8 }, "host bits"),
+            (UpdateError::ReservedNextHop, "reserved"),
+            (UpdateError::CapacityExhausted { nodes: 7 }, "2^31"),
+        ];
+        for (e, needle) in cases {
+            let boxed: Box<dyn std::error::Error> = Box::new(e);
+            assert!(boxed.to_string().contains(needle), "{boxed}");
+        }
+    }
+
+    #[test]
+    fn prelude_glob_covers_the_vocabulary() {
+        use crate::prelude::*;
+        let cfg = PoptrieConfig::new().direct_bits(8).build().unwrap();
+        let fib: SharedFib<u32> = SharedFib::with_config(cfg);
+        fib.insert("10.0.0.0/8".parse().unwrap(), 1).unwrap();
+        let snap = fib.snapshot();
+        assert_eq!(snap.version(), 1);
+        let keys = [0x0A00_0001u32, 0];
+        let mut out = [NO_ROUTE; 2];
+        snap.lookup_batch(&keys, &mut out);
+        assert_eq!(out, [1, NO_ROUTE]);
+    }
+}
+
+// The cross-crate Lpm conformance contract, instantiated for the Poptrie
+// itself (with and without direct pointing, and over the IPv6 key width).
+poptrie_rib::lpm_contract_tests!(poptrie_contract_v4, u32, |rib: &RadixTree<u32, u16>| {
+    let t: Poptrie<u32> = Builder::new().direct_bits(18).build(rib);
+    t
+});
+poptrie_rib::lpm_contract_tests!(poptrie_contract_no_direct, u32, |rib: &RadixTree<
+    u32,
+    u16,
+>| {
+    let t: Poptrie<u32> = Builder::new().direct_bits(0).build(rib);
+    t
+});
+poptrie_rib::lpm_contract_tests!(poptrie_contract_v6, u128, |rib: &RadixTree<u128, u16>| {
+    let t: Poptrie<u128> = Builder::new().direct_bits(18).build(rib);
+    t
+});

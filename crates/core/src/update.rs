@@ -27,14 +27,125 @@
 //! untouched regions were compiled with aggregation and whose patched
 //! regions were not still returns the correct next hop for every address.
 
+use core::fmt;
+
 use poptrie_bitops::Bits;
-use poptrie_rib::{NextHop, Prefix, RadixTree, NO_ROUTE};
+use poptrie_rib::{NextHop, Prefix, PrefixError, RadixTree, NO_ROUTE};
 
 use poptrie_rib::radix::Node as RadixNode;
 
 use crate::builder::{alloc_leaves, alloc_nodes, compute_chunk, fill_node, place_node, Builder};
+use crate::config::PoptrieConfig;
 use crate::node::{Node24, NodeRepr};
 use crate::trie::{Poptrie, DIRECT_LEAF_BIT};
+
+/// A rejected FIB mutation. Every [`Fib`] mutation returns
+/// `Result<Applied, UpdateError>` — there are no silent re-masks, reserved
+/// sentinel panics, or boolean half-answers on the mutation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UpdateError {
+    /// The prefix length exceeds the key width (raw announce path).
+    PrefixTooLong {
+        /// The requested prefix length.
+        len: u8,
+        /// The key width in bits.
+        width: u32,
+    },
+    /// The address has host bits set below the prefix length (raw
+    /// announce path). [`Prefix::new`] would silently mask these away and
+    /// land the update on a *different* prefix than the caller named, so
+    /// the wire-format entry points reject instead.
+    NonCanonical {
+        /// The requested prefix length.
+        len: u8,
+    },
+    /// The next hop is the reserved no-route sentinel
+    /// ([`NO_ROUTE`], 0). Valid next hops are `1..=65535`.
+    ReservedNextHop,
+    /// The node arena reached the 2^31-slot index space that the
+    /// direct-entry tag bit leaves available; the update cannot allocate.
+    CapacityExhausted {
+        /// Slots currently backing the node arena.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::PrefixTooLong { len, width } => {
+                write!(f, "prefix length {len} exceeds key width {width}")
+            }
+            UpdateError::NonCanonical { len } => {
+                write!(f, "address has host bits set below prefix length {len}")
+            }
+            UpdateError::ReservedNextHop => {
+                write!(f, "next hop 0 is the reserved no-route sentinel")
+            }
+            UpdateError::CapacityExhausted { nodes } => {
+                write!(f, "node arena ({nodes} slots) reached the 2^31 index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<PrefixError> for UpdateError {
+    fn from(e: PrefixError) -> Self {
+        match e {
+            PrefixError::TooLong { len, width } => UpdateError::PrefixTooLong { len, width },
+            PrefixError::NonCanonical { len } => UpdateError::NonCanonical { len },
+        }
+    }
+}
+
+/// What a successful [`Fib`] mutation did to the RIB.
+///
+/// The FIB side needs no reporting: after `Ok(_)` the compiled structure
+/// is exactly consistent with the RIB. The distinction that matters to
+/// callers (BGP speakers counting effective updates, oracles mirroring the
+/// stream) is whether the RIB *changed* — [`Applied::changed`] — and what
+/// was there before — [`Applied::previous`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// The prefix was not present; the route was added.
+    Inserted,
+    /// The prefix was present with a different next hop (the payload),
+    /// which was replaced.
+    Replaced(NextHop),
+    /// The prefix was already present with this exact next hop: nothing
+    /// changed, nothing was patched, and [`UpdateStats::updates`] did not
+    /// move.
+    Unchanged(NextHop),
+    /// The prefix was present (payload: its next hop) and was withdrawn.
+    Withdrawn(NextHop),
+    /// A withdraw for a prefix that was not present: nothing changed.
+    Absent,
+    /// An explicit [`Fib::patch`]: the compiled structure was re-derived
+    /// from the RIB for the prefix's range, whatever it contained.
+    Refreshed,
+}
+
+impl Applied {
+    /// The next hop the prefix mapped to before the mutation, if any.
+    pub fn previous(&self) -> Option<NextHop> {
+        match *self {
+            Applied::Replaced(nh) | Applied::Unchanged(nh) | Applied::Withdrawn(nh) => Some(nh),
+            Applied::Inserted | Applied::Absent | Applied::Refreshed => None,
+        }
+    }
+
+    /// Whether the mutation changed the RIB (an *effective* update in the
+    /// §4.9 sense; re-announcements and absent withdraws are not).
+    pub fn changed(&self) -> bool {
+        matches!(
+            self,
+            Applied::Inserted | Applied::Replaced(_) | Applied::Withdrawn(_)
+        )
+    }
+}
 
 /// How [`Fib`] repairs the Poptrie after a route change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,14 +229,16 @@ impl UpdateStats {
 /// A RIB + Poptrie pair with incremental update.
 ///
 /// ```
-/// use poptrie::Fib;
+/// use poptrie::{Fib, PoptrieConfig};
 ///
-/// let mut fib: Fib<u32> = Fib::with_direct_bits(18);
-/// fib.insert("10.0.0.0/8".parse().unwrap(), 1);
-/// fib.insert("10.1.0.0/16".parse().unwrap(), 2);
+/// let cfg = PoptrieConfig::new().direct_bits(18).build()?;
+/// let mut fib: Fib<u32> = Fib::with_config(cfg);
+/// fib.insert("10.0.0.0/8".parse().unwrap(), 1)?;
+/// fib.insert("10.1.0.0/16".parse().unwrap(), 2)?;
 /// assert_eq!(fib.lookup(0x0A01_0001), Some(2));
-/// fib.remove("10.1.0.0/16".parse().unwrap());
+/// fib.remove("10.1.0.0/16".parse().unwrap())?;
 /// assert_eq!(fib.lookup(0x0A01_0001), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fib<K: Bits> {
@@ -136,32 +249,58 @@ pub struct Fib<K: Bits> {
 }
 
 impl<K: Bits> Fib<K> {
-    /// An empty FIB with direct-pointing size `s`.
-    pub fn with_direct_bits(s: u8) -> Self {
-        let rib = RadixTree::new();
-        let trie = Builder::new().direct_bits(s).aggregate(false).build(&rib);
+    /// An empty FIB shaped by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS` — the one rule a
+    /// key-width-agnostic [`PoptrieConfig`] cannot check itself.
+    pub fn with_config(config: PoptrieConfig) -> Self {
+        Self::compile(RadixTree::new(), config)
+    }
+
+    /// Compile an initial FIB from an existing RIB (full build, §3's
+    /// route aggregation applied per `config.aggregate`), then serve
+    /// incremental updates with `config.strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS`.
+    pub fn compile(rib: RadixTree<K, NextHop>, config: PoptrieConfig) -> Self {
+        let trie = Builder::from_config(&config).build(&rib);
         Fib {
             rib,
             trie,
             stats: UpdateStats::default(),
-            strategy: UpdateStrategy::default(),
+            strategy: config.strategy,
         }
+    }
+
+    /// An empty FIB with direct-pointing size `s`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Fib::with_config` with a `PoptrieConfig`"
+    )]
+    pub fn with_direct_bits(s: u8) -> Self {
+        let cfg = PoptrieConfig::new()
+            .direct_bits(s)
+            .aggregate(false)
+            .build()
+            .expect("legacy direct_bits out of range");
+        Self::with_config(cfg)
     }
 
     /// Compile an initial FIB from an existing RIB (full build, §3's route
     /// aggregation applied when `aggregate` is set), then serve incremental
     /// updates.
+    #[deprecated(since = "0.2.0", note = "use `Fib::compile` with a `PoptrieConfig`")]
     pub fn from_rib(rib: RadixTree<K, NextHop>, s: u8, aggregate: bool) -> Self {
-        let trie = Builder::new()
+        let cfg = PoptrieConfig::new()
             .direct_bits(s)
             .aggregate(aggregate)
-            .build(&rib);
-        Fib {
-            rib,
-            trie,
-            stats: UpdateStats::default(),
-            strategy: UpdateStrategy::default(),
-        }
+            .build()
+            .expect("legacy direct_bits out of range");
+        Self::compile(rib, cfg)
     }
 
     /// Select the incremental-update strategy (default:
@@ -197,23 +336,28 @@ impl<K: Bits> Fib<K> {
     }
 
     /// Announce a route: insert (or replace) `prefix -> nh` and patch the
-    /// FIB. Returns the previous next hop for the prefix, if any.
+    /// FIB.
     ///
-    /// A re-announcement of the prefix's current next hop is a no-op: the
-    /// RIB is unchanged, nothing is patched, and
-    /// [`UpdateStats::updates`] is not incremented (it counts only
+    /// A re-announcement of the prefix's current next hop is a no-op
+    /// ([`Applied::Unchanged`]): the RIB is unchanged, nothing is patched,
+    /// and [`UpdateStats::updates`] is not incremented (it counts only
     /// updates that changed the RIB).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `nh` is [`NO_ROUTE`] (0), which is reserved.
-    pub fn insert(&mut self, prefix: Prefix<K>, nh: NextHop) -> Option<NextHop> {
-        assert_ne!(nh, NO_ROUTE, "next hop 0 is reserved for no-route");
+    /// [`UpdateError::ReservedNextHop`] when `nh` is [`NO_ROUTE`] (0);
+    /// [`UpdateError::CapacityExhausted`] when the node arena has no index
+    /// space left. On error the FIB is untouched.
+    pub fn insert(&mut self, prefix: Prefix<K>, nh: NextHop) -> Result<Applied, UpdateError> {
+        if nh == NO_ROUTE {
+            return Err(UpdateError::ReservedNextHop);
+        }
+        self.check_capacity()?;
         let old = self.rib.insert(prefix, nh);
         if old != Some(nh) {
             #[cfg(feature = "telemetry")]
             let (t0, before) = (poptrie_cycles::rdtsc_serialized(), self.stats);
-            self.patch(prefix);
+            self.patch_range(prefix);
             self.stats.updates += 1;
             #[cfg(feature = "telemetry")]
             crate::telemetry::record_update(
@@ -222,15 +366,41 @@ impl<K: Bits> Fib<K> {
                 &self.stats.delta_since(before),
             );
         }
-        old
+        Ok(match old {
+            None => Applied::Inserted,
+            Some(prev) if prev == nh => Applied::Unchanged(prev),
+            Some(prev) => Applied::Replaced(prev),
+        })
     }
 
-    /// Withdraw a route. Returns its next hop if it existed.
-    pub fn remove(&mut self, prefix: Prefix<K>) -> Option<NextHop> {
-        let old = self.rib.remove(prefix)?;
+    /// Announce a route from raw wire-format parts, validating them: the
+    /// length must fit the key width and `addr` must be canonical (no host
+    /// bits below `len`). Unlike [`Prefix::new`] — which silently masks —
+    /// a malformed update is rejected with
+    /// [`UpdateError::PrefixTooLong`] / [`UpdateError::NonCanonical`]
+    /// instead of being applied to a different prefix than the peer named.
+    pub fn announce(&mut self, addr: K, len: u8, nh: NextHop) -> Result<Applied, UpdateError> {
+        let prefix = Prefix::try_new(addr, len)?;
+        self.insert(prefix, nh)
+    }
+
+    /// Withdraw a route. [`Applied::Withdrawn`] carries the next hop it
+    /// had; a withdraw of an absent prefix is [`Applied::Absent`] and
+    /// changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::CapacityExhausted`] when the node arena has no index
+    /// space left (a withdraw can still allocate while repairing the
+    /// affected subtree). On error the FIB is untouched.
+    pub fn remove(&mut self, prefix: Prefix<K>) -> Result<Applied, UpdateError> {
+        self.check_capacity()?;
+        let Some(old) = self.rib.remove(prefix) else {
+            return Ok(Applied::Absent);
+        };
         #[cfg(feature = "telemetry")]
         let (t0, before) = (poptrie_cycles::rdtsc_serialized(), self.stats);
-        self.patch(prefix);
+        self.patch_range(prefix);
         self.stats.updates += 1;
         #[cfg(feature = "telemetry")]
         crate::telemetry::record_update(
@@ -238,7 +408,40 @@ impl<K: Bits> Fib<K> {
             poptrie_cycles::rdtsc_serialized().wrapping_sub(t0),
             &self.stats.delta_since(before),
         );
-        Some(old)
+        Ok(Applied::Withdrawn(old))
+    }
+
+    /// Withdraw a route from raw wire-format parts, with the same
+    /// validation as [`Fib::announce`].
+    pub fn withdraw(&mut self, addr: K, len: u8) -> Result<Applied, UpdateError> {
+        let prefix = Prefix::try_new(addr, len)?;
+        self.remove(prefix)
+    }
+
+    /// Re-derive the compiled structure from the RIB for `prefix`'s
+    /// range, whether or not the RIB holds that exact prefix. [`insert`]
+    /// and [`remove`] call this internally; it is public for callers that
+    /// mutate the RIB out of band (e.g. bulk-diff appliers) and then
+    /// repair the FIB range by range.
+    ///
+    /// [`insert`]: Fib::insert
+    /// [`remove`]: Fib::remove
+    pub fn patch(&mut self, prefix: Prefix<K>) -> Result<Applied, UpdateError> {
+        self.check_capacity()?;
+        self.patch_range(prefix);
+        Ok(Applied::Refreshed)
+    }
+
+    /// The conservative arena-space precheck behind
+    /// [`UpdateError::CapacityExhausted`]: node indices share a `u32` with
+    /// the [`DIRECT_LEAF_BIT`] tag, so the arena must stay below 2^31
+    /// slots for any further allocation to be representable.
+    fn check_capacity(&self) -> Result<(), UpdateError> {
+        let nodes = self.trie.nodes.len();
+        if nodes as u64 >= DIRECT_LEAF_BIT as u64 {
+            return Err(UpdateError::CapacityExhausted { nodes });
+        }
+        Ok(())
     }
 
     /// Rebuild the whole FIB from the RIB (the paper's "compilation from
@@ -255,7 +458,7 @@ impl<K: Bits> Fib<K> {
     }
 
     /// Patch the Poptrie after `prefix` changed in the RIB.
-    fn patch(&mut self, prefix: Prefix<K>) {
+    fn patch_range(&mut self, prefix: Prefix<K>) {
         let s = self.trie.s as u32;
         let len = prefix.len() as u32;
         // Canonicalize defensively: a prefix with set bits below `len`

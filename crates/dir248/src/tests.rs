@@ -141,3 +141,8 @@ mod prop {
         }
     }
 }
+
+// The cross-crate Lpm conformance contract (rib crate).
+poptrie_rib::lpm_contract_tests!(dir248_contract_v4, u32, |rib: &RadixTree<u32, u16>| {
+    Dir248::from_rib(rib).unwrap()
+});

@@ -310,3 +310,12 @@ mod prop {
         }
     }
 }
+
+// The cross-crate Lpm conformance contract (rib crate), at both range
+// granularities.
+poptrie_rib::lpm_contract_tests!(dxr_contract_d16r, u32, |rib: &RadixTree<u32, u16>| {
+    Dxr::from_rib(rib, DxrConfig::d16r()).unwrap()
+});
+poptrie_rib::lpm_contract_tests!(dxr_contract_d18r, u32, |rib: &RadixTree<u32, u16>| {
+    Dxr::from_rib(rib, DxrConfig::d18r()).unwrap()
+});

@@ -1,0 +1,67 @@
+//! CPU pinning for worker threads, without libc.
+//!
+//! The paper's multi-core scaling experiment (§4.8, Figure 10) pins one
+//! forwarding thread per core so the per-core caches hold each worker's
+//! share of the FIB and the scheduler cannot migrate workers mid-burst.
+//! The workspace carries no external dependencies, so instead of
+//! `libc::sched_setaffinity` this issues the raw Linux syscall with
+//! inline assembly on x86-64 and degrades to a no-op elsewhere — pinning
+//! is a performance hint, never a correctness requirement.
+
+/// Highest CPU index representable in the affinity mask (1024 CPUs, the
+/// kernel's default `CPU_SETSIZE`).
+const MASK_WORDS: usize = 16;
+
+/// Pin the calling thread to `core` (modulo the mask width). Returns
+/// `true` if the kernel accepted the mask, `false` where pinning is
+/// unsupported (non-Linux, non-x86-64) or refused.
+pub fn pin_current_thread(core: usize) -> bool {
+    let mut mask = [0u64; MASK_WORDS];
+    let core = core % (MASK_WORDS * 64);
+    mask[core / 64] |= 1u64 << (core % 64);
+    set_affinity(&mask)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn set_affinity(mask: &[u64; MASK_WORDS]) -> bool {
+    // sched_setaffinity(pid = 0 → calling thread, cpusetsize, mask).
+    const SYS_SCHED_SETAFFINITY: i64 = 203;
+    let ret: i64;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+            in("rdi") 0i64,
+            in("rsi") core::mem::size_of_val(mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, preserves_flags)
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn set_affinity(_mask: &[u64; MASK_WORDS]) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_is_harmless() {
+        // Whether or not the platform supports it, the call must not
+        // disturb the thread.
+        let _ = pin_current_thread(0);
+        let handle = std::thread::spawn(|| {
+            let ok = pin_current_thread(1);
+            // Work still runs on the (possibly pinned) thread.
+            (ok, (0..100u64).sum::<u64>())
+        });
+        let (_, sum) = handle.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+}

@@ -1,0 +1,611 @@
+//! The sharded forwarding engine: worker threads, the control-plane
+//! writer, and their handles.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                      ┌────────────┐   Arc<[K]> batches
+//!   feeders ──────────▶│ per-worker │──▶ worker 0 ─┐
+//!   (Ingress handles)  │  bounded   │──▶ worker 1 ─┤ lookup_batch against
+//!                      │   queues   │──▶   ...     ─┤ an RCU FibSnapshot,
+//!                      └────────────┘──▶ worker N ─┘ re-acquired per batch
+//!
+//!   route sources ────▶ bounded control channel ──▶ single writer thread
+//!   (Control handles)      (RouteUpdate<K>)         coalesce → update_batch
+//!                                                   → one publish per batch
+//! ```
+//!
+//! Workers never take the writer lock: each batch runs against the
+//! [`FibSnapshot`](poptrie::sync::FibSnapshot) current when the batch is
+//! picked up, the paper's §3.5 read model. The single writer is the
+//! paper's "single-threaded update operation": it drains the control
+//! channel in bursts, coalesces duplicate-prefix updates (only the last
+//! announce/withdraw per prefix survives — BGP bursts repeatedly touch
+//! the same prefixes), applies the burst under one writer critical
+//! section, and publishes exactly one snapshot per burst.
+//!
+//! Every queue is bounded; every producer edge is non-blocking and sheds
+//! load with drop accounting rather than propagating backpressure into
+//! the caller's thread. Workers are panic-isolated: a panicking batch
+//! body is caught, counted, and the worker loop re-enters on the same OS
+//! thread.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use poptrie::sync::{BatchOutcome, RouteUpdate, SharedFib};
+use poptrie_bitops::Bits;
+use poptrie_rib::{NextHop, Prefix, NO_ROUTE};
+
+use crate::affinity;
+use crate::queue::{Bounded, PushError};
+use crate::stats::EngineTelemetry;
+
+/// Observer of every served batch: `(worker, keys, next_hops,
+/// snapshot_version)`. Runs on the worker thread — keep it cheap.
+pub type BatchHook<K> = Arc<dyn Fn(usize, &[K], &[NextHop], u64) + Send + Sync>;
+
+/// Observer of every published update batch: the [`BatchOutcome`] and the
+/// coalesced updates applied at that version, in application order. Runs
+/// on the writer thread.
+pub type PublishHook<K> = Arc<dyn Fn(BatchOutcome, &[RouteUpdate<K>]) + Send + Sync>;
+
+/// The per-worker batch queues, shared between the engine, its workers
+/// and every [`Ingress`] handle.
+type BatchQueues<K> = Arc<Vec<Arc<Bounded<Arc<[K]>>>>>;
+
+/// Construction parameters for an [`Engine`]. Start from
+/// [`EngineConfig::new`] and chain setters; defaults suit a synthetic
+/// benchmark driver.
+pub struct EngineConfig<K: Bits> {
+    workers: usize,
+    queue_capacity: usize,
+    control_capacity: usize,
+    coalesce_window: usize,
+    pin_workers: bool,
+    batch_delay: Duration,
+    on_batch: Option<BatchHook<K>>,
+    on_publish: Option<PublishHook<K>>,
+}
+
+impl<K: Bits> core::fmt::Debug for EngineConfig<K> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("control_capacity", &self.control_capacity)
+            .field("coalesce_window", &self.coalesce_window)
+            .field("pin_workers", &self.pin_workers)
+            .field("batch_delay", &self.batch_delay)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Bits> EngineConfig<K> {
+    /// A config for `workers` forwarding threads (minimum 1). Defaults:
+    /// 64-batch ingress queues, 4096-event control channel, 256-event
+    /// coalesce window, workers pinned round-robin to cores, no batch
+    /// delay, no hooks.
+    pub fn new(workers: usize) -> Self {
+        EngineConfig {
+            workers: workers.max(1),
+            queue_capacity: 64,
+            control_capacity: 4096,
+            coalesce_window: 256,
+            pin_workers: true,
+            batch_delay: Duration::ZERO,
+            on_batch: None,
+            on_publish: None,
+        }
+    }
+
+    /// Ingress queue depth per worker, in batches (minimum 1).
+    pub fn queue_capacity(mut self, batches: usize) -> Self {
+        self.queue_capacity = batches.max(1);
+        self
+    }
+
+    /// Control channel depth, in route-update events (minimum 1).
+    pub fn control_capacity(mut self, events: usize) -> Self {
+        self.control_capacity = events.max(1);
+        self
+    }
+
+    /// Maximum events the writer drains, coalesces, and publishes as one
+    /// snapshot (minimum 1).
+    pub fn coalesce_window(mut self, events: usize) -> Self {
+        self.coalesce_window = events.max(1);
+        self
+    }
+
+    /// Pin worker `i` to core `i % cores` (`true` by default). Pinning is
+    /// best-effort; unsupported platforms run unpinned.
+    pub fn pin_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
+        self
+    }
+
+    /// Sleep this long before serving each batch — a chaos knob
+    /// simulating a slow egress path, used to exercise backpressure
+    /// deterministically in tests. `Duration::ZERO` (default) disables.
+    pub fn batch_delay(mut self, delay: Duration) -> Self {
+        self.batch_delay = delay;
+        self
+    }
+
+    /// Install a per-batch observer (see [`BatchHook`]).
+    pub fn on_batch(mut self, hook: BatchHook<K>) -> Self {
+        self.on_batch = Some(hook);
+        self
+    }
+
+    /// Install a per-publish observer (see [`PublishHook`]).
+    pub fn on_publish(mut self, hook: PublishHook<K>) -> Self {
+        self.on_publish = Some(hook);
+        self
+    }
+}
+
+/// Clonable dataplane feeder handle: submits packet batches to worker
+/// queues. Obtained from [`Engine::ingress`].
+pub struct Ingress<K: Bits> {
+    queues: BatchQueues<K>,
+    stats: Arc<EngineTelemetry>,
+    next: Arc<AtomicUsize>,
+}
+
+impl<K: Bits> Clone for Ingress<K> {
+    fn clone(&self) -> Self {
+        Ingress {
+            queues: Arc::clone(&self.queues),
+            stats: Arc::clone(&self.stats),
+            next: Arc::clone(&self.next),
+        }
+    }
+}
+
+impl<K: Bits> core::fmt::Debug for Ingress<K> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Ingress")
+            .field("workers", &self.queues.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Bits> Ingress<K> {
+    /// Submit a batch to worker `worker`'s queue without blocking. On
+    /// refusal (queue full or engine shut down) the batch is handed back
+    /// and the drop is **already counted** in
+    /// [`dropped_batches`](EngineTelemetry::dropped_batches).
+    pub fn try_submit_to(&self, worker: usize, batch: Arc<[K]>) -> Result<(), Arc<[K]>> {
+        let n = batch.len() as u64;
+        match self.queues[worker].try_push(batch) {
+            Ok(depth) => {
+                self.stats.submitted_batches.inc();
+                self.stats.batch_size.record(n);
+                self.stats
+                    .worker(worker)
+                    .queue_depth
+                    .record_max(depth as u64);
+                Ok(())
+            }
+            Err(PushError::Full(b)) | Err(PushError::Closed(b)) => {
+                self.stats.dropped_batches.inc();
+                Err(b)
+            }
+        }
+    }
+
+    /// Submit a batch to the next worker in round-robin order, skipping
+    /// over full queues — load shifts away from a momentarily slow worker
+    /// instead of being shed. Returns the accepting worker's index; on
+    /// refusal (every queue full, or shutdown) the batch is handed back
+    /// and the drop is already counted.
+    pub fn try_submit(&self, batch: Arc<[K]>) -> Result<usize, Arc<[K]>> {
+        let n = self.queues.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut batch = batch;
+        for i in 0..n {
+            let w = (start + i) % n;
+            match self.queues[w].try_push(batch) {
+                Ok(depth) => {
+                    self.stats.submitted_batches.inc();
+                    self.stats.worker(w).queue_depth.record_max(depth as u64);
+                    return Ok(w);
+                }
+                Err(PushError::Full(b)) | Err(PushError::Closed(b)) => batch = b,
+            }
+        }
+        self.stats.dropped_batches.inc();
+        Err(batch)
+    }
+
+    /// Number of worker queues this handle feeds.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+/// Clonable control-plane handle: feeds route updates to the single
+/// writer thread. Obtained from [`Engine::control`].
+pub struct Control<K: Bits> {
+    queue: Arc<Bounded<RouteUpdate<K>>>,
+    stats: Arc<EngineTelemetry>,
+}
+
+impl<K: Bits> Clone for Control<K> {
+    fn clone(&self) -> Self {
+        Control {
+            queue: Arc::clone(&self.queue),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+impl<K: Bits> core::fmt::Debug for Control<K> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Control").finish_non_exhaustive()
+    }
+}
+
+impl<K: Bits> Control<K> {
+    /// Enqueue a route update without blocking. On refusal (channel full
+    /// or engine shut down) the update is handed back and the drop is
+    /// already counted in
+    /// [`control_dropped`](EngineTelemetry::control_dropped).
+    pub fn send(&self, update: RouteUpdate<K>) -> Result<(), RouteUpdate<K>> {
+        match self.queue.try_push(update) {
+            Ok(_) => Ok(()),
+            Err(PushError::Full(u)) | Err(PushError::Closed(u)) => {
+                self.stats.control_dropped.inc();
+                Err(u)
+            }
+        }
+    }
+
+    /// Enqueue an announce (insert-or-replace) for `prefix -> nh`.
+    pub fn announce(&self, prefix: Prefix<K>, nh: NextHop) -> Result<(), RouteUpdate<K>> {
+        self.send(RouteUpdate::Announce(prefix, nh))
+    }
+
+    /// Enqueue a withdraw for `prefix`.
+    pub fn withdraw(&self, prefix: Prefix<K>) -> Result<(), RouteUpdate<K>> {
+        self.send(RouteUpdate::Withdraw(prefix))
+    }
+
+    /// Momentary control-channel depth.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Final accounting for one worker, from [`EngineReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Packets this worker looked up.
+    pub packets: u64,
+    /// Batches this worker drained.
+    pub batches: u64,
+    /// Panics recovered by in-place respawn.
+    pub respawns: u64,
+}
+
+/// What [`Engine::shutdown`] observed: totals, drop accounting, and
+/// whether every thread drained and joined within the deadline.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-worker accounting, indexed by worker.
+    pub workers: Vec<WorkerReport>,
+    /// Total packets looked up.
+    pub packets: u64,
+    /// Total batches served.
+    pub batches: u64,
+    /// Batches shed at ingress (queues full).
+    pub dropped_batches: u64,
+    /// Snapshots published by the writer.
+    pub publishes: u64,
+    /// Route-update events consumed.
+    pub update_events: u64,
+    /// Events that changed the RIB.
+    pub updates_applied: u64,
+    /// Events merged away by coalescing.
+    pub updates_coalesced: u64,
+    /// Route updates refused at the control channel.
+    pub control_dropped: u64,
+    /// `true` when every queue was fully drained before the threads
+    /// exited.
+    pub drained_clean: bool,
+    /// Threads that failed to join within the shutdown deadline (0 on a
+    /// clean shutdown; leaked threads are detached, never blocked on).
+    pub leaked_threads: usize,
+    /// Wall-clock time from [`Engine::start`] to the end of shutdown.
+    pub elapsed: Duration,
+}
+
+/// The running engine. Owns the worker and writer threads; hand out
+/// [`Ingress`]/[`Control`] handles to feed it, and finish with
+/// [`Engine::shutdown`] for drain-then-join teardown.
+pub struct Engine<K: Bits> {
+    fib: Arc<SharedFib<K>>,
+    queues: BatchQueues<K>,
+    control: Arc<Bounded<RouteUpdate<K>>>,
+    stats: Arc<EngineTelemetry>,
+    panic_flags: Vec<Arc<AtomicBool>>,
+    workers: Vec<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+    next: Arc<AtomicUsize>,
+    started: Instant,
+}
+
+impl<K: Bits> core::fmt::Debug for Engine<K> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Bits> Engine<K> {
+    /// Spawn the worker threads and the control-plane writer over
+    /// `fib`. The engine serves lookups against `fib`'s RCU snapshots
+    /// and routes all mutations through its single writer.
+    pub fn start(fib: Arc<SharedFib<K>>, config: EngineConfig<K>) -> Self {
+        let nworkers = config.workers;
+        let stats = Arc::new(EngineTelemetry::new(nworkers));
+        stats.published_version.set(fib.version());
+        let queues: BatchQueues<K> = Arc::new(
+            (0..nworkers)
+                .map(|_| Arc::new(Bounded::new(config.queue_capacity)))
+                .collect(),
+        );
+        let control: Arc<Bounded<RouteUpdate<K>>> = Arc::new(Bounded::new(config.control_capacity));
+
+        let mut panic_flags = Vec::with_capacity(nworkers);
+        let mut workers = Vec::with_capacity(nworkers);
+        for idx in 0..nworkers {
+            let flag = Arc::new(AtomicBool::new(false));
+            panic_flags.push(Arc::clone(&flag));
+            let fib = Arc::clone(&fib);
+            let queue = Arc::clone(&queues[idx]);
+            let stats = Arc::clone(&stats);
+            let hook = config.on_batch.clone();
+            let delay = config.batch_delay;
+            let pin = config.pin_workers;
+            let handle = std::thread::Builder::new()
+                .name(format!("fwd-worker-{idx}"))
+                .spawn(move || {
+                    if pin {
+                        let _ = affinity::pin_current_thread(idx);
+                    }
+                    worker_main(idx, &fib, &queue, &stats, &flag, delay, hook.as_ref());
+                })
+                .expect("spawn forwarding worker");
+            workers.push(handle);
+        }
+
+        let writer = {
+            let fib = Arc::clone(&fib);
+            let queue = Arc::clone(&control);
+            let stats = Arc::clone(&stats);
+            let hook = config.on_publish.clone();
+            let window = config.coalesce_window;
+            std::thread::Builder::new()
+                .name("fib-writer".to_string())
+                .spawn(move || writer_main(&fib, &queue, &stats, window, hook.as_ref()))
+                .expect("spawn control-plane writer")
+        };
+
+        Engine {
+            fib,
+            queues,
+            control,
+            stats,
+            panic_flags,
+            workers,
+            writer: Some(writer),
+            next: Arc::new(AtomicUsize::new(0)),
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of forwarding workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A clonable dataplane feeder handle.
+    pub fn ingress(&self) -> Ingress<K> {
+        Ingress {
+            queues: Arc::clone(&self.queues),
+            stats: Arc::clone(&self.stats),
+            next: Arc::clone(&self.next),
+        }
+    }
+
+    /// A clonable control-plane handle.
+    pub fn control(&self) -> Control<K> {
+        Control {
+            queue: Arc::clone(&self.control),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// The engine's live counters.
+    pub fn telemetry(&self) -> Arc<EngineTelemetry> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The shared FIB the engine serves.
+    pub fn fib(&self) -> &Arc<SharedFib<K>> {
+        &self.fib
+    }
+
+    /// Make worker `worker` panic at the start of its next batch — a
+    /// fault-injection knob for exercising the respawn path in tests.
+    pub fn inject_panic(&self, worker: usize) {
+        self.panic_flags[worker].store(true, Ordering::Relaxed);
+    }
+
+    /// Drain-then-join teardown: close every queue (producers are
+    /// refused, consumers drain what is already queued), then join every
+    /// thread, polling until `deadline`. A thread still running at the
+    /// deadline is detached and counted in
+    /// [`leaked_threads`](EngineReport::leaked_threads).
+    pub fn shutdown(mut self, deadline: Duration) -> EngineReport {
+        self.control.close();
+        for q in self.queues.iter() {
+            q.close();
+        }
+        let limit = Instant::now() + deadline;
+
+        let mut handles: Vec<JoinHandle<()>> = self.workers.drain(..).collect();
+        if let Some(w) = self.writer.take() {
+            handles.push(w);
+        }
+        let mut leaked = 0usize;
+        for h in handles {
+            loop {
+                if h.is_finished() {
+                    let _ = h.join();
+                    break;
+                }
+                if Instant::now() >= limit {
+                    leaked += 1; // detach: dropping the handle never blocks
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        let drained_clean =
+            leaked == 0 && self.control.is_empty() && self.queues.iter().all(|q| q.is_empty());
+        let workers = self
+            .stats
+            .workers()
+            .iter()
+            .map(|w| WorkerReport {
+                packets: w.packets.get(),
+                batches: w.batches.get(),
+                respawns: w.respawns.get(),
+            })
+            .collect::<Vec<_>>();
+        EngineReport {
+            packets: self.stats.total_packets(),
+            batches: self.stats.total_batches(),
+            dropped_batches: self.stats.dropped_batches.get(),
+            publishes: self.stats.publishes.get(),
+            update_events: self.stats.update_events.get(),
+            updates_applied: self.stats.updates_applied.get(),
+            updates_coalesced: self.stats.updates_coalesced.get(),
+            control_dropped: self.stats.control_dropped.get(),
+            workers,
+            drained_clean,
+            leaked_threads: leaked,
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+impl<K: Bits> Drop for Engine<K> {
+    /// Dropping without [`Engine::shutdown`] closes every queue so the
+    /// threads exit after draining, but does not wait for them.
+    fn drop(&mut self) {
+        self.control.close();
+        for q in self.queues.iter() {
+            q.close();
+        }
+    }
+}
+
+/// One worker's panic-isolation loop: the batch-serving body runs under
+/// `catch_unwind`; a panic is counted and the body re-entered on the same
+/// OS thread, so a poisoned batch costs that batch and nothing else.
+fn worker_main<K: Bits>(
+    idx: usize,
+    fib: &SharedFib<K>,
+    queue: &Bounded<Arc<[K]>>,
+    stats: &EngineTelemetry,
+    inject: &AtomicBool,
+    delay: Duration,
+    hook: Option<&BatchHook<K>>,
+) {
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut out: Vec<NextHop> = Vec::new();
+            while let Some(batch) = queue.pop() {
+                stats.worker(idx).queue_depth.set(queue.len() as u64);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                if inject.swap(false, Ordering::Relaxed) {
+                    panic!("injected worker fault");
+                }
+                // Epoch consistency: one snapshot per batch, re-acquired
+                // for the next batch so updates become visible at batch
+                // granularity.
+                let snap = fib.snapshot();
+                out.clear();
+                out.resize(batch.len(), NO_ROUTE);
+                snap.lookup_batch(&batch, &mut out);
+                let w = stats.worker(idx);
+                w.packets.add(batch.len() as u64);
+                w.batches.inc();
+                w.snapshot_version.set(snap.version());
+                if let Some(h) = hook {
+                    h(idx, &batch, &out, snap.version());
+                }
+            }
+        }));
+        match run {
+            Ok(()) => break, // queue closed and drained
+            Err(_) => stats.worker(idx).respawns.inc(),
+        }
+    }
+}
+
+/// The single control-plane writer: drain a burst, coalesce duplicate
+/// prefixes (last update wins, order of survivors preserved), apply under
+/// one writer critical section, publish one snapshot.
+fn writer_main<K: Bits>(
+    fib: &SharedFib<K>,
+    queue: &Bounded<RouteUpdate<K>>,
+    stats: &EngineTelemetry,
+    window: usize,
+    hook: Option<&PublishHook<K>>,
+) {
+    let mut buf: Vec<RouteUpdate<K>> = Vec::with_capacity(window);
+    let mut coalesced: Vec<RouteUpdate<K>> = Vec::with_capacity(window);
+    let mut seen: HashSet<Prefix<K>> = HashSet::with_capacity(window);
+    while queue.pop_up_to(window, &mut buf) {
+        coalesced.clear();
+        seen.clear();
+        // Walk backwards keeping the last update per prefix, then restore
+        // arrival order among the survivors.
+        for u in buf.iter().rev() {
+            let p = match u {
+                RouteUpdate::Announce(p, _) => *p,
+                RouteUpdate::Withdraw(p) => *p,
+            };
+            if seen.insert(p) {
+                coalesced.push(*u);
+            }
+        }
+        coalesced.reverse();
+        let merged = buf.len() - coalesced.len();
+
+        let outcome = fib.update_batch(coalesced.iter().copied());
+        stats.update_events.add(buf.len() as u64);
+        stats.updates_coalesced.add(merged as u64);
+        stats.updates_applied.add(outcome.applied as u64);
+        stats.publishes.inc();
+        stats.published_version.set(outcome.version);
+        if let Some(h) = hook {
+            h(outcome, &coalesced);
+        }
+        buf.clear();
+    }
+}

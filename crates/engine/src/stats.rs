@@ -1,0 +1,195 @@
+//! Engine telemetry: relaxed-atomic counters on every dataplane and
+//! control-plane edge, and a Prometheus/JSON exposition surface.
+//!
+//! All metric families are prefixed `poptrie_engine_` (the core crate's
+//! optional lookup instrumentation owns the bare `poptrie_` families).
+//! Counters are the sharded cache-padded primitives from
+//! `poptrie-telemetry`, so workers on different cores never contend on a
+//! statistics cache line.
+
+use poptrie_telemetry::{Counter, Gauge, Log2Histogram, TelemetryRegistry};
+
+/// Per-worker dataplane counters.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Packets (keys) looked up by this worker.
+    pub packets: Counter,
+    /// Batches drained from this worker's queue.
+    pub batches: Counter,
+    /// Momentary depth of this worker's ingress queue.
+    pub queue_depth: Gauge,
+    /// Times the worker body panicked and was respawned in place.
+    pub respawns: Counter,
+    /// Version of the FIB snapshot this worker most recently served a
+    /// batch against. Compared with
+    /// [`EngineTelemetry::published_version`], this is the worker's
+    /// snapshot age in publishes.
+    pub snapshot_version: Gauge,
+}
+
+/// All engine counters, shared by workers, the control-plane writer,
+/// and the ingress handles. Obtain from
+/// [`Engine::telemetry`](crate::Engine::telemetry).
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    workers: Vec<WorkerStats>,
+    /// Batches accepted into some worker queue.
+    pub submitted_batches: Counter,
+    /// Batches refused because every eligible queue was full
+    /// (backpressure shedding, counted at the ingress edge).
+    pub dropped_batches: Counter,
+    /// Distribution of accepted batch sizes (keys per batch).
+    pub batch_size: Log2Histogram,
+    /// RCU snapshots published by the control-plane writer.
+    pub publishes: Counter,
+    /// Route-update events consumed from the control channel.
+    pub update_events: Counter,
+    /// Events that changed the RIB (effective updates).
+    pub updates_applied: Counter,
+    /// Events merged away by per-batch duplicate-prefix coalescing.
+    pub updates_coalesced: Counter,
+    /// Route updates refused at the control channel (channel full).
+    pub control_dropped: Counter,
+    /// Version of the most recently published FIB snapshot.
+    pub published_version: Gauge,
+}
+
+impl EngineTelemetry {
+    /// Fresh zeroed counters for `workers` worker threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        EngineTelemetry {
+            workers: (0..workers).map(|_| WorkerStats::default()).collect(),
+            submitted_batches: Counter::new(),
+            dropped_batches: Counter::new(),
+            batch_size: Log2Histogram::new(),
+            publishes: Counter::new(),
+            update_events: Counter::new(),
+            updates_applied: Counter::new(),
+            updates_coalesced: Counter::new(),
+            control_dropped: Counter::new(),
+            published_version: Gauge::new(),
+        }
+    }
+
+    /// Counters for worker `i`.
+    pub fn worker(&self, i: usize) -> &WorkerStats {
+        &self.workers[i]
+    }
+
+    /// All per-worker counter blocks, indexed by worker.
+    pub fn workers(&self) -> &[WorkerStats] {
+        &self.workers
+    }
+
+    /// Total packets looked up across all workers.
+    pub fn total_packets(&self) -> u64 {
+        self.workers.iter().map(|w| w.packets.get()).sum()
+    }
+
+    /// Total batches drained across all workers.
+    pub fn total_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.batches.get()).sum()
+    }
+
+    /// Materialize every engine metric into an exposition registry
+    /// (`poptrie_engine_*` families, one labelled sample per worker).
+    pub fn registry(&self) -> TelemetryRegistry {
+        let mut reg = TelemetryRegistry::new();
+        for (i, w) in self.workers.iter().enumerate() {
+            let idx = i.to_string();
+            let labels: &[(&str, &str)] = &[("worker", idx.as_str())];
+            reg.counter(
+                "poptrie_engine_packets_total",
+                "Packets looked up, per worker.",
+                labels,
+                w.packets.get(),
+            );
+            reg.counter(
+                "poptrie_engine_batches_total",
+                "Packet batches drained, per worker.",
+                labels,
+                w.batches.get(),
+            );
+            reg.gauge(
+                "poptrie_engine_queue_depth",
+                "Momentary ingress queue depth, per worker.",
+                labels,
+                w.queue_depth.get() as f64,
+            );
+            reg.counter(
+                "poptrie_engine_worker_respawns_total",
+                "Worker panics recovered by in-place respawn.",
+                labels,
+                w.respawns.get(),
+            );
+            reg.gauge(
+                "poptrie_engine_worker_snapshot_version",
+                "FIB snapshot version last served, per worker.",
+                labels,
+                w.snapshot_version.get() as f64,
+            );
+        }
+        reg.counter(
+            "poptrie_engine_submitted_batches_total",
+            "Batches accepted into a worker queue.",
+            &[],
+            self.submitted_batches.get(),
+        );
+        reg.counter(
+            "poptrie_engine_dropped_batches_total",
+            "Batches shed at ingress because every queue was full.",
+            &[],
+            self.dropped_batches.get(),
+        );
+        reg.counter(
+            "poptrie_engine_publishes_total",
+            "RCU snapshots published by the control-plane writer.",
+            &[],
+            self.publishes.get(),
+        );
+        reg.counter(
+            "poptrie_engine_update_events_total",
+            "Route-update events consumed from the control channel.",
+            &[],
+            self.update_events.get(),
+        );
+        reg.counter(
+            "poptrie_engine_updates_applied_total",
+            "Route-update events that changed the RIB.",
+            &[],
+            self.updates_applied.get(),
+        );
+        reg.counter(
+            "poptrie_engine_updates_coalesced_total",
+            "Route-update events merged away by per-batch coalescing.",
+            &[],
+            self.updates_coalesced.get(),
+        );
+        reg.counter(
+            "poptrie_engine_control_dropped_total",
+            "Route updates refused at the full control channel.",
+            &[],
+            self.control_dropped.get(),
+        );
+        reg.gauge(
+            "poptrie_engine_published_version",
+            "Version of the most recently published FIB snapshot.",
+            &[],
+            self.published_version.get() as f64,
+        );
+        let counts = self.batch_size.counts();
+        let bounds: Vec<(f64, u64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (Log2Histogram::upper_bound(i) as f64, n))
+            .collect();
+        reg.histogram(
+            "poptrie_engine_batch_size",
+            "Keys per accepted batch (log2 buckets).",
+            &[],
+            &bounds,
+            self.batch_size.sum() as f64,
+        );
+        reg
+    }
+}

@@ -172,3 +172,8 @@ mod prop {
         }
     }
 }
+
+// The cross-crate Lpm conformance contract (rib crate).
+poptrie_rib::lpm_contract_tests!(lulea_contract_v4, u32, |rib: &RadixTree<u32, u16>| {
+    Lulea::from_rib(rib).unwrap()
+});

@@ -1,0 +1,152 @@
+//! The [`Lpm`](crate::Lpm) conformance contract, as a test-generating
+//! macro.
+//!
+//! Every lookup structure in the workspace promises the same observable
+//! behavior at the trait boundary: the default route matches everything, a
+//! more-specific prefix wins over its covering route, an uncovered key is
+//! a miss (`None`), and [`Lpm::lookup_batch`](crate::Lpm::lookup_batch) is
+//! observationally identical to the scalar loop. Rather than each crate
+//! re-asserting a subset of that by hand,
+//! [`lpm_contract_tests!`](crate::lpm_contract_tests) stamps
+//! out the whole contract once per implementation — the macro is the
+//! single place the contract is written down, and every baseline crate
+//! (radix, Poptrie, Tree BitMap, DXR, SAIL, Lulea, DIR-24-8) instantiates
+//! it in its `#[cfg(test)]` module.
+
+/// Generate the [`Lpm`](crate::Lpm) conformance test suite for one lookup
+/// structure.
+///
+/// Arguments: a module name for the generated tests, the key type, and an
+/// expression evaluating to a `Fn(&RadixTree<K, NextHop>) -> impl Lpm<K>`
+/// build closure (compile the structure under test from a RIB).
+///
+/// ```
+/// // In a crate's #[cfg(test)] module:
+/// mod tests {
+///     use poptrie_rib::RadixTree;
+///
+///     poptrie_rib::lpm_contract_tests!(radix_contract, u32, |rib: &RadixTree<u32, u16>| {
+///         rib.clone()
+///     });
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! lpm_contract_tests {
+    ($name:ident, $K:ty, $build:expr) => {
+        mod $name {
+            #[allow(unused_imports)]
+            use super::*;
+            use $crate::{Bits, Lpm, NextHop, Prefix, RadixTree, NO_ROUTE};
+
+            fn build(rib: &RadixTree<$K, NextHop>) -> impl Lpm<$K> {
+                #[allow(clippy::redundant_closure_call)]
+                ($build)(rib)
+            }
+
+            fn key(v: u128) -> $K {
+                <$K as Bits>::from_u128(v & <$K as Bits>::ONES.to_u128())
+            }
+
+            /// A tiny deterministic generator (xorshift64*), so the batch
+            /// differential runs on the same keys everywhere.
+            fn keys(seed: u64, n: usize) -> Vec<$K> {
+                let mut x = seed | 1;
+                (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        key((x.wrapping_mul(0x2545_F491_4F6C_DD1D) as u128) << 64 | x as u128)
+                    })
+                    .collect()
+            }
+
+            /// A nested fixture: default route, an /8-equivalent covering
+            /// route, and a more specific route inside it. Lengths are
+            /// scaled into the key width so the same contract runs on any
+            /// `K`.
+            fn fixture() -> RadixTree<$K, NextHop> {
+                let mut rib: RadixTree<$K, NextHop> = RadixTree::new();
+                rib.insert(Prefix::DEFAULT, 1);
+                rib.insert(Prefix::new(key(0x0A << (<$K as Bits>::BITS - 8)), 8), 2);
+                rib.insert(Prefix::new(key(0x0A40 << (<$K as Bits>::BITS - 16)), 16), 3);
+                rib
+            }
+
+            #[test]
+            fn default_route_matches_everything() {
+                let mut rib: RadixTree<$K, NextHop> = RadixTree::new();
+                rib.insert(Prefix::DEFAULT, 7);
+                let fib = build(&rib);
+                for k in keys(0xC0117AC7, 64) {
+                    assert_eq!(fib.lookup(k), Some(7), "key {:#x}", k.to_u128());
+                }
+                assert_eq!(fib.lookup(key(0)), Some(7));
+                assert_eq!(fib.lookup(<$K as Bits>::ONES), Some(7));
+            }
+
+            #[test]
+            fn more_specific_wins_over_covering_route() {
+                let fib = build(&fixture());
+                // Inside the /16-equivalent: the longest match.
+                assert_eq!(
+                    fib.lookup(key(0x0A40 << (<$K as Bits>::BITS - 16) | 1)),
+                    Some(3)
+                );
+                // Inside the /8-equivalent but outside the /16.
+                assert_eq!(
+                    fib.lookup(key(0x0A01 << (<$K as Bits>::BITS - 16))),
+                    Some(2)
+                );
+                // Outside both: the default route.
+                assert_eq!(fib.lookup(key(0x0B << (<$K as Bits>::BITS - 8))), Some(1));
+            }
+
+            #[test]
+            fn miss_reports_none_without_default_route() {
+                let mut rib: RadixTree<$K, NextHop> = RadixTree::new();
+                rib.insert(Prefix::new(key(0x0A << (<$K as Bits>::BITS - 8)), 8), 2);
+                let fib = build(&rib);
+                assert_eq!(fib.lookup(key(0x0B << (<$K as Bits>::BITS - 8))), None);
+                assert_eq!(fib.lookup(key(0x0A << (<$K as Bits>::BITS - 8))), Some(2));
+            }
+
+            #[test]
+            fn batch_is_observationally_equal_to_scalar() {
+                // A denser table than the fixture, so batches cross many
+                // prefixes: 64 pseudorandom /12- and /20-equivalents on
+                // top of the nested fixture.
+                let mut rib = fixture();
+                let mut x = 0x5EEDu64;
+                for i in 0..64u16 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let len = if i % 2 == 0 { 12 } else { 20 };
+                    // Place the 64 random bits at the top of the key width.
+                    let addr = key(((x as u128) << 64) >> (128 - <$K as Bits>::BITS));
+                    let p = Prefix::new(addr, len);
+                    rib.insert(p, 4 + i % 9);
+                }
+                let fib = build(&rib);
+                let ks = keys(0xBA7C4, 513); // odd length: exercises tail lanes
+                let mut batched = vec![NO_ROUTE; ks.len()];
+                fib.lookup_batch(&ks, &mut batched);
+                for (k, &got) in ks.iter().zip(&batched) {
+                    let want = fib.lookup(*k).unwrap_or(NO_ROUTE);
+                    assert_eq!(got, want, "key {:#x}", k.to_u128());
+                }
+            }
+
+            #[test]
+            #[should_panic(expected = "length mismatch")]
+            fn batch_rejects_mismatched_lengths() {
+                let fib = build(&fixture());
+                let ks = keys(1, 8);
+                let mut out = vec![NO_ROUTE; 7];
+                fib.lookup_batch(&ks, &mut out);
+            }
+        }
+    };
+}

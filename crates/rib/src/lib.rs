@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod contract;
 pub mod linear;
 pub mod patricia;
 pub mod prefix;
@@ -41,7 +42,7 @@ pub mod traits;
 pub use linear::LinearLpm;
 pub use patricia::Patricia;
 pub use poptrie_bitops::Bits;
-pub use prefix::{ParsePrefixError, Prefix};
+pub use prefix::{ParsePrefixError, Prefix, PrefixError};
 pub use radix::{RadixTree, RouteDiff};
 pub use traits::{Lpm, NextHop, NO_ROUTE};
 

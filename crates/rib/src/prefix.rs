@@ -51,6 +51,38 @@ impl<K: Bits> Prefix<K> {
         }
     }
 
+    /// Create a prefix without the silent canonicalization of
+    /// [`Prefix::new`]: the length must fit the key width and `addr` must
+    /// already be canonical (no bits set below `len`). Wire-format route
+    /// parsers use this so a malformed update is rejected instead of being
+    /// quietly re-masked onto a different prefix.
+    ///
+    /// ```
+    /// use poptrie_rib::{Prefix, PrefixError};
+    ///
+    /// assert!(Prefix::<u32>::try_new(0x0A00_0000, 8).is_ok());
+    /// assert_eq!(
+    ///     Prefix::<u32>::try_new(0x0A00_0001, 8),
+    ///     Err(PrefixError::NonCanonical { len: 8 })
+    /// );
+    /// assert_eq!(
+    ///     Prefix::<u32>::try_new(0, 33),
+    ///     Err(PrefixError::TooLong { len: 33, width: 32 })
+    /// );
+    /// ```
+    pub fn try_new(addr: K, len: u8) -> Result<Self, PrefixError> {
+        if (len as u32) > K::BITS {
+            return Err(PrefixError::TooLong {
+                len,
+                width: K::BITS,
+            });
+        }
+        if addr.and(K::prefix_mask(len as u32)) != addr {
+            return Err(PrefixError::NonCanonical { len });
+        }
+        Ok(Prefix { addr, len })
+    }
+
     /// The canonical (masked) address.
     #[inline]
     pub fn addr(&self) -> K {
@@ -159,6 +191,39 @@ impl<K: Bits> Ord for Prefix<K> {
             .then_with(|| self.len.cmp(&other.len))
     }
 }
+
+/// Error constructing a [`Prefix`] from raw parts via
+/// [`Prefix::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixError {
+    /// The length exceeds the key width.
+    TooLong {
+        /// The requested prefix length.
+        len: u8,
+        /// The key width in bits.
+        width: u32,
+    },
+    /// The address has host bits set below the prefix length.
+    NonCanonical {
+        /// The requested prefix length.
+        len: u8,
+    },
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::TooLong { len, width } => {
+                write!(f, "prefix length {len} exceeds key width {width}")
+            }
+            PrefixError::NonCanonical { len } => {
+                write!(f, "address has host bits set below prefix length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
 
 /// Error parsing a textual prefix.
 #[derive(Debug, Clone, PartialEq, Eq)]

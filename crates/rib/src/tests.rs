@@ -718,3 +718,43 @@ mod oracle_hooks {
         assert!(t.is_empty());
     }
 }
+
+mod prefix_try_new {
+    use super::*;
+    use crate::PrefixError;
+
+    #[test]
+    fn accepts_canonical_and_rejects_host_bits() {
+        assert_eq!(Prefix::<u32>::try_new(0x0A00_0000, 8), Ok(p4("10.0.0.0/8")));
+        assert_eq!(Prefix::<u32>::try_new(0, 0), Ok(Prefix::DEFAULT));
+        assert_eq!(
+            Prefix::<u32>::try_new(0x0A00_0001, 8),
+            Err(PrefixError::NonCanonical { len: 8 })
+        );
+        assert_eq!(
+            Prefix::<u32>::try_new(0, 40),
+            Err(PrefixError::TooLong { len: 40, width: 32 })
+        );
+        // Host prefixes are canonical by definition.
+        assert!(Prefix::<u32>::try_new(0xFFFF_FFFF, 32).is_ok());
+        assert!(Prefix::<u128>::try_new(1, 128).is_ok());
+        assert_eq!(
+            Prefix::<u128>::try_new(1, 64),
+            Err(PrefixError::NonCanonical { len: 64 })
+        );
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = PrefixError::TooLong { len: 40, width: 32 };
+        assert!(e.to_string().contains("40"));
+        let e = PrefixError::NonCanonical { len: 8 };
+        assert!(e.to_string().contains("host bits"));
+    }
+}
+
+// The Lpm conformance contract, on the two RIB-side implementations.
+crate::lpm_contract_tests!(radix_contract_v4, u32, |rib: &RadixTree<u32, u16>| rib
+    .clone());
+crate::lpm_contract_tests!(radix_contract_v6, u128, |rib: &RadixTree<u128, u16>| rib
+    .clone());

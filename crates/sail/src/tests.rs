@@ -199,3 +199,8 @@ mod prop {
         }
     }
 }
+
+// The cross-crate Lpm conformance contract (rib crate).
+poptrie_rib::lpm_contract_tests!(sail_contract_v4, u32, |rib: &RadixTree<u32, u16>| {
+    Sail::from_rib(rib).unwrap()
+});

@@ -33,7 +33,7 @@
 //! Prometheus-style scraping and is what keeps the increment cheap enough
 //! to put inside a ~20-cycle lookup.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod counters;

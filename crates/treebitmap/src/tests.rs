@@ -151,3 +151,18 @@ mod prop {
         }
     }
 }
+
+// The cross-crate Lpm conformance contract (rib crate), over both stride
+// variants and the IPv6 key width.
+poptrie_rib::lpm_contract_tests!(treebitmap_contract_v4, u32, |rib: &RadixTree<u32, u16>| {
+    TreeBitmap64::<u32>::from_rib(rib)
+});
+poptrie_rib::lpm_contract_tests!(treebitmap_contract_s4, u32, |rib: &RadixTree<u32, u16>| {
+    TreeBitmap4::<u32>::from_rib(rib)
+});
+poptrie_rib::lpm_contract_tests!(treebitmap_contract_v6, u128, |rib: &RadixTree<
+    u128,
+    u16,
+>| {
+    TreeBitmap64::<u128>::from_rib(rib)
+});

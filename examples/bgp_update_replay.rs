@@ -33,7 +33,11 @@ fn main() {
         stream.len()
     );
 
-    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::from_rib(base.to_rib(), 18, true));
+    let cfg = poptrie_suite::poptrie::PoptrieConfig::new()
+        .direct_bits(18)
+        .build()
+        .unwrap();
+    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(base.to_rib(), cfg));
     let stop = Arc::new(AtomicBool::new(false));
     let lookups = Arc::new(AtomicU64::new(0));
 

@@ -4,6 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use poptrie_suite::poptrie::PoptrieConfig;
 use poptrie_suite::{Fib, Lpm, Poptrie, Prefix, RadixTree};
 
 fn main() {
@@ -43,14 +44,18 @@ fn main() {
     //
     // Route changes patch only the affected subtree (§3.5), through the
     // buddy allocator — no full recompilation.
-    let mut fib: Fib<u32> = Fib::with_direct_bits(18);
-    fib.insert("203.0.113.0/24".parse::<Prefix<u32>>().unwrap(), 7);
+    let cfg = PoptrieConfig::new().direct_bits(18).build().unwrap();
+    let mut fib: Fib<u32> = Fib::with_config(cfg);
+    fib.insert("203.0.113.0/24".parse::<Prefix<u32>>().unwrap(), 7)
+        .unwrap();
     assert_eq!(fib.lookup(0xCB00_7101), Some(7));
 
-    fib.insert("203.0.113.128/25".parse::<Prefix<u32>>().unwrap(), 8);
+    fib.insert("203.0.113.128/25".parse::<Prefix<u32>>().unwrap(), 8)
+        .unwrap();
     assert_eq!(fib.lookup(0xCB00_71FF), Some(8)); // more specific wins
 
-    fib.remove("203.0.113.128/25".parse::<Prefix<u32>>().unwrap());
+    fib.remove("203.0.113.128/25".parse::<Prefix<u32>>().unwrap())
+        .unwrap();
     assert_eq!(fib.lookup(0xCB00_71FF), Some(7)); // back to the /24
 
     let st = fib.stats();

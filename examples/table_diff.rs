@@ -10,6 +10,7 @@
 //! cargo run --release --example table_diff
 //! ```
 
+use poptrie_suite::poptrie::PoptrieConfig;
 use poptrie_suite::tablegen::{synthesize_update_stream, TableKind, TableSpec, UpdateEvent};
 use poptrie_suite::traffic::Xorshift128;
 use poptrie_suite::Fib;
@@ -40,7 +41,12 @@ fn main() {
     }
 
     // The running FIB serves snapshot A.
-    let mut fib = Fib::from_rib(snapshot_a.clone(), 18, false);
+    let cfg = PoptrieConfig::new()
+        .direct_bits(18)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let mut fib = Fib::compile(snapshot_a.clone(), cfg);
 
     // Converge via diff + incremental updates.
     let start = Instant::now();
@@ -57,19 +63,19 @@ fn main() {
 
     let start = Instant::now();
     for (p, _) in &diff.removed {
-        fib.remove(*p);
+        fib.remove(*p).unwrap();
     }
     for (p, nh) in &diff.added {
-        fib.insert(*p, *nh);
+        fib.insert(*p, *nh).unwrap();
     }
     for (p, _, nh) in &diff.changed {
-        fib.insert(*p, *nh);
+        fib.insert(*p, *nh).unwrap();
     }
     let apply_time = start.elapsed();
 
     // Compare against the alternative: recompiling from scratch.
     let start = Instant::now();
-    let recompiled = Fib::from_rib(snapshot_b.clone(), 18, false);
+    let recompiled = Fib::compile(snapshot_b.clone(), cfg);
     let recompile_time = start.elapsed();
 
     println!(

@@ -19,13 +19,15 @@
 //! ## Quick start
 //!
 //! ```
-//! use poptrie_suite::Fib;
+//! use poptrie_suite::prelude::*;
 //!
-//! let mut fib: Fib<u32> = Fib::with_direct_bits(18);
-//! fib.insert("192.0.2.0/24".parse().unwrap(), 1);
-//! fib.insert("0.0.0.0/0".parse().unwrap(), 2);
+//! let cfg = PoptrieConfig::new().direct_bits(18).build()?;
+//! let mut fib: Fib<u32> = Fib::with_config(cfg);
+//! fib.insert("192.0.2.0/24".parse()?, 1)?;
+//! fib.insert("0.0.0.0/0".parse()?, 2)?;
 //! assert_eq!(fib.lookup(0xC000_0263), Some(1)); // 192.0.2.99
 //! assert_eq!(fib.lookup(0x0808_0808), Some(2)); // default route
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `cargo run --release -p
@@ -57,6 +59,20 @@ pub use poptrie_cycles as cycles;
 
 /// Deterministic RNG (re-export of `poptrie-rng`).
 pub use poptrie_rng as rng;
+
+/// Sharded multi-core forwarding engine (re-export of `poptrie-engine`).
+pub use poptrie_engine as engine;
+
+/// Runtime telemetry primitives (re-export of `poptrie-telemetry`).
+pub use poptrie_telemetry as telemetry;
+
+/// One-line import of the whole suite's vocabulary: the `poptrie`
+/// prelude (config builder, fallible FIB mutations, shared FIB) plus the
+/// forwarding-engine types.
+pub mod prelude {
+    pub use poptrie::prelude::*;
+    pub use poptrie_engine::{Control, Engine, EngineConfig, EngineReport, Ingress};
+}
 
 /// The baseline lookup algorithms the paper compares against.
 pub mod baselines {

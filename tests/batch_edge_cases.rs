@@ -87,14 +87,19 @@ fn incremental_fib_batches_like_scalar_across_updates() {
     // The Fib updater produces tries the builder never emits verbatim
     // (buddy-reallocated blocks, patched direct slots); the batched
     // walker must agree with the scalar one on those, too.
-    let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+    let cfg = poptrie_suite::poptrie::PoptrieConfig::new()
+        .direct_bits(16)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let mut fib: Fib<u32> = Fib::with_config(cfg);
     let mut rng = Xorshift128::new(3);
     for i in 0..300u32 {
         let len = 8 + (rng.next_u32() % 17) as u8;
         let p = Prefix::new(rng.next_u32() & (u32::MAX << (32 - len)), len);
-        fib.insert(p, (i % 200 + 1) as u16);
+        fib.insert(p, (i % 200 + 1) as u16).unwrap();
         if i % 5 == 0 {
-            fib.remove(p);
+            fib.remove(p).unwrap();
         }
         if i % 32 == 0 {
             let keys: Vec<u32> = (0..257).map(|_| rng.next_u32()).collect();
@@ -113,9 +118,14 @@ fn shared_fib_batch_is_consistent_under_concurrent_updates() {
     // some routes, (a) untouched routes must always resolve, and (b) a
     // churned route must resolve to exactly its inserted next hop or a
     // miss — never garbage and never a torn read.
-    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_direct_bits(16));
-    fib.insert("10.0.0.0/8".parse().unwrap(), 1);
-    fib.insert("172.16.0.0/12".parse().unwrap(), 2);
+    let cfg = poptrie_suite::poptrie::PoptrieConfig::new()
+        .direct_bits(16)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_config(cfg));
+    fib.insert("10.0.0.0/8".parse().unwrap(), 1).unwrap();
+    fib.insert("172.16.0.0/12".parse().unwrap(), 2).unwrap();
     let churn_prefix: Prefix<u32> = "192.168.0.0/16".parse().unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -171,7 +181,7 @@ fn shared_fib_batch_is_consistent_under_concurrent_updates() {
     // A snapshot taken before an update keeps answering from the old FIB.
     let pre = fib.snapshot();
     let had = pre.lookup(0xC0A8_0001);
-    fib.insert(churn_prefix, 9);
+    fib.insert(churn_prefix, 9).unwrap();
     assert_eq!(pre.lookup(0xC0A8_0001), had, "snapshot must be immutable");
     assert_eq!(fib.lookup(0xC0A8_0001), Some(9));
 }

@@ -27,7 +27,7 @@
 //! config printed in the panic message.
 
 use poptrie_suite::poptrie::sync::{RouteUpdate, SharedFib};
-use poptrie_suite::poptrie::UpdateStrategy;
+use poptrie_suite::poptrie::{Applied, PoptrieConfig, UpdateStrategy};
 use poptrie_suite::rng::prelude::*;
 use poptrie_suite::tablegen::{churn_stream, ChurnConfig, ChurnEvent};
 use poptrie_suite::{bitops::Bits, Builder, Fib, Lpm, NextHop, Prefix, RadixTree};
@@ -87,10 +87,15 @@ fn churn_once<K: Bits>(cfg: ChurnConfig, checks: Checkpoints) -> usize {
     );
 
     let mut oracle: RadixTree<K, NextHop> = RadixTree::new();
-    let mut refresh: Fib<K> = Fib::with_direct_bits(cfg.direct_bits);
-    let mut rebuild: Fib<K> = Fib::with_direct_bits(cfg.direct_bits);
+    let pcfg = PoptrieConfig::new()
+        .direct_bits(cfg.direct_bits)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let mut refresh: Fib<K> = Fib::with_config(pcfg);
+    let mut rebuild: Fib<K> = Fib::with_config(pcfg);
     rebuild.set_update_strategy(UpdateStrategy::SubtreeRebuild);
-    let shared: Arc<SharedFib<K>> = Arc::new(SharedFib::with_direct_bits(cfg.direct_bits));
+    let shared: Arc<SharedFib<K>> = Arc::new(SharedFib::with_config(pcfg));
 
     // Readers race every writer-published snapshot. They cannot know the
     // oracle's answer at their instant, but any torn state surfaces as an
@@ -128,19 +133,38 @@ fn churn_once<K: Bits>(cfg: ChurnConfig, checks: Checkpoints) -> usize {
         match *ev {
             ChurnEvent::Announce(p, nh) => {
                 let old = oracle.insert(p, nh);
-                refresh.insert(p, nh);
-                rebuild.insert(p, nh);
+                let applied = refresh.insert(p, nh).unwrap();
+                assert_eq!(
+                    applied.previous(),
+                    old,
+                    "[{ctx}] Applied::previous() disagrees with the oracle at event {i}"
+                );
+                assert_eq!(
+                    applied.changed(),
+                    old != Some(nh),
+                    "[{ctx}] Applied::changed() disagrees with the oracle at event {i}"
+                );
+                assert_eq!(rebuild.insert(p, nh).unwrap(), applied);
                 burst.push(RouteUpdate::Announce(p, nh));
-                if old != Some(nh) {
+                if applied.changed() {
                     effective += 1;
                 }
             }
             ChurnEvent::Withdraw(p) => {
                 let old = oracle.remove(p);
-                refresh.remove(p);
-                rebuild.remove(p);
+                let applied = refresh.remove(p).unwrap();
+                assert_eq!(
+                    applied.previous(),
+                    old,
+                    "[{ctx}] Applied::previous() disagrees with the oracle at event {i}"
+                );
+                match applied {
+                    Applied::Withdrawn(_) | Applied::Absent => {}
+                    other => panic!("[{ctx}] remove returned {other:?} at event {i}"),
+                }
+                assert_eq!(rebuild.remove(p).unwrap(), applied);
                 burst.push(RouteUpdate::Withdraw(p));
-                if old.is_some() {
+                if applied.changed() {
                     effective += 1;
                 }
             }

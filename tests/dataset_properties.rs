@@ -97,17 +97,25 @@ fn update_stream_replays_cleanly_against_its_base() {
     }
     .generate();
     let stream = tablegen::synthesize_update_stream(&base, 700, 300);
-    let mut fib = poptrie_suite::Fib::from_rib(base.to_rib(), 16, false);
+    let cfg = poptrie_suite::poptrie::PoptrieConfig::new()
+        .direct_bits(16)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let mut fib = poptrie_suite::Fib::compile(base.to_rib(), cfg);
     let mut announced = 0;
     let mut withdrawn = 0;
     for ev in stream {
         match ev {
             tablegen::UpdateEvent::Announce(p, nh) => {
-                fib.insert(p, nh);
+                fib.insert(p, nh).unwrap();
                 announced += 1;
             }
             tablegen::UpdateEvent::Withdraw(p) => {
-                assert!(fib.remove(p).is_some(), "withdraw of absent prefix");
+                assert!(
+                    fib.remove(p).unwrap().changed(),
+                    "withdraw of absent prefix"
+                );
                 withdrawn += 1;
             }
         }

@@ -5,12 +5,22 @@
 //! throughout.
 
 use poptrie_suite::poptrie::sync::{RouteUpdate, SharedFib};
+use poptrie_suite::poptrie::{Applied, PoptrieConfig};
 use poptrie_suite::tablegen::{
     churn_stream, ipv6_dataset, synthesize_update_stream, ChurnConfig, ChurnEvent, TableKind,
     TableSpec, UpdateEvent,
 };
 use poptrie_suite::traffic::Xorshift128;
 use poptrie_suite::{Builder, Fib, Lpm, Poptrie, Prefix};
+
+/// The config the replay suites use: direct-pointing `s`, no aggregation.
+fn cfg(s: u8) -> PoptrieConfig {
+    PoptrieConfig::new()
+        .direct_bits(s)
+        .aggregate(false)
+        .build()
+        .unwrap()
+}
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -24,12 +34,12 @@ fn replay_audited(fib: &mut Fib<u32>, stream: &[UpdateEvent], audit_every: usize
     for (i, ev) in stream.iter().enumerate() {
         match *ev {
             UpdateEvent::Announce(p, nh) => {
-                if fib.insert(p, nh) != Some(nh) {
+                if fib.insert(p, nh).unwrap().changed() {
                     effective += 1;
                 }
             }
             UpdateEvent::Withdraw(p) => {
-                if fib.remove(p).is_some() {
+                if fib.remove(p).unwrap().changed() {
                     effective += 1;
                 }
             }
@@ -57,7 +67,7 @@ fn base(n: usize) -> poptrie_suite::tablegen::Dataset {
 fn replay_matches_rebuild() {
     let dataset = base(20_000);
     let stream = synthesize_update_stream(&dataset, 1_500, 500);
-    let mut fib = Fib::from_rib(dataset.to_rib(), 18, false);
+    let mut fib = Fib::compile(dataset.to_rib(), cfg(18));
     let effective = replay_audited(&mut fib, &stream, 250);
     fib.poptrie().check_invariants().expect("invariants hold");
     // Fresh compilation from the updated RIB must agree everywhere.
@@ -86,7 +96,7 @@ fn replay_matches_rebuild() {
 #[test]
 fn replay_matches_rebuild_v6() {
     let dataset = ipv6_dataset("RV6-linx-p0");
-    let mut fib: Fib<u128> = Fib::from_rib(dataset.to_rib(), 16, false);
+    let mut fib: Fib<u128> = Fib::compile(dataset.to_rib(), cfg(16));
     let stream = churn_stream::<u128>(&ChurnConfig {
         seed: 0x6666_0001,
         events: 2_000,
@@ -98,12 +108,12 @@ fn replay_matches_rebuild_v6() {
     for (i, ev) in stream.iter().enumerate() {
         match *ev {
             ChurnEvent::Announce(p, nh) => {
-                if fib.insert(p, nh) != Some(nh) {
+                if fib.insert(p, nh).unwrap().changed() {
                     effective += 1;
                 }
             }
             ChurnEvent::Withdraw(p) => {
-                if fib.remove(p).is_some() {
+                if fib.remove(p).unwrap().changed() {
                     effective += 1;
                 }
             }
@@ -133,13 +143,16 @@ mod pinned {
     /// §4.9 per-update work averages were diluted by free events.
     #[test]
     fn noop_announces_do_no_work() {
-        let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(16));
         let p: Prefix<u32> = "192.0.2.0/24".parse().unwrap();
-        fib.insert(p, 7);
+        fib.insert(p, 7).unwrap();
         let before = fib.stats();
         for _ in 0..100 {
-            assert_eq!(fib.insert(p, 7), Some(7));
-            assert_eq!(fib.remove("198.51.100.0/24".parse().unwrap()), None);
+            assert_eq!(fib.insert(p, 7), Ok(Applied::Unchanged(7)));
+            assert_eq!(
+                fib.remove("198.51.100.0/24".parse().unwrap()),
+                Ok(Applied::Absent)
+            );
         }
         assert_eq!(fib.stats(), before, "no-ops must not move any counter");
     }
@@ -150,15 +163,18 @@ mod pinned {
     /// spelling-derived slot range would leave stale slots behind).
     #[test]
     fn non_canonical_spellings_are_one_route() {
-        let mut fib: Fib<u32> = Fib::with_direct_bits(18);
+        let mut fib: Fib<u32> = Fib::with_config(cfg(18));
         // "10.255.238.119/12" canonicalizes to 10.240.0.0/12.
-        fib.insert(Prefix::new(0x0AFF_EE77, 12), 3);
+        fib.insert(Prefix::new(0x0AFF_EE77, 12), 3).unwrap();
         assert_eq!(fib.lookup(0x0AF0_0000), Some(3));
         assert_eq!(fib.lookup(0x0AFF_FFFF), Some(3));
         assert_eq!(fib.lookup(0x0AEF_FFFF), None);
         assert_eq!(fib.lookup(0x0B00_0000), None);
         // Withdraw via a different host-bit pattern of the same /12.
-        assert_eq!(fib.remove(Prefix::new(0x0AF1_2345, 12)), Some(3));
+        assert_eq!(
+            fib.remove(Prefix::new(0x0AF1_2345, 12)),
+            Ok(Applied::Withdrawn(3))
+        );
         assert_eq!(fib.lookup(0x0AF0_0000), None);
         fib.poptrie().audit().expect("audit after sloppy churn");
         assert_eq!(fib.poptrie().stats().inodes, 0, "trie must drain");
@@ -168,9 +184,9 @@ mod pinned {
 #[test]
 fn insert_everything_then_remove_everything() {
     let dataset = base(10_000);
-    let mut fib: Fib<u32> = Fib::with_direct_bits(16);
+    let mut fib: Fib<u32> = Fib::with_config(cfg(16));
     for &(p, nh) in &dataset.routes {
-        fib.insert(p, nh);
+        fib.insert(p, nh).unwrap();
     }
     let rib = dataset.to_rib();
     let mut rng = Xorshift128::new(3);
@@ -181,7 +197,7 @@ fn insert_everything_then_remove_everything() {
     // Remove in a different (reversed) order; the trie must drain to
     // nothing with zero leaked nodes or leaves.
     for &(p, _) in dataset.routes.iter().rev() {
-        assert!(fib.remove(p).is_some());
+        assert!(fib.remove(p).unwrap().changed());
     }
     let st = fib.poptrie().stats();
     assert_eq!(st.inodes, 0, "leaked internal nodes");
@@ -195,15 +211,18 @@ fn aggregated_initial_build_plus_incremental_updates() {
     // incrementally (the patch path compiles from the raw RIB): lookups
     // must stay correct even though the structure mixes both compilations.
     let dataset = base(20_000);
-    let mut fib = Fib::from_rib(dataset.to_rib(), 18, true);
+    let mut fib = Fib::compile(
+        dataset.to_rib(),
+        PoptrieConfig::new().direct_bits(18).build().unwrap(),
+    );
     let stream = synthesize_update_stream(&dataset, 800, 200);
     for ev in &stream {
         match *ev {
             UpdateEvent::Announce(p, nh) => {
-                fib.insert(p, nh);
+                fib.insert(p, nh).unwrap();
             }
             UpdateEvent::Withdraw(p) => {
-                fib.remove(p);
+                fib.remove(p).unwrap();
             }
         }
     }
@@ -224,8 +243,8 @@ fn shared_fib_readers_see_only_complete_states() {
     // on every single lookup that the answer is one of the two legal
     // values (covering or more-specific) — a torn FIB would surface as
     // an arbitrary wrong next hop or a panic.
-    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_direct_bits(16));
-    fib.insert("10.0.0.0/8".parse().unwrap(), 1);
+    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_config(cfg(16)));
+    fib.insert("10.0.0.0/8".parse().unwrap(), 1).unwrap();
     let specific: poptrie_suite::Prefix<u32> = "10.1.2.0/24".parse().unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let readers: Vec<_> = (0..3)
@@ -246,11 +265,11 @@ fn shared_fib_readers_see_only_complete_states() {
         })
         .collect();
     for _ in 0..500 {
-        fib.insert(specific, 7);
-        fib.remove(specific);
+        fib.insert(specific, 7).unwrap();
+        fib.remove(specific).unwrap();
     }
     // Leave the specific route in so late readers can still observe it.
-    fib.insert(specific, 7);
+    fib.insert(specific, 7).unwrap();
     std::thread::sleep(std::time::Duration::from_millis(20));
     stop.store(true, Ordering::Relaxed);
     let mut any_seen = false;
@@ -264,22 +283,24 @@ fn shared_fib_readers_see_only_complete_states() {
 fn shared_fib_batch_vs_single_updates() {
     let dataset = base(5_000);
     let stream = synthesize_update_stream(&dataset, 300, 100);
-    let single: SharedFib<u32> = SharedFib::from_rib(dataset.to_rib(), 16, false);
-    let batch: SharedFib<u32> = SharedFib::from_rib(dataset.to_rib(), 16, false);
+    let single: SharedFib<u32> = SharedFib::compile(dataset.to_rib(), cfg(16));
+    let batch: SharedFib<u32> = SharedFib::compile(dataset.to_rib(), cfg(16));
     for ev in &stream {
         match *ev {
             UpdateEvent::Announce(p, nh) => {
-                single.insert(p, nh);
+                single.insert(p, nh).unwrap();
             }
             UpdateEvent::Withdraw(p) => {
-                single.remove(p);
+                single.remove(p).unwrap();
             }
         }
     }
-    batch.update_batch(stream.iter().map(|ev| match *ev {
+    let outcome = batch.update_batch(stream.iter().map(|ev| match *ev {
         UpdateEvent::Announce(p, nh) => RouteUpdate::Announce(p, nh),
         UpdateEvent::Withdraw(p) => RouteUpdate::Withdraw(p),
     }));
+    assert_eq!(outcome.events, stream.len());
+    assert_eq!(outcome.version, 1, "one batch publishes one snapshot");
     let mut rng = Xorshift128::new(6);
     for _ in 0..50_000 {
         let key = rng.next_u32();

@@ -79,17 +79,22 @@ fn v6_deep_prefixes_and_host_routes() {
 
 #[test]
 fn v6_incremental_updates() {
-    let mut fib: poptrie_suite::Fib<u128> = poptrie_suite::Fib::with_direct_bits(18);
+    let cfg = poptrie_suite::poptrie::PoptrieConfig::new()
+        .direct_bits(18)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let mut fib: poptrie_suite::Fib<u128> = poptrie_suite::Fib::with_config(cfg);
     let p48: Prefix<u128> = "2001:db8:1::/48".parse().unwrap();
     let p64: Prefix<u128> = "2001:db8:1:2::/64".parse().unwrap();
     let inside64 = 0x2001_0db8_0001_0002_0000_0000_0000_0001u128;
-    fib.insert(p48, 1);
+    fib.insert(p48, 1).unwrap();
     assert_eq!(fib.lookup(inside64), Some(1));
-    fib.insert(p64, 2);
+    fib.insert(p64, 2).unwrap();
     assert_eq!(fib.lookup(inside64), Some(2));
-    fib.remove(p64);
+    fib.remove(p64).unwrap();
     assert_eq!(fib.lookup(inside64), Some(1));
-    fib.remove(p48);
+    fib.remove(p48).unwrap();
     assert_eq!(fib.lookup(inside64), None);
     assert_eq!(fib.poptrie().stats().inodes, 0);
 }

@@ -17,8 +17,16 @@
 
 use poptrie_suite::poptrie::sync::SharedFib;
 use poptrie_suite::poptrie::telemetry;
-use poptrie_suite::poptrie::BATCH_LANES;
+use poptrie_suite::poptrie::{PoptrieConfig, BATCH_LANES};
 use poptrie_suite::{Fib, NextHop, Prefix};
+
+fn cfg16() -> PoptrieConfig {
+    PoptrieConfig::new()
+        .direct_bits(16)
+        .aggregate(false)
+        .build()
+        .unwrap()
+}
 
 /// The scripted ground truth, accumulated while driving the workload.
 #[derive(Default)]
@@ -44,7 +52,7 @@ impl Script {
         if fib.rib().get(p) != Some(&nh) {
             self.announces += 1;
         }
-        fib.insert(p, nh);
+        fib.insert(p, nh).unwrap();
     }
 
     fn remove<K: poptrie_suite::rib::Bits>(&mut self, fib: &mut Fib<K>, prefix: &str)
@@ -53,7 +61,7 @@ impl Script {
         <Prefix<K> as std::str::FromStr>::Err: std::fmt::Debug,
     {
         let p: Prefix<K> = prefix.parse().expect("prefix");
-        if fib.remove(p).is_some() {
+        if fib.remove(p).unwrap().changed() {
             self.withdraws += 1;
         }
     }
@@ -77,7 +85,7 @@ fn counters_reconcile_exactly_with_scripted_workload() {
 
     // ---- u32 phase: a small table spanning direct-only, shallow and
     // deep prefixes (direct bits 16 -> /24 resolves at depth 2).
-    let mut v4: Fib<u32> = Fib::with_direct_bits(16);
+    let mut v4: Fib<u32> = Fib::with_config(cfg16());
     script.insert(&mut v4, "0.0.0.0/0", 1);
     script.insert(&mut v4, "10.0.0.0/8", 2);
     script.insert(&mut v4, "10.128.0.0/9", 3);
@@ -107,7 +115,7 @@ fn counters_reconcile_exactly_with_scripted_workload() {
     script.rebuilds += 1;
 
     // ---- u128 phase: same shape on IPv6-width keys.
-    let mut v6: Fib<u128> = Fib::with_direct_bits(16);
+    let mut v6: Fib<u128> = Fib::with_config(cfg16());
     script.insert(&mut v6, "::/0", 1);
     script.insert(&mut v6, "2001:db8::/32", 2);
     script.insert(&mut v6, "2001:db8:aa::/48", 3);
@@ -129,20 +137,26 @@ fn counters_reconcile_exactly_with_scripted_workload() {
     script.rebuilds += 1;
 
     // ---- RCU phase: publishes = every insert call + applied withdraws.
-    let shared: SharedFib<u32> = SharedFib::with_direct_bits(16);
+    let shared: SharedFib<u32> = SharedFib::with_config(cfg16());
     let parked = shared.snapshot(); // hold one snapshot across publishes
-    shared.insert("0.0.0.0/0".parse().unwrap(), 1);
+    shared.insert("0.0.0.0/0".parse().unwrap(), 1).unwrap();
     script.announces += 1;
     script.rcu_publishes += 1;
-    shared.insert("0.0.0.0/0".parse().unwrap(), 1); // no-op announce...
+    shared.insert("0.0.0.0/0".parse().unwrap(), 1).unwrap(); // no-op announce...
     script.rcu_publishes += 1; // ...but SharedFib still publishes
-    shared.insert("172.16.0.0/12".parse().unwrap(), 2);
+    shared.insert("172.16.0.0/12".parse().unwrap(), 2).unwrap();
     script.announces += 1;
     script.rcu_publishes += 1;
-    assert!(shared.remove("172.16.0.0/12".parse().unwrap()).is_some());
+    assert!(shared
+        .remove("172.16.0.0/12".parse().unwrap())
+        .unwrap()
+        .changed());
     script.withdraws += 1;
     script.rcu_publishes += 1;
-    assert!(shared.remove("172.16.0.0/12".parse().unwrap()).is_none());
+    assert!(!shared
+        .remove("172.16.0.0/12".parse().unwrap())
+        .unwrap()
+        .changed());
     // gone already: no publish
     drop(parked);
 
