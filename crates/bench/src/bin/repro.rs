@@ -3,6 +3,7 @@
 //! ```text
 //! repro <experiment> [--quick | --full] [--compare]
 //! repro fig10 --live --threads N [--churn] [--quick]
+//! repro slo [--threads N] [--quick]
 //!
 //! experiments:
 //!   table1   dataset inventory (Table 1)
@@ -93,6 +94,7 @@ fn main() {
         "fig9" => fig9(&mut ctx),
         "fig10" if live => fig10_live(&mut ctx, threads.unwrap_or(2), churn),
         "fig10" => fig10(&mut ctx),
+        "slo" => slo(&mut ctx, threads.unwrap_or(2)),
         "fig11" => fig11(&mut ctx),
         "fig12" => fig12(&mut ctx),
         "updates" => updates(&mut ctx),
@@ -128,6 +130,7 @@ repro — regenerate the tables and figures of the Poptrie paper (SIGCOMM 2015)
 
 usage: repro <experiment> [--quick | --full] [--compare]
        repro fig10 --live --threads N [--churn] [--quick]
+       repro slo [--threads N] [--quick]
 
 experiments: table1 table2 table3 table4 table5 table6
              fig7 fig8 fig9 fig10 fig11 fig12 updates all
@@ -137,6 +140,14 @@ experiments: table1 table2 table3 table4 table5 table6
                       1..=N; --churn replays a seeded BGP update stream
                       through the control-plane writer concurrently;
                       writes results/BENCH_engine.json
+             slo      tail-latency SLO matrix through the forwarding
+                      engine under deadline QoS: traffic pattern (uniform,
+                      zipf, microburst, worst-depth) x worker count
+                      (1..=--threads N) x churn on/off, reporting
+                      p50/p99/p99.9 queue-wait and service latency per
+                      cell with exact drop accounting; writes
+                      results/BENCH_slo.json and exits nonzero on an
+                      accounting mismatch or malformed JSON
              stats    with no dataset argument: live-telemetry replay —
                       a seeded lookup + churn workload whose counters are
                       reconciled against the script, dumped as Prometheus
@@ -962,6 +973,406 @@ fn fig10_live(ctx: &mut Ctx, threads: usize, churn: bool) {
         eprintln!("warning: could not write results/BENCH_engine.json: {e}");
     } else {
         println!("wrote results/BENCH_engine.json");
+    }
+}
+
+// -------------------------------------------------------------------- slo
+
+/// Driver-side tallies of one SLO cell run, alongside the engine's own
+/// report. The driver counts everything it *offered* (including batches
+/// the full queues refused), so the accounting identity
+/// `offered == delivered + deadline-dropped + refused` can be checked
+/// against ground truth rather than against the engine's bookkeeping
+/// alone.
+struct SloTally {
+    offered_batches: u64,
+    offered_packets: u64,
+    refused_batches: u64,
+    refused_packets: u64,
+    report: poptrie_engine::EngineReport,
+}
+
+/// One SLO cell: feed pre-generated batches for `duration` into an
+/// engine running the deadline-drop QoS policy, optionally gating the
+/// feeder through a microburst schedule and replaying churn through the
+/// control plane. Refused batches are counted and shed, never retried —
+/// under a deadline policy a refusal is a loss the accounting must
+/// explain, not something to block the feeder on.
+fn slo_run(
+    fib: &std::sync::Arc<poptrie::sync::SharedFib<u32>>,
+    workers: usize,
+    pool: &[std::sync::Arc<[u32]>],
+    churn: &[ChurnEvent<u32>],
+    duration: std::time::Duration,
+    deadline: std::time::Duration,
+    burst: Option<poptrie_traffic::MicroburstSchedule>,
+) -> SloTally {
+    use poptrie::sync::RouteUpdate;
+    use poptrie_engine::{Engine, EngineConfig, QosPolicy};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let engine = Engine::start(
+        Arc::clone(fib),
+        EngineConfig::new(workers)
+            .queue_capacity(64)
+            .qos(QosPolicy::Deadline(deadline)),
+    );
+    let ingress = engine.ingress();
+    let control = engine.control();
+    let start = Instant::now();
+    let end = start + duration;
+    let (mut i, mut ev) = (0usize, 0usize);
+    let mut offered_batches = 0u64;
+    let mut offered_packets = 0u64;
+    let mut refused_batches = 0u64;
+    let mut refused_packets = 0u64;
+    'feed: loop {
+        if let Some(schedule) = &burst {
+            if !schedule.is_on(start.elapsed()) {
+                // Quiet gap of the microburst schedule: the feeder goes
+                // fully idle, so the queues drain and the next burst
+                // lands on an empty engine — the tail-latency shape this
+                // pattern exists to produce.
+                std::thread::sleep(Duration::from_micros(100));
+                if Instant::now() >= end {
+                    break 'feed;
+                }
+                continue;
+            }
+        }
+        for _ in 0..64 {
+            if !churn.is_empty() && i % 64 == 0 {
+                let update = match churn[ev % churn.len()] {
+                    ChurnEvent::Announce(p, nh) => RouteUpdate::Announce(p, nh),
+                    ChurnEvent::Withdraw(p) => RouteUpdate::Withdraw(p),
+                };
+                let _ = control.send(update); // full channel: shed, counted
+                ev += 1;
+            }
+            i += 1;
+            let batch = Arc::clone(&pool[i % pool.len()]);
+            let keys = batch.len() as u64;
+            offered_batches += 1;
+            offered_packets += keys;
+            if ingress.try_submit(batch).is_err() {
+                refused_batches += 1;
+                refused_packets += keys;
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        if Instant::now() >= end {
+            break 'feed;
+        }
+    }
+    let report = engine.shutdown(Duration::from_secs(30));
+    SloTally {
+        offered_batches,
+        offered_packets,
+        refused_batches,
+        refused_packets,
+        report,
+    }
+}
+
+/// A [`poptrie_engine::LatencySummary`] as a JSON object fragment.
+fn latency_json(l: &poptrie_engine::LatencySummary) -> String {
+    format!(
+        "{{\"samples\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
+        l.samples, l.mean_ns, l.p50_ns, l.p99_ns, l.p999_ns
+    )
+}
+
+/// Minimal structural validation of a handwritten JSON document:
+/// brackets balance outside string literals and every `required` key is
+/// present. Catches a truncated or mangled write (the failure mode of
+/// hand-assembled JSON) without needing a parser.
+fn validate_json(text: &str, required: &[&str]) -> Result<(), String> {
+    let mut stack: Vec<char> = Vec::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for (at, c) in text.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => stack.push(c),
+            '}' if stack.pop() != Some('{') => return Err(format!("unbalanced '}}' at byte {at}")),
+            ']' if stack.pop() != Some('[') => return Err(format!("unbalanced ']' at byte {at}")),
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string literal".into());
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} unclosed bracket(s)", stack.len()));
+    }
+    for key in required {
+        if !text.contains(&format!("\"{key}\"")) {
+            return Err(format!("missing key \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+/// `repro slo [--threads N] [--quick]`: the tail-latency SLO matrix.
+///
+/// Sweeps traffic pattern (uniform, Zipf flow mix, microburst,
+/// adversarial worst-depth) x worker count x churn on/off through the
+/// forwarding engine under the deadline-drop QoS policy, and reports
+/// p50/p99/p99.9 queue-wait and service latency per cell from the
+/// engine's per-worker `Log2Histogram`s. Every cell is reconciled
+/// against the driver's own offered-load tallies — an accounting
+/// mismatch or a malformed `results/BENCH_slo.json` exits nonzero, so CI
+/// can run `repro slo --quick` as a smoke gate.
+fn slo(ctx: &mut Ctx, threads: usize) {
+    use poptrie::sync::SharedFib;
+    use poptrie_traffic::{MicroburstSchedule, WorstDepth, ZipfFlows};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let threads = threads.max(1);
+    section(&format!(
+        "SLO matrix: pattern x workers (1..={threads}) x churn, deadline QoS"
+    ));
+    let ds_name = if ctx.quick {
+        "RV-sydney-p0"
+    } else {
+        "REAL-Tier1-A"
+    };
+    let dataset = ctx.dataset(ds_name).clone();
+    let pcfg = PoptrieConfig::new().direct_bits(18).build().unwrap();
+
+    // Pre-generated key pools, one per pattern (the microburst pattern
+    // reuses the uniform keys — it differs in *timing*, not content).
+    // Sized as in fig10 --live: an ingress batch is an rx-burst of 64
+    // measurement batches so each queue handoff carries enough work.
+    let batch = ctx.cfg.batch.max(1) * 64;
+    let pool_of = |fill: &mut dyn FnMut(&mut [u32])| -> Vec<Arc<[u32]>> {
+        (0..256)
+            .map(|_| {
+                let mut keys = vec![0u32; batch];
+                fill(&mut keys);
+                Arc::from(keys)
+            })
+            .collect()
+    };
+    let mut uniform_src = poptrie_traffic::fill::RandomV4::new(0x510_F00D);
+    let uniform_pool = pool_of(&mut |k| uniform_src.fill(k));
+    let mut zipf_src = ZipfFlows::random(4096, 1.0, 0x0510_21FF);
+    let zipf_pool = pool_of(&mut |k| zipf_src.fill(k));
+    let mut worst_src = WorstDepth::synthesize(&dataset.routes, 4096, 0x0510_DEEF);
+    let worst_pool = pool_of(&mut |k| worst_src.fill(k));
+    let worst_chain = worst_src.max_chain_depth();
+
+    let events = churn_stream::<u32>(&ChurnConfig {
+        seed: 0x510C,
+        events: if ctx.quick { 2_000 } else { 20_000 },
+        direct_bits: 18,
+        ..ChurnConfig::default()
+    });
+
+    let duration = if ctx.quick {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(600)
+    };
+    // Deadline on the order of a full 64-deep queue's worth of service:
+    // mostly-idle cells serve everything, saturated cells must shed.
+    let deadline = Duration::from_millis(1);
+    let burst_schedule = MicroburstSchedule::new(Duration::from_millis(10), 0.3);
+
+    let mut counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&n| n <= threads)
+        .collect();
+    if !counts.contains(&threads) {
+        counts.push(threads);
+    }
+
+    // Churn rewrites the FIB, so churn cells compile a fresh table each;
+    // churn-free cells share one immutable build.
+    let base_fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(dataset.to_rib(), pcfg));
+
+    type Pattern<'a> = (&'a str, &'a [Arc<[u32]>], Option<MicroburstSchedule>);
+    let patterns: [Pattern; 4] = [
+        ("uniform", &uniform_pool, None),
+        ("zipf", &zipf_pool, None),
+        ("microburst", &uniform_pool, Some(burst_schedule)),
+        ("worst_depth", &worst_pool, None),
+    ];
+
+    let mut t = Table::new(vec![
+        "Pattern",
+        "Workers",
+        "Churn",
+        "Rate [Mlps]",
+        "Wait p50 [us]",
+        "Wait p99 [us]",
+        "Wait p99.9 [us]",
+        "DL-dropped",
+        "Refused",
+    ]);
+    let mut cells: Vec<String> = Vec::new();
+    let mut failures = 0u32;
+    for (pattern, pool, burst) in patterns {
+        for &workers in &counts {
+            for churn_on in [false, true] {
+                let fib = if churn_on {
+                    Arc::new(SharedFib::compile(dataset.to_rib(), pcfg))
+                } else {
+                    Arc::clone(&base_fib)
+                };
+                let churn_slice: &[ChurnEvent<u32>] = if churn_on { &events } else { &[] };
+                let run = slo_run(&fib, workers, pool, churn_slice, duration, deadline, burst);
+                let r = &run.report;
+
+                // The accounting identity, against the driver's tallies.
+                let batches_ok = run.offered_batches
+                    == r.batches + r.deadline_dropped_batches + r.dropped_batches;
+                let packets_ok = run.offered_packets
+                    == r.packets + r.deadline_dropped_packets + r.dropped_packets;
+                let refused_ok = run.refused_batches == r.dropped_batches
+                    && run.refused_packets == r.dropped_packets;
+                let clean = r.drained_clean && r.leaked_threads == 0;
+                if !(batches_ok && packets_ok && refused_ok && clean) {
+                    eprintln!(
+                        "FAIL {pattern}/{workers}w/churn={churn_on}: offered {}b/{}p, \
+                         delivered {}b/{}p, deadline-dropped {}b/{}p, engine-refused {}b/{}p, \
+                         driver-refused {}b/{}p, drained_clean={}, leaked={}",
+                        run.offered_batches,
+                        run.offered_packets,
+                        r.batches,
+                        r.packets,
+                        r.deadline_dropped_batches,
+                        r.deadline_dropped_packets,
+                        r.dropped_batches,
+                        r.dropped_packets,
+                        run.refused_batches,
+                        run.refused_packets,
+                        r.drained_clean,
+                        r.leaked_threads,
+                    );
+                    failures += 1;
+                }
+
+                let mlps = r.packets as f64 / r.elapsed.as_secs_f64() / 1e6;
+                t.row(vec![
+                    pattern.to_string(),
+                    workers.to_string(),
+                    if churn_on { "yes" } else { "no" }.to_string(),
+                    format!("{mlps:.2}"),
+                    format!("{:.1}", r.queue_wait.p50_ns as f64 / 1e3),
+                    format!("{:.1}", r.queue_wait.p99_ns as f64 / 1e3),
+                    format!("{:.1}", r.queue_wait.p999_ns as f64 / 1e3),
+                    r.deadline_dropped_batches.to_string(),
+                    r.dropped_batches.to_string(),
+                ]);
+
+                let per_worker: Vec<String> = r
+                    .workers
+                    .iter()
+                    .enumerate()
+                    .map(|(w, wr)| {
+                        format!(
+                            "{{\"worker\": {w}, \"batches\": {}, \"packets\": {}, \
+                             \"deadline_dropped_batches\": {}, \"queue_wait_ns\": {}, \
+                             \"service_ns\": {}}}",
+                            wr.batches,
+                            wr.packets,
+                            wr.deadline_dropped_batches,
+                            latency_json(&wr.queue_wait),
+                            latency_json(&wr.service),
+                        )
+                    })
+                    .collect();
+                cells.push(format!(
+                    "    {{\"pattern\": \"{pattern}\", \"workers\": {workers}, \
+                     \"churn\": {churn_on},\n     \"offered_batches\": {}, \
+                     \"offered_packets\": {}, \"delivered_batches\": {}, \
+                     \"delivered_packets\": {},\n     \"deadline_dropped_batches\": {}, \
+                     \"deadline_dropped_packets\": {}, \"refused_batches\": {}, \
+                     \"refused_packets\": {},\n     \"mlps\": {mlps:.3}, \
+                     \"publishes\": {}, \"update_events\": {},\n     \
+                     \"queue_wait_ns\": {}, \"service_ns\": {},\n     \
+                     \"per_worker\": [{}]}}",
+                    run.offered_batches,
+                    run.offered_packets,
+                    r.batches,
+                    r.packets,
+                    r.deadline_dropped_batches,
+                    r.deadline_dropped_packets,
+                    r.dropped_batches,
+                    r.dropped_packets,
+                    r.publishes,
+                    r.update_events,
+                    latency_json(&r.queue_wait),
+                    latency_json(&r.service),
+                    per_worker.join(", "),
+                ));
+            }
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "({} cells of {} ms each, deadline {} us; DL-dropped batches \
+         exceeded their queue-wait deadline, refused batches found every \
+         queue full)",
+        cells.len(),
+        duration.as_millis(),
+        deadline.as_micros(),
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"slo\",\n  \"dataset\": \"{ds_name}\",\n  \
+         \"batch\": {batch},\n  \"duration_ms\": {},\n  \"deadline_us\": {},\n  \
+         \"quick\": {},\n  \"worst_depth_chain\": {worst_chain},\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
+        duration.as_millis(),
+        deadline.as_micros(),
+        ctx.quick,
+        cells.join(",\n"),
+    );
+    let dir = std::path::Path::new("results");
+    let path = dir.join("BENCH_slo.json");
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json.as_bytes()))
+    {
+        eprintln!("error: could not write results/BENCH_slo.json: {e}");
+        std::process::exit(1);
+    }
+    // Re-read what actually landed on disk and validate it structurally:
+    // the CI smoke gate fails on a truncated or malformed artifact.
+    let landed = std::fs::read_to_string(&path).unwrap_or_default();
+    if let Err(e) = validate_json(
+        &landed,
+        &[
+            "experiment",
+            "cells",
+            "pattern",
+            "queue_wait_ns",
+            "service_ns",
+            "p50_ns",
+            "p99_ns",
+            "p999_ns",
+        ],
+    ) {
+        eprintln!("error: results/BENCH_slo.json is malformed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote results/BENCH_slo.json");
+    if failures > 0 {
+        eprintln!("error: {failures} cell(s) failed accounting reconciliation");
+        std::process::exit(1);
     }
 }
 

@@ -41,8 +41,10 @@ use poptrie::sync::{BatchOutcome, RouteUpdate, SharedFib};
 use poptrie_bitops::Bits;
 use poptrie_rib::{NextHop, Prefix, NO_ROUTE};
 
+use poptrie_telemetry::Log2Histogram;
+
 use crate::affinity;
-use crate::queue::{Bounded, PushError};
+use crate::queue::{Bounded, PushError, NO_SOURCE};
 use crate::stats::EngineTelemetry;
 
 /// Observer of every served batch: `(worker, keys, next_hops,
@@ -54,9 +56,33 @@ pub type BatchHook<K> = Arc<dyn Fn(usize, &[K], &[NextHop], u64) + Send + Sync>;
 /// on the writer thread.
 pub type PublishHook<K> = Arc<dyn Fn(BatchOutcome, &[RouteUpdate<K>]) + Send + Sync>;
 
+/// One queued batch: its ingress timestamp (for queue-wait latency and
+/// the deadline policy) and the keys.
+type Stamped<K> = (Instant, Arc<[K]>);
+
 /// The per-worker batch queues, shared between the engine, its workers
 /// and every [`Ingress`] handle.
-type BatchQueues<K> = Arc<Vec<Arc<Bounded<Arc<[K]>>>>>;
+type BatchQueues<K> = Arc<Vec<Arc<Bounded<Stamped<K>>>>>;
+
+/// What happens when a batch cannot be served in time.
+///
+/// Under [`Refuse`](QosPolicy::Refuse) a full queue pushes back at
+/// ingress: the feeder gets the batch back and decides (the original
+/// backpressure-by-refusal model). Under
+/// [`Deadline`](QosPolicy::Deadline) the queue still bounds admission,
+/// but a batch that *was* admitted and then waited longer than the
+/// deadline is dropped at pop instead of served late — the SLO stance
+/// that a stale answer is worth less than the next fresh packet. Every
+/// deadline drop is counted per worker and per source and reconciled in
+/// [`EngineReport`]: `offered == delivered + deadline-dropped + refused`
+/// holds exactly, at batch and at packet granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosPolicy {
+    /// Shed at ingress only; everything admitted is served (default).
+    Refuse,
+    /// Drop admitted batches whose queue wait exceeds this deadline.
+    Deadline(Duration),
+}
 
 /// Construction parameters for an [`Engine`]. Start from
 /// [`EngineConfig::new`] and chain setters; defaults suit a synthetic
@@ -68,6 +94,8 @@ pub struct EngineConfig<K: Bits> {
     coalesce_window: usize,
     pin_workers: bool,
     batch_delay: Duration,
+    qos: QosPolicy,
+    sources: Vec<(String, u32)>,
     on_batch: Option<BatchHook<K>>,
     on_publish: Option<PublishHook<K>>,
 }
@@ -81,6 +109,8 @@ impl<K: Bits> core::fmt::Debug for EngineConfig<K> {
             .field("coalesce_window", &self.coalesce_window)
             .field("pin_workers", &self.pin_workers)
             .field("batch_delay", &self.batch_delay)
+            .field("qos", &self.qos)
+            .field("sources", &self.sources)
             .finish_non_exhaustive()
     }
 }
@@ -98,6 +128,8 @@ impl<K: Bits> EngineConfig<K> {
             coalesce_window: 256,
             pin_workers: true,
             batch_delay: Duration::ZERO,
+            qos: QosPolicy::Refuse,
+            sources: Vec::new(),
             on_batch: None,
             on_publish: None,
         }
@@ -137,6 +169,26 @@ impl<K: Bits> EngineConfig<K> {
         self
     }
 
+    /// What happens to batches that cannot be served in time (see
+    /// [`QosPolicy`]; default [`QosPolicy::Refuse`]).
+    pub fn qos(mut self, policy: QosPolicy) -> Self {
+        self.qos = policy;
+        self
+    }
+
+    /// Register a named traffic source with a relative `weight`
+    /// (minimum 1). Each source gets a per-worker-queue slot quota of
+    /// `max(1, queue_capacity * weight / total_weight)`: under
+    /// contention a source can fill at most its weighted share of each
+    /// queue, so a flooding source is refused while lighter ones still
+    /// get in. Feed a registered source through
+    /// [`Engine::ingress_for`]; the plain [`Engine::ingress`] handle
+    /// remains unweighted and quota-exempt.
+    pub fn source(mut self, name: &str, weight: u32) -> Self {
+        self.sources.push((name.to_string(), weight.max(1)));
+        self
+    }
+
     /// Install a per-batch observer (see [`BatchHook`]).
     pub fn on_batch(mut self, hook: BatchHook<K>) -> Self {
         self.on_batch = Some(hook);
@@ -156,6 +208,12 @@ pub struct Ingress<K: Bits> {
     queues: BatchQueues<K>,
     stats: Arc<EngineTelemetry>,
     next: Arc<AtomicUsize>,
+    /// Source index this handle submits as ([`NO_SOURCE`] for the
+    /// unweighted [`Engine::ingress`] handle).
+    source: u32,
+    /// Per-queue slot quota for this source (`usize::MAX` when
+    /// unweighted).
+    quota: usize,
 }
 
 impl<K: Bits> Clone for Ingress<K> {
@@ -164,6 +222,8 @@ impl<K: Bits> Clone for Ingress<K> {
             queues: Arc::clone(&self.queues),
             stats: Arc::clone(&self.stats),
             next: Arc::clone(&self.next),
+            source: self.source,
+            quota: self.quota,
         }
     }
 }
@@ -172,29 +232,55 @@ impl<K: Bits> core::fmt::Debug for Ingress<K> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Ingress")
             .field("workers", &self.queues.len())
+            .field("source", &self.source)
+            .field("quota", &self.quota)
             .finish_non_exhaustive()
     }
 }
 
 impl<K: Bits> Ingress<K> {
+    /// Count one accepted batch of `n` packets on queue `worker`.
+    fn count_accept(&self, worker: usize, n: u64, depth: usize) {
+        self.stats.submitted_batches.inc();
+        self.stats.batch_size.record(n);
+        self.stats
+            .worker(worker)
+            .queue_depth
+            .record_max(depth as u64);
+        if self.source != NO_SOURCE {
+            self.stats
+                .source(self.source as usize)
+                .submitted_batches
+                .inc();
+        }
+    }
+
+    /// Count one refused batch of `n` packets.
+    fn count_refuse(&self, n: u64) {
+        self.stats.dropped_batches.inc();
+        self.stats.dropped_packets.add(n);
+        if self.source != NO_SOURCE {
+            self.stats
+                .source(self.source as usize)
+                .refused_batches
+                .inc();
+        }
+    }
+
     /// Submit a batch to worker `worker`'s queue without blocking. On
-    /// refusal (queue full or engine shut down) the batch is handed back
-    /// and the drop is **already counted** in
-    /// [`dropped_batches`](EngineTelemetry::dropped_batches).
+    /// refusal (queue full, source quota exhausted, or engine shut down)
+    /// the batch is handed back and the drop is **already counted** in
+    /// [`dropped_batches`](EngineTelemetry::dropped_batches) /
+    /// [`dropped_packets`](EngineTelemetry::dropped_packets).
     pub fn try_submit_to(&self, worker: usize, batch: Arc<[K]>) -> Result<(), Arc<[K]>> {
         let n = batch.len() as u64;
-        match self.queues[worker].try_push(batch) {
+        match self.queues[worker].try_push_from(self.source, self.quota, (Instant::now(), batch)) {
             Ok(depth) => {
-                self.stats.submitted_batches.inc();
-                self.stats.batch_size.record(n);
-                self.stats
-                    .worker(worker)
-                    .queue_depth
-                    .record_max(depth as u64);
+                self.count_accept(worker, n, depth);
                 Ok(())
             }
-            Err(PushError::Full(b)) | Err(PushError::Closed(b)) => {
-                self.stats.dropped_batches.inc();
+            Err(PushError::Full((_, b))) | Err(PushError::Closed((_, b))) => {
+                self.count_refuse(n);
                 Err(b)
             }
         }
@@ -203,30 +289,43 @@ impl<K: Bits> Ingress<K> {
     /// Submit a batch to the next worker in round-robin order, skipping
     /// over full queues — load shifts away from a momentarily slow worker
     /// instead of being shed. Returns the accepting worker's index; on
-    /// refusal (every queue full, or shutdown) the batch is handed back
-    /// and the drop is already counted.
+    /// refusal (every queue full or quota-exhausted, or shutdown) the
+    /// batch is handed back and the drop is already counted.
     pub fn try_submit(&self, batch: Arc<[K]>) -> Result<usize, Arc<[K]>> {
         let n = self.queues.len();
+        let packets = batch.len() as u64;
         let start = self.next.fetch_add(1, Ordering::Relaxed);
-        let mut batch = batch;
+        let mut stamped = (Instant::now(), batch);
         for i in 0..n {
             let w = (start + i) % n;
-            match self.queues[w].try_push(batch) {
+            match self.queues[w].try_push_from(self.source, self.quota, stamped) {
                 Ok(depth) => {
                     self.stats.submitted_batches.inc();
                     self.stats.worker(w).queue_depth.record_max(depth as u64);
+                    if self.source != NO_SOURCE {
+                        self.stats
+                            .source(self.source as usize)
+                            .submitted_batches
+                            .inc();
+                    }
                     return Ok(w);
                 }
-                Err(PushError::Full(b)) | Err(PushError::Closed(b)) => batch = b,
+                Err(PushError::Full(s)) | Err(PushError::Closed(s)) => stamped = s,
             }
         }
-        self.stats.dropped_batches.inc();
-        Err(batch)
+        self.count_refuse(packets);
+        Err(stamped.1)
     }
 
     /// Number of worker queues this handle feeds.
     pub fn workers(&self) -> usize {
         self.queues.len()
+    }
+
+    /// The per-queue slot quota this handle submits under
+    /// (`usize::MAX` when unweighted).
+    pub fn quota(&self) -> usize {
+        self.quota
     }
 }
 
@@ -283,6 +382,43 @@ impl<K: Bits> Control<K> {
     }
 }
 
+/// Tail quantiles of a per-batch latency distribution, extracted from a
+/// [`Log2Histogram`] (resolution is bounded by its power-of-two bucket
+/// width). All values in nanoseconds; zeros when no samples were taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of recorded batches.
+    pub samples: u64,
+    /// Mean, rounded to whole nanoseconds.
+    pub mean_ns: u64,
+    /// Median (p50).
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarize an explicit bucket-count array with its value sum.
+    fn from_counts(counts: &[u64; poptrie_telemetry::LOG2_BUCKETS], sum: u64) -> Self {
+        let samples: u64 = counts.iter().sum();
+        let q = |q| Log2Histogram::quantile_of_counts(counts, q).unwrap_or(0);
+        LatencySummary {
+            samples,
+            mean_ns: sum.checked_div(samples).unwrap_or(0),
+            p50_ns: q(0.5),
+            p99_ns: q(0.99),
+            p999_ns: q(0.999),
+        }
+    }
+
+    /// Summarize a live histogram.
+    fn from_histogram(h: &Log2Histogram) -> Self {
+        Self::from_counts(&h.counts(), h.sum())
+    }
+}
+
 /// Final accounting for one worker, from [`EngineReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerReport {
@@ -292,6 +428,33 @@ pub struct WorkerReport {
     pub batches: u64,
     /// Panics recovered by in-place respawn.
     pub respawns: u64,
+    /// Batches this worker dropped under [`QosPolicy::Deadline`].
+    pub deadline_dropped_batches: u64,
+    /// Packets in those dropped batches.
+    pub deadline_dropped_packets: u64,
+    /// Queue-wait latency distribution (enqueue to pop).
+    pub queue_wait: LatencySummary,
+    /// Lookup service-time distribution (per served batch).
+    pub service: LatencySummary,
+}
+
+/// Final accounting for one registered source, from [`EngineReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceReport {
+    /// The source's registered name.
+    pub name: String,
+    /// The source's registered weight.
+    pub weight: u32,
+    /// The per-worker-queue slot quota derived from the weight.
+    pub quota: usize,
+    /// Batches accepted into a queue.
+    pub submitted_batches: u64,
+    /// Batches refused at ingress (queue full or quota exhausted).
+    pub refused_batches: u64,
+    /// Batches served to completion.
+    pub delivered_batches: u64,
+    /// Batches dropped by the deadline policy.
+    pub deadline_dropped_batches: u64,
 }
 
 /// What [`Engine::shutdown`] observed: totals, drop accounting, and
@@ -300,12 +463,27 @@ pub struct WorkerReport {
 pub struct EngineReport {
     /// Per-worker accounting, indexed by worker.
     pub workers: Vec<WorkerReport>,
+    /// Per-source accounting, in registration order (empty when no
+    /// sources were registered).
+    pub sources: Vec<SourceReport>,
     /// Total packets looked up.
     pub packets: u64,
     /// Total batches served.
     pub batches: u64,
     /// Batches shed at ingress (queues full).
     pub dropped_batches: u64,
+    /// Packets in batches shed at ingress.
+    pub dropped_packets: u64,
+    /// Batches dropped under [`QosPolicy::Deadline`] after admission.
+    pub deadline_dropped_batches: u64,
+    /// Packets in deadline-dropped batches. The packet accounting
+    /// identity: `offered == packets + deadline_dropped_packets +
+    /// dropped_packets`.
+    pub deadline_dropped_packets: u64,
+    /// Engine-wide queue-wait latency (all workers' histograms merged).
+    pub queue_wait: LatencySummary,
+    /// Engine-wide lookup service time (all workers' histograms merged).
+    pub service: LatencySummary,
     /// Snapshots published by the writer.
     pub publishes: u64,
     /// Route-update events consumed.
@@ -355,7 +533,19 @@ impl<K: Bits> Engine<K> {
     /// and routes all mutations through its single writer.
     pub fn start(fib: Arc<SharedFib<K>>, config: EngineConfig<K>) -> Self {
         let nworkers = config.workers;
-        let stats = Arc::new(EngineTelemetry::new(nworkers));
+        // Weighted share of each queue's slots, floored at one slot so
+        // every registered source can always make progress.
+        let total_weight: u64 = config.sources.iter().map(|(_, w)| *w as u64).sum();
+        let source_specs: Vec<(String, u32, usize)> = config
+            .sources
+            .iter()
+            .map(|(name, w)| {
+                let quota =
+                    ((config.queue_capacity as u64 * *w as u64) / total_weight.max(1)).max(1);
+                (name.clone(), *w, quota as usize)
+            })
+            .collect();
+        let stats = Arc::new(EngineTelemetry::new(nworkers, &source_specs));
         stats.published_version.set(fib.version());
         let queues: BatchQueues<K> = Arc::new(
             (0..nworkers)
@@ -375,13 +565,14 @@ impl<K: Bits> Engine<K> {
             let hook = config.on_batch.clone();
             let delay = config.batch_delay;
             let pin = config.pin_workers;
+            let qos = config.qos;
             let handle = std::thread::Builder::new()
                 .name(format!("fwd-worker-{idx}"))
                 .spawn(move || {
                     if pin {
                         let _ = affinity::pin_current_thread(idx);
                     }
-                    worker_main(idx, &fib, &queue, &stats, &flag, delay, hook.as_ref());
+                    worker_main(idx, &fib, &queue, &stats, &flag, delay, qos, hook.as_ref());
                 })
                 .expect("spawn forwarding worker");
             workers.push(handle);
@@ -417,12 +608,33 @@ impl<K: Bits> Engine<K> {
         self.workers.len()
     }
 
-    /// A clonable dataplane feeder handle.
+    /// A clonable dataplane feeder handle: unweighted and quota-exempt
+    /// (only total queue capacity bounds admission).
     pub fn ingress(&self) -> Ingress<K> {
         Ingress {
             queues: Arc::clone(&self.queues),
             stats: Arc::clone(&self.stats),
             next: Arc::clone(&self.next),
+            source: NO_SOURCE,
+            quota: usize::MAX,
+        }
+    }
+
+    /// A feeder handle submitting as registered source `source` (index
+    /// in [`EngineConfig::source`] registration order), subject to that
+    /// source's weighted per-queue slot quota.
+    ///
+    /// # Panics
+    ///
+    /// If `source` is not a registered source index.
+    pub fn ingress_for(&self, source: usize) -> Ingress<K> {
+        let spec = self.stats.source(source); // panics on bad index
+        Ingress {
+            queues: Arc::clone(&self.queues),
+            stats: Arc::clone(&self.stats),
+            next: Arc::clone(&self.next),
+            source: source as u32,
+            quota: spec.quota,
         }
     }
 
@@ -491,18 +703,56 @@ impl<K: Bits> Engine<K> {
                 packets: w.packets.get(),
                 batches: w.batches.get(),
                 respawns: w.respawns.get(),
+                deadline_dropped_batches: w.deadline_dropped_batches.get(),
+                deadline_dropped_packets: w.deadline_dropped_packets.get(),
+                queue_wait: LatencySummary::from_histogram(&w.queue_wait_ns),
+                service: LatencySummary::from_histogram(&w.service_ns),
             })
             .collect::<Vec<_>>();
+        let sources = self
+            .stats
+            .sources()
+            .iter()
+            .map(|s| SourceReport {
+                name: s.name.clone(),
+                weight: s.weight,
+                quota: s.quota,
+                submitted_batches: s.submitted_batches.get(),
+                refused_batches: s.refused_batches.get(),
+                delivered_batches: s.delivered_batches.get(),
+                deadline_dropped_batches: s.deadline_dropped_batches.get(),
+            })
+            .collect::<Vec<_>>();
+        let wait_counts = self.stats.merged_queue_wait();
+        let wait_sum: u64 = self
+            .stats
+            .workers()
+            .iter()
+            .map(|w| w.queue_wait_ns.sum())
+            .sum();
+        let service_counts = self.stats.merged_service();
+        let service_sum: u64 = self
+            .stats
+            .workers()
+            .iter()
+            .map(|w| w.service_ns.sum())
+            .sum();
         EngineReport {
             packets: self.stats.total_packets(),
             batches: self.stats.total_batches(),
             dropped_batches: self.stats.dropped_batches.get(),
+            dropped_packets: self.stats.dropped_packets.get(),
+            deadline_dropped_batches: self.stats.total_deadline_dropped_batches(),
+            deadline_dropped_packets: self.stats.total_deadline_dropped_packets(),
+            queue_wait: LatencySummary::from_counts(&wait_counts, wait_sum),
+            service: LatencySummary::from_counts(&service_counts, service_sum),
             publishes: self.stats.publishes.get(),
             update_events: self.stats.update_events.get(),
             updates_applied: self.stats.updates_applied.get(),
             updates_coalesced: self.stats.updates_coalesced.get(),
             control_dropped: self.stats.control_dropped.get(),
             workers,
+            sources,
             drained_clean,
             leaked_threads: leaked,
             elapsed: self.started.elapsed(),
@@ -524,20 +774,38 @@ impl<K: Bits> Drop for Engine<K> {
 /// One worker's panic-isolation loop: the batch-serving body runs under
 /// `catch_unwind`; a panic is counted and the body re-entered on the same
 /// OS thread, so a poisoned batch costs that batch and nothing else.
+#[allow(clippy::too_many_arguments)]
 fn worker_main<K: Bits>(
     idx: usize,
     fib: &SharedFib<K>,
-    queue: &Bounded<Arc<[K]>>,
+    queue: &Bounded<Stamped<K>>,
     stats: &EngineTelemetry,
     inject: &AtomicBool,
     delay: Duration,
+    qos: QosPolicy,
     hook: Option<&BatchHook<K>>,
 ) {
     loop {
         let run = catch_unwind(AssertUnwindSafe(|| {
             let mut out: Vec<NextHop> = Vec::new();
-            while let Some(batch) = queue.pop() {
-                stats.worker(idx).queue_depth.set(queue.len() as u64);
+            while let Some((source, (enqueued, batch))) = queue.pop_entry() {
+                let w = stats.worker(idx);
+                w.queue_depth.set(queue.len() as u64);
+                let wait = enqueued.elapsed();
+                w.queue_wait_ns.record(wait.as_nanos() as u64);
+                // Deadline check at pop, *before* the chaos delay: the
+                // drop decision reflects only real queueing, so tests
+                // with a deterministic batch_delay get exact counts.
+                if let QosPolicy::Deadline(deadline) = qos {
+                    if wait > deadline {
+                        w.deadline_dropped_batches.inc();
+                        w.deadline_dropped_packets.add(batch.len() as u64);
+                        if source != NO_SOURCE {
+                            stats.source(source as usize).deadline_dropped_batches.inc();
+                        }
+                        continue;
+                    }
+                }
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
@@ -547,14 +815,18 @@ fn worker_main<K: Bits>(
                 // Epoch consistency: one snapshot per batch, re-acquired
                 // for the next batch so updates become visible at batch
                 // granularity.
+                let served_at = Instant::now();
                 let snap = fib.snapshot();
                 out.clear();
                 out.resize(batch.len(), NO_ROUTE);
                 snap.lookup_batch(&batch, &mut out);
-                let w = stats.worker(idx);
+                w.service_ns.record(served_at.elapsed().as_nanos() as u64);
                 w.packets.add(batch.len() as u64);
                 w.batches.inc();
                 w.snapshot_version.set(snap.version());
+                if source != NO_SOURCE {
+                    stats.source(source as usize).delivered_batches.inc();
+                }
                 if let Some(h) = hook {
                     h(idx, &batch, &out, snap.version());
                 }

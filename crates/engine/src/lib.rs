@@ -15,6 +15,14 @@
 //!   publishing exactly one RCU snapshot per burst;
 //! * **bounded queues everywhere** with non-blocking producers and drop
 //!   accounting (backpressure sheds load, it never blocks the feeder);
+//! * **QoS** ([`QosPolicy`]): per-source weighted queue shares
+//!   ([`EngineConfig::source`] / [`Engine::ingress_for`]) and an
+//!   optional deadline-drop policy — admitted batches whose queue wait
+//!   exceeds the deadline are dropped at pop with exact accounting
+//!   instead of served late;
+//! * **tail latency**: per-worker queue-wait and service-time
+//!   `Log2Histogram`s, summarized to p50/p99/p99.9 in the report
+//!   ([`LatencySummary`]);
 //! * **panic isolation**: a worker panic is caught and the worker
 //!   respawned in place, with a respawn counter;
 //! * **graceful shutdown**: close queues, drain, join with a deadline,
@@ -59,16 +67,20 @@ mod queue;
 mod stats;
 
 pub use engine::{
-    BatchHook, Control, Engine, EngineConfig, EngineReport, Ingress, PublishHook, WorkerReport,
+    BatchHook, Control, Engine, EngineConfig, EngineReport, Ingress, LatencySummary, PublishHook,
+    QosPolicy, SourceReport, WorkerReport,
 };
-pub use stats::{EngineTelemetry, WorkerStats};
+pub use stats::{EngineTelemetry, SourceStats, WorkerStats};
 
 pub use affinity::pin_current_thread;
 
 /// One-line import of the engine vocabulary plus the `poptrie` types an
 /// engine driver always needs.
 pub mod prelude {
-    pub use crate::{Control, Engine, EngineConfig, EngineReport, EngineTelemetry, Ingress};
+    pub use crate::{
+        Control, Engine, EngineConfig, EngineReport, EngineTelemetry, Ingress, LatencySummary,
+        QosPolicy, SourceReport,
+    };
     pub use poptrie::prelude::{
         Applied, NextHop, PoptrieConfig, Prefix, RouteUpdate, SharedFib, UpdateError, NO_ROUTE,
     };

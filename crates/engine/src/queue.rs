@@ -53,16 +53,24 @@ fn backoff(round: u32) {
 /// the producer can retarget it (e.g. try the next worker's queue).
 #[derive(Debug)]
 pub enum PushError<T> {
-    /// The queue is at capacity; shedding load is the caller's decision.
+    /// The queue is at capacity (or the pushing source exhausted its
+    /// slot quota); shedding load is the caller's decision.
     Full(T),
     /// The queue was closed by [`Bounded::close`]; no more items will
     /// ever be accepted.
     Closed(T),
 }
 
+/// Source tag for items pushed without a source
+/// ([`Bounded::try_push`]): exempt from quota accounting.
+pub const NO_SOURCE: u32 = u32::MAX;
+
 struct Inner<T> {
-    items: VecDeque<T>,
+    items: VecDeque<(u32, T)>,
     closed: bool,
+    /// Items currently queued per source index (quota enforcement for
+    /// [`Bounded::try_push_from`]); `NO_SOURCE` items are not tracked.
+    occupancy: Vec<u64>,
 }
 
 /// The bounded MPSC queue. See the module docs for the blocking model.
@@ -93,6 +101,7 @@ impl<T> Bounded<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 closed: false,
+                occupancy: Vec::new(),
             }),
             notify: Condvar::new(),
             capacity: capacity.max(1),
@@ -119,9 +128,22 @@ impl<T> Bounded<T> {
         g
     }
 
-    /// Non-blocking push. On success returns the queue depth *after* the
-    /// push (for depth gauges); on failure hands the item back.
+    /// Non-blocking push with no source tag and no quota: only the total
+    /// capacity bounds admission. On success returns the queue depth
+    /// *after* the push (for depth gauges); on failure hands the item
+    /// back.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        self.try_push_from(NO_SOURCE, usize::MAX, item)
+    }
+
+    /// Non-blocking push attributed to `source`, which may hold at most
+    /// `quota` slots of this queue at once — the QoS weighted-share
+    /// mechanism: a heavy source exhausts its own slots and is refused
+    /// [`PushError::Full`] while lighter sources still get in. Quota is
+    /// the *caller's* per-source slot budget (derived from its weight);
+    /// the queue just enforces whatever budget each push presents.
+    /// `NO_SOURCE` pushes bypass quota accounting entirely.
+    pub fn try_push_from(&self, source: u32, quota: usize, item: T) -> Result<usize, PushError<T>> {
         let mut g = self.lock();
         if g.closed {
             return Err(PushError::Closed(item));
@@ -129,7 +151,17 @@ impl<T> Bounded<T> {
         if g.items.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        g.items.push_back(item);
+        if source != NO_SOURCE {
+            let s = source as usize;
+            if g.occupancy.len() <= s {
+                g.occupancy.resize(s + 1, 0);
+            }
+            if g.occupancy[s] >= quota as u64 {
+                return Err(PushError::Full(item));
+            }
+            g.occupancy[s] += 1;
+        }
+        g.items.push_back((source, item));
         let depth = g.items.len();
         drop(g);
         // Wake-free fast path: a spinning (or busy) consumer re-checks
@@ -141,16 +173,34 @@ impl<T> Bounded<T> {
         Ok(depth)
     }
 
+    /// Pop the head under the lock, releasing its source's quota slot.
+    fn take(g: &mut Inner<T>) -> Option<(u32, T)> {
+        let (source, item) = g.items.pop_front()?;
+        if source != NO_SOURCE {
+            let s = source as usize;
+            g.occupancy[s] = g.occupancy[s].saturating_sub(1);
+        }
+        Some((source, item))
+    }
+
     /// Blocking pop: waits for an item or for [`Bounded::close`].
     /// Returns `None` only when the queue is closed *and* fully drained —
     /// the shutdown path never loses queued work. Spins briefly before
     /// parking (see the module docs).
+    #[cfg_attr(not(test), allow(dead_code))] // engine paths use pop_entry/pop_up_to
     pub fn pop(&self) -> Option<T> {
+        self.pop_entry().map(|(_, item)| item)
+    }
+
+    /// Blocking pop that also returns the item's source tag
+    /// (`NO_SOURCE` for untagged pushes) — the worker uses it to
+    /// attribute deadline drops and deliveries per source.
+    pub fn pop_entry(&self) -> Option<(u32, T)> {
         for round in 0..SPIN_ROUNDS {
             {
                 let mut g = self.lock();
-                if let Some(item) = g.items.pop_front() {
-                    return Some(item);
+                if let Some(entry) = Self::take(&mut g) {
+                    return Some(entry);
                 }
                 if g.closed {
                     return None;
@@ -160,8 +210,8 @@ impl<T> Bounded<T> {
         }
         let mut g = self.lock();
         loop {
-            if let Some(item) = g.items.pop_front() {
-                return Some(item);
+            if let Some(entry) = Self::take(&mut g) {
+                return Some(entry);
             }
             if g.closed {
                 return None;
@@ -179,8 +229,8 @@ impl<T> Bounded<T> {
     pub fn pop_up_to(&self, max: usize, buf: &mut Vec<T>) -> bool {
         fn drain<T>(g: &mut Inner<T>, max: usize, buf: &mut Vec<T>) {
             while buf.len() < max {
-                match g.items.pop_front() {
-                    Some(item) => buf.push(item),
+                match Bounded::take(g) {
+                    Some((_, item)) => buf.push(item),
                     None => break,
                 }
             }

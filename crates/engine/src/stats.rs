@@ -25,6 +25,38 @@ pub struct WorkerStats {
     /// [`EngineTelemetry::published_version`], this is the worker's
     /// snapshot age in publishes.
     pub snapshot_version: Gauge,
+    /// Nanoseconds each batch spent queued before this worker picked it
+    /// up (includes deadline-dropped batches — their wait is exactly why
+    /// they were dropped).
+    pub queue_wait_ns: Log2Histogram,
+    /// Nanoseconds of lookup service time per served batch (snapshot
+    /// acquire + `lookup_batch`, excluding the chaos delay).
+    pub service_ns: Log2Histogram,
+    /// Batches dropped at pop because their queue wait exceeded the
+    /// deadline ([`QosPolicy::Deadline`](crate::QosPolicy::Deadline)).
+    pub deadline_dropped_batches: Counter,
+    /// Packets in deadline-dropped batches.
+    pub deadline_dropped_packets: Counter,
+}
+
+/// Per-source QoS counters (see
+/// [`EngineConfig::source`](crate::EngineConfig::source)).
+#[derive(Debug)]
+pub struct SourceStats {
+    /// The source's registered name (label in the exposition surface).
+    pub name: String,
+    /// The source's registered weight.
+    pub weight: u32,
+    /// Per-worker-queue slot quota derived from the weight.
+    pub quota: usize,
+    /// Batches this source got accepted into a queue.
+    pub submitted_batches: Counter,
+    /// Batches refused at ingress (queue full or quota exhausted).
+    pub refused_batches: Counter,
+    /// Batches from this source served to completion.
+    pub delivered_batches: Counter,
+    /// Batches from this source dropped at pop by the deadline policy.
+    pub deadline_dropped_batches: Counter,
 }
 
 /// All engine counters, shared by workers, the control-plane writer,
@@ -33,11 +65,17 @@ pub struct WorkerStats {
 #[derive(Debug)]
 pub struct EngineTelemetry {
     workers: Vec<WorkerStats>,
+    sources: Vec<SourceStats>,
     /// Batches accepted into some worker queue.
     pub submitted_batches: Counter,
     /// Batches refused because every eligible queue was full
     /// (backpressure shedding, counted at the ingress edge).
     pub dropped_batches: Counter,
+    /// Packets in refused batches — the packet-granular face of
+    /// [`dropped_batches`](Self::dropped_batches), so
+    /// `offered == delivered + deadline_dropped + refused` reconciles
+    /// exactly at packet level.
+    pub dropped_packets: Counter,
     /// Distribution of accepted batch sizes (keys per batch).
     pub batch_size: Log2Histogram,
     /// RCU snapshots published by the control-plane writer.
@@ -55,12 +93,26 @@ pub struct EngineTelemetry {
 }
 
 impl EngineTelemetry {
-    /// Fresh zeroed counters for `workers` worker threads.
-    pub(crate) fn new(workers: usize) -> Self {
+    /// Fresh zeroed counters for `workers` worker threads and the given
+    /// registered sources (`(name, weight, quota)` triples).
+    pub(crate) fn new(workers: usize, sources: &[(String, u32, usize)]) -> Self {
         EngineTelemetry {
             workers: (0..workers).map(|_| WorkerStats::default()).collect(),
+            sources: sources
+                .iter()
+                .map(|(name, weight, quota)| SourceStats {
+                    name: name.clone(),
+                    weight: *weight,
+                    quota: *quota,
+                    submitted_batches: Counter::new(),
+                    refused_batches: Counter::new(),
+                    delivered_batches: Counter::new(),
+                    deadline_dropped_batches: Counter::new(),
+                })
+                .collect(),
             submitted_batches: Counter::new(),
             dropped_batches: Counter::new(),
+            dropped_packets: Counter::new(),
             batch_size: Log2Histogram::new(),
             publishes: Counter::new(),
             update_events: Counter::new(),
@@ -79,6 +131,56 @@ impl EngineTelemetry {
     /// All per-worker counter blocks, indexed by worker.
     pub fn workers(&self) -> &[WorkerStats] {
         &self.workers
+    }
+
+    /// Counters for registered source `i`.
+    pub fn source(&self, i: usize) -> &SourceStats {
+        &self.sources[i]
+    }
+
+    /// All per-source counter blocks, indexed by registration order.
+    pub fn sources(&self) -> &[SourceStats] {
+        &self.sources
+    }
+
+    /// Total batches dropped by the deadline policy across all workers.
+    pub fn total_deadline_dropped_batches(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.deadline_dropped_batches.get())
+            .sum()
+    }
+
+    /// Total packets dropped by the deadline policy across all workers.
+    pub fn total_deadline_dropped_packets(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.deadline_dropped_packets.get())
+            .sum()
+    }
+
+    /// Element-wise sum of every worker's queue-wait histogram buckets —
+    /// feed to [`Log2Histogram::quantile_of_counts`] for engine-wide
+    /// tail quantiles.
+    pub fn merged_queue_wait(&self) -> [u64; poptrie_telemetry::LOG2_BUCKETS] {
+        Self::merge(self.workers.iter().map(|w| &w.queue_wait_ns))
+    }
+
+    /// Element-wise sum of every worker's service-time histogram buckets.
+    pub fn merged_service(&self) -> [u64; poptrie_telemetry::LOG2_BUCKETS] {
+        Self::merge(self.workers.iter().map(|w| &w.service_ns))
+    }
+
+    fn merge<'a>(
+        hists: impl Iterator<Item = &'a Log2Histogram>,
+    ) -> [u64; poptrie_telemetry::LOG2_BUCKETS] {
+        let mut out = [0u64; poptrie_telemetry::LOG2_BUCKETS];
+        for h in hists {
+            for (o, c) in out.iter_mut().zip(h.counts().iter()) {
+                *o += c;
+            }
+        }
+        out
     }
 
     /// Total packets looked up across all workers.
@@ -128,6 +230,63 @@ impl EngineTelemetry {
                 labels,
                 w.snapshot_version.get() as f64,
             );
+            reg.counter(
+                "poptrie_engine_deadline_dropped_batches_total",
+                "Batches dropped at pop because their queue wait exceeded the deadline.",
+                labels,
+                w.deadline_dropped_batches.get(),
+            );
+            reg.counter(
+                "poptrie_engine_deadline_dropped_packets_total",
+                "Packets in deadline-dropped batches.",
+                labels,
+                w.deadline_dropped_packets.get(),
+            );
+            for (name, h) in [
+                ("poptrie_engine_queue_wait_ns", &w.queue_wait_ns),
+                ("poptrie_engine_service_ns", &w.service_ns),
+            ] {
+                let counts = h.counts();
+                let bounds: Vec<(f64, u64)> = counts
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &n)| (Log2Histogram::upper_bound(b) as f64, n))
+                    .collect();
+                reg.histogram(
+                    name,
+                    "Per-batch latency in nanoseconds (log2 buckets), per worker.",
+                    labels,
+                    &bounds,
+                    h.sum() as f64,
+                );
+            }
+        }
+        for s in &self.sources {
+            let labels: &[(&str, &str)] = &[("source", s.name.as_str())];
+            reg.counter(
+                "poptrie_engine_source_submitted_batches_total",
+                "Batches accepted into a queue, per registered source.",
+                labels,
+                s.submitted_batches.get(),
+            );
+            reg.counter(
+                "poptrie_engine_source_refused_batches_total",
+                "Batches refused at ingress (queue full or quota exhausted), per source.",
+                labels,
+                s.refused_batches.get(),
+            );
+            reg.counter(
+                "poptrie_engine_source_delivered_batches_total",
+                "Batches served to completion, per source.",
+                labels,
+                s.delivered_batches.get(),
+            );
+            reg.counter(
+                "poptrie_engine_source_deadline_dropped_batches_total",
+                "Batches dropped by the deadline policy, per source.",
+                labels,
+                s.deadline_dropped_batches.get(),
+            );
         }
         reg.counter(
             "poptrie_engine_submitted_batches_total",
@@ -140,6 +299,12 @@ impl EngineTelemetry {
             "Batches shed at ingress because every queue was full.",
             &[],
             self.dropped_batches.get(),
+        );
+        reg.counter(
+            "poptrie_engine_dropped_packets_total",
+            "Packets in batches shed at ingress.",
+            &[],
+            self.dropped_packets.get(),
         );
         reg.counter(
             "poptrie_engine_publishes_total",

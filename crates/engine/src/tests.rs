@@ -5,7 +5,7 @@ use std::time::Duration;
 use poptrie::prelude::*;
 
 use crate::queue::{Bounded, PushError};
-use crate::{Engine, EngineConfig};
+use crate::{Engine, EngineConfig, QosPolicy};
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
@@ -66,6 +66,39 @@ mod queue {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn per_source_quota_is_enforced_and_released() {
+        let q: Bounded<u32> = Bounded::new(8);
+        // Source 0 has a 2-slot quota: the third push is refused even
+        // though the queue itself has room.
+        assert!(q.try_push_from(0, 2, 10).is_ok());
+        assert!(q.try_push_from(0, 2, 11).is_ok());
+        assert!(matches!(
+            q.try_push_from(0, 2, 12),
+            Err(PushError::Full(12))
+        ));
+        // Another source and untagged pushes are unaffected.
+        assert!(q.try_push_from(1, 2, 20).is_ok());
+        assert!(q.try_push(30).is_ok());
+        // Popping a source-0 item releases its slot.
+        assert_eq!(q.pop_entry(), Some((0, 10)));
+        assert!(q.try_push_from(0, 2, 12).is_ok());
+        // FIFO order is preserved across sources.
+        assert_eq!(q.pop_entry(), Some((0, 11)));
+        assert_eq!(q.pop_entry(), Some((1, 20)));
+        assert_eq!(q.pop(), Some(30));
+        assert_eq!(q.pop(), Some(12));
+    }
+
+    #[test]
+    fn total_capacity_still_bounds_quota_pushes() {
+        let q: Bounded<u32> = Bounded::new(2);
+        assert!(q.try_push_from(0, 10, 1).is_ok());
+        assert!(q.try_push_from(1, 10, 2).is_ok());
+        // Quotas allow more, capacity does not.
+        assert!(matches!(q.try_push_from(2, 10, 3), Err(PushError::Full(3))));
     }
 
     #[test]
@@ -181,6 +214,126 @@ mod engine {
         // The panicking batch is lost; the remaining two are served.
         assert_eq!(report.packets, 2);
         assert!(report.drained_clean);
+    }
+
+    #[test]
+    fn deadline_policy_drops_stale_batches_with_exact_accounting() {
+        let fib = shared(&[("10.0.0.0/8", 1)]);
+        // One worker with a 200 ms service stall and a 100 ms deadline:
+        // the first batch is popped fresh and served; the three queued
+        // behind it wait >= 200 ms and are dropped at pop, before the
+        // stall, so the counts are exact.
+        let engine = Engine::start(
+            Arc::clone(&fib),
+            EngineConfig::new(1)
+                .pin_workers(false)
+                .queue_capacity(8)
+                .batch_delay(Duration::from_millis(200))
+                .qos(QosPolicy::Deadline(Duration::from_millis(100))),
+        );
+        let ingress = engine.ingress();
+        let batch: Arc<[u32]> = Arc::from(vec![0x0A00_0001u32, 0x0A00_0002]);
+        for _ in 0..4 {
+            ingress.try_submit(Arc::clone(&batch)).unwrap();
+        }
+        let report = engine.shutdown(Duration::from_secs(10));
+        assert!(report.drained_clean);
+        assert_eq!(report.batches, 1, "only the fresh batch is served");
+        assert_eq!(report.packets, 2);
+        assert_eq!(report.deadline_dropped_batches, 3);
+        assert_eq!(report.deadline_dropped_packets, 6);
+        assert_eq!(report.dropped_batches, 0, "nothing was refused");
+        // The packet accounting identity: offered == delivered +
+        // deadline-dropped + refused.
+        assert_eq!(
+            4 * 2,
+            report.packets + report.deadline_dropped_packets + report.dropped_packets
+        );
+        // Every popped batch (served or dropped) has a queue-wait
+        // sample; only served batches have a service sample.
+        assert_eq!(report.queue_wait.samples, 4);
+        assert_eq!(report.service.samples, 1);
+        assert_eq!(report.workers[0].deadline_dropped_batches, 3);
+    }
+
+    #[test]
+    fn refuse_policy_never_deadline_drops() {
+        let fib = shared(&[("10.0.0.0/8", 1)]);
+        let engine = Engine::start(
+            Arc::clone(&fib),
+            EngineConfig::new(1)
+                .pin_workers(false)
+                .queue_capacity(8)
+                .batch_delay(Duration::from_millis(50)),
+        );
+        let ingress = engine.ingress();
+        let batch: Arc<[u32]> = Arc::from(vec![0x0A00_0001u32]);
+        for _ in 0..4 {
+            ingress.try_submit(Arc::clone(&batch)).unwrap();
+        }
+        let report = engine.shutdown(Duration::from_secs(10));
+        assert_eq!(report.batches, 4);
+        assert_eq!(report.deadline_dropped_batches, 0);
+        assert_eq!(report.queue_wait.samples, 4);
+        assert_eq!(report.service.samples, 4);
+        // Tail quantiles are monotone by construction.
+        let qw = report.queue_wait;
+        assert!(qw.p50_ns <= qw.p99_ns && qw.p99_ns <= qw.p999_ns);
+    }
+
+    #[test]
+    fn weighted_sources_share_a_queue_by_quota() {
+        let fib = shared(&[("10.0.0.0/8", 1)]);
+        // capacity 4, weights 3:1 -> quotas 3 and 1.
+        let engine = Engine::start(
+            Arc::clone(&fib),
+            EngineConfig::new(1)
+                .pin_workers(false)
+                .queue_capacity(4)
+                .batch_delay(Duration::from_millis(200))
+                .source("bulk", 3)
+                .source("scavenger", 1),
+        );
+        let bulk = engine.ingress_for(0);
+        let scavenger = engine.ingress_for(1);
+        assert_eq!(bulk.quota(), 3);
+        assert_eq!(scavenger.quota(), 1);
+
+        // Stall the worker with an untagged batch so the queue fills
+        // deterministically behind it.
+        let batch: Arc<[u32]> = Arc::from(vec![0x0A00_0001u32]);
+        engine.ingress().try_submit(Arc::clone(&batch)).unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // worker is now stalled serving it
+
+        // The scavenger gets exactly its one slot; the flood is refused.
+        assert!(scavenger.try_submit(Arc::clone(&batch)).is_ok());
+        assert!(scavenger.try_submit(Arc::clone(&batch)).is_err());
+        // Bulk still gets its three slots despite the scavenger's item.
+        for _ in 0..3 {
+            assert!(bulk.try_submit(Arc::clone(&batch)).is_ok());
+        }
+        assert!(bulk.try_submit(Arc::clone(&batch)).is_err());
+
+        let report = engine.shutdown(Duration::from_secs(10));
+        assert!(report.drained_clean);
+        assert_eq!(report.sources.len(), 2);
+        let b = &report.sources[0];
+        assert_eq!((b.name.as_str(), b.weight, b.quota), ("bulk", 3, 3));
+        assert_eq!(b.submitted_batches, 3);
+        assert_eq!(b.refused_batches, 1);
+        assert_eq!(b.delivered_batches, 3);
+        let s = &report.sources[1];
+        assert_eq!((s.name.as_str(), s.weight, s.quota), ("scavenger", 1, 1));
+        assert_eq!(s.submitted_batches, 1);
+        assert_eq!(s.refused_batches, 1);
+        assert_eq!(s.delivered_batches, 1);
+        // Per-source identity: submitted == delivered + deadline-dropped.
+        for src in &report.sources {
+            assert_eq!(
+                src.submitted_batches,
+                src.delivered_batches + src.deadline_dropped_batches
+            );
+        }
     }
 
     #[test]

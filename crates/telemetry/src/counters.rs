@@ -246,6 +246,75 @@ impl Log2Histogram {
         }
     }
 
+    /// Inclusive lower bound of bucket `i`: 0, 1, 2, 4, …, `2^(i-1)`.
+    pub fn lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Interpolated quantile `q` (clamped to `[0, 1]`) of this
+    /// histogram's distribution, or `None` with no observations. See
+    /// [`quantile_of_counts`](Self::quantile_of_counts) for the estimator.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        Self::quantile_of_counts(&self.counts(), q)
+    }
+
+    /// Interpolated quantile over an explicit bucket-count array — use
+    /// this to merge several histograms (sum their [`counts`](Self::counts)
+    /// element-wise) before extracting, e.g. a fleet-wide p99 from
+    /// per-worker latency histograms.
+    ///
+    /// The estimator is the linear-interpolation quantile (type 7,
+    /// `numpy` default) over reconstructed order statistics: the target
+    /// position is `q * (n - 1)`, and the `j`-th of `m` observations in
+    /// a bucket spanning `[lo, hi]` is placed at
+    /// `lo + (hi - lo) * (j + 0.5) / m` — the midpoint convention, so a
+    /// lone observation reconstructs to its bucket's midpoint rather
+    /// than collapsing to the bucket edge (the interpolation bias a
+    /// naive `lo + (hi - lo) * j / m` placement has). The result always
+    /// lies within the value bounds of the buckets containing the
+    /// bracketing order statistics; resolution is bounded by the log2
+    /// bucket width.
+    pub fn quantile_of_counts(counts: &[u64; LOG2_BUCKETS], q: f64) -> Option<u64> {
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (n - 1) as f64;
+        let lo_idx = pos.floor() as u64;
+        let hi_idx = pos.ceil() as u64;
+        let frac = pos - lo_idx as f64;
+        let v_lo = Self::order_statistic(counts, lo_idx);
+        let v = if hi_idx == lo_idx {
+            v_lo
+        } else {
+            let v_hi = Self::order_statistic(counts, hi_idx);
+            v_lo * (1.0 - frac) + v_hi * frac
+        };
+        Some(v.round() as u64)
+    }
+
+    /// Reconstructed value of the 0-based `i`-th order statistic
+    /// (midpoint convention within its bucket). `i` must be `< total`.
+    fn order_statistic(counts: &[u64; LOG2_BUCKETS], i: u64) -> f64 {
+        let mut before = 0u64;
+        for (b, &m) in counts.iter().enumerate() {
+            if m > 0 && i < before + m {
+                let lo = Self::lower_bound(b) as f64;
+                let hi = Self::upper_bound(b) as f64;
+                let j = (i - before) as f64;
+                return lo + (hi - lo) * ((j + 0.5) / m as f64);
+            }
+            before += m;
+        }
+        // Unreachable when i < total; clamp to the top bucket defensively.
+        Self::upper_bound(LOG2_BUCKETS - 1) as f64
+    }
+
     /// Zero the buckets and the sum.
     pub fn reset(&self) {
         self.hist.reset();

@@ -89,6 +89,152 @@ fn log2_histogram_buckets_and_sum() {
     assert_eq!(Log2Histogram::upper_bound(11), 2047);
 }
 
+/// Exact type-7 (linear interpolation) quantile of a sorted sample — the
+/// reference the histogram estimator is held against.
+fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+#[test]
+fn log2_quantile_empty_is_none() {
+    let h = Log2Histogram::new();
+    assert_eq!(h.quantile(0.0), None);
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.quantile(1.0), None);
+}
+
+#[test]
+fn log2_quantile_one_sample_stays_in_its_bucket() {
+    for v in [0u64, 1, 2, 5, 100, 1 << 20] {
+        let h = Log2Histogram::new();
+        h.record(v);
+        let b = (u64::BITS - v.leading_zeros()) as usize;
+        let (lo, hi) = (Log2Histogram::lower_bound(b), Log2Histogram::upper_bound(b));
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            let got = h.quantile(q).unwrap();
+            assert!(
+                got >= lo && got <= hi,
+                "single sample {v}: q{q} = {got} escaped bucket [{lo}, {hi}]"
+            );
+        }
+        // Midpoint convention: a lone sample must NOT collapse to the
+        // bucket's lower edge (the interpolation bias the estimator
+        // exists to avoid) — except bucket 0/1 where lo == midpoint.
+        if hi > lo + 1 {
+            assert!(
+                h.quantile(0.5).unwrap() > lo,
+                "single sample {v} collapsed to bucket lower edge"
+            );
+        }
+    }
+}
+
+#[test]
+fn log2_quantile_tracks_exact_reference_on_uniform() {
+    // Uniform 1..=4096: every bucket it spans is fully populated, so the
+    // within-bucket interpolation should land near the true quantile.
+    let h = Log2Histogram::new();
+    let sample: Vec<u64> = (1..=4096u64).collect();
+    for &v in &sample {
+        h.record(v);
+    }
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        let want = exact_quantile(&sample, q);
+        let got = h.quantile(q).unwrap() as f64;
+        let rel = (got - want).abs() / want;
+        assert!(
+            rel < 0.25,
+            "uniform q{q}: histogram said {got}, exact is {want} (rel err {rel:.3})"
+        );
+    }
+    // Extremes are bounded by the occupied buckets: the max sample 4096
+    // sits alone in bucket [4096, 8191], so q=1.0 reconstructs within it.
+    assert!(h.quantile(0.0).unwrap() >= 1);
+    let p100 = h.quantile(1.0).unwrap();
+    assert!((4096..=8191).contains(&p100), "p100 = {p100}");
+}
+
+#[test]
+fn log2_quantile_tracks_exact_reference_on_skewed() {
+    // A long-tailed mix like a latency distribution: mostly fast, a few
+    // large outliers. p50 must sit in the body, p99.9 in the tail.
+    let h = Log2Histogram::new();
+    let mut sample = Vec::new();
+    for i in 0..10_000u64 {
+        sample.push(100 + i % 64); // body: [100, 163]
+    }
+    for i in 0..10u64 {
+        sample.push(1_000_000 + i); // tail outliers
+    }
+    sample.sort_unstable();
+    for &v in &sample {
+        h.record(v);
+    }
+    let p50 = h.quantile(0.5).unwrap();
+    assert!(
+        (64..=255).contains(&p50),
+        "p50 = {p50} left the body's buckets"
+    );
+    let p999 = h.quantile(0.999).unwrap();
+    // 10 outliers in 10_010 samples: the 0.999 position (index ~9999) is
+    // still in the body; 1.0 must reach the outlier bucket.
+    assert!(p999 <= 255, "p99.9 = {p999} jumped to the tail too early");
+    let p100 = h.quantile(1.0).unwrap();
+    assert!(
+        p100 >= (1 << 19),
+        "max quantile {p100} missed the outlier bucket"
+    );
+}
+
+#[test]
+fn log2_quantile_is_monotone_in_q() {
+    let h = Log2Histogram::new();
+    let mut x = 0x2026_0808u64;
+    for _ in 0..5_000 {
+        // xorshift64 stand-in: deterministic spread over many buckets.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.record(x % 100_000);
+    }
+    let mut prev = 0u64;
+    for i in 0..=1000 {
+        let q = i as f64 / 1000.0;
+        let v = h.quantile(q).unwrap();
+        assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+        prev = v;
+    }
+}
+
+#[test]
+fn log2_quantile_of_counts_merges_workers() {
+    // Two "workers" with disjoint distributions; merging their counts
+    // must behave like one histogram over the union.
+    let a = Log2Histogram::new();
+    let b = Log2Histogram::new();
+    for _ in 0..1000 {
+        a.record(10);
+        b.record(10_000);
+    }
+    let mut merged = a.counts();
+    for (m, c) in merged.iter_mut().zip(b.counts().iter()) {
+        *m += c;
+    }
+    let p25 = Log2Histogram::quantile_of_counts(&merged, 0.25).unwrap();
+    let p75 = Log2Histogram::quantile_of_counts(&merged, 0.75).unwrap();
+    assert!(p25 <= 15, "p25 = {p25} should come from the fast worker");
+    assert!(p75 >= 8192, "p75 = {p75} should come from the slow worker");
+    assert_eq!(
+        Log2Histogram::quantile_of_counts(&[0; LOG2_BUCKETS], 0.5),
+        None
+    );
+}
+
 #[test]
 fn registry_renders_prometheus_families_once() {
     let mut reg = TelemetryRegistry::new();

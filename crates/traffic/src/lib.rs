@@ -14,16 +14,23 @@
 //!   §4.7 (see DESIGN.md substitution 3): 644,790 distinct destinations
 //!   biased toward deep (IGP) routes, replayed with Zipf-like popularity.
 //!
+//! The [`slo`] module adds the adversarial mixes the tail-latency SLO
+//! harness sweeps (DESIGN.md §9): exact Zipf(α) flow mixes, microburst
+//! schedules, and worst-depth streams synthesized from the installed
+//! table's longest-match chains.
+//!
 //! All generators are deterministic and allocation-free on the hot path.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod patterns;
+pub mod slo;
 pub mod trace;
 pub mod xorshift;
 
 pub use patterns::{fill, random_v4, random_v6_in_2000, repeated_v4, sequential_v4};
+pub use slo::{MicroburstSchedule, WorstDepth, Zipf, ZipfFlows};
 pub use trace::{RealTrace, TraceConfig};
 pub use xorshift::{Xorshift128, Xorshift32};
 

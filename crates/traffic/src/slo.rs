@@ -1,0 +1,288 @@
+//! Adversarial traffic mixes for the tail-latency SLO harness.
+//!
+//! Throughput means hide the regime the paper actually argues about:
+//! bounded lookup work per packet. The tail only moves when traffic
+//! defeats the memory hierarchy, so this module provides the three mixes
+//! the `repro slo` matrix sweeps:
+//!
+//! * **Zipf flow mixes** ([`ZipfFlows`]) — a fixed population of flows
+//!   replayed with exact Zipf(α) rank frequencies, from the heavy-hitter
+//!   skew of transit links (α ≈ 1) to near-uniform scans (α → 0). The
+//!   sampler is inverse-CDF over a precomputed rank table, so the rank
+//!   distribution is exactly the normalized `1/rank^α` law — the
+//!   chi-squared goodness-of-fit test in `tests.rs` holds it to that.
+//! * **Microburst schedules** ([`MicroburstSchedule`]) — a deterministic
+//!   on/off gate the feeder consults, turning a steady offered load into
+//!   short line-rate bursts separated by quiet gaps. Queues drain between
+//!   bursts, so the latency distribution separates queueing delay from
+//!   service time instead of measuring a saturated queue's depth.
+//! * **Worst-depth streams** ([`WorstDepth`]) — addresses synthesized
+//!   from the *installed table's* longest-match chains: for every route
+//!   the binary-radix descent depth of its first address is measured
+//!   against the table itself, and the stream replays the deepest pool.
+//!   This is the anti-locality, maximum-work-per-packet adversary; the
+//!   telemetry depth histogram must show the trie's maximum descent
+//!   depth under it (the regression test in `tests/slo.rs`).
+//!
+//! All generators are seeded, deterministic, and allocation-free on the
+//! hot path (the `fill` calls), like the §4.2 patterns in
+//! [`patterns`](crate::patterns).
+
+use std::time::Duration;
+
+use poptrie_bitops::Bits;
+use poptrie_rib::{NextHop, Prefix, RadixTree};
+
+use crate::xorshift::Xorshift128;
+
+// ------------------------------------------------------------------ Zipf
+
+/// The Zipf(α) rank distribution over `n` ranks: rank `r` (0-based) has
+/// probability proportional to `1 / (r + 1)^α`. Holds the cumulative
+/// table; sampling is a binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[r]` = P(rank <= r); `cdf[n - 1]` is 1.0 by construction.
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// The Zipf(α) distribution over `n >= 1` ranks. `alpha = 0` is the
+    /// uniform distribution; larger α concentrates mass on low ranks.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top rank.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The skew parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Exact probability of 0-based `rank` (for goodness-of-fit tests).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draw one 0-based rank using `rng`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xorshift128) -> usize {
+        // Uniform in (0, 1]: the partition_point picks the first rank
+        // whose cumulative probability reaches u.
+        let u = (rng.next_u32() as f64 + 1.0) / (u32::MAX as f64 + 1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A Zipf-popularity flow mix: a fixed population of destination
+/// addresses replayed with [`Zipf`] rank frequencies. Rank 0 is the
+/// heaviest hitter.
+#[derive(Debug, Clone)]
+pub struct ZipfFlows<K: Bits> {
+    flows: Vec<K>,
+    zipf: Zipf,
+    rng: Xorshift128,
+}
+
+impl ZipfFlows<u32> {
+    /// `flows` random IPv4 destinations with Zipf(α) popularity.
+    pub fn random(flows: usize, alpha: f64, seed: u32) -> Self {
+        let mut rng = Xorshift128::new(seed);
+        let dests = (0..flows.max(1)).map(|_| rng.next_u32()).collect();
+        Self::over(dests, alpha, seed ^ 0x51F0_0001)
+    }
+}
+
+impl<K: Bits> ZipfFlows<K> {
+    /// Zipf(α) popularity over an explicit destination population;
+    /// `destinations[0]` becomes the heaviest hitter. The population is
+    /// used as given (synthesize it from a table for depth-biased mixes).
+    pub fn over(destinations: Vec<K>, alpha: f64, seed: u32) -> Self {
+        assert!(
+            !destinations.is_empty(),
+            "flow population must be non-empty"
+        );
+        let zipf = Zipf::new(destinations.len(), alpha);
+        ZipfFlows {
+            flows: destinations,
+            zipf,
+            rng: Xorshift128::new(seed),
+        }
+    }
+
+    /// The flow population size.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The underlying rank distribution.
+    pub fn zipf(&self) -> &Zipf {
+        &self.zipf
+    }
+
+    /// Fill `out` with the next `out.len()` destinations of the stream.
+    pub fn fill(&mut self, out: &mut [K]) {
+        for k in out {
+            *k = self.flows[self.zipf.sample(&mut self.rng)];
+        }
+    }
+}
+
+// ------------------------------------------------------------ microburst
+
+/// A deterministic on/off offered-load gate: each period opens with a
+/// burst window and closes with a quiet gap. The feeder submits at line
+/// rate while [`gain`](MicroburstSchedule::gain) is 1.0 and idles (or
+/// trickles) while it is the off-gain.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroburstSchedule {
+    period: Duration,
+    burst_fraction: f64,
+    off_gain: f64,
+}
+
+impl MicroburstSchedule {
+    /// Bursts of `burst_fraction` of each `period` (clamped to
+    /// `(0, 1]`), fully quiet between bursts.
+    pub fn new(period: Duration, burst_fraction: f64) -> Self {
+        assert!(!period.is_zero(), "period must be non-zero");
+        MicroburstSchedule {
+            period,
+            burst_fraction: burst_fraction.clamp(f64::EPSILON, 1.0),
+            off_gain: 0.0,
+        }
+    }
+
+    /// Keep a trickle of `gain` (clamped to `[0, 1]`) flowing between
+    /// bursts instead of full quiet.
+    pub fn off_gain(mut self, gain: f64) -> Self {
+        self.off_gain = gain.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The schedule period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Whether `elapsed` (time since the run started) falls inside a
+    /// burst window.
+    pub fn is_on(&self, elapsed: Duration) -> bool {
+        let phase = elapsed.as_secs_f64() % self.period.as_secs_f64();
+        phase < self.burst_fraction * self.period.as_secs_f64()
+    }
+
+    /// Offered-load multiplier at `elapsed`: 1.0 inside a burst, the
+    /// off-gain otherwise.
+    pub fn gain(&self, elapsed: Duration) -> f64 {
+        if self.is_on(elapsed) {
+            1.0
+        } else {
+            self.off_gain
+        }
+    }
+}
+
+// ------------------------------------------------------------ worst depth
+
+/// The worst-depth adversarial stream: replays the addresses whose
+/// binary-radix descent through the *installed table* is deepest — the
+/// longest-match chains — so every packet costs the maximum trie work
+/// the table can demand.
+#[derive(Debug, Clone)]
+pub struct WorstDepth<K: Bits> {
+    pool: Vec<K>,
+    max_chain_depth: u32,
+    rng: Xorshift128,
+}
+
+impl<K: Bits> WorstDepth<K> {
+    /// Synthesize from the table's routes: measure the radix descent
+    /// depth of every route's first address against the table itself,
+    /// keep the deepest `pool` addresses (every address tied with the
+    /// maximum always survives), and replay them uniformly at random.
+    ///
+    /// An empty table degenerates to the all-zeros address at depth 0.
+    pub fn synthesize(routes: &[(Prefix<K>, NextHop)], pool: usize, seed: u32) -> Self {
+        let pool = pool.max(1);
+        let rng = Xorshift128::new(seed);
+        if routes.is_empty() {
+            return WorstDepth {
+                pool: vec![K::ZERO],
+                max_chain_depth: 0,
+                rng,
+            };
+        }
+        let table: RadixTree<K, NextHop> = RadixTree::from_routes(routes.iter().copied());
+        // One probe per route: the first address of a deep route walks
+        // its whole ancestor chain (and any longer prefix covering it).
+        let mut probed: Vec<(u32, K)> = routes
+            .iter()
+            .map(|&(p, _)| {
+                let addr = p.first_addr();
+                let (_, depth, _) = table.lookup_with_depth(addr);
+                (depth, addr)
+            })
+            .collect();
+        probed.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        probed.dedup_by_key(|e| e.1);
+        let max_chain_depth = probed.first().map(|e| e.0).unwrap_or(0);
+        // Keep the deepest `pool` addresses, but never cut a tie with
+        // the maximum: the stream must be able to hit every deepest
+        // chain, not just whichever sorted first.
+        let mut cut = pool.min(probed.len());
+        while cut < probed.len() && probed[cut].0 == max_chain_depth {
+            cut += 1;
+        }
+        probed.truncate(cut);
+        WorstDepth {
+            pool: probed.into_iter().map(|(_, a)| a).collect(),
+            max_chain_depth,
+            rng,
+        }
+    }
+
+    /// The deepest binary-radix descent the pool reaches.
+    pub fn max_chain_depth(&self) -> u32 {
+        self.max_chain_depth
+    }
+
+    /// The adversarial address pool, deepest chains first.
+    pub fn pool(&self) -> &[K] {
+        &self.pool
+    }
+
+    /// Fill `out` with the next `out.len()` addresses of the stream
+    /// (uniform over the pool).
+    pub fn fill(&mut self, out: &mut [K]) {
+        for k in out {
+            *k = self.pool[(self.rng.next_u32() as usize) % self.pool.len()];
+        }
+    }
+}

@@ -1,4 +1,5 @@
 use crate::patterns::{random_v4, random_v6_in_2000, repeated_v4, sequential_v4};
+use crate::slo::{MicroburstSchedule, WorstDepth, Zipf, ZipfFlows};
 use crate::trace::{RealTrace, TraceConfig};
 use crate::xorshift::{Xorshift128, Xorshift32};
 
@@ -81,6 +82,179 @@ mod patterns {
         for addr in random_v6_in_2000(3, 1000) {
             assert_eq!(addr >> 120, 0x20);
         }
+    }
+}
+
+mod slo {
+    use super::*;
+    use std::time::Duration;
+
+    use poptrie_rib::{NextHop, Prefix, RadixTree};
+
+    /// Approximate upper critical value of the chi-squared distribution
+    /// at p ≈ 0.001 for `df` degrees of freedom (Wilson–Hilferty cube
+    /// approximation; z_0.999 = 3.09). The test is seeded, so this only
+    /// needs to separate "correct sampler" from "broken sampler" — a
+    /// wrong CDF or biased inversion overshoots this by orders of
+    /// magnitude.
+    fn chi2_crit(df: f64) -> f64 {
+        let z = 3.09;
+        df * (1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt()).powi(3)
+    }
+
+    #[test]
+    fn zipf_pmf_is_normalized_and_monotone() {
+        for &alpha in &[0.0, 0.5, 1.0, 1.5] {
+            let z = Zipf::new(100, alpha);
+            let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "alpha {alpha}: pmf sums to {total}"
+            );
+            for r in 1..100 {
+                assert!(
+                    z.pmf(r) <= z.pmf(r - 1) + 1e-12,
+                    "alpha {alpha}: pmf not monotone at rank {r}"
+                );
+            }
+        }
+        // alpha = 0 is uniform.
+        let u = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((u.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_passes_chi_squared_gof() {
+        // Seeded and deterministic: rank frequencies from the
+        // inverse-CDF sampler must fit the exact pmf at every skew the
+        // SLO matrix uses.
+        const RANKS: usize = 64;
+        const DRAWS: usize = 200_000;
+        for (i, &alpha) in [0.0, 0.5, 1.0, 1.5].iter().enumerate() {
+            let z = Zipf::new(RANKS, alpha);
+            let mut rng = Xorshift128::new(0xC41_0000 + i as u32);
+            let mut obs = [0u64; RANKS];
+            for _ in 0..DRAWS {
+                obs[z.sample(&mut rng)] += 1;
+            }
+            let mut chi2 = 0.0f64;
+            for (r, &seen) in obs.iter().enumerate() {
+                let exp = z.pmf(r) * DRAWS as f64;
+                assert!(
+                    exp >= 5.0,
+                    "alpha {alpha}: rank {r} expected count {exp} too small for chi-squared"
+                );
+                let d = seen as f64 - exp;
+                chi2 += d * d / exp;
+            }
+            let crit = chi2_crit((RANKS - 1) as f64);
+            assert!(
+                chi2 < crit,
+                "alpha {alpha}: chi2 {chi2:.1} exceeds critical {crit:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_flows_rank_zero_is_heaviest() {
+        let mut flows = ZipfFlows::random(256, 1.0, 7);
+        assert_eq!(flows.flow_count(), 256);
+        assert_eq!(flows.zipf().ranks(), 256);
+        let mut out = vec![0u32; 100_000];
+        flows.fill(&mut out);
+        let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+        for &d in &out {
+            *counts.entry(d).or_default() += 1;
+        }
+        // Heavy hitter: far above the uniform share of ~390.
+        let max = *counts.values().max().unwrap();
+        assert!(max > 10_000, "heaviest flow seen {max} times");
+        // Deterministic replay.
+        let mut again = ZipfFlows::random(256, 1.0, 7);
+        let mut out2 = vec![0u32; 100_000];
+        again.fill(&mut out2);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn microburst_gate_follows_the_schedule() {
+        let s = MicroburstSchedule::new(Duration::from_millis(10), 0.3);
+        assert!(s.is_on(Duration::ZERO));
+        assert!(s.is_on(Duration::from_micros(2_900)));
+        assert!(!s.is_on(Duration::from_micros(3_100)));
+        assert!(!s.is_on(Duration::from_micros(9_900)));
+        assert!(s.is_on(Duration::from_micros(10_100)), "periodic");
+        assert_eq!(s.gain(Duration::ZERO), 1.0);
+        assert_eq!(s.gain(Duration::from_millis(5)), 0.0);
+        let trickle = MicroburstSchedule::new(Duration::from_millis(10), 0.3).off_gain(0.25);
+        assert_eq!(trickle.gain(Duration::from_millis(5)), 0.25);
+    }
+
+    #[test]
+    fn worst_depth_pool_hits_the_deepest_chain() {
+        // A nested longest-match chain under 10.0.0.0/8 plus shallow
+        // decoys: the pool must come from the chain, not the decoys.
+        let addr = 0x0AFF_FFFFu32; // 10.255.255.255
+        let mut routes: Vec<(Prefix<u32>, NextHop)> = (8..=24)
+            .map(|len| {
+                (
+                    Prefix::new(addr & (!0u32 << (32 - len)), len),
+                    len as NextHop,
+                )
+            })
+            .collect();
+        routes.push(("192.0.0.0/8".parse().unwrap(), 99));
+        routes.push(("193.0.0.0/8".parse().unwrap(), 98));
+
+        let wd = WorstDepth::synthesize(&routes, 4, 1);
+        let table: RadixTree<u32, NextHop> = RadixTree::from_routes(routes.iter().copied());
+        let probe_depth = |a: u32| table.lookup_with_depth(a).1;
+        let shallow = probe_depth(0xC000_0001);
+        assert!(
+            wd.max_chain_depth() > shallow,
+            "chain depth {} not deeper than decoy {}",
+            wd.max_chain_depth(),
+            shallow
+        );
+        // Every pool address reaches a depth far beyond the decoys, and
+        // at least one hits the maximum.
+        assert!(!wd.pool().is_empty());
+        let depths: Vec<u32> = wd.pool().iter().map(|&a| probe_depth(a)).collect();
+        assert!(depths.iter().all(|&d| d > shallow), "{depths:?}");
+        assert!(depths.contains(&wd.max_chain_depth()));
+        // The stream only emits pool addresses.
+        let mut wd = wd;
+        let pool: std::collections::HashSet<u32> = wd.pool().iter().copied().collect();
+        let mut out = vec![0u32; 4096];
+        wd.fill(&mut out);
+        assert!(out.iter().all(|a| pool.contains(a)));
+    }
+
+    #[test]
+    fn worst_depth_empty_table_degenerates() {
+        let wd = WorstDepth::<u32>::synthesize(&[], 8, 3);
+        assert_eq!(wd.max_chain_depth(), 0);
+        assert_eq!(wd.pool(), &[0u32]);
+    }
+
+    #[test]
+    fn worst_depth_keeps_every_max_tie() {
+        // Two disjoint chains of identical depth: a pool cut of 1 must
+        // still keep both maximum-depth addresses.
+        let mut routes: Vec<(Prefix<u32>, NextHop)> = Vec::new();
+        for base in [0x0A00_0000u32, 0x1400_0000] {
+            for len in [8u8, 16, 24] {
+                routes.push((Prefix::new(base & (!0u32 << (32 - len as u32)), len), 1));
+            }
+        }
+        let wd = WorstDepth::synthesize(&routes, 1, 5);
+        assert!(
+            wd.pool().len() >= 2,
+            "tied maxima must both survive the cut: {:?}",
+            wd.pool()
+        );
     }
 }
 

@@ -71,7 +71,10 @@ pub use poptrie_telemetry as telemetry;
 /// forwarding-engine types.
 pub mod prelude {
     pub use poptrie::prelude::*;
-    pub use poptrie_engine::{Control, Engine, EngineConfig, EngineReport, Ingress};
+    pub use poptrie_engine::{
+        Control, Engine, EngineConfig, EngineReport, Ingress, LatencySummary, QosPolicy,
+        SourceReport,
+    };
 }
 
 /// The baseline lookup algorithms the paper compares against.
