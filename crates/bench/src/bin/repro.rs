@@ -898,8 +898,20 @@ fn fig10_live(ctx: &mut Ctx, threads: usize, churn: bool) {
         counts.push(threads);
     }
 
+    // Dispatch-tier comparison on identical table and traffic: the
+    // scalar batched walker against the widest SIMD tier this CPU runs.
+    // The backend is forced on the FIB before the engine starts so the
+    // engine's NUMA replicas inherit it.
+    let widest = poptrie::BatchBackend::widest_available();
+    let backends: Vec<poptrie::BatchBackend> = if widest == poptrie::BatchBackend::Scalar {
+        vec![widest]
+    } else {
+        vec![poptrie::BatchBackend::Scalar, widest]
+    };
+
     let mut t = Table::new(vec![
         "Workers",
+        "Backend",
         "Rate [Mlps]",
         "Batches",
         "Dropped",
@@ -909,55 +921,76 @@ fn fig10_live(ctx: &mut Ctx, threads: usize, churn: bool) {
         "FIB ver.",
     ]);
     let mut runs = Vec::new();
+    // Per worker count: scalar and SIMD rates, for the summary line.
+    let mut compare: Vec<(usize, f64, f64)> = Vec::new();
     for &workers in &counts {
-        // Fresh FIB per worker count so every sweep point replays the
-        // same churn against the same starting table.
-        let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(dataset.to_rib(), pcfg));
-        // Best of `reps`: on a small host the feeder competes with the
-        // workers for cores, so a single run is noisy.
-        let mut best: Option<(f64, poptrie_engine::EngineReport)> = None;
-        for _ in 0..reps {
-            let run = live_run(&fib, workers, &pool, &events, duration);
-            match &best {
-                Some((b, _)) if run.0 <= *b => {}
-                _ => best = Some(run),
+        let mut rates: Vec<f64> = Vec::new();
+        for &backend in &backends {
+            // Fresh FIB per sweep point so every cell replays the same
+            // churn against the same starting table.
+            let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(dataset.to_rib(), pcfg));
+            assert_eq!(fib.set_batch_backend(backend), backend);
+            // Best of `reps`: on a small host the feeder competes with
+            // the workers for cores, so a single run is noisy.
+            let mut best: Option<(f64, poptrie_engine::EngineReport)> = None;
+            for _ in 0..reps {
+                let run = live_run(&fib, workers, &pool, &events, duration);
+                match &best {
+                    Some((b, _)) if run.0 <= *b => {}
+                    _ => best = Some(run),
+                }
             }
+            let (mlps, report) = best.expect("reps >= 1");
+            assert!(report.drained_clean, "engine failed to drain on shutdown");
+            assert_eq!(report.leaked_threads, 0, "engine leaked threads");
+            rates.push(mlps);
+            let respawns: u64 = report.workers.iter().map(|w| w.respawns).sum();
+            let version = fib.version();
+            t.row(vec![
+                workers.to_string(),
+                backend.to_string(),
+                format!("{mlps:.2}"),
+                report.batches.to_string(),
+                report.dropped_batches.to_string(),
+                report.publishes.to_string(),
+                report.updates_coalesced.to_string(),
+                respawns.to_string(),
+                version.to_string(),
+            ]);
+            runs.push(format!(
+                "    {{\"workers\": {workers}, \"backend\": \"{backend}\", \
+                 \"mlps\": {mlps:.3}, \"packets\": {}, \
+                 \"batches\": {}, \"dropped_batches\": {}, \"publishes\": {}, \
+                 \"update_events\": {}, \"updates_coalesced\": {}, \"control_dropped\": {}, \
+                 \"respawns\": {respawns}, \"fib_version\": {version}, \
+                 \"fib_replicas\": {}, \"drained_clean\": {}}}",
+                report.packets,
+                report.batches,
+                report.dropped_batches,
+                report.publishes,
+                report.update_events,
+                report.updates_coalesced,
+                report.control_dropped,
+                report.fib_replicas,
+                report.drained_clean,
+            ));
         }
-        let (mlps, report) = best.expect("reps >= 1");
-        assert!(report.drained_clean, "engine failed to drain on shutdown");
-        assert_eq!(report.leaked_threads, 0, "engine leaked threads");
-        let respawns: u64 = report.workers.iter().map(|w| w.respawns).sum();
-        let version = fib.version();
-        t.row(vec![
-            workers.to_string(),
-            format!("{mlps:.2}"),
-            report.batches.to_string(),
-            report.dropped_batches.to_string(),
-            report.publishes.to_string(),
-            report.updates_coalesced.to_string(),
-            respawns.to_string(),
-            version.to_string(),
-        ]);
-        runs.push(format!(
-            "    {{\"workers\": {workers}, \"mlps\": {mlps:.3}, \"packets\": {}, \
-             \"batches\": {}, \"dropped_batches\": {}, \"publishes\": {}, \
-             \"update_events\": {}, \"updates_coalesced\": {}, \"control_dropped\": {}, \
-             \"respawns\": {respawns}, \"fib_version\": {version}, \"drained_clean\": {}}}",
-            report.packets,
-            report.batches,
-            report.dropped_batches,
-            report.publishes,
-            report.update_events,
-            report.updates_coalesced,
-            report.control_dropped,
-            report.drained_clean,
-        ));
+        if rates.len() == 2 {
+            compare.push((workers, rates[0], rates[1]));
+        }
     }
     print!("{}", t.render());
     println!(
         "(best of {reps} runs of {} ms each; drops are shed ingress batches)",
         duration.as_millis()
     );
+    for &(workers, scalar, simd) in &compare {
+        println!(
+            "  {workers} worker(s): {widest} {simd:.2} Mlps vs scalar {scalar:.2} Mlps \
+             (x{:.2})",
+            simd / scalar.max(1e-9)
+        );
+    }
 
     let json = format!(
         "{{\n  \"experiment\": \"fig10_live\",\n  \"dataset\": \"{ds_name}\",\n  \
@@ -1224,6 +1257,12 @@ fn slo(ctx: &mut Ctx, threads: usize) {
     ]);
     let mut cells: Vec<String> = Vec::new();
     let mut failures = 0u32;
+    // Run-level aggregates for the trajectory history (see below).
+    let mut agg_packets = 0u64;
+    let mut agg_elapsed = 0f64;
+    let mut agg_deadline_dropped = 0u64;
+    let mut agg_refused = 0u64;
+    let mut max_wait_p999 = 0u64;
     for (pattern, pool, burst) in patterns {
         for &workers in &counts {
             for churn_on in [false, true] {
@@ -1266,6 +1305,11 @@ fn slo(ctx: &mut Ctx, threads: usize) {
                 }
 
                 let mlps = r.packets as f64 / r.elapsed.as_secs_f64() / 1e6;
+                agg_packets += r.packets;
+                agg_elapsed += r.elapsed.as_secs_f64();
+                agg_deadline_dropped += r.deadline_dropped_batches;
+                agg_refused += r.dropped_batches;
+                max_wait_p999 = max_wait_p999.max(r.queue_wait.p999_ns);
                 t.row(vec![
                     pattern.to_string(),
                     workers.to_string(),
@@ -1370,10 +1414,93 @@ fn slo(ctx: &mut Ctx, threads: usize) {
         std::process::exit(1);
     }
     println!("wrote results/BENCH_slo.json");
+
+    // Trajectory history: `BENCH_slo.json` is a snapshot that every run
+    // overwrites, so regressions between runs were invisible. Append a
+    // one-line summary per run to `BENCH_slo_history.jsonl` (never
+    // truncated), compare against the last comparable entry, and — when
+    // `SLO_GATE_FACTOR` is set (the CI smoke gate) — fail the run if
+    // aggregate throughput fell by more than that factor. The factor is
+    // generous because CI hosts are virtualized and noisy; the gate is
+    // for cliffs, not percent-level drift.
+    let agg_mlps = if agg_elapsed > 0.0 {
+        agg_packets as f64 / agg_elapsed / 1e6
+    } else {
+        0.0
+    };
+    let history_path = dir.join("BENCH_slo_history.jsonl");
+    let fingerprint = format!(
+        "\"quick\": {}, \"dataset\": \"{ds_name}\", \"threads\": {threads}",
+        ctx.quick
+    );
+    let previous = std::fs::read_to_string(&history_path).ok().and_then(|h| {
+        h.lines()
+            .rfind(|l| l.contains(&fingerprint))
+            .and_then(|l| json_field_f64(l, "agg_mlps"))
+    });
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = format!(
+        "{{\"ts\": {ts}, {fingerprint}, \"cells\": {}, \"agg_mlps\": {agg_mlps:.3}, \
+         \"deadline_dropped_batches\": {agg_deadline_dropped}, \
+         \"refused_batches\": {agg_refused}, \"max_wait_p999_ns\": {max_wait_p999}}}\n",
+        cells.len(),
+    );
+    use std::io::Write as _;
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut f| f.write_all(entry.as_bytes()))
+    {
+        eprintln!("error: could not append results/BENCH_slo_history.jsonl: {e}");
+        std::process::exit(1);
+    }
+    match previous {
+        Some(prev) => {
+            let ratio = if prev > 0.0 { agg_mlps / prev } else { 1.0 };
+            println!(
+                "appended results/BENCH_slo_history.jsonl: {agg_mlps:.2} aggregate Mlps \
+                 (previous comparable run {prev:.2}, x{ratio:.2})"
+            );
+            if let Some(factor) = std::env::var("SLO_GATE_FACTOR")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                if factor > 1.0 && prev > 0.0 && agg_mlps * factor < prev {
+                    eprintln!(
+                        "error: aggregate throughput fell more than {factor}x below the \
+                         previous comparable run ({agg_mlps:.2} vs {prev:.2} Mlps)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => println!(
+            "appended results/BENCH_slo_history.jsonl: {agg_mlps:.2} aggregate Mlps \
+             (no previous comparable run)"
+        ),
+    }
+
     if failures > 0 {
         eprintln!("error: {failures} cell(s) failed accounting reconciliation");
         std::process::exit(1);
     }
+}
+
+/// Extract a numeric field from a single-line JSON object without a JSON
+/// parser: finds `"key": <number>` and parses the number. Good enough
+/// for the history lines this binary writes itself.
+fn json_field_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 // ----------------------------------------------------------------- fig 11

@@ -24,11 +24,13 @@
 mod bits;
 mod prefetch;
 mod rank;
+pub mod simd;
 mod vec64;
 
 pub use bits::Bits;
 pub use prefetch::{prefetch_index, prefetch_read, BATCH_LANES};
 pub use rank::{mask_low, rank0, rank1};
+pub use simd::BatchBackend;
 pub use vec64::BitVec64;
 
 #[cfg(test)]

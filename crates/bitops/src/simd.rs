@@ -1,0 +1,359 @@
+//! Runtime SIMD dispatch for the batched lookup kernels.
+//!
+//! The batched descent is memory-bound, but once the software prefetches
+//! of [`prefetch_read`](crate::prefetch_read) keep
+//! [`BATCH_LANES`](crate::BATCH_LANES) misses in flight, the per-round
+//! *instruction*
+//! cost starts to show: eight scalar node loads, eight data-dependent
+//! branches (internal child vs leaf) that mispredict on random traffic,
+//! and eight popcount ranks. The SIMD tiers replace the loads with wide
+//! masked gathers and the branches with mask arithmetic; the popcount
+//! rank stays scalar `popcnt` per lane (one cycle, branchless), which is
+//! the same substitution the paper makes for CPUs without a vector
+//! popcount.
+//!
+//! Dispatch is resolved **once, at FIB build time** — not per call —
+//! with [`BatchBackend::detect`]. Every structure that owns a compiled
+//! FIB records the chosen tier and its `lookup_batch` jumps straight to
+//! the right kernel; the scalar kernel is always compiled (every tier of
+//! the ladder must produce bit-identical results, and the differential
+//! tests in `tests/cross_validation.rs` hold the tiers to that).
+//!
+//! The ladder, widest first:
+//!
+//! | tier | requirement | gather width |
+//! |------|-------------|--------------|
+//! | `Avx512` | `avx512f` + `avx2` + `popcnt` | 8 × u64 per instruction |
+//! | `Avx2` | `avx2` + `popcnt` | 4 × u64 per instruction |
+//! | `Scalar` | none | — |
+//!
+//! Setting the environment variable `POPTRIE_BACKEND` to `scalar`,
+//! `avx2`, `avx512` or `auto` pins detection to that tier (falling back
+//! to [`BatchBackend::Scalar`] when the pinned tier's ISA is missing) —
+//! this is the knob the CI backend matrix and the differential fuzz use
+//! to force the fallback path on hardware that would otherwise never
+//! take it.
+
+/// One tier of the batched-lookup dispatch ladder.
+///
+/// The discriminant order is the ladder order: a larger variant is a
+/// wider (preferred) tier. The enum is defined on every architecture so
+/// cross-platform code can name and compare tiers; on non-x86-64 targets
+/// detection only ever yields [`BatchBackend::Scalar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BatchBackend {
+    /// The portable interleaved walker: scalar loads, software prefetch.
+    Scalar,
+    /// AVX2 masked 64-bit gathers (4 lanes per instruction).
+    Avx2,
+    /// AVX-512F masked 64-bit gathers (8 lanes per instruction).
+    Avx512,
+}
+
+impl BatchBackend {
+    /// Stable lower-case name, as printed in benchmark output and parsed
+    /// from `POPTRIE_BACKEND`.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchBackend::Scalar => "scalar",
+            BatchBackend::Avx2 => "avx2",
+            BatchBackend::Avx512 => "avx512",
+        }
+    }
+
+    /// Whether this tier's ISA requirements are met on the running CPU.
+    /// [`BatchBackend::Scalar`] is always available.
+    pub fn is_available(self) -> bool {
+        match self {
+            BatchBackend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            BatchBackend::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("popcnt")
+            }
+            // The AVX-512 kernels also use 256-bit ops (and are declared
+            // `#[target_feature(enable = "avx512f", enable = "avx2")]`),
+            // so AVX2 is part of the tier's contract even though every
+            // known AVX-512F part implies it.
+            #[cfg(target_arch = "x86_64")]
+            BatchBackend::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("popcnt")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Parse a `POPTRIE_BACKEND` value. `auto` (or anything
+    /// unrecognized) means "widest available".
+    fn from_knob(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(BatchBackend::Scalar),
+            "avx2" => Some(BatchBackend::Avx2),
+            "avx512" | "avx512f" => Some(BatchBackend::Avx512),
+            _ => None,
+        }
+    }
+
+    /// The widest tier the running CPU supports, honoring the
+    /// `POPTRIE_BACKEND` override. A pinned tier whose ISA is missing
+    /// degrades to [`BatchBackend::Scalar`] rather than erroring: a
+    /// forced-AVX2 test run on non-AVX2 hardware should exercise the
+    /// fallback story, not abort.
+    pub fn detect() -> Self {
+        if let Ok(v) = std::env::var("POPTRIE_BACKEND") {
+            if let Some(forced) = Self::from_knob(&v) {
+                return if forced.is_available() {
+                    forced
+                } else {
+                    BatchBackend::Scalar
+                };
+            }
+        }
+        Self::widest_available()
+    }
+
+    /// The widest tier the running CPU supports, ignoring the override.
+    pub fn widest_available() -> Self {
+        if BatchBackend::Avx512.is_available() {
+            BatchBackend::Avx512
+        } else if BatchBackend::Avx2.is_available() {
+            BatchBackend::Avx2
+        } else {
+            BatchBackend::Scalar
+        }
+    }
+
+    /// Clamp to an available tier: `self` if the CPU supports it,
+    /// [`BatchBackend::Scalar`] otherwise.
+    pub fn clamp_available(self) -> Self {
+        if self.is_available() {
+            self
+        } else {
+            BatchBackend::Scalar
+        }
+    }
+}
+
+impl core::fmt::Display for BatchBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The AVX2 / AVX-512 gather primitives the trie kernels are built on.
+///
+/// Everything here is `unsafe` and `#[target_feature]`-gated: the caller
+/// must have verified the ISA at dispatch time
+/// ([`BatchBackend::is_available`]). The wrappers exist so the kernels in
+/// `poptrie` read as "gather these node words for the live lanes" instead
+/// of raw intrinsic soup, and so the masking convention (a clear lane
+/// loads nothing and yields 0) is documented in exactly one place.
+#[cfg(target_arch = "x86_64")]
+pub mod x86 {
+    use core::arch::x86_64::*;
+
+    /// All sixteen 4-lane AVX2 gather masks, indexed by the 4-bit lane
+    /// mask. A gather lane is enabled by the *sign bit* of its 64-bit
+    /// mask element; materializing the vector from the bitmask with
+    /// `_mm256_set_epi64x` costs a chain of scalar inserts on the
+    /// kernel's hot path, while this 512-byte L1-resident table costs one
+    /// load.
+    static LANE_MASKS4: [[i64; 4]; 16] = {
+        let mut t = [[0i64; 4]; 16];
+        let mut m = 0;
+        while m < 16 {
+            let mut lane = 0;
+            while lane < 4 {
+                t[m][lane] = -(((m >> lane) & 1) as i64);
+                lane += 1;
+            }
+            m += 1;
+        }
+        t
+    };
+
+    /// Gather four `u64` words from `base + byte_offset[lane]` for every
+    /// lane whose bit is set in `lane_mask` (bits 0..4). Masked-off lanes
+    /// perform **no memory access** (the hardware suppresses the load, so
+    /// their offsets may be garbage) and yield 0.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available, and for every lane selected by
+    /// `lane_mask`, `base + byte_offsets[lane] .. + 8` must be readable.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_u64x4(
+        base: *const u8,
+        byte_offsets: [i64; 4],
+        lane_mask: u32,
+    ) -> [u64; 4] {
+        let off = _mm256_loadu_si256(byte_offsets.as_ptr() as *const __m256i);
+        let m =
+            _mm256_loadu_si256(LANE_MASKS4[(lane_mask & 0xF) as usize].as_ptr() as *const __m256i);
+        let got =
+            _mm256_mask_i64gather_epi64::<1>(_mm256_setzero_si256(), base as *const i64, off, m);
+        let mut out = [0u64; 4];
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, got);
+        out
+    }
+
+    /// Gather eight `u64` words from `base + byte_offset[lane]` for every
+    /// lane whose bit is set in the `k`-mask `lane_mask` (bits 0..8).
+    /// Masked-off lanes perform no memory access and yield 0.
+    ///
+    /// # Safety
+    ///
+    /// AVX-512F must be available, and for every lane selected by
+    /// `lane_mask`, `base + byte_offsets[lane] .. + 8` must be readable.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gather_u64x8(
+        base: *const u8,
+        byte_offsets: [i64; 8],
+        lane_mask: u32,
+    ) -> [u64; 8] {
+        let off = _mm512_loadu_si512(byte_offsets.as_ptr() as *const __m512i);
+        let got = _mm512_mask_i64gather_epi64::<1>(
+            _mm512_setzero_si512(),
+            lane_mask as __mmask8,
+            off,
+            base as *const i64,
+        );
+        let mut out = [0u64; 8];
+        _mm512_storeu_si512(out.as_mut_ptr() as *mut __m512i, got);
+        out
+    }
+
+    /// Gather eight `u32` words from `base + 4 * index[lane]` for lanes
+    /// set in `lane_mask` (bits 0..8) — the direct-table stage, where
+    /// entries are `u32` and eight lanes fit one AVX2 gather. Masked-off
+    /// lanes perform no memory access and yield 0.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available, and for every selected lane,
+    /// `index[lane]` must be in bounds of the `u32` array at `base`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_u32x8(base: *const u32, indices: [u32; 8], lane_mask: u32) -> [u32; 8] {
+        let idx = _mm256_loadu_si256(indices.as_ptr() as *const __m256i);
+        let mut mbits = [0u32; 8];
+        for (i, m) in mbits.iter_mut().enumerate() {
+            *m = 0u32.wrapping_sub((lane_mask >> i) & 1);
+        }
+        let m = _mm256_loadu_si256(mbits.as_ptr() as *const __m256i);
+        let got =
+            _mm256_mask_i32gather_epi32::<4>(_mm256_setzero_si256(), base as *const i32, idx, m);
+        let mut out = [0u32; 8];
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, got);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered() {
+        assert!(BatchBackend::Scalar < BatchBackend::Avx2);
+        assert!(BatchBackend::Avx2 < BatchBackend::Avx512);
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(BatchBackend::Scalar.is_available());
+        assert_eq!(BatchBackend::Scalar.clamp_available(), BatchBackend::Scalar);
+    }
+
+    #[test]
+    fn detect_yields_an_available_tier() {
+        let b = BatchBackend::detect();
+        assert!(b.is_available());
+        assert!(b <= BatchBackend::widest_available());
+    }
+
+    #[test]
+    fn knob_parsing() {
+        assert_eq!(
+            BatchBackend::from_knob("scalar"),
+            Some(BatchBackend::Scalar)
+        );
+        assert_eq!(BatchBackend::from_knob(" AVX2 "), Some(BatchBackend::Avx2));
+        assert_eq!(
+            BatchBackend::from_knob("avx512"),
+            Some(BatchBackend::Avx512)
+        );
+        assert_eq!(
+            BatchBackend::from_knob("avx512f"),
+            Some(BatchBackend::Avx512)
+        );
+        assert_eq!(BatchBackend::from_knob("auto"), None);
+        assert_eq!(BatchBackend::from_knob("riscv-v"), None);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_gathers_match_scalar_loads() {
+        if !BatchBackend::Avx2.is_available() {
+            return;
+        }
+        let words: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let base = words.as_ptr() as *const u8;
+        let offsets = [8i64, 0, 504, 256];
+        // Full mask: every lane loads.
+        let got = unsafe { x86::gather_u64x4(base, offsets, 0b1111) };
+        for (lane, &off) in offsets.iter().enumerate() {
+            assert_eq!(got[lane], words[off as usize / 8]);
+        }
+        // Partial mask: cleared lanes yield 0 even with wild offsets.
+        let got = unsafe { x86::gather_u64x4(base, [16, i64::MAX, 24, -1], 0b0101) };
+        assert_eq!(got, [words[2], 0, words[3], 0]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_gathers_match_scalar_loads() {
+        if !BatchBackend::Avx512.is_available() {
+            return;
+        }
+        let words: Vec<u64> = (0..64u64).map(|i| i ^ 0xDEAD_BEEF_CAFE_F00D).collect();
+        let base = words.as_ptr() as *const u8;
+        let offsets = [0i64, 8, 16, 120, 128, 248, 256, 504];
+        let got = unsafe { x86::gather_u64x8(base, offsets, 0xFF) };
+        for (lane, &off) in offsets.iter().enumerate() {
+            assert_eq!(got[lane], words[off as usize / 8]);
+        }
+        let got = unsafe { x86::gather_u64x8(base, [0, -5, 8, -7, 16, -9, 24, -11], 0b0101_0101) };
+        assert_eq!(got, [words[0], 0, words[1], 0, words[2], 0, words[3], 0]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_u32_gather_matches_scalar_loads() {
+        if !BatchBackend::Avx2.is_available() {
+            return;
+        }
+        let table: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let idx = [0u32, 255, 17, 128, 3, 200, 64, 1];
+        let got = unsafe { x86::gather_u32x8(table.as_ptr(), idx, 0xFF) };
+        for lane in 0..8 {
+            assert_eq!(got[lane], table[idx[lane] as usize]);
+        }
+        let got = unsafe { x86::gather_u32x8(table.as_ptr(), idx, 0b1010_1010) };
+        for lane in 0..8 {
+            let want = if lane % 2 == 1 {
+                table[idx[lane] as usize]
+            } else {
+                0
+            };
+            assert_eq!(got[lane], want);
+        }
+    }
+}

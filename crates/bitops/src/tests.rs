@@ -53,6 +53,39 @@ fn extract_zero_pads_past_end() {
 }
 
 #[test]
+fn extract_boundary_chunks_mask_exactly() {
+    // The boundary audit behind the batched walker's key-width assert:
+    // the deepest legal chain on each key width ends with a chunk that
+    // straddles the key end, and every bit past the end must read as 0 —
+    // in release builds too, where the walker's debug_assert is gone.
+    // u32, s = 18: chunk offsets 18, 24, 30; the offset-30 chunk holds
+    // bits 30..32 then four pad bits.
+    for key in [0u32, 1, 3, 0xFFFF_FFFF, 0xDEAD_BEEF] {
+        let top2 = (key & 0b11) << 4;
+        assert_eq!(key.extract(30, 6), top2, "key={key:#x}");
+        assert_eq!(key.extract(30, 6) & 0b1111, 0, "pad bits must be zero");
+        // One phantom level deeper (only reachable on a corrupt trie):
+        // fully past the end, must be all-zero, not garbage.
+        assert_eq!(key.extract(36, 6), 0);
+    }
+    // u128, s = 16: chunk offsets 16, 22, …, 124; the offset-124 chunk
+    // holds bits 124..128 then two pad bits.
+    for key in [
+        0u128,
+        1,
+        0xF,
+        u128::MAX,
+        0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210,
+    ] {
+        let low4 = ((key & 0xF) as u32) << 2;
+        assert_eq!(key.extract(124, 6), low4, "key={key:#x}");
+        assert_eq!(key.extract(124, 6) & 0b11, 0, "pad bits must be zero");
+        assert_eq!(key.extract(126, 6) & 0b1111, 0);
+        assert_eq!(key.extract(130, 6), 0);
+    }
+}
+
+#[test]
 fn extract_full_width() {
     let key: u32 = 0xdead_beef;
     assert_eq!(key.extract(0, 32), 0xdead_beef);

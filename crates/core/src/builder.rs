@@ -132,6 +132,7 @@ impl<K: Bits, N: NodeRepr> Builder<K, N> {
             inode_count: 0,
             leaf_count: 0,
             s: self.s,
+            backend: poptrie_bitops::BatchBackend::detect(),
             _key: core::marker::PhantomData,
         };
         if self.s == 0 {
@@ -154,23 +155,23 @@ fn apply(value: Option<&NextHop>, inherited: NextHop) -> NextHop {
 
 /// Allocate a run of `n` node slots, growing the backing array to the
 /// allocator's capacity. Freshly exposed slots hold an inert placeholder
-/// that is never reachable until overwritten.
+/// that is never reachable until overwritten. Growth goes through
+/// [`poptrie_buddy::first_touch::grow`] so every fresh page is faulted by
+/// the calling thread — on a NUMA machine this places the array on the
+/// builder/writer thread's memory node (the basis of the engine's
+/// per-socket replicas).
 pub(crate) fn alloc_nodes<K: Bits, N: NodeRepr>(trie: &mut PoptrieImpl<K, N>, n: u32) -> u32 {
     let off = trie.node_buddy.alloc(n);
     let cap = trie.node_buddy.capacity() as usize;
-    if trie.nodes.len() < cap {
-        trie.nodes.resize(cap, N::new(0, 1, 0, 0));
-    }
+    poptrie_buddy::first_touch::grow(&mut trie.nodes, cap, N::new(0, 1, 0, 0));
     off
 }
 
-/// Allocate a run of `n` leaf slots.
+/// Allocate a run of `n` leaf slots (first-touched like [`alloc_nodes`]).
 pub(crate) fn alloc_leaves<K: Bits, N: NodeRepr>(trie: &mut PoptrieImpl<K, N>, n: u32) -> u32 {
     let off = trie.leaf_buddy.alloc(n);
     let cap = trie.leaf_buddy.capacity() as usize;
-    if trie.leaves.len() < cap {
-        trie.leaves.resize(cap, NO_ROUTE);
-    }
+    poptrie_buddy::first_touch::grow(&mut trie.leaves, cap, NO_ROUTE);
     off
 }
 

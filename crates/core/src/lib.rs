@@ -57,6 +57,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+#[cfg(target_arch = "x86_64")]
+mod batch_simd;
 pub mod builder;
 pub mod config;
 pub mod node;
@@ -72,6 +74,7 @@ pub use audit::AuditReport;
 pub use builder::Builder;
 pub use config::{ConfigError, PoptrieConfig, PoptrieConfigBuilder};
 pub use node::{Node16, Node24, NodeRepr};
+pub use poptrie_bitops::BatchBackend;
 pub use serial::SerializeError;
 pub use trie::{Poptrie, PoptrieBasic, PoptrieStats, BATCH_LANES};
 pub use update::{Applied, Fib, UpdateError, UpdateStats, UpdateStrategy};

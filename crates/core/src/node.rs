@@ -45,6 +45,23 @@ pub trait NodeRepr: Copy + Clone + Send + Sync + 'static {
 
     /// Size in bytes, as reported in the paper's memory accounting.
     const SIZE: usize = core::mem::size_of::<Self>();
+
+    /// Byte offset of the packed `base0` (low 32 bits) / `base1` (high 32
+    /// bits) pair within the node, as read by one little-endian `u64`
+    /// gather. The SIMD kernels fetch both bases of a node in a single
+    /// gather lane; `layout_tests` pins the offsets against `repr(C)`.
+    const BASES_BYTES: usize;
+
+    /// Byte offset of the auxiliary `u64` word that [`NodeRepr::rank_word`]
+    /// consumes (the `leafvec` for [`Node24`]; `Node16` has no auxiliary
+    /// word, so it re-reads `vector` at offset 0 — the gather of that lane
+    /// is then redundant but harmless).
+    const AUX_BYTES: usize;
+
+    /// The word whose 1-rank at slot `v` is [`NodeRepr::leaf_rank`]:
+    /// `rank1(rank_word(vector, aux), v) == leaf_rank(v)` for every leaf
+    /// slot. `aux` is the `u64` gathered from [`NodeRepr::AUX_BYTES`].
+    fn rank_word(vector: u64, aux: u64) -> u64;
 }
 
 /// The 24-byte node with the leafvec extension (§3.3) — the layout the
@@ -103,6 +120,14 @@ impl NodeRepr for Node24 {
     }
 
     const COMPRESSES_LEAVES: bool = true;
+
+    const BASES_BYTES: usize = 16;
+    const AUX_BYTES: usize = 8;
+
+    #[inline(always)]
+    fn rank_word(_vector: u64, aux: u64) -> u64 {
+        aux // the leafvec
+    }
 }
 
 /// The 16-byte basic node (§3.1): one leaf per relevant slot, leaf index
@@ -155,6 +180,15 @@ impl NodeRepr for Node16 {
     }
 
     const COMPRESSES_LEAVES: bool = false;
+
+    const BASES_BYTES: usize = 8;
+    const AUX_BYTES: usize = 0;
+
+    #[inline(always)]
+    fn rank_word(vector: u64, _aux: u64) -> u64 {
+        // rank0(vector, v) == rank1(!vector, v).
+        !vector
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +204,42 @@ mod layout_tests {
         assert_eq!(core::mem::size_of::<Node24>(), 24);
         assert_eq!(Node16::SIZE, 16);
         assert_eq!(Node24::SIZE, 24);
+    }
+
+    #[test]
+    fn gather_offsets_match_repr_c_layout() {
+        // The SIMD kernels read nodes with byte-offset gathers; the
+        // offsets promised by the trait must match the real layout.
+        assert_eq!(core::mem::offset_of!(Node24, vector), 0);
+        assert_eq!(core::mem::offset_of!(Node24, leafvec), Node24::AUX_BYTES);
+        assert_eq!(core::mem::offset_of!(Node24, base0), Node24::BASES_BYTES);
+        assert_eq!(
+            core::mem::offset_of!(Node24, base1),
+            Node24::BASES_BYTES + 4
+        );
+        assert_eq!(core::mem::offset_of!(Node16, vector), 0);
+        assert_eq!(core::mem::offset_of!(Node16, base0), Node16::BASES_BYTES);
+        assert_eq!(
+            core::mem::offset_of!(Node16, base1),
+            Node16::BASES_BYTES + 4
+        );
+        assert_eq!(core::mem::offset_of!(Node16, vector), Node16::AUX_BYTES);
+    }
+
+    #[test]
+    fn rank_word_reproduces_leaf_rank() {
+        let n24 = Node24::new(0b0100, 0b1001, 0, 0);
+        let n16 = Node16::new(0b1010, 0, 0, 0);
+        for v in 0..64u32 {
+            if n24.vector() & (1 << v) == 0 {
+                let w = Node24::rank_word(n24.vector, n24.leafvec);
+                assert_eq!(poptrie_bitops::rank1(w, v), n24.leaf_rank(v));
+            }
+            if n16.vector() & (1 << v) == 0 {
+                let w = Node16::rank_word(n16.vector, 0);
+                assert_eq!(poptrie_bitops::rank1(w, v), n16.leaf_rank(v));
+            }
+        }
     }
 
     #[test]

@@ -262,6 +262,9 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
             inode_count,
             leaf_count,
             s,
+            // Serialized images carry no backend: the tier is a property
+            // of the loading host's CPU, re-detected at every load.
+            backend: poptrie_bitops::BatchBackend::detect(),
             _key: core::marker::PhantomData,
         };
         trie.check_invariants().map_err(SerializeError::Corrupt)?;

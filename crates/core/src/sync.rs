@@ -396,6 +396,48 @@ impl<K: Bits> SharedFib<K> {
         }
     }
 
+    /// Force the batched-lookup dispatch tier (clamped to what the CPU
+    /// supports) and publish a fresh snapshot carrying it, so readers
+    /// pick the new kernel up on their next snapshot acquisition.
+    /// Returns the tier actually installed. The benchmark harness and
+    /// the differential tests use this to pit SIMD tiers against the
+    /// scalar walker on identical tables.
+    pub fn set_batch_backend(
+        &self,
+        backend: poptrie_bitops::BatchBackend,
+    ) -> poptrie_bitops::BatchBackend {
+        let mut w = self.writer();
+        let installed = w.fib.set_batch_backend(backend);
+        self.publish(&mut w);
+        installed
+    }
+
+    /// A deep copy of this shared FIB: an independent `SharedFib` whose
+    /// writer state and published snapshot equal this one's at the moment
+    /// of the call (same routes, same version, same dispatch tier).
+    ///
+    /// This is the NUMA replica constructor: the forwarding engine keeps
+    /// one replica per socket so workers read node arrays resident on
+    /// their own memory node, and its single control-plane writer applies
+    /// every coalesced update burst to each replica in turn. The copy is
+    /// taken under this FIB's writer lock, so it can never observe a
+    /// half-applied batch; after the call the two FIBs share nothing and
+    /// diverge unless fed the same updates.
+    pub fn replicate(&self) -> SharedFib<K> {
+        let w = self.writer();
+        let current = RcuCell::new(FibSnapshot {
+            trie: w.fib.poptrie().clone(),
+            version: w.version,
+        });
+        SharedFib {
+            writer: Mutex::new(Writer {
+                fib: w.fib.clone(),
+                version: w.version,
+            }),
+            current,
+        }
+    }
+
     /// Cumulative update-work counters from the writer side.
     pub fn stats(&self) -> UpdateStats {
         self.writer().fib.stats()

@@ -1,6 +1,6 @@
 //! The Poptrie lookup structure and its traversal (Algorithms 1–3).
 
-use poptrie_bitops::{rank1, Bits};
+use poptrie_bitops::{rank1, BatchBackend, Bits};
 use poptrie_buddy::Buddy;
 use poptrie_rib::{Lpm, NextHop, RadixTree, NO_ROUTE};
 
@@ -53,6 +53,11 @@ pub struct PoptrieImpl<K: Bits, N: NodeRepr> {
     pub(crate) leaf_count: usize,
     /// Direct-pointing bit count `s`.
     pub(crate) s: u8,
+    /// The batched-lookup tier chosen at build time
+    /// ([`BatchBackend::detect`]); [`PoptrieImpl::lookup_batch`] jumps
+    /// straight to this kernel. Always an available tier, so the
+    /// `unsafe` SIMD kernel calls are sound.
+    pub(crate) backend: BatchBackend,
     pub(crate) _key: core::marker::PhantomData<K>,
 }
 
@@ -92,6 +97,24 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
     /// The direct-pointing size `s` this FIB was compiled with.
     pub fn direct_bits(&self) -> u8 {
         self.s
+    }
+
+    /// The batched-lookup dispatch tier this FIB uses (resolved at build
+    /// time by [`BatchBackend::detect`], which honors the
+    /// `POPTRIE_BACKEND` environment knob).
+    pub fn batch_backend(&self) -> BatchBackend {
+        self.backend
+    }
+
+    /// Force a specific batched-lookup tier, clamped to what the running
+    /// CPU supports ([`BatchBackend::clamp_available`]). Returns the tier
+    /// actually installed. Scalar lookups ([`PoptrieImpl::lookup`]) are
+    /// unaffected; this only selects the `lookup_batch` kernel — the
+    /// differential tests use it to pit the tiers against each other on
+    /// one structure.
+    pub fn set_batch_backend(&mut self, backend: BatchBackend) -> BatchBackend {
+        self.backend = backend.clamp_available();
+        self.backend
     }
 
     /// Longest-prefix-match lookup. Returns the next hop of the most
@@ -146,8 +169,14 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
             if vector & (1u64 << v) != 0 {
                 index = node.base1() + rank1(vector, v) - 1;
                 offset += 6;
+                // A node must distinguish at least one real key bit, so a
+                // child can only exist at an offset strictly below the key
+                // width; `extract` zero-pads any chunk that runs past the
+                // end, so even a corrupt trie cannot make release builds
+                // read garbage bits — this assert is the diagnostic, not
+                // the safety net.
                 debug_assert!(
-                    offset < K::BITS + 6,
+                    offset < K::BITS,
                     "traversal ran past the key width; corrupt trie"
                 );
             } else {
@@ -188,33 +217,55 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
     /// If `keys.len() != out.len()`.
     pub fn lookup_batch(&self, keys: &[K], out: &mut [NextHop]) {
         assert_eq!(keys.len(), out.len(), "keys/out length mismatch");
-        for (keys, out) in keys.chunks(BATCH_LANES).zip(out.chunks_mut(BATCH_LANES)) {
-            self.lookup_batch_chunk(keys, out);
+        // The SIMD tiers interleave twice as many keys per chunk
+        // ([`crate::batch_simd::SIMD_LANES`]): their gathers fetch a
+        // whole 8-lane group's node words in one instruction, so the
+        // wider chunk buys extra miss-level parallelism without doubling
+        // the bookkeeping the way a wider scalar walker would.
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            BatchBackend::Avx2 => {
+                let w = crate::batch_simd::SIMD_LANES;
+                for (keys, out) in keys.chunks(w).zip(out.chunks_mut(w)) {
+                    // SAFETY: `backend` is only ever set to an available
+                    // tier (detect/clamp at build time), so AVX2 + popcnt
+                    // are present.
+                    unsafe { self.lookup_batch_chunk_avx2(keys, out) }
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            BatchBackend::Avx512 => {
+                let w = crate::batch_simd::SIMD_LANES;
+                for (keys, out) in keys.chunks(w).zip(out.chunks_mut(w)) {
+                    // SAFETY: as above, with AVX-512F verified too.
+                    unsafe { self.lookup_batch_chunk_avx512(keys, out) }
+                }
+            }
+            _ => {
+                for (keys, out) in keys.chunks(BATCH_LANES).zip(out.chunks_mut(BATCH_LANES)) {
+                    self.lookup_batch_chunk(keys, out);
+                }
+            }
         }
     }
 
-    /// One interleaved round-robin pass over at most [`BATCH_LANES`] keys.
-    ///
-    /// Lane state is three parallel arrays plus two bitmasks instead of an
-    /// enum array so the per-round inner loops stay branch-light:
-    /// `index`/`offset` drive lanes still walking internal nodes (`live`
-    /// mask), `leaf` holds the pending leaf index of lanes whose leaf line
-    /// was prefetched last round (`leaf_mask`).
-    fn lookup_batch_chunk(&self, keys: &[K], out: &mut [NextHop]) {
-        debug_assert!(keys.len() <= BATCH_LANES && keys.len() == out.len());
+    /// Round 0 of the interleaved walkers — the direct-pointing stage
+    /// (Algorithm 3) — shared by the scalar chunk and the SIMD kernels,
+    /// generic over the lane count `L`. Issues every lane's direct-table
+    /// prefetch before the first demand load, resolves direct leaf hits
+    /// straight into `out`, and returns the `live` mask of lanes that
+    /// continue into the node walk (their `index`/`offset` primed).
+    #[inline(always)]
+    pub(crate) fn direct_round<const L: usize>(
+        &self,
+        keys: &[K],
+        out: &mut [NextHop],
+        index: &mut [u32; L],
+        offset: &mut [u32; L],
+    ) -> u32 {
         let n = keys.len();
-        #[cfg(feature = "telemetry")]
-        crate::telemetry::record_batch_call(n);
-        let mut index = [0u32; BATCH_LANES];
-        let mut offset = [0u32; BATCH_LANES];
-        let mut leaf = [0u32; BATCH_LANES];
-        let mut live: u32 = 0; // lanes currently walking internal nodes
-        let mut leaf_mask: u32 = 0; // lanes with a prefetched leaf pending
-
-        // Round 0: resolve the direct-pointing stage (Algorithm 3) for
-        // every lane. Issuing all direct-table prefetches before the first
-        // demand load overlaps the (random, likely-missing) direct entries
-        // of the whole batch.
+        debug_assert!(n <= L);
+        let mut live: u32 = 0;
         if self.s != 0 {
             for (i, k) in keys.iter().enumerate() {
                 let di = k.extract(0, self.s as u32);
@@ -240,9 +291,31 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
             }
         } else {
             index[..n].fill(self.root);
-            live = (1u32 << n) - 1;
+            live = (((1u64 << n) - 1) & 0xFFFF_FFFF) as u32;
             poptrie_bitops::prefetch_index(&self.nodes, self.root as usize);
         }
+        live
+    }
+
+    /// One interleaved round-robin pass over at most [`BATCH_LANES`] keys.
+    ///
+    /// Lane state is three parallel arrays plus two bitmasks instead of an
+    /// enum array so the per-round inner loops stay branch-light:
+    /// `index`/`offset` drive lanes still walking internal nodes (`live`
+    /// mask), `leaf` holds the pending leaf index of lanes whose leaf line
+    /// was prefetched last round (`leaf_mask`).
+    fn lookup_batch_chunk(&self, keys: &[K], out: &mut [NextHop]) {
+        debug_assert!(keys.len() <= BATCH_LANES && keys.len() == out.len());
+        #[cfg(feature = "telemetry")]
+        crate::telemetry::record_batch_call(keys.len());
+        let mut index = [0u32; BATCH_LANES];
+        let mut offset = [0u32; BATCH_LANES];
+        let mut leaf = [0u32; BATCH_LANES];
+        // Round 0: resolve the direct-pointing stage (Algorithm 3) for
+        // every lane — shared with the SIMD kernels, which run it at
+        // twice this lane count.
+        let mut live = self.direct_round(keys, out, &mut index, &mut offset);
+        let mut leaf_mask: u32 = 0; // lanes with a prefetched leaf pending
 
         // Main rounds: each live lane steps one level (Algorithm 1) and
         // prefetches the line it will touch next round; lanes that found
@@ -276,8 +349,15 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                     let next = node.base1() + rank1(vector, v) - 1;
                     index[i] = next;
                     offset[i] += 6;
+                    // Same bound as `lookup_raw`: a child node must sit
+                    // below the key width. The earlier `< K::BITS + 6`
+                    // bound tolerated a whole phantom level past the key
+                    // end; `extract`'s zero-padding kept that from being
+                    // a memory-safety issue, but on a corrupt trie the
+                    // walker would have silently used chunk value 0
+                    // instead of flagging the corruption.
                     debug_assert!(
-                        offset[i] < K::BITS + 6,
+                        offset[i] < K::BITS,
                         "traversal ran past the key width; corrupt trie"
                     );
                     poptrie_bitops::prefetch_index(&self.nodes, next as usize);

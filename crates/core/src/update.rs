@@ -319,6 +319,17 @@ impl<K: Bits> Fib<K> {
         &self.trie
     }
 
+    /// Force the batched-lookup dispatch tier of the compiled Poptrie
+    /// (clamped to what the CPU supports); snapshots cloned from this
+    /// FIB afterwards inherit it. See
+    /// [`Poptrie::set_batch_backend`](crate::Poptrie::set_batch_backend).
+    pub fn set_batch_backend(
+        &mut self,
+        backend: poptrie_bitops::BatchBackend,
+    ) -> poptrie_bitops::BatchBackend {
+        self.trie.set_batch_backend(backend)
+    }
+
     /// The RIB.
     pub fn rib(&self) -> &RadixTree<K, NextHop> {
         &self.rib

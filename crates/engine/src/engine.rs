@@ -29,6 +29,17 @@
 //! the caller's thread. Workers are panic-isolated: a panicking batch
 //! body is caught, counted, and the worker loop re-enters on the same OS
 //! thread.
+//!
+//! On a NUMA machine the engine serves from one FIB replica per memory
+//! node (replica 0 is the caller's `SharedFib`): each pinned worker
+//! reads the replica local to its node, and the writer applies every
+//! coalesced burst to all replicas in one iteration. Note that
+//! out-of-band mutations of the primary (calling
+//! `SharedFib::insert`/`set_batch_backend` directly after
+//! [`Engine::start`]) bypass the writer and therefore do **not** reach
+//! the other replicas — route all updates through [`Control`] when
+//! replicas are in play, and set the dispatch backend before starting
+//! the engine (replication copies it).
 
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -96,6 +107,7 @@ pub struct EngineConfig<K: Bits> {
     batch_delay: Duration,
     qos: QosPolicy,
     sources: Vec<(String, u32)>,
+    numa_replicas: Option<usize>,
     on_batch: Option<BatchHook<K>>,
     on_publish: Option<PublishHook<K>>,
 }
@@ -111,6 +123,7 @@ impl<K: Bits> core::fmt::Debug for EngineConfig<K> {
             .field("batch_delay", &self.batch_delay)
             .field("qos", &self.qos)
             .field("sources", &self.sources)
+            .field("numa_replicas", &self.numa_replicas)
             .finish_non_exhaustive()
     }
 }
@@ -130,6 +143,7 @@ impl<K: Bits> EngineConfig<K> {
             batch_delay: Duration::ZERO,
             qos: QosPolicy::Refuse,
             sources: Vec::new(),
+            numa_replicas: None,
             on_batch: None,
             on_publish: None,
         }
@@ -177,15 +191,31 @@ impl<K: Bits> EngineConfig<K> {
     }
 
     /// Register a named traffic source with a relative `weight`
-    /// (minimum 1). Each source gets a per-worker-queue slot quota of
-    /// `max(1, queue_capacity * weight / total_weight)`: under
-    /// contention a source can fill at most its weighted share of each
-    /// queue, so a flooding source is refused while lighter ones still
-    /// get in. Feed a registered source through
-    /// [`Engine::ingress_for`]; the plain [`Engine::ingress`] handle
-    /// remains unweighted and quota-exempt.
+    /// (minimum 1). Queue slots are apportioned among the registered
+    /// sources by largest-remainder: every source gets at least one
+    /// slot, the rest are split in proportion to weight, and — as long
+    /// as there are no more sources than slots — the quotas sum to
+    /// exactly `queue_capacity`, so the weighted shares can never
+    /// jointly oversubscribe a queue (see [`source_quotas`] for the
+    /// degenerate more-sources-than-slots case). Under contention a
+    /// source can fill at most its share of each queue, so a flooding
+    /// source is refused while lighter ones still get in. Feed a
+    /// registered source through [`Engine::ingress_for`]; the plain
+    /// [`Engine::ingress`] handle remains unweighted and quota-exempt.
     pub fn source(mut self, name: &str, weight: u32) -> Self {
         self.sources.push((name.to_string(), weight.max(1)));
+        self
+    }
+
+    /// Serve lookups from this many FIB replicas (minimum 1) instead of
+    /// auto-detecting one replica per NUMA node. Replica 0 is always the
+    /// `SharedFib` handed to [`Engine::start`]; the engine clones the
+    /// others at startup and its writer applies every coalesced update
+    /// burst to each, so all replicas converge after every burst. Mostly
+    /// a testing override — the auto-detected value is right on real
+    /// hardware.
+    pub fn numa_replicas(mut self, replicas: usize) -> Self {
+        self.numa_replicas = Some(replicas.max(1));
         self
     }
 
@@ -422,6 +452,9 @@ impl LatencySummary {
 /// Final accounting for one worker, from [`EngineReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerReport {
+    /// Index of the NUMA FIB replica this worker served lookups from
+    /// (0 = the primary).
+    pub replica: usize,
     /// Packets this worker looked up.
     pub packets: u64,
     /// Batches this worker drained.
@@ -484,6 +517,11 @@ pub struct EngineReport {
     pub queue_wait: LatencySummary,
     /// Engine-wide lookup service time (all workers' histograms merged).
     pub service: LatencySummary,
+    /// FIB replicas the engine served from (1 = no NUMA replication).
+    pub fib_replicas: usize,
+    /// Snapshots published to non-primary replicas by the writer (one
+    /// per extra replica per coalesced burst).
+    pub replica_publishes: u64,
     /// Snapshots published by the writer.
     pub publishes: u64,
     /// Route-update events consumed.
@@ -504,11 +542,60 @@ pub struct EngineReport {
     pub elapsed: Duration,
 }
 
+/// Per-worker-queue slot quotas for weighted sources, by
+/// largest-remainder apportionment: every source gets one reserved
+/// slot, the remaining `capacity - n` slots are split in proportion to
+/// weight, and the sources with the largest fractional parts absorb the
+/// leftovers (ties broken by registration order, so the result is
+/// deterministic).
+///
+/// Invariants:
+/// * every quota is at least 1, so a registered source can always make
+///   progress;
+/// * when `weights.len() <= capacity`, the quotas sum to **exactly**
+///   `capacity` — the weighted shares can never jointly oversubscribe a
+///   queue. (The previous `max(1, capacity·w/Σw)` formula broke this:
+///   flooring each share at one slot on top of independent truncation
+///   could push the sum past the capacity, quietly handing heavy
+///   sources admission the queue could not honor.)
+/// * with more sources than slots, the per-source floor wins: every
+///   source keeps its minimum one slot and the queue's own capacity
+///   still bounds actual admission. The quotas are individually honest
+///   but collectively oversubscribed by construction in this degenerate
+///   configuration.
+pub fn source_quotas(capacity: usize, weights: &[u32]) -> Vec<usize> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n >= capacity {
+        return vec![1; n];
+    }
+    let total: u64 = weights.iter().map(|&w| w as u64).sum::<u64>().max(1);
+    let spare = (capacity - n) as u64;
+    let mut quotas: Vec<usize> = Vec::with_capacity(n);
+    let mut by_remainder: Vec<(u64, usize)> = Vec::with_capacity(n);
+    for (i, &w) in weights.iter().enumerate() {
+        let share = spare * w as u64;
+        quotas.push(1 + (share / total) as usize);
+        by_remainder.push((share % total, i));
+    }
+    let assigned: usize = quotas.iter().sum();
+    by_remainder.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in by_remainder.iter().take(capacity - assigned) {
+        quotas[i] += 1;
+    }
+    quotas
+}
+
 /// The running engine. Owns the worker and writer threads; hand out
 /// [`Ingress`]/[`Control`] handles to feed it, and finish with
 /// [`Engine::shutdown`] for drain-then-join teardown.
 pub struct Engine<K: Bits> {
     fib: Arc<SharedFib<K>>,
+    /// All FIB replicas, primary first; workers read the one local to
+    /// their NUMA node, the writer publishes to every one.
+    replicas: Vec<Arc<SharedFib<K>>>,
     queues: BatchQueues<K>,
     control: Arc<Bounded<RouteUpdate<K>>>,
     stats: Arc<EngineTelemetry>,
@@ -533,20 +620,45 @@ impl<K: Bits> Engine<K> {
     /// and routes all mutations through its single writer.
     pub fn start(fib: Arc<SharedFib<K>>, config: EngineConfig<K>) -> Self {
         let nworkers = config.workers;
-        // Weighted share of each queue's slots, floored at one slot so
-        // every registered source can always make progress.
-        let total_weight: u64 = config.sources.iter().map(|(_, w)| *w as u64).sum();
+        let weights: Vec<u32> = config.sources.iter().map(|(_, w)| *w).collect();
+        let quotas = source_quotas(config.queue_capacity, &weights);
         let source_specs: Vec<(String, u32, usize)> = config
             .sources
             .iter()
-            .map(|(name, w)| {
-                let quota =
-                    ((config.queue_capacity as u64 * *w as u64) / total_weight.max(1)).max(1);
-                (name.clone(), *w, quota as usize)
-            })
+            .zip(&quotas)
+            .map(|((name, w), &quota)| (name.clone(), *w, quota))
             .collect();
         let stats = Arc::new(EngineTelemetry::new(nworkers, &source_specs));
         stats.published_version.set(fib.version());
+
+        // One FIB replica per NUMA node (or per the explicit override),
+        // primary first. Each extra replica is an independent deep copy
+        // taken before any thread starts; the writer keeps them
+        // converged burst by burst. Auto-detection never creates more
+        // replicas than workers — an unread copy is pure memory cost.
+        let topo = affinity::NumaTopology::detect();
+        let nreplicas = config
+            .numa_replicas
+            .unwrap_or_else(|| topo.nodes().min(nworkers))
+            .max(1);
+        let mut replicas: Vec<Arc<SharedFib<K>>> = Vec::with_capacity(nreplicas);
+        replicas.push(Arc::clone(&fib));
+        for _ in 1..nreplicas {
+            replicas.push(Arc::new(fib.replicate()));
+        }
+        stats.fib_replicas.set(nreplicas as u64);
+        // Worker→replica affinity: a pinned worker reads the replica of
+        // the node its core belongs to. When the replica count exceeds
+        // the detected node count (the testing override on a small
+        // host), the mapping degenerates to round-robin so every
+        // replica is exercised.
+        let replica_of = |worker: usize| -> usize {
+            if topo.nodes() >= nreplicas && topo.cpus() > 0 {
+                topo.node_of_cpu(worker % topo.cpus()) % nreplicas
+            } else {
+                worker % nreplicas
+            }
+        };
         let queues: BatchQueues<K> = Arc::new(
             (0..nworkers)
                 .map(|_| Arc::new(Bounded::new(config.queue_capacity)))
@@ -559,7 +671,9 @@ impl<K: Bits> Engine<K> {
         for idx in 0..nworkers {
             let flag = Arc::new(AtomicBool::new(false));
             panic_flags.push(Arc::clone(&flag));
-            let fib = Arc::clone(&fib);
+            let replica = replica_of(idx);
+            stats.worker(idx).replica.set(replica as u64);
+            let fib = Arc::clone(&replicas[replica]);
             let queue = Arc::clone(&queues[idx]);
             let stats = Arc::clone(&stats);
             let hook = config.on_batch.clone();
@@ -579,19 +693,20 @@ impl<K: Bits> Engine<K> {
         }
 
         let writer = {
-            let fib = Arc::clone(&fib);
+            let replicas = replicas.clone();
             let queue = Arc::clone(&control);
             let stats = Arc::clone(&stats);
             let hook = config.on_publish.clone();
             let window = config.coalesce_window;
             std::thread::Builder::new()
                 .name("fib-writer".to_string())
-                .spawn(move || writer_main(&fib, &queue, &stats, window, hook.as_ref()))
+                .spawn(move || writer_main(&replicas, &queue, &stats, window, hook.as_ref()))
                 .expect("spawn control-plane writer")
         };
 
         Engine {
             fib,
+            replicas,
             queues,
             control,
             stats,
@@ -651,9 +766,17 @@ impl<K: Bits> Engine<K> {
         Arc::clone(&self.stats)
     }
 
-    /// The shared FIB the engine serves.
+    /// The shared FIB the engine serves (the primary, replica 0).
     pub fn fib(&self) -> &Arc<SharedFib<K>> {
         &self.fib
+    }
+
+    /// Every FIB replica the engine serves from, primary first. More
+    /// than one entry only on a multi-node machine (or under the
+    /// [`EngineConfig::numa_replicas`] override); the writer keeps them
+    /// converged burst by burst.
+    pub fn fib_replicas(&self) -> &[Arc<SharedFib<K>>] {
+        &self.replicas
     }
 
     /// Make worker `worker` panic at the start of its next batch — a
@@ -700,6 +823,7 @@ impl<K: Bits> Engine<K> {
             .workers()
             .iter()
             .map(|w| WorkerReport {
+                replica: w.replica.get() as usize,
                 packets: w.packets.get(),
                 batches: w.batches.get(),
                 respawns: w.respawns.get(),
@@ -746,6 +870,8 @@ impl<K: Bits> Engine<K> {
             deadline_dropped_packets: self.stats.total_deadline_dropped_packets(),
             queue_wait: LatencySummary::from_counts(&wait_counts, wait_sum),
             service: LatencySummary::from_counts(&service_counts, service_sum),
+            fib_replicas: self.replicas.len(),
+            replica_publishes: self.stats.replica_publishes.get(),
             publishes: self.stats.publishes.get(),
             update_events: self.stats.update_events.get(),
             updates_applied: self.stats.updates_applied.get(),
@@ -841,14 +967,22 @@ fn worker_main<K: Bits>(
 
 /// The single control-plane writer: drain a burst, coalesce duplicate
 /// prefixes (last update wins, order of survivors preserved), apply under
-/// one writer critical section, publish one snapshot.
+/// one writer critical section per replica, publish one snapshot per
+/// replica. The primary (replica 0) is updated first and its
+/// [`BatchOutcome`] drives the stats and the publish hook; the remaining
+/// NUMA replicas receive the identical coalesced burst immediately after,
+/// so they converge to the same routes within the same writer iteration
+/// (workers on other nodes may observe the new routes one burst-apply
+/// later than workers on the primary's node — the same snapshot-staleness
+/// window every worker already has between snapshot acquisitions).
 fn writer_main<K: Bits>(
-    fib: &SharedFib<K>,
+    replicas: &[Arc<SharedFib<K>>],
     queue: &Bounded<RouteUpdate<K>>,
     stats: &EngineTelemetry,
     window: usize,
     hook: Option<&PublishHook<K>>,
 ) {
+    let fib = &replicas[0];
     let mut buf: Vec<RouteUpdate<K>> = Vec::with_capacity(window);
     let mut coalesced: Vec<RouteUpdate<K>> = Vec::with_capacity(window);
     let mut seen: HashSet<Prefix<K>> = HashSet::with_capacity(window);
@@ -870,6 +1004,10 @@ fn writer_main<K: Bits>(
         let merged = buf.len() - coalesced.len();
 
         let outcome = fib.update_batch(coalesced.iter().copied());
+        for replica in &replicas[1..] {
+            replica.update_batch(coalesced.iter().copied());
+            stats.replica_publishes.inc();
+        }
         stats.update_events.add(buf.len() as u64);
         stats.updates_coalesced.add(merged as u64);
         stats.updates_applied.add(outcome.applied as u64);

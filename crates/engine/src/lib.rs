@@ -12,7 +12,13 @@
 //! * **one control-plane writer** consuming announce/withdraw events
 //!   from a bounded channel, coalescing duplicate-prefix updates per
 //!   burst, applying them through the §3.5 incremental update, and
-//!   publishing exactly one RCU snapshot per burst;
+//!   publishing exactly one RCU snapshot per burst per FIB replica;
+//! * **NUMA awareness**: one FIB replica per memory node (detected from
+//!   sysfs, overridable with [`EngineConfig::numa_replicas`]), each
+//!   worker reading the replica local to the core it pins, the writer
+//!   keeping every replica converged burst by burst, and the node/leaf
+//!   arrays first-touched by their growing thread
+//!   (`poptrie_buddy::first_touch`);
 //! * **bounded queues everywhere** with non-blocking producers and drop
 //!   accounting (backpressure sheds load, it never blocks the feeder);
 //! * **QoS** ([`QosPolicy`]): per-source weighted queue shares
@@ -67,12 +73,12 @@ mod queue;
 mod stats;
 
 pub use engine::{
-    BatchHook, Control, Engine, EngineConfig, EngineReport, Ingress, LatencySummary, PublishHook,
-    QosPolicy, SourceReport, WorkerReport,
+    source_quotas, BatchHook, Control, Engine, EngineConfig, EngineReport, Ingress, LatencySummary,
+    PublishHook, QosPolicy, SourceReport, WorkerReport,
 };
 pub use stats::{EngineTelemetry, SourceStats, WorkerStats};
 
-pub use affinity::pin_current_thread;
+pub use affinity::{pin_current_thread, NumaTopology};
 
 /// One-line import of the engine vocabulary plus the `poptrie` types an
 /// engine driver always needs.

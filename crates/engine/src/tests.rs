@@ -337,6 +337,117 @@ mod engine {
     }
 
     #[test]
+    fn quota_apportionment_never_oversubscribes_the_queue() {
+        use crate::source_quotas;
+        // Regression (ISSUE 7): the old `max(1, cap·w/Σw)` formula gave
+        // this shape quotas 7,1,1,1,1,1 — sum 12 against a capacity of
+        // 8, so the "weighted shares" could jointly overcommit the
+        // queue. Largest-remainder apportionment must hit the capacity
+        // exactly while keeping every source at ≥ 1 slot.
+        let q = source_quotas(8, &[100, 1, 1, 1, 1, 1]);
+        assert_eq!(q.iter().sum::<usize>(), 8);
+        assert!(q.iter().all(|&x| x >= 1));
+        assert!(q[0] > q[1], "the heavy source keeps the largest share");
+
+        // The documented shapes stay put: cap 4 at weights 3:1 -> 3,1.
+        assert_eq!(source_quotas(4, &[3, 1]), vec![3, 1]);
+        // Equal weights split evenly, remainders to the earliest.
+        assert_eq!(source_quotas(10, &[1, 1, 1]), vec![4, 3, 3]);
+        // Degenerate more-sources-than-slots case: the per-source floor
+        // wins and the queue capacity itself bounds admission.
+        assert_eq!(source_quotas(2, &[5, 5, 5]), vec![1, 1, 1]);
+        assert_eq!(source_quotas(0, &[7]), vec![1]);
+        assert!(source_quotas(8, &[]).is_empty());
+
+        // Sweep: for any mix with n <= cap the sum is exactly cap.
+        for cap in 1..=32usize {
+            for weights in [vec![1u32; cap], vec![3, 1], vec![7, 2, 2], vec![1000, 1]] {
+                if weights.len() > cap {
+                    continue;
+                }
+                let q = source_quotas(cap, &weights);
+                assert_eq!(q.iter().sum::<usize>(), cap, "cap={cap} w={weights:?}");
+                assert!(q.iter().all(|&x| x >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn numa_replicas_converge_and_serve_identically() {
+        let fib = shared(&[("10.0.0.0/8", 1)]);
+        let engine = Engine::start(
+            Arc::clone(&fib),
+            EngineConfig::new(3).pin_workers(false).numa_replicas(3),
+        );
+        assert_eq!(engine.fib_replicas().len(), 3);
+        // Every replica starts as a converged copy of the primary.
+        for r in engine.fib_replicas() {
+            assert_eq!(r.lookup(0x0A00_0001), Some(1));
+            assert_eq!(r.version(), fib.version());
+        }
+
+        // Updates routed through the writer reach all replicas.
+        let control = engine.control();
+        control.announce(p4("11.0.0.0/8"), 7).unwrap();
+        control.withdraw(p4("10.0.0.0/8")).unwrap();
+        let t = engine.telemetry();
+        while t.update_events.get() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for (i, r) in engine.fib_replicas().iter().enumerate() {
+            assert_eq!(r.lookup(0x0B00_0001), Some(7), "replica {i}");
+            assert_eq!(r.lookup(0x0A00_0001), None, "replica {i}");
+        }
+
+        // Batches still resolve correctly no matter which worker (and
+        // hence which replica) serves them.
+        let ingress = engine.ingress();
+        let batch: Arc<[u32]> = Arc::from(vec![0x0B00_0001u32, 0x0A00_0001]);
+        for w in 0..3 {
+            while ingress.try_submit_to(w, Arc::clone(&batch)).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let report = engine.shutdown(Duration::from_secs(10));
+        assert!(report.drained_clean);
+        assert_eq!(report.fib_replicas, 3);
+        // One publish per burst on the primary, one per extra replica:
+        // the writer touched every replica exactly as often.
+        assert_eq!(report.replica_publishes, report.publishes * 2);
+        // Every worker is mapped to a valid replica; on a host with
+        // fewer NUMA nodes than the forced replica count the mapping is
+        // round-robin so all replicas are exercised.
+        for (i, w) in report.workers.iter().enumerate() {
+            assert!(w.replica < report.fib_replicas);
+            if crate::NumaTopology::detect().nodes() < 3 {
+                assert_eq!(w.replica, i % 3);
+            }
+        }
+    }
+
+    #[test]
+    fn single_replica_engine_reports_no_replica_publishes() {
+        let fib = shared(&[("10.0.0.0/8", 1)]);
+        let engine = Engine::start(Arc::clone(&fib), EngineConfig::new(2).pin_workers(false));
+        let control = engine.control();
+        control.announce(p4("11.0.0.0/8"), 2).unwrap();
+        let t = engine.telemetry();
+        while t.update_events.get() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let report = engine.shutdown(Duration::from_secs(10));
+        // Auto-detection never exceeds the node count, and replica 0 is
+        // the caller's own SharedFib — mutating through the engine
+        // mutated `fib` itself.
+        assert!(report.fib_replicas >= 1);
+        assert_eq!(fib.lookup(0x0B00_0001), Some(2));
+        if report.fib_replicas == 1 {
+            assert_eq!(report.replica_publishes, 0);
+            assert!(report.workers.iter().all(|w| w.replica == 0));
+        }
+    }
+
+    #[test]
     fn writer_coalesces_duplicate_prefixes() {
         let fib = shared(&[]);
         let publishes: Published = Arc::new(Mutex::new(Vec::new()));

@@ -112,6 +112,85 @@ fn incremental_fib_batches_like_scalar_across_updates() {
     }
 }
 
+/// Every dispatch tier the running CPU can execute.
+fn backends() -> Vec<poptrie_suite::poptrie::BatchBackend> {
+    use poptrie_suite::poptrie::BatchBackend::*;
+    [Scalar, Avx2, Avx512]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+#[test]
+fn dense_host_routes_resolve_on_every_backend_v4() {
+    // Key-width boundary regression (ISSUE 7): dense /32 routes drive
+    // every lane down the maximal chain — with s = 18 the chunk offsets
+    // are 18, 24, 30, and the final `extract(30, 6)` straddles the key
+    // end (two real bits, four zero-pad bits). Keys differing only in
+    // bits 30..32 must split into distinct leaves, and the pad bits must
+    // never leak garbage into the slot value — on the scalar and SIMD
+    // tiers alike.
+    let base = 0x0A0A_0A00u32;
+    let mut routes: Vec<(Prefix<u32>, u16)> = (0..256u32)
+        .map(|i| (Prefix::new(base | i, 32), (i + 1) as u16))
+        .collect();
+    // Parents at every length around the chunk seams keep leaves at the
+    // shallower depths live too.
+    routes.push((Prefix::new(0x0A00_0000, 8), 1000));
+    routes.push((Prefix::new(0x0A0A_0000, 16), 1001));
+    routes.push((Prefix::new(0x0A0A_0A00, 24), 1002));
+    routes.push((Prefix::new(0x0A0A_0A40, 26), 1003));
+    for s in [0u8, 16, 18] {
+        let rib = RadixTree::from_routes(routes.iter().copied());
+        let mut trie: Poptrie<u32> = Builder::new().direct_bits(s).aggregate(false).build(&rib);
+        let keys: Vec<u32> = (0..1024u32)
+            .map(|i| base.wrapping_add(i).wrapping_sub(256))
+            .collect();
+        let want: Vec<u16> = keys
+            .iter()
+            .map(|&k| trie.lookup(k).unwrap_or(NO_ROUTE))
+            .collect();
+        for b in backends() {
+            assert_eq!(trie.set_batch_backend(b), b);
+            let mut out = vec![0xAAAA; keys.len()];
+            trie.lookup_batch(&keys, &mut out);
+            assert_eq!(out, want, "backend {b}, s={s}");
+        }
+    }
+}
+
+#[test]
+fn dense_host_routes_resolve_on_every_backend_v6() {
+    // The IPv6 twin: /128 routes walk ~19 levels (s = 16: offsets 16,
+    // 22, …, 124), and the offset-124 chunk holds the last four real
+    // bits plus two pad bits. A key-width bug at the boundary would
+    // corrupt exactly the low-bit neighbors generated here.
+    let base: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0100;
+    let mut routes: Vec<(Prefix<u128>, u16)> = (0..128u128)
+        .map(|i| (Prefix::new(base | i, 128), (i + 1) as u16))
+        .collect();
+    routes.push((Prefix::new(base & !0xFFFF_FFFF, 96), 2000));
+    routes.push((Prefix::new(base, 120), 2001));
+    routes.push((Prefix::new(base | 0x40, 122), 2002));
+    for s in [0u8, 16] {
+        let rib = RadixTree::from_routes(routes.iter().copied());
+        let mut trie: Poptrie<u128> = Builder::new().direct_bits(s).aggregate(false).build(&rib);
+        let keys: Vec<u128> = (0..512u128)
+            .map(|i| base.wrapping_add(i).wrapping_sub(128))
+            .collect();
+        let want: Vec<u16> = keys
+            .iter()
+            .map(|&k| trie.lookup(k).unwrap_or(NO_ROUTE))
+            .collect();
+        for b in backends() {
+            assert_eq!(trie.set_batch_backend(b), b);
+            let mut out = vec![0xAAAA; keys.len()];
+            trie.lookup_batch(&keys, &mut out);
+            assert_eq!(out, want, "backend {b}, s={s}");
+        }
+    }
+}
+
 #[test]
 fn shared_fib_batch_is_consistent_under_concurrent_updates() {
     // A batch runs against one RCU snapshot, so while a writer churns

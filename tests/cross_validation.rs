@@ -6,9 +6,14 @@
 //! algorithms", §4).
 
 use poptrie_suite::baselines::{Dir248, Dxr, DxrConfig, Lulea, Sail, TreeBitmap4, TreeBitmap64};
-use poptrie_suite::tablegen::{expand_syn1, expand_syn2, Dataset, TableKind, TableSpec};
+use poptrie_suite::bitops::Bits;
+use poptrie_suite::poptrie::{BatchBackend, PoptrieConfig};
+use poptrie_suite::rng::prelude::*;
+use poptrie_suite::tablegen::{
+    churn_stream, expand_syn1, expand_syn2, ChurnConfig, ChurnEvent, Dataset, TableKind, TableSpec,
+};
 use poptrie_suite::traffic::Xorshift128;
-use poptrie_suite::{Builder, LinearLpm, Lpm, Patricia, Poptrie, PoptrieBasic, Prefix};
+use poptrie_suite::{Builder, Fib, LinearLpm, Lpm, Patricia, Poptrie, PoptrieBasic, Prefix};
 
 /// Build one instance of every algorithm in the workspace for `dataset`.
 fn build_algos(dataset: &Dataset) -> Vec<(String, Box<dyn Lpm<u32>>)> {
@@ -218,6 +223,159 @@ fn linear_oracle_agrees_with_radix() {
         let key = rng.next_u32();
         assert_eq!(Lpm::lookup(&rib, key), Lpm::lookup(&lin, key));
     }
+}
+
+/// Every dispatch tier the running CPU can execute. Under the CI matrix
+/// (`POPTRIE_BACKEND=scalar` / `avx2`) the wider tiers are still listed
+/// here if the silicon has them — the env knob pins what `detect()`
+/// builds by default, while this fuzz force-installs each tier
+/// explicitly, so the forced-scalar run and the full-ladder run check
+/// the same agreement property from both directions.
+fn backends() -> Vec<BatchBackend> {
+    use BatchBackend::*;
+    [Scalar, Avx2, Avx512]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+/// Wrapping successor/predecessor within the key width.
+fn wrapping_step<K: Bits>(k: K, delta: i128) -> K {
+    K::from_u128(k.to_u128().wrapping_add(delta as u128) & K::ONES.to_u128())
+}
+
+/// Differential fuzz of the dispatch ladder over churn-fuzzer tables.
+///
+/// The §3.5 incremental updater produces trie shapes a from-scratch
+/// build never emits verbatim — buddy-reallocated node blocks, patched
+/// direct slots, leafvec rewrites — and the SIMD walkers gather straight
+/// out of those arrays. So beyond the from-scratch differential in
+/// [`batched_lookup_matches_scalar`], every available tier (forced via
+/// `set_batch_backend`, not left to detection) must agree with the
+/// scalar one-key lookup on *churned* tables at many points mid-stream,
+/// with the adversarial key mix of the churn fuzzer: both ends of every
+/// recently-touched prefix, their one-off neighbours, and random keys.
+fn churn_backend_differential<K: Bits>(cfg: ChurnConfig, check_every: usize) {
+    let stream = churn_stream::<K>(&cfg);
+    let pcfg = PoptrieConfig::new()
+        .direct_bits(cfg.direct_bits)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let mut fib: Fib<K> = Fib::with_config(pcfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1FF_BACD);
+    let tiers = backends();
+    assert!(tiers.contains(&BatchBackend::Scalar));
+    let ctx = format!(
+        "seed {:#x} / s={} / {}-bit keys / tiers {:?}",
+        cfg.seed,
+        cfg.direct_bits,
+        K::BITS,
+        tiers
+    );
+
+    let mut recent: Vec<Prefix<K>> = Vec::new();
+    for (i, ev) in stream.iter().enumerate() {
+        match *ev {
+            ChurnEvent::Announce(p, nh) => {
+                fib.insert(p, nh).unwrap();
+            }
+            ChurnEvent::Withdraw(p) => {
+                fib.remove(p).unwrap();
+            }
+        }
+        recent.push(ev.prefix());
+        let n = i + 1;
+        if !n.is_multiple_of(check_every) && n != stream.len() {
+            continue;
+        }
+
+        // Boundaries of every prefix touched since the last checkpoint,
+        // plus random keys; the final count is forced off every lane
+        // multiple so each kernel's partial-tail path runs too.
+        let mut keys: Vec<K> = Vec::with_capacity(recent.len() * 4 + 2100);
+        for p in recent.drain(..) {
+            let (first, last) = (p.first_addr(), p.last_addr());
+            keys.extend([
+                first,
+                last,
+                wrapping_step(first, -1),
+                wrapping_step(last, 1),
+            ]);
+        }
+        loop {
+            keys.push(K::from_u128(rng.gen::<u128>() & K::ONES.to_u128()));
+            if keys.len() >= 2048 && keys.len() % 32 == 5 {
+                break;
+            }
+        }
+        let want: Vec<u16> = keys.iter().map(|&k| fib.lookup(k).unwrap_or(0)).collect();
+        for &b in &tiers {
+            assert_eq!(fib.set_batch_backend(b), b, "[{ctx}] tier refused");
+            // One whole-array call (the kernel's own chunking) and one
+            // chunked pass with an odd caller-side batch size.
+            let mut got = vec![0xAAAAu16; keys.len()];
+            fib.poptrie().lookup_batch(&keys, &mut got);
+            assert!(
+                got == want,
+                "[{ctx}] backend {b} diverged from scalar lookup at event {i} \
+                 (first bad key {:#x})",
+                keys[got.iter().zip(&want).position(|(g, w)| g != w).unwrap()].to_u128()
+            );
+            let mut got = vec![0xAAAAu16; keys.len()];
+            for (kc, oc) in keys.chunks(13).zip(got.chunks_mut(13)) {
+                fib.poptrie().lookup_batch(kc, oc);
+            }
+            assert!(
+                got == want,
+                "[{ctx}] backend {b} diverged on 13-key chunks at event {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn churn_tables_agree_across_dispatch_tiers_u32() {
+    churn_backend_differential::<u32>(
+        ChurnConfig {
+            seed: 0x0707_0001,
+            events: 6_000,
+            direct_bits: 16,
+            pool: 192,
+            max_nh: 200,
+        },
+        1_000,
+    );
+}
+
+#[test]
+fn churn_tables_agree_across_dispatch_tiers_u128() {
+    churn_backend_differential::<u128>(
+        ChurnConfig {
+            seed: 0x0707_0002,
+            events: 4_000,
+            direct_bits: 16,
+            pool: 160,
+            max_nh: 200,
+        },
+        1_000,
+    );
+}
+
+#[test]
+fn churn_without_direct_table_agrees_across_tiers() {
+    // `s = 0` keeps every lookup on the root-node path the direct-table
+    // configs never take; the SIMD walkers special-case the first round.
+    churn_backend_differential::<u32>(
+        ChurnConfig {
+            seed: 0x0707_0003,
+            events: 2_000,
+            direct_bits: 0,
+            pool: 96,
+            max_nh: 50,
+        },
+        500,
+    );
 }
 
 #[test]
