@@ -62,6 +62,9 @@ fn main() {
     // `--threads` consumes the next token, so the command word is picked
     // from the positionals that remain after flag parsing.
     let mut threads: Option<usize> = None;
+    let mut mrt: Option<String> = None;
+    let mut write_fixture: Option<String> = None;
+    let mut speedup: f64 = 0.0;
     let mut positional: Vec<&str> = Vec::new();
     let mut words = args.iter();
     while let Some(a) = words.next() {
@@ -70,6 +73,26 @@ fn main() {
             if threads.is_none() {
                 eprintln!("--threads needs a positive integer");
                 std::process::exit(2);
+            }
+        } else if a == "--mrt" {
+            mrt = words.next().cloned();
+            if mrt.is_none() {
+                eprintln!("--mrt needs a file path");
+                std::process::exit(2);
+            }
+        } else if a == "--write-fixture" {
+            write_fixture = words.next().cloned();
+            if write_fixture.is_none() {
+                eprintln!("--write-fixture needs a file path");
+                std::process::exit(2);
+            }
+        } else if a == "--speedup" {
+            match words.next().and_then(|v| v.parse().ok()) {
+                Some(s) => speedup = s,
+                None => {
+                    eprintln!("--speedup needs a number (0 = as fast as possible)");
+                    std::process::exit(2);
+                }
             }
         } else if !a.starts_with("--") {
             positional.push(a);
@@ -95,6 +118,15 @@ fn main() {
         "fig10" if live => fig10_live(&mut ctx, threads.unwrap_or(2), churn),
         "fig10" => fig10(&mut ctx),
         "slo" => slo(&mut ctx, threads.unwrap_or(2)),
+        "bgp" => bgp(
+            &mut ctx,
+            &BgpOpts {
+                mrt,
+                write_fixture,
+                speedup,
+                threads: threads.unwrap_or(2),
+            },
+        ),
         "fig11" => fig11(&mut ctx),
         "fig12" => fig12(&mut ctx),
         "updates" => updates(&mut ctx),
@@ -131,6 +163,8 @@ repro — regenerate the tables and figures of the Poptrie paper (SIGCOMM 2015)
 usage: repro <experiment> [--quick | --full] [--compare]
        repro fig10 --live --threads N [--churn] [--quick]
        repro slo [--threads N] [--quick]
+       repro bgp [--quick] [--threads N] [--mrt FILE] [--speedup X]
+       repro bgp --write-fixture FILE
 
 experiments: table1 table2 table3 table4 table5 table6
              fig7 fig8 fig9 fig10 fig11 fig12 updates all
@@ -148,6 +182,20 @@ experiments: table1 table2 table3 table4 table5 table6
                       cell with exact drop accounting; writes
                       results/BENCH_slo.json and exits nonzero on an
                       accounting mismatch or malformed JSON
+             bgp      BGP control-plane replay: drive wire-format UPDATE
+                      messages (synthetic, or an MRT BGP4MP capture via
+                      --mrt) through the RFC 4271 session FSM into the
+                      engine's control plane, with a seeded mid-replay
+                      session flap (reset, exponential-backoff reconnect,
+                      full-table resend) while lookups keep serving the
+                      last snapshot; gates on exact announce/withdraw
+                      accounting and a FIB-vs-RIB-oracle match, writes
+                      results/BENCH_bgp.json (updates/s, convergence-lag
+                      p50/p99/p99.9, lookups/s), exits nonzero on any
+                      mismatch. --speedup X paces the trace at X times
+                      the recorded rate (0 = as fast as possible);
+                      --write-fixture FILE emits the deterministic
+                      BGP4MP fixture CI replays
              stats    with no dataset argument: live-telemetry replay —
                       a seeded lookup + churn workload whose counters are
                       reconciled against the script, dumped as Prometheus
@@ -1488,6 +1536,559 @@ fn slo(ctx: &mut Ctx, threads: usize) {
         eprintln!("error: {failures} cell(s) failed accounting reconciliation");
         std::process::exit(1);
     }
+}
+
+// ------------------------------------------------------------------ bgp
+
+struct BgpOpts {
+    mrt: Option<String>,
+    write_fixture: Option<String>,
+    speedup: f64,
+    threads: usize,
+}
+
+/// Deterministically synthesize a BGP4MP update trace: a full-table
+/// announcement of `n_base` random prefixes followed by `n_churn`
+/// churn events (path-change re-announcements and withdrawals), one
+/// UPDATE message per event, timestamped at 10k updates/s recorded
+/// rate.
+fn synth_bgp_trace(n_base: usize, n_churn: usize, seed: u64) -> tablegen::mrt::UpdateTrace {
+    use poptrie_bgp::wire::{Message, UpdateMsg};
+    use poptrie_rib::Prefix;
+    use poptrie_rng::prelude::*;
+    use std::net::Ipv4Addr;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nh_pool: Vec<Ipv4Addr> = (1u32..=8)
+        .map(|i| Ipv4Addr::from(0xC633_6400 + i))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut base: Vec<Prefix<u32>> = Vec::with_capacity(n_base);
+    while base.len() < n_base {
+        let len = rng.gen_range(8..=24u8);
+        let p = Prefix::new(rng.gen::<u32>(), len);
+        if seen.insert(p) {
+            base.push(p);
+        }
+    }
+    let mut records = Vec::with_capacity(n_base + n_churn);
+    let mut push = |i: usize, msg: Message| {
+        records.push(tablegen::mrt::UpdateRecord {
+            timestamp_us: 1_700_000_000_000_000 + i as u64 * 100,
+            peer_asn: 65_001,
+            peer_address: std::net::IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1)),
+            message: msg.encode(),
+        });
+    };
+    let mut present = base.clone();
+    for (i, p) in base.iter().enumerate() {
+        push(
+            i,
+            Message::Update(UpdateMsg {
+                announced_v4: vec![*p],
+                next_hop_v4: Some(nh_pool[i % nh_pool.len()]),
+                ..UpdateMsg::default()
+            }),
+        );
+    }
+    for i in 0..n_churn {
+        let withdraw = !present.is_empty() && rng.gen_bool(0.3);
+        let msg = if withdraw {
+            let at = rng.gen_range(0..present.len());
+            let p = present.swap_remove(at);
+            Message::Update(UpdateMsg {
+                withdrawn_v4: vec![p],
+                ..UpdateMsg::default()
+            })
+        } else {
+            let p = *base.choose(&mut rng).expect("non-empty base");
+            if !present.contains(&p) {
+                present.push(p);
+            }
+            Message::Update(UpdateMsg {
+                announced_v4: vec![p],
+                next_hop_v4: Some(*nh_pool.choose(&mut rng).expect("non-empty pool")),
+                ..UpdateMsg::default()
+            })
+        };
+        push(n_base + i, msg);
+    }
+    tablegen::mrt::UpdateTrace { records }
+}
+
+/// `repro bgp`: replay a BGP4MP update trace through the RFC 4271
+/// session FSM into the engine's control plane, with a seeded
+/// mid-replay session flap, while a feeder thread keeps lookups flowing
+/// against the served snapshots.
+///
+/// The run gates hard (nonzero exit) on: exact announce/withdraw
+/// accounting against the trace, zero parse errors, lookups served
+/// during the flap's down window, a non-empty convergence-lag
+/// histogram, and the final FIB matching a RIB oracle built from the
+/// parsed trace — route for route.
+fn bgp(ctx: &mut Ctx, opts: &BgpOpts) {
+    use poptrie::sync::{RouteUpdate, SharedFib};
+    use poptrie_bgp::wire::{Message, OpenMsg};
+    use poptrie_bgp::{Event, NextHopInterner, RouteEvent, Session, SessionConfig, State};
+    use poptrie_engine::{Engine, EngineConfig};
+    use poptrie_rib::{NextHop, Prefix, RadixTree, NO_ROUTE};
+    use std::net::IpAddr;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // Fixture emission is its own mode: write the deterministic trace CI
+    // replays and exit.
+    if let Some(path) = &opts.write_fixture {
+        let trace = synth_bgp_trace(48, 36, 0xB9F0_57A6);
+        let (a, w) = trace.accounting();
+        if let Err(e) = std::fs::write(path, trace.encode()) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {path}: {} BGP4MP records ({a} announced, {w} withdrawn)",
+            trace.records.len()
+        );
+        return;
+    }
+
+    section("BGP control-plane replay: session FSM -> engine writer, with mid-replay flap");
+    let (source, trace) = match &opts.mrt {
+        Some(path) => {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: could not read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match tablegen::mrt::parse_bgp4mp(&bytes) {
+                Ok(t) => (path.clone(), t),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            let (n_base, n_churn) = if ctx.quick {
+                (2_000, 1_000)
+            } else {
+                (20_000, 10_000)
+            };
+            (
+                "synthetic".to_string(),
+                synth_bgp_trace(n_base, n_churn, 0xB9F0_0001),
+            )
+        }
+    };
+    if trace.records.is_empty() {
+        eprintln!("error: trace has no BGP4MP message records");
+        std::process::exit(1);
+    }
+    let (expect_announced, expect_withdrawn) = trace.accounting();
+    println!(
+        "[bgp] {source}: {} records, {expect_announced} announces, {expect_withdrawn} withdraws",
+        trace.records.len()
+    );
+
+    // The RIB oracle: every parseable v4 route applied in trace order,
+    // with next hops densified exactly as the replay does.
+    let mut oracle: RadixTree<u32, NextHop> = RadixTree::new();
+    let mut oracle_interner = NextHopInterner::new();
+    let mut touched: std::collections::HashSet<Prefix<u32>> = std::collections::HashSet::new();
+    let mut v6_routes = 0u64;
+    for r in &trace.records {
+        if let Ok(Message::Update(u)) = r.parse() {
+            v6_routes += (u.announced_v6.len() + u.withdrawn_v6.len()) as u64;
+            if let Some(nh) = u.next_hop_v4 {
+                let id = oracle_interner.intern(IpAddr::V4(nh));
+                for p in &u.announced_v4 {
+                    oracle.insert(*p, id);
+                    touched.insert(*p);
+                }
+            }
+            for p in &u.withdrawn_v4 {
+                oracle.remove(*p);
+                touched.insert(*p);
+            }
+        }
+    }
+    if v6_routes > 0 {
+        println!("[bgp] note: {v6_routes} IPv6 routes in the trace are not replayed (v4 engine)");
+    }
+
+    // Engine over an initially empty FIB: the trace's full-table
+    // announcement *is* the table.
+    let pcfg = PoptrieConfig::new().direct_bits(18).build().unwrap();
+    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(RadixTree::new(), pcfg));
+    let engine = Engine::start(
+        Arc::clone(&fib),
+        EngineConfig::new(opts.threads.max(1))
+            .pin_workers(false)
+            .control_capacity(8192)
+            .coalesce_window(512),
+    );
+    let control = engine.control();
+    let telemetry = engine.telemetry();
+
+    // Lookup feeder: keeps the dataplane busy for the whole replay,
+    // including the flap's down window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let feeder = {
+        let ingress = engine.ingress();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut x = 0x9E37_79B9_u32;
+            let pool: Vec<Arc<[u32]>> = (0..64)
+                .map(|_| {
+                    let keys: Vec<u32> = (0..4096)
+                        .map(|_| {
+                            x ^= x << 13;
+                            x ^= x >> 17;
+                            x ^= x << 5;
+                            x
+                        })
+                        .collect();
+                    Arc::from(keys)
+                })
+                .collect();
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                if ingress
+                    .try_submit(Arc::clone(&pool[i % pool.len()]))
+                    .is_err()
+                {
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+                i += 1;
+            }
+        })
+    };
+
+    // The session under test. Short, test-scale retry timers so the
+    // flap's backoff costs milliseconds, not seconds.
+    let retry_base = if ctx.quick { 5_000_000 } else { 20_000_000 };
+    let mut session = Session::new(SessionConfig {
+        retry_base,
+        retry_max: retry_base * 16,
+        jitter_seed: 0x51F0_0D11,
+        ..SessionConfig::default()
+    });
+    let stats = session.stats();
+    let started = Instant::now();
+    let now_ns = |started: &Instant| started.elapsed().as_nanos() as u64;
+    let peer_open = Message::Open(OpenMsg {
+        version: 4,
+        asn: 65_001,
+        hold_time: 90,
+        bgp_id: 0xC000_0201,
+        params: Vec::new(),
+    })
+    .encode();
+    let keepalive = Message::Keepalive.encode();
+
+    let mut interner = NextHopInterner::new();
+    let mut sent_updates = 0u64;
+    // Drain session events and forward route events into the engine's
+    // control channel, retrying when the bounded channel pushes back
+    // (correctness needs every update to land).
+    let mut pump = |session: &mut Session, sent: &mut u64| {
+        session.drain_actions(); // OPEN/KEEPALIVE/NOTIFICATION tx: no wire to write to
+        for ev in session.drain_events() {
+            if let Event::Routes(routes) = ev {
+                for r in routes {
+                    let update = match r {
+                        RouteEvent::AnnounceV4(p, nh) => {
+                            RouteUpdate::Announce(p, interner.intern(IpAddr::V4(nh)))
+                        }
+                        RouteEvent::WithdrawV4(p) => RouteUpdate::Withdraw(p),
+                        RouteEvent::AnnounceV6(..) | RouteEvent::WithdrawV6(..) => continue,
+                    };
+                    let mut u = update;
+                    loop {
+                        match control.send(u) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                u = back;
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                        }
+                    }
+                    *sent += 1;
+                }
+            }
+        }
+    };
+    let handshake = |session: &mut Session, started: &Instant| {
+        session.connected(now_ns(started));
+        session.recv(now_ns(started), &peer_open);
+        session.recv(now_ns(started), &keepalive);
+        assert_eq!(session.state(), State::Established, "handshake failed");
+    };
+
+    session.start(now_ns(&started));
+    handshake(&mut session, &started);
+    pump(&mut session, &mut sent_updates);
+
+    // Replay phase 1: messages up to the flap point, then tear the wire
+    // mid-message.
+    let offsets = trace.replay_offsets_us(opts.speedup);
+    let cut = if trace.records.len() >= 8 {
+        trace.records.len() / 2
+    } else {
+        trace.records.len() // too short to flap
+    };
+    let deliver = |session: &mut Session,
+                   sent: &mut u64,
+                   pump: &mut dyn FnMut(&mut Session, &mut u64),
+                   range: std::ops::Range<usize>,
+                   started: &Instant| {
+        for i in range {
+            if opts.speedup > 0.0 {
+                let due = Duration::from_micros(offsets[i]);
+                while started.elapsed() < due {
+                    std::hint::spin_loop();
+                }
+            }
+            session.recv(now_ns(started), &trace.records[i].message);
+            session.tick(now_ns(started));
+            pump(session, sent);
+        }
+    };
+    deliver(&mut session, &mut sent_updates, &mut pump, 0..cut, &started);
+
+    let mut flapped = false;
+    let mut staleness_ns_max = 0u64;
+    let mut down_window_lookups = 0u64;
+    if cut < trace.records.len() {
+        flapped = true;
+        // Half the cut record arrives, then the transport dies.
+        let msg = &trace.records[cut].message;
+        session.recv(now_ns(&started), &msg[..msg.len() / 2]);
+        assert!(session.mid_message(), "flap must land mid-message");
+        let packets_at_cut = telemetry.total_packets();
+        let down_at = Instant::now();
+        session.disconnected(now_ns(&started));
+        pump(&mut session, &mut sent_updates);
+        // Honor the ConnectRetry backoff on the real clock, publishing
+        // staleness while the FIB serves the pre-flap snapshot. The
+        // down window is held open for at least 50ms so the bench can
+        // observe lookups served against the stale snapshot.
+        let min_down = Duration::from_millis(50);
+        loop {
+            let stale = down_at.elapsed().as_nanos() as u64;
+            stats.staleness_ns.set(stale);
+            staleness_ns_max = staleness_ns_max.max(stale);
+            session.tick(now_ns(&started));
+            if session.state() == State::Connect && down_at.elapsed() >= min_down {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handshake(&mut session, &started);
+        pump(&mut session, &mut sent_updates);
+        down_window_lookups = telemetry.total_packets() - packets_at_cut;
+        // Replay phase 2: the peer (per RFC 4271) re-sends everything
+        // from the first message the flap swallowed.
+        deliver(
+            &mut session,
+            &mut sent_updates,
+            &mut pump,
+            cut..trace.records.len(),
+            &started,
+        );
+        stats.staleness_ns.set(0);
+    }
+    let replay_elapsed = started.elapsed();
+    assert_eq!(session.state(), State::Established);
+
+    // Let the writer drain everything we sent, then stop.
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while telemetry.update_events.get() < sent_updates && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = feeder.join();
+    let report = engine.shutdown(Duration::from_secs(30));
+
+    // Oracle check: every touched prefix plus a seeded probe sweep must
+    // agree between the served FIB and the RIB oracle.
+    let mut mismatches = 0u64;
+    let mut checked = 0u64;
+    let mut probe = 0xDEAD_BEEF_u32;
+    let probes = (0..4096).map(|_| {
+        probe ^= probe << 13;
+        probe ^= probe >> 17;
+        probe ^= probe << 5;
+        probe
+    });
+    for key in touched.iter().map(|p| p.first_addr()).chain(probes) {
+        let want = oracle.lookup(key).copied().unwrap_or(NO_ROUTE);
+        let got = fib.lookup(key).unwrap_or(NO_ROUTE);
+        checked += 1;
+        if want != got {
+            if mismatches < 8 {
+                eprintln!("FAIL oracle mismatch at {key:#010x}: fib {got}, oracle {want}");
+            }
+            mismatches += 1;
+        }
+    }
+
+    let announced = stats.routes_announced.get();
+    let withdrawn = stats.routes_withdrawn.get();
+    let updates_per_sec = stats.updates_rx.get() as f64 / replay_elapsed.as_secs_f64();
+    let lookups_per_sec = report.packets as f64 / report.elapsed.as_secs_f64();
+    let mut t = Table::new(vec!["Metric", "Value"]);
+    t.row(vec![
+        "updates replayed".into(),
+        stats.updates_rx.get().to_string(),
+    ]);
+    t.row(vec![
+        "updates/s sustained".into(),
+        format!("{updates_per_sec:.0}"),
+    ]);
+    t.row(vec![
+        "convergence p50/p99/p99.9 [us]".into(),
+        format!(
+            "{:.1} / {:.1} / {:.1}",
+            report.convergence.p50_ns as f64 / 1e3,
+            report.convergence.p99_ns as f64 / 1e3,
+            report.convergence.p999_ns as f64 / 1e3
+        ),
+    ]);
+    t.row(vec!["lookups served".into(), report.packets.to_string()]);
+    t.row(vec!["lookups/s".into(), format!("{:.0}", lookups_per_sec)]);
+    t.row(vec![
+        "lookups in down window".into(),
+        down_window_lookups.to_string(),
+    ]);
+    t.row(vec![
+        "session resets / reconnects".into(),
+        format!("{} / {}", stats.resets.get(), stats.to_established.get()),
+    ]);
+    t.row(vec![
+        "backoff applied [ms]".into(),
+        format!("{:.1}", stats.backoff_ns.get() as f64 / 1e6),
+    ]);
+    t.row(vec![
+        "staleness max [ms]".into(),
+        format!("{:.1}", staleness_ns_max as f64 / 1e6),
+    ]);
+    t.row(vec!["oracle prefixes checked".into(), checked.to_string()]);
+    print!("{}", t.render());
+    print!("{}", stats.registry().render_prometheus());
+
+    // The gates. Every one is a hard failure: this subcommand is the CI
+    // smoke proof that the BGP path is lossless end to end.
+    let mut failures: Vec<String> = Vec::new();
+    if announced != expect_announced || withdrawn != expect_withdrawn {
+        failures.push(format!(
+            "accounting: session saw {announced}a/{withdrawn}w, trace has \
+             {expect_announced}a/{expect_withdrawn}w"
+        ));
+    }
+    if stats.parse_errors.get() != 0 {
+        failures.push(format!("{} parse errors", stats.parse_errors.get()));
+    }
+    if telemetry.update_events.get() != sent_updates {
+        failures.push(format!(
+            "writer drained {} of {sent_updates} updates",
+            telemetry.update_events.get()
+        ));
+    }
+    if report.convergence.samples == 0 {
+        failures.push("convergence-lag histogram is empty".into());
+    }
+    if mismatches != 0 {
+        failures.push(format!(
+            "{mismatches} oracle mismatches of {checked} checked"
+        ));
+    }
+    if report.packets == 0 {
+        failures.push("no lookups served during replay".into());
+    }
+    if flapped {
+        if stats.resets.get() != 1 || stats.to_established.get() != 2 {
+            failures.push(format!(
+                "flap shape: {} resets, {} establishments (want 1 and 2)",
+                stats.resets.get(),
+                stats.to_established.get()
+            ));
+        }
+        if down_window_lookups == 0 {
+            failures.push("no lookups served during the down window".into());
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"bgp\",\n  \"source\": \"{source}\",\n  \
+         \"quick\": {},\n  \"records\": {},\n  \"speedup\": {},\n  \
+         \"expected\": {{\"announced\": {expect_announced}, \"withdrawn\": {expect_withdrawn}}},\n  \
+         \"observed\": {{\"announced\": {announced}, \"withdrawn\": {withdrawn}, \
+         \"updates\": {}}},\n  \
+         \"updates_per_sec\": {updates_per_sec:.1},\n  \
+         \"convergence_ns\": {},\n  \
+         \"lookups\": {},\n  \"lookups_per_sec\": {lookups_per_sec:.1},\n  \
+         \"flap\": {{\"enabled\": {flapped}, \"cut_record\": {cut}, \"resets\": {}, \
+         \"reconnects\": {}, \"backoff_ns\": {}, \"staleness_ns_max\": {staleness_ns_max}, \
+         \"down_window_lookups\": {down_window_lookups}}},\n  \
+         \"oracle\": {{\"checked\": {checked}, \"mismatches\": {mismatches}}},\n  \
+         \"engine\": {{\"publishes\": {}, \"update_events\": {}, \"updates_coalesced\": {}, \
+         \"writer_respawns\": {}}}\n}}\n",
+        ctx.quick,
+        trace.records.len(),
+        opts.speedup,
+        stats.updates_rx.get(),
+        latency_json(&report.convergence),
+        report.packets,
+        stats.resets.get(),
+        stats.to_established.get(),
+        stats.backoff_ns.get(),
+        report.publishes,
+        report.update_events,
+        report.updates_coalesced,
+        report.writer_respawns,
+    );
+    let dir = std::path::Path::new("results");
+    let path = dir.join("BENCH_bgp.json");
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json.as_bytes()))
+    {
+        eprintln!("error: could not write results/BENCH_bgp.json: {e}");
+        std::process::exit(1);
+    }
+    let landed = std::fs::read_to_string(&path).unwrap_or_default();
+    if let Err(e) = validate_json(
+        &landed,
+        &[
+            "experiment",
+            "updates_per_sec",
+            "convergence_ns",
+            "p50_ns",
+            "p99_ns",
+            "p999_ns",
+            "lookups_per_sec",
+            "flap",
+            "oracle",
+        ],
+    ) {
+        eprintln!("error: results/BENCH_bgp.json is malformed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote results/BENCH_bgp.json");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "[bgp] OK: lossless replay, {} updates, flap survived with exact reconvergence",
+        sent_updates
+    );
 }
 
 /// Extract a numeric field from a single-line JSON object without a JSON

@@ -1,0 +1,94 @@
+//! Structured BGP parse and protocol errors.
+//!
+//! A router parses BGP messages straight off the network, so every
+//! malformed input must surface as a value the session layer can act on
+//! (send the right NOTIFICATION, drop the session, count the event) —
+//! never as a panic. Each error carries the byte offset that failed and
+//! the RFC 4271 §6 NOTIFICATION error code/subcode the FSM should emit
+//! for it.
+
+/// What went wrong while decoding or validating a BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpErrorKind {
+    /// Fewer bytes than a field needs. Only raised for a *complete*
+    /// framed message whose body is internally truncated — a short read
+    /// of the stream itself is not an error (the codec waits for more
+    /// bytes).
+    Truncated {
+        /// Bytes the field needed.
+        need: usize,
+        /// Bytes that were available.
+        have: usize,
+    },
+    /// The 16-byte marker was not all-ones (RFC 4271 §4.1).
+    BadMarker,
+    /// The header length field is outside `19..=4096` or too small for
+    /// the message type's mandatory fields.
+    BadLength(u16),
+    /// Unknown message type code.
+    BadType(u8),
+    /// OPEN carried an unsupported version (we speak BGP-4 only).
+    BadVersion(u8),
+    /// OPEN carried a hold time of 1 or 2 seconds (forbidden by §4.2).
+    BadHoldTime(u16),
+    /// A prefix length exceeded the address family's bit width.
+    BadPrefixLength(u8),
+    /// A path attribute was malformed (bad flags, length overrun, or an
+    /// inconsistent MP_REACH/MP_UNREACH body).
+    BadAttribute(u8),
+    /// UPDATE section lengths (withdrawn routes / path attributes) do
+    /// not fit inside the message body.
+    BadUpdateLayout,
+    /// NOTIFICATION body shorter than its two mandatory code bytes.
+    BadNotification,
+}
+
+/// A BGP wire-format error: where it happened and what it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpError {
+    /// Byte offset (within the message being parsed) of the failing
+    /// field.
+    pub offset: usize,
+    /// The failure.
+    pub kind: BgpErrorKind,
+}
+
+impl BgpError {
+    /// The RFC 4271 §6 NOTIFICATION `(error code, subcode)` a speaker
+    /// should send the peer when this error is detected.
+    pub fn notification_codes(&self) -> (u8, u8) {
+        use BgpErrorKind::*;
+        match self.kind {
+            BadMarker => (1, 1),           // Message Header / Connection Not Synchronized
+            BadLength(_) => (1, 2),        // Message Header / Bad Message Length
+            BadType(_) => (1, 3),          // Message Header / Bad Message Type
+            BadVersion(_) => (2, 1),       // OPEN / Unsupported Version Number
+            BadHoldTime(_) => (2, 6),      // OPEN / Unacceptable Hold Time
+            BadAttribute(_) => (3, 1),     // UPDATE / Malformed Attribute List
+            BadPrefixLength(_) => (3, 10), // UPDATE / Invalid Network Field
+            BadUpdateLayout => (3, 1),     // UPDATE / Malformed Attribute List
+            Truncated { .. } | BadNotification => (1, 2),
+        }
+    }
+}
+
+impl core::fmt::Display for BgpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        use BgpErrorKind::*;
+        write!(f, "BGP parse error at byte {}: ", self.offset)?;
+        match &self.kind {
+            Truncated { need, have } => write!(f, "truncated: need {need} bytes, have {have}"),
+            BadMarker => write!(f, "header marker is not all-ones"),
+            BadLength(l) => write!(f, "bad message length {l}"),
+            BadType(t) => write!(f, "unknown message type {t}"),
+            BadVersion(v) => write!(f, "unsupported BGP version {v}"),
+            BadHoldTime(h) => write!(f, "unacceptable hold time {h}"),
+            BadPrefixLength(l) => write!(f, "invalid prefix length {l}"),
+            BadAttribute(t) => write!(f, "malformed path attribute {t}"),
+            BadUpdateLayout => write!(f, "UPDATE section lengths exceed the message body"),
+            BadNotification => write!(f, "NOTIFICATION body shorter than two bytes"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}

@@ -1,0 +1,140 @@
+//! Deterministic wire-fault injection for session testing.
+//!
+//! Real BGP sessions die in undignified ways: TCP hands the speaker
+//! half a message and stalls, a middlebox flips a byte, the peer
+//! resets mid-UPDATE. This module turns a pristine peer byte stream
+//! into a scripted sequence of [`Delivery`] steps — torn chunks,
+//! corrupted bytes, stalls, resets — that [`run_deliveries`] replays
+//! into a [`Session`] under a simulated clock. Every fault scenario is
+//! a pure value, so a failing case is reproducible from its
+//! [`FaultPlan`] alone.
+
+use crate::fsm::{Event, Nanos, Session};
+use poptrie_rng::Xorshift32;
+
+/// One step of a faulty wire schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// Bytes arriving from the peer (possibly a torn fragment).
+    Bytes(Vec<u8>),
+    /// Nothing arrives for this long; session timers keep running.
+    Stall(Nanos),
+    /// The transport drops.
+    Reset,
+}
+
+/// A deterministic fault script applied to a peer byte stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Deliver the stream in fragments of at most this many bytes
+    /// (sizes drawn from `seed`); `None` delivers maximal runs.
+    pub torn_max: Option<usize>,
+    /// `(stream offset, xor mask)` byte corruptions.
+    pub corrupt: Vec<(usize, u8)>,
+    /// `(stream offset, duration)` stalls: after `offset` bytes have
+    /// been delivered, nothing arrives for `duration`.
+    pub stalls: Vec<(usize, Nanos)>,
+    /// Cut the connection after this many bytes (the rest of the
+    /// stream is lost).
+    pub reset_at: Option<usize>,
+    /// Seed for the torn-fragment sizes.
+    pub seed: u32,
+}
+
+impl FaultPlan {
+    /// A clean wire: the whole stream in one delivery.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Compile the plan against `stream` into an explicit delivery
+    /// schedule.
+    pub fn deliveries(&self, stream: &[u8]) -> Vec<Delivery> {
+        let mut bytes = stream.to_vec();
+        for &(off, xor) in &self.corrupt {
+            if off < bytes.len() && xor != 0 {
+                bytes[off] ^= xor;
+            }
+        }
+        let cut = self.reset_at.unwrap_or(bytes.len()).min(bytes.len());
+        bytes.truncate(cut);
+
+        let mut stalls: Vec<(usize, Nanos)> = self
+            .stalls
+            .iter()
+            .copied()
+            .filter(|&(off, d)| off <= bytes.len() && d > 0)
+            .collect();
+        stalls.sort_unstable();
+
+        let mut rng = Xorshift32::new(self.seed | 1);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut stall_idx = 0usize;
+        while pos < bytes.len() || stall_idx < stalls.len() {
+            while stall_idx < stalls.len() && stalls[stall_idx].0 <= pos {
+                out.push(Delivery::Stall(stalls[stall_idx].1));
+                stall_idx += 1;
+            }
+            if pos >= bytes.len() {
+                break;
+            }
+            let boundary = stalls
+                .get(stall_idx)
+                .map_or(bytes.len(), |&(off, _)| off.min(bytes.len()));
+            let run = boundary - pos;
+            let chunk = match self.torn_max {
+                Some(m) if m > 0 => run.min(1 + (rng.next_u32() as usize) % m),
+                _ => run,
+            };
+            out.push(Delivery::Bytes(bytes[pos..pos + chunk].to_vec()));
+            pos += chunk;
+        }
+        if self.reset_at.is_some() {
+            out.push(Delivery::Reset);
+        }
+        out
+    }
+}
+
+/// Replay a delivery schedule into `session`, advancing the simulated
+/// clock by `per_chunk` per byte delivery and firing every timer that
+/// falls inside a stall. Returns all events the session emitted.
+///
+/// The driver contract mirrors a real event loop: after every input it
+/// drains actions (a [`Close`](crate::Action::Close) is honored by
+/// telling the session the transport dropped — unless the session
+/// already went Idle, which is teardown's own doing).
+pub fn run_deliveries(
+    session: &mut Session,
+    now: &mut Nanos,
+    deliveries: &[Delivery],
+    per_chunk: Nanos,
+) -> Vec<Event> {
+    let mut events = Vec::new();
+    for d in deliveries {
+        match d {
+            Delivery::Bytes(b) => {
+                *now += per_chunk;
+                session.recv(*now, b);
+            }
+            Delivery::Stall(duration) => {
+                let target = *now + duration;
+                // Jump deadline to deadline so each timer fires at its
+                // exact instant, then land on the stall's end.
+                while let Some(at) = session.next_deadline() {
+                    if at > target {
+                        break;
+                    }
+                    *now = at.max(*now);
+                    session.tick(*now);
+                }
+                *now = target;
+                session.tick(*now);
+            }
+            Delivery::Reset => session.disconnected(*now),
+        }
+        events.extend(session.drain_events());
+    }
+    events
+}

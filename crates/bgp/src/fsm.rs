@@ -1,0 +1,458 @@
+//! The passive-speaker BGP session FSM (RFC 4271 §8), sans-I/O.
+//!
+//! ```text
+//!        start        transport up       OPEN rx / KEEPALIVE tx
+//!  Idle ──────▶ Connect ─────────▶ OpenSent ─────────▶ OpenConfirm
+//!   ▲              ▲    (OPEN tx)                           │
+//!   │   backoff    │                                        │ KEEPALIVE rx
+//!   └──────────────┴── any error / NOTIFICATION / hold ◀────┤
+//!                      expiry / disconnect                  ▼
+//!                                                      Established ── UPDATE rx ──▶ route events
+//! ```
+//!
+//! The session owns **no sockets and no clock**: time is a `u64`
+//! nanosecond value passed into every call, and I/O is byte slices in
+//! ([`Session::recv`]) and [`Action`]s out. That makes every transition
+//! — hold-timer expiry mid-message, NOTIFICATION in OpenConfirm, a
+//! ConnectRetry backoff hitting its cap — a pure function of inputs, so
+//! the fault-injection tests replay them deterministically with no
+//! threads and no sleeps. A real driver maps `Instant`s to nanos and
+//! performs the actions; the replay harness uses a simulated clock.
+//!
+//! Degradation stance: any malformed input or peer fault tears the
+//! *session* down (with the right NOTIFICATION), never the process, and
+//! the FIB keeps serving the last published snapshot while the retry
+//! timer backs off exponentially (with seeded jitter, so synchronized
+//! flap storms cannot phase-lock).
+
+use crate::error::BgpError;
+use crate::stats::SessionStats;
+use crate::wire::{FrameBuffer, Message, NotificationMsg, OpenMsg, UpdateMsg};
+use poptrie_rib::Prefix;
+use poptrie_rng::Xorshift32;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
+
+/// Monotonic session time in nanoseconds. The session never reads a
+/// real clock; callers pass the current value into every method.
+pub type Nanos = u64;
+
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// RFC 4271 §8 session states (passive speaker subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Not trying to connect; a retry timer may be pending.
+    Idle,
+    /// Waiting for the transport to come up.
+    Connect,
+    /// Our OPEN is sent; waiting for the peer's.
+    OpenSent,
+    /// Peer's OPEN accepted, our KEEPALIVE sent; waiting for theirs.
+    OpenConfirm,
+    /// Route exchange in progress.
+    Established,
+}
+
+/// An I/O action the driver must perform, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Write these bytes to the peer.
+    Send(Vec<u8>),
+    /// Drop the transport connection.
+    Close,
+}
+
+/// A route learned or lost from the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteEvent {
+    /// IPv4 prefix announced with its BGP next hop.
+    AnnounceV4(Prefix<u32>, Ipv4Addr),
+    /// IPv4 prefix withdrawn.
+    WithdrawV4(Prefix<u32>),
+    /// IPv6 prefix announced with its BGP next hop.
+    AnnounceV6(Prefix<u128>, Ipv6Addr),
+    /// IPv6 prefix withdrawn.
+    WithdrawV6(Prefix<u128>),
+}
+
+/// Something the driver should know about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A state transition happened.
+    Transition {
+        /// State left.
+        from: State,
+        /// State entered.
+        to: State,
+    },
+    /// Routes from an UPDATE in Established.
+    Routes(Vec<RouteEvent>),
+    /// The peer closed the session with a NOTIFICATION.
+    PeerNotification(NotificationMsg),
+    /// A message failed to parse; the session was torn down.
+    ParseError(BgpError),
+    /// The hold timer expired; the session was torn down.
+    HoldExpired,
+}
+
+/// Session parameters. Defaults suit a real speaker; tests and the
+/// replay harness shrink the timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Our AS number (sent in OPEN).
+    pub asn: u16,
+    /// Our BGP identifier (sent in OPEN).
+    pub bgp_id: u32,
+    /// Proposed hold time in seconds; the session runs at
+    /// `min(ours, peer's)`. 0 disables the hold/keepalive machinery.
+    pub hold_time: u16,
+    /// First ConnectRetry backoff delay.
+    pub retry_base: Nanos,
+    /// Backoff cap: delays double per consecutive failure up to this.
+    pub retry_max: Nanos,
+    /// Seed for the ±25% backoff jitter (deterministic per session).
+    pub jitter_seed: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            asn: 64512,
+            bgp_id: 0xC000_0201,
+            hold_time: 90,
+            retry_base: SECOND,
+            retry_max: 64 * SECOND,
+            jitter_seed: 0x9E37_79B9,
+        }
+    }
+}
+
+/// The passive-speaker session state machine. See the module docs for
+/// the drive loop contract.
+#[derive(Debug)]
+pub struct Session {
+    config: SessionConfig,
+    state: State,
+    frames: FrameBuffer,
+    stats: Arc<SessionStats>,
+    jitter: Xorshift32,
+    /// Consecutive failed/broken connection attempts since the last
+    /// Established session (drives the backoff exponent).
+    attempts: u32,
+    /// When Idle: the instant the next transition to Connect is due.
+    retry_at: Option<Nanos>,
+    /// Negotiated hold time (ns); `None` before negotiation or when 0.
+    hold: Option<Nanos>,
+    /// Deadline after which the peer is declared dead.
+    hold_deadline: Option<Nanos>,
+    /// Next KEEPALIVE transmission due.
+    keepalive_at: Option<Nanos>,
+    actions: Vec<Action>,
+    events: Vec<Event>,
+}
+
+impl Session {
+    /// A new session in [`State::Idle`]; call [`Session::start`] to arm
+    /// it.
+    pub fn new(config: SessionConfig) -> Self {
+        Session {
+            state: State::Idle,
+            frames: FrameBuffer::new(),
+            stats: Arc::new(SessionStats::new()),
+            jitter: Xorshift32::new(config.jitter_seed | 1),
+            attempts: 0,
+            retry_at: None,
+            hold: None,
+            hold_deadline: None,
+            keepalive_at: None,
+            actions: Vec::new(),
+            events: Vec::new(),
+            config,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// The session's counters (shared; clone the `Arc` to scrape them
+    /// from another thread).
+    pub fn stats(&self) -> Arc<SessionStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Consecutive failed connection attempts (the backoff exponent).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Drain the pending I/O actions, in order.
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Drain the pending events, in order.
+    pub fn drain_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The earliest instant at which [`Session::tick`] has work to do
+    /// (retry, hold expiry, or keepalive transmission), if any.
+    pub fn next_deadline(&self) -> Option<Nanos> {
+        [self.retry_at, self.hold_deadline, self.keepalive_at]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    fn transition(&mut self, to: State) {
+        let from = self.state;
+        if from == to {
+            return;
+        }
+        self.state = to;
+        self.stats.count_transition(to);
+        self.events.push(Event::Transition { from, to });
+    }
+
+    /// Arm the session: Idle → Connect immediately. The driver should
+    /// then bring the transport up and call [`Session::connected`].
+    pub fn start(&mut self, _now: Nanos) {
+        if self.state == State::Idle {
+            self.retry_at = None;
+            self.transition(State::Connect);
+        }
+    }
+
+    /// In Connect and ready for the driver to dial (the backoff delay,
+    /// if any, has elapsed).
+    pub fn connect_ready(&self) -> bool {
+        self.state == State::Connect
+    }
+
+    /// The transport is up: send our OPEN and wait for the peer's.
+    /// Ignored outside Connect.
+    pub fn connected(&mut self, now: Nanos) {
+        if self.state != State::Connect {
+            return;
+        }
+        self.stats.connects.inc();
+        self.frames.clear();
+        let open = Message::Open(OpenMsg {
+            version: 4,
+            asn: self.config.asn,
+            hold_time: self.config.hold_time,
+            bgp_id: self.config.bgp_id,
+            params: Vec::new(),
+        });
+        self.send(open);
+        // Until negotiation completes, run the hold timer at a large
+        // fixed value (RFC suggests 4 minutes for OpenSent) so a silent
+        // peer cannot wedge the session forever.
+        self.hold = None;
+        self.hold_deadline = Some(now + 240 * SECOND);
+        self.keepalive_at = None;
+        self.transition(State::OpenSent);
+    }
+
+    /// The transport dropped (peer reset, route flap, torn cable).
+    /// From any connected state: back to Idle with backoff.
+    pub fn disconnected(&mut self, now: Nanos) {
+        if matches!(self.state, State::Idle | State::Connect) {
+            return;
+        }
+        self.stats.resets.inc();
+        self.teardown(now, None);
+    }
+
+    /// Feed bytes received from the peer. Any number of complete or
+    /// partial messages per call; actions/events accumulate.
+    pub fn recv(&mut self, now: Nanos, bytes: &[u8]) {
+        if matches!(self.state, State::Idle | State::Connect) {
+            return; // stray bytes from a dead connection
+        }
+        self.frames.feed(bytes);
+        loop {
+            match self.frames.next_message() {
+                Ok(Some(msg)) => {
+                    self.handle_message(now, msg);
+                    // A message may have torn the session down; stop
+                    // consuming the rest of the buffer if so.
+                    if matches!(self.state, State::Idle | State::Connect) {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    self.stats.parse_errors.inc();
+                    let (code, subcode) = e.notification_codes();
+                    self.events.push(Event::ParseError(e));
+                    self.teardown(now, Some((code, subcode)));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Advance timers to `now`: fire the retry timer (Idle → Connect),
+    /// the hold timer (teardown with NOTIFICATION 4/0), and the
+    /// keepalive timer (KEEPALIVE transmission).
+    pub fn tick(&mut self, now: Nanos) {
+        if let Some(at) = self.retry_at {
+            if now >= at && self.state == State::Idle {
+                self.retry_at = None;
+                self.transition(State::Connect);
+            }
+        }
+        if let Some(deadline) = self.hold_deadline {
+            if now >= deadline && !matches!(self.state, State::Idle | State::Connect) {
+                self.stats.hold_expiries.inc();
+                self.events.push(Event::HoldExpired);
+                self.teardown(now, Some((4, 0)));
+                return;
+            }
+        }
+        if let Some(at) = self.keepalive_at {
+            if now >= at && matches!(self.state, State::OpenConfirm | State::Established) {
+                self.send(Message::Keepalive);
+                self.keepalive_at = self.hold.map(|h| now + h / 3);
+            }
+        }
+    }
+
+    /// `true` while a message header has arrived but its body has not —
+    /// the window a mid-message fault (hold expiry, disconnect) lands
+    /// in.
+    pub fn mid_message(&self) -> bool {
+        self.frames.mid_message()
+    }
+
+    fn send(&mut self, msg: Message) {
+        self.stats.count_tx(&msg);
+        self.actions.push(Action::Send(msg.encode()));
+    }
+
+    /// Tear the session down: optionally notify the peer, close, go
+    /// Idle, and schedule the next connection attempt with exponential
+    /// backoff and jitter.
+    fn teardown(&mut self, now: Nanos, notify: Option<(u8, u8)>) {
+        if let Some((code, subcode)) = notify {
+            self.send(Message::Notification(NotificationMsg {
+                code,
+                subcode,
+                data: Vec::new(),
+            }));
+        }
+        self.actions.push(Action::Close);
+        self.frames.clear();
+        self.hold = None;
+        self.hold_deadline = None;
+        self.keepalive_at = None;
+        let delay = self.backoff_delay();
+        self.stats.backoff_ns.set(delay);
+        self.retry_at = Some(now + delay);
+        self.attempts = self.attempts.saturating_add(1);
+        self.transition(State::Idle);
+    }
+
+    /// The next ConnectRetry delay: `retry_base << attempts`, capped at
+    /// `retry_max`, with ±25% deterministic jitter.
+    fn backoff_delay(&mut self) -> Nanos {
+        let base = self.config.retry_base.max(1);
+        let capped = base
+            .checked_shl(self.attempts.min(32))
+            .map_or(self.config.retry_max, |d| d.min(self.config.retry_max))
+            .max(1);
+        // Jitter in [0.75, 1.25): 768..1280 / 1024.
+        let j = 768 + (self.jitter.next_u32() % 512) as u64;
+        (capped / 1024).saturating_mul(j).max(1)
+    }
+
+    fn handle_message(&mut self, now: Nanos, msg: Message) {
+        self.stats.count_rx(&msg);
+        match msg {
+            Message::Open(open) => self.handle_open(now, open),
+            Message::Keepalive => self.handle_keepalive(now),
+            Message::Update(update) => self.handle_update(now, update),
+            Message::Notification(n) => {
+                self.events.push(Event::PeerNotification(n));
+                // The peer is closing; do not notify back.
+                self.teardown(now, None);
+            }
+        }
+    }
+
+    fn handle_open(&mut self, now: Nanos, open: OpenMsg) {
+        if self.state != State::OpenSent {
+            // §6.6 FSM error: OPEN is only legal while we wait for one.
+            self.teardown(now, Some((5, 0)));
+            return;
+        }
+        let hold_secs = open.hold_time.min(self.config.hold_time);
+        if hold_secs > 0 {
+            let hold = hold_secs as Nanos * SECOND;
+            self.hold = Some(hold);
+            self.hold_deadline = Some(now + hold);
+            self.keepalive_at = Some(now + hold / 3);
+        } else {
+            self.hold = None;
+            self.hold_deadline = None;
+            self.keepalive_at = None;
+        }
+        self.send(Message::Keepalive);
+        self.transition(State::OpenConfirm);
+    }
+
+    fn handle_keepalive(&mut self, now: Nanos) {
+        match self.state {
+            State::OpenConfirm => {
+                self.refresh_hold(now);
+                self.attempts = 0; // the peer is healthy: reset backoff
+                self.transition(State::Established);
+            }
+            State::Established => self.refresh_hold(now),
+            _ => self.teardown(now, Some((5, 0))),
+        }
+    }
+
+    fn handle_update(&mut self, now: Nanos, update: UpdateMsg) {
+        if self.state != State::Established {
+            // §6.6: UPDATE before the session is up is an FSM error.
+            self.teardown(now, Some((5, 0)));
+            return;
+        }
+        self.refresh_hold(now);
+        self.stats.updates_rx.inc();
+        let mut routes = Vec::with_capacity(update.events());
+        let nh4 = update.next_hop_v4.unwrap_or(Ipv4Addr::UNSPECIFIED);
+        for p in &update.announced_v4 {
+            routes.push(RouteEvent::AnnounceV4(*p, nh4));
+        }
+        for p in &update.withdrawn_v4 {
+            routes.push(RouteEvent::WithdrawV4(*p));
+        }
+        let nh6 = update.next_hop_v6.unwrap_or(Ipv6Addr::UNSPECIFIED);
+        for p in &update.announced_v6 {
+            routes.push(RouteEvent::AnnounceV6(*p, nh6));
+        }
+        for p in &update.withdrawn_v6 {
+            routes.push(RouteEvent::WithdrawV6(*p));
+        }
+        let announced = (update.announced_v4.len() + update.announced_v6.len()) as u64;
+        let withdrawn = (update.withdrawn_v4.len() + update.withdrawn_v6.len()) as u64;
+        self.stats.routes_announced.add(announced);
+        self.stats.routes_withdrawn.add(withdrawn);
+        if !routes.is_empty() {
+            self.events.push(Event::Routes(routes));
+        }
+    }
+
+    fn refresh_hold(&mut self, now: Nanos) {
+        if let Some(hold) = self.hold {
+            self.hold_deadline = Some(now + hold);
+        }
+    }
+}

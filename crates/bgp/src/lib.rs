@@ -1,0 +1,88 @@
+//! A fault-tolerant BGP-4 control plane for the Poptrie forwarding
+//! engine.
+//!
+//! Three layers, each independently testable:
+//!
+//! * [`wire`] — RFC 4271 message codecs (OPEN / UPDATE / KEEPALIVE /
+//!   NOTIFICATION, with RFC 4760 MP_REACH/MP_UNREACH for IPv6). Every
+//!   malformed input yields a structured [`BgpError`] carrying the byte
+//!   offset and the §6 NOTIFICATION codes; nothing panics.
+//! * [`fsm`] — a sans-I/O passive-speaker session state machine
+//!   (Idle → Connect → OpenSent → OpenConfirm → Established) driven by
+//!   an injectable clock, with hold/keepalive timers and ConnectRetry
+//!   exponential backoff with seeded jitter.
+//! * [`fault`] — a deterministic wire-fault shim (torn reads, byte
+//!   corruption, stalls, connection resets) replaying scripted
+//!   disasters into a session.
+//!
+//! Parsed [`RouteEvent`]s feed the forwarding engine's control-plane
+//! writer; [`NextHopInterner`] densifies BGP next-hop addresses into
+//! the FIB's index space the way the MRT peer-view extraction does.
+//! Session counters surface through `poptrie-telemetry` as
+//! `poptrie_bgp_*` families ([`SessionStats::registry`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod fault;
+pub mod fsm;
+pub mod stats;
+pub mod wire;
+
+pub use error::{BgpError, BgpErrorKind};
+pub use fault::{run_deliveries, Delivery, FaultPlan};
+pub use fsm::{Action, Event, Nanos, RouteEvent, Session, SessionConfig, State, SECOND};
+pub use stats::SessionStats;
+pub use wire::{FrameBuffer, Message, NotificationMsg, OpenMsg, UpdateMsg};
+
+use poptrie_rib::NextHop;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Densifies BGP next-hop addresses into the FIB's compact index space
+/// (`1..`), the same mapping the MRT peer-view extraction uses: the
+/// paper's Table 1 counts "# of nhops" as distinct next-hop addresses.
+#[derive(Debug, Clone, Default)]
+pub struct NextHopInterner {
+    ids: HashMap<IpAddr, NextHop>,
+    table: Vec<IpAddr>,
+}
+
+impl NextHopInterner {
+    /// An empty interner; index 0 is reserved for "no route".
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The dense FIB index for `addr`, allocating the next one on first
+    /// sight. Saturates at `NextHop::MAX` distinct next hops (real
+    /// tables have a few hundred).
+    pub fn intern(&mut self, addr: IpAddr) -> NextHop {
+        if let Some(&id) = self.ids.get(&addr) {
+            return id;
+        }
+        let id = (self.table.len() + 1).min(NextHop::MAX as usize) as NextHop;
+        self.ids.insert(addr, id);
+        self.table.push(addr);
+        id
+    }
+
+    /// Distinct next hops seen so far.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when no next hop has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The address interned as index `id` (1-based), if any.
+    pub fn address(&self, id: NextHop) -> Option<IpAddr> {
+        self.table.get((id as usize).checked_sub(1)?).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,196 @@
+//! BGP session counters, surfaced through `poptrie-telemetry`.
+//!
+//! All families are prefixed `poptrie_bgp_`. The counters are the same
+//! relaxed-atomic primitives the engine uses, so a scrape thread can
+//! read them while the session driver runs.
+
+use crate::wire::Message;
+use poptrie_telemetry::{Counter, Gauge, TelemetryRegistry};
+
+use crate::fsm::State;
+
+/// Counters for one BGP session. Shared between the
+/// [`Session`](crate::Session) that increments them and any scraper
+/// holding the `Arc` from [`Session::stats`](crate::Session::stats).
+#[derive(Debug, Default)]
+pub struct SessionStats {
+    /// Transport connections established (OPEN sent).
+    pub connects: Counter,
+    /// Transport losses observed while the session was up.
+    pub resets: Counter,
+    /// Messages received, by type.
+    pub rx_open: Counter,
+    /// Received UPDATE messages.
+    pub rx_update: Counter,
+    /// Received KEEPALIVE messages.
+    pub rx_keepalive: Counter,
+    /// Received NOTIFICATION messages.
+    pub rx_notification: Counter,
+    /// Messages sent (all types).
+    pub tx_messages: Counter,
+    /// NOTIFICATIONs we sent (teardowns we initiated).
+    pub tx_notifications: Counter,
+    /// Messages that failed to parse (each tears the session down).
+    pub parse_errors: Counter,
+    /// Hold-timer expiries.
+    pub hold_expiries: Counter,
+    /// UPDATE messages processed in Established.
+    pub updates_rx: Counter,
+    /// Route announcements extracted from UPDATEs (both families).
+    pub routes_announced: Counter,
+    /// Route withdrawals extracted from UPDATEs (both families).
+    pub routes_withdrawn: Counter,
+    /// Entries into Connect.
+    pub to_connect: Counter,
+    /// Entries into OpenSent.
+    pub to_open_sent: Counter,
+    /// Entries into OpenConfirm.
+    pub to_open_confirm: Counter,
+    /// Entries into Established.
+    pub to_established: Counter,
+    /// Entries into Idle (teardowns).
+    pub to_idle: Counter,
+    /// The most recent ConnectRetry backoff delay, in nanoseconds.
+    pub backoff_ns: Gauge,
+    /// Nanoseconds the serving FIB has been stale behind the peer
+    /// (session down with updates presumed missed). Maintained by the
+    /// replay driver, not the FSM: only the driver knows both clocks.
+    pub staleness_ns: Gauge,
+}
+
+impl SessionStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_rx(&self, msg: &Message) {
+        match msg {
+            Message::Open(_) => self.rx_open.inc(),
+            Message::Update(_) => self.rx_update.inc(),
+            Message::Keepalive => self.rx_keepalive.inc(),
+            Message::Notification(_) => self.rx_notification.inc(),
+        }
+    }
+
+    pub(crate) fn count_tx(&self, msg: &Message) {
+        self.tx_messages.inc();
+        if matches!(msg, Message::Notification(_)) {
+            self.tx_notifications.inc();
+        }
+    }
+
+    pub(crate) fn count_transition(&self, to: State) {
+        match to {
+            State::Idle => self.to_idle.inc(),
+            State::Connect => self.to_connect.inc(),
+            State::OpenSent => self.to_open_sent.inc(),
+            State::OpenConfirm => self.to_open_confirm.inc(),
+            State::Established => self.to_established.inc(),
+        }
+    }
+
+    /// Materialize every session metric into an exposition registry
+    /// (`poptrie_bgp_*` families).
+    pub fn registry(&self) -> TelemetryRegistry {
+        let mut reg = TelemetryRegistry::new();
+        let counters: [(&str, &str, &Counter); 16] = [
+            (
+                "poptrie_bgp_connects_total",
+                "Transport connections established (OPEN sent).",
+                &self.connects,
+            ),
+            (
+                "poptrie_bgp_resets_total",
+                "Transport losses observed while the session was up.",
+                &self.resets,
+            ),
+            (
+                "poptrie_bgp_rx_open_total",
+                "OPEN messages received.",
+                &self.rx_open,
+            ),
+            (
+                "poptrie_bgp_rx_update_total",
+                "UPDATE messages received.",
+                &self.rx_update,
+            ),
+            (
+                "poptrie_bgp_rx_keepalive_total",
+                "KEEPALIVE messages received.",
+                &self.rx_keepalive,
+            ),
+            (
+                "poptrie_bgp_rx_notification_total",
+                "NOTIFICATION messages received.",
+                &self.rx_notification,
+            ),
+            (
+                "poptrie_bgp_tx_messages_total",
+                "Messages sent, all types.",
+                &self.tx_messages,
+            ),
+            (
+                "poptrie_bgp_tx_notifications_total",
+                "NOTIFICATIONs sent (teardowns we initiated).",
+                &self.tx_notifications,
+            ),
+            (
+                "poptrie_bgp_parse_errors_total",
+                "Messages that failed to parse.",
+                &self.parse_errors,
+            ),
+            (
+                "poptrie_bgp_hold_expiries_total",
+                "Hold-timer expiries.",
+                &self.hold_expiries,
+            ),
+            (
+                "poptrie_bgp_updates_total",
+                "UPDATE messages processed in Established.",
+                &self.updates_rx,
+            ),
+            (
+                "poptrie_bgp_routes_announced_total",
+                "Route announcements extracted from UPDATEs.",
+                &self.routes_announced,
+            ),
+            (
+                "poptrie_bgp_routes_withdrawn_total",
+                "Route withdrawals extracted from UPDATEs.",
+                &self.routes_withdrawn,
+            ),
+            (
+                "poptrie_bgp_transitions_established_total",
+                "Entries into Established.",
+                &self.to_established,
+            ),
+            (
+                "poptrie_bgp_transitions_idle_total",
+                "Entries into Idle (teardowns).",
+                &self.to_idle,
+            ),
+            (
+                "poptrie_bgp_transitions_connect_total",
+                "Entries into Connect.",
+                &self.to_connect,
+            ),
+        ];
+        for (name, help, c) in counters {
+            reg.counter(name, help, &[], c.get());
+        }
+        reg.gauge(
+            "poptrie_bgp_backoff_ns",
+            "Most recent ConnectRetry backoff delay, nanoseconds.",
+            &[],
+            self.backoff_ns.get() as f64,
+        );
+        reg.gauge(
+            "poptrie_bgp_staleness_ns",
+            "Nanoseconds the serving FIB has been stale during session loss.",
+            &[],
+            self.staleness_ns.get() as f64,
+        );
+        reg
+    }
+}

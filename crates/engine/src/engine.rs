@@ -71,6 +71,28 @@ pub type PublishHook<K> = Arc<dyn Fn(BatchOutcome, &[RouteUpdate<K>]) + Send + S
 /// the deadline policy) and the keys.
 type Stamped<K> = (Instant, Arc<[K]>);
 
+/// One queued route update: its [`Control::send`] timestamp (for the
+/// convergence-lag histogram) and the update itself.
+type StampedUpdate<K> = (Instant, RouteUpdate<K>);
+
+/// An out-of-range worker or source index handed to one of the engine's
+/// indexed accessors ([`Engine::ingress_for`], [`Engine::inject_panic`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadIndex {
+    /// The index the caller asked for.
+    pub index: usize,
+    /// Number of valid entries (valid indices are `0..len`).
+    pub len: usize,
+}
+
+impl core::fmt::Display for BadIndex {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "index {} out of range (len {})", self.index, self.len)
+    }
+}
+
+impl std::error::Error for BadIndex {}
+
 /// The per-worker batch queues, shared between the engine, its workers
 /// and every [`Ingress`] handle.
 type BatchQueues<K> = Arc<Vec<Arc<Bounded<Stamped<K>>>>>;
@@ -278,8 +300,7 @@ impl<K: Bits> Ingress<K> {
             .queue_depth
             .record_max(depth as u64);
         if self.source != NO_SOURCE {
-            self.stats
-                .source(self.source as usize)
+            self.stats.sources()[self.source as usize]
                 .submitted_batches
                 .inc();
         }
@@ -290,8 +311,7 @@ impl<K: Bits> Ingress<K> {
         self.stats.dropped_batches.inc();
         self.stats.dropped_packets.add(n);
         if self.source != NO_SOURCE {
-            self.stats
-                .source(self.source as usize)
+            self.stats.sources()[self.source as usize]
                 .refused_batches
                 .inc();
         }
@@ -333,8 +353,7 @@ impl<K: Bits> Ingress<K> {
                     self.stats.submitted_batches.inc();
                     self.stats.worker(w).queue_depth.record_max(depth as u64);
                     if self.source != NO_SOURCE {
-                        self.stats
-                            .source(self.source as usize)
+                        self.stats.sources()[self.source as usize]
                             .submitted_batches
                             .inc();
                     }
@@ -362,7 +381,7 @@ impl<K: Bits> Ingress<K> {
 /// Clonable control-plane handle: feeds route updates to the single
 /// writer thread. Obtained from [`Engine::control`].
 pub struct Control<K: Bits> {
-    queue: Arc<Bounded<RouteUpdate<K>>>,
+    queue: Arc<Bounded<StampedUpdate<K>>>,
     stats: Arc<EngineTelemetry>,
 }
 
@@ -385,11 +404,14 @@ impl<K: Bits> Control<K> {
     /// Enqueue a route update without blocking. On refusal (channel full
     /// or engine shut down) the update is handed back and the drop is
     /// already counted in
-    /// [`control_dropped`](EngineTelemetry::control_dropped).
+    /// [`control_dropped`](EngineTelemetry::control_dropped). Accepted
+    /// updates are timestamped here; the writer records the elapsed time
+    /// to snapshot publication in the convergence-lag histogram
+    /// ([`EngineTelemetry::convergence_ns`]).
     pub fn send(&self, update: RouteUpdate<K>) -> Result<(), RouteUpdate<K>> {
-        match self.queue.try_push(update) {
+        match self.queue.try_push((Instant::now(), update)) {
             Ok(_) => Ok(()),
-            Err(PushError::Full(u)) | Err(PushError::Closed(u)) => {
+            Err(PushError::Full((_, u))) | Err(PushError::Closed((_, u))) => {
                 self.stats.control_dropped.inc();
                 Err(u)
             }
@@ -532,6 +554,12 @@ pub struct EngineReport {
     pub updates_coalesced: u64,
     /// Route updates refused at the control channel.
     pub control_dropped: u64,
+    /// Convergence lag: time from [`Control::send`] accepting a route
+    /// update to the writer publishing the snapshot containing it.
+    pub convergence: LatencySummary,
+    /// Writer panics (a poisoned update burst or publish hook) recovered
+    /// by respawning the writer loop in place.
+    pub writer_respawns: u64,
     /// `true` when every queue was fully drained before the threads
     /// exited.
     pub drained_clean: bool,
@@ -597,7 +625,7 @@ pub struct Engine<K: Bits> {
     /// their NUMA node, the writer publishes to every one.
     replicas: Vec<Arc<SharedFib<K>>>,
     queues: BatchQueues<K>,
-    control: Arc<Bounded<RouteUpdate<K>>>,
+    control: Arc<Bounded<StampedUpdate<K>>>,
     stats: Arc<EngineTelemetry>,
     panic_flags: Vec<Arc<AtomicBool>>,
     workers: Vec<JoinHandle<()>>,
@@ -664,7 +692,8 @@ impl<K: Bits> Engine<K> {
                 .map(|_| Arc::new(Bounded::new(config.queue_capacity)))
                 .collect(),
         );
-        let control: Arc<Bounded<RouteUpdate<K>>> = Arc::new(Bounded::new(config.control_capacity));
+        let control: Arc<Bounded<StampedUpdate<K>>> =
+            Arc::new(Bounded::new(config.control_capacity));
 
         let mut panic_flags = Vec::with_capacity(nworkers);
         let mut workers = Vec::with_capacity(nworkers);
@@ -737,20 +766,21 @@ impl<K: Bits> Engine<K> {
 
     /// A feeder handle submitting as registered source `source` (index
     /// in [`EngineConfig::source`] registration order), subject to that
-    /// source's weighted per-queue slot quota.
-    ///
-    /// # Panics
-    ///
-    /// If `source` is not a registered source index.
-    pub fn ingress_for(&self, source: usize) -> Ingress<K> {
-        let spec = self.stats.source(source); // panics on bad index
-        Ingress {
+    /// source's weighted per-queue slot quota. An unregistered index is
+    /// a [`BadIndex`] error, never a panic: fault-injection harnesses
+    /// probe these knobs with hostile indices by design.
+    pub fn ingress_for(&self, source: usize) -> Result<Ingress<K>, BadIndex> {
+        let spec = self.stats.source(source).ok_or(BadIndex {
+            index: source,
+            len: self.stats.sources().len(),
+        })?;
+        Ok(Ingress {
             queues: Arc::clone(&self.queues),
             stats: Arc::clone(&self.stats),
             next: Arc::clone(&self.next),
             source: source as u32,
             quota: spec.quota,
-        }
+        })
     }
 
     /// A clonable control-plane handle.
@@ -781,8 +811,15 @@ impl<K: Bits> Engine<K> {
 
     /// Make worker `worker` panic at the start of its next batch — a
     /// fault-injection knob for exercising the respawn path in tests.
-    pub fn inject_panic(&self, worker: usize) {
-        self.panic_flags[worker].store(true, Ordering::Relaxed);
+    /// An out-of-range worker index is a [`BadIndex`] error, never a
+    /// panic.
+    pub fn inject_panic(&self, worker: usize) -> Result<(), BadIndex> {
+        let flag = self.panic_flags.get(worker).ok_or(BadIndex {
+            index: worker,
+            len: self.panic_flags.len(),
+        })?;
+        flag.store(true, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Drain-then-join teardown: close every queue (producers are
@@ -877,6 +914,8 @@ impl<K: Bits> Engine<K> {
             updates_applied: self.stats.updates_applied.get(),
             updates_coalesced: self.stats.updates_coalesced.get(),
             control_dropped: self.stats.control_dropped.get(),
+            convergence: LatencySummary::from_histogram(&self.stats.convergence_ns),
+            writer_respawns: self.stats.writer_respawns.get(),
             workers,
             sources,
             drained_clean,
@@ -927,7 +966,9 @@ fn worker_main<K: Bits>(
                         w.deadline_dropped_batches.inc();
                         w.deadline_dropped_packets.add(batch.len() as u64);
                         if source != NO_SOURCE {
-                            stats.source(source as usize).deadline_dropped_batches.inc();
+                            stats.sources()[source as usize]
+                                .deadline_dropped_batches
+                                .inc();
                         }
                         continue;
                     }
@@ -951,7 +992,7 @@ fn worker_main<K: Bits>(
                 w.batches.inc();
                 w.snapshot_version.set(snap.version());
                 if source != NO_SOURCE {
-                    stats.source(source as usize).delivered_batches.inc();
+                    stats.sources()[source as usize].delivered_batches.inc();
                 }
                 if let Some(h) = hook {
                     h(idx, &batch, &out, snap.version());
@@ -975,47 +1016,70 @@ fn worker_main<K: Bits>(
 /// (workers on other nodes may observe the new routes one burst-apply
 /// later than workers on the primary's node — the same snapshot-staleness
 /// window every worker already has between snapshot acquisitions).
+///
+/// Like the workers, the writer is panic-isolated: a panicking burst
+/// (most plausibly a user publish hook) is caught and counted in
+/// [`writer_respawns`](EngineTelemetry::writer_respawns), and the drain
+/// loop re-enters on the same OS thread — a poisoned burst must not
+/// wedge the control plane while the dataplane keeps serving.
 fn writer_main<K: Bits>(
     replicas: &[Arc<SharedFib<K>>],
-    queue: &Bounded<RouteUpdate<K>>,
+    queue: &Bounded<StampedUpdate<K>>,
     stats: &EngineTelemetry,
     window: usize,
     hook: Option<&PublishHook<K>>,
 ) {
     let fib = &replicas[0];
-    let mut buf: Vec<RouteUpdate<K>> = Vec::with_capacity(window);
-    let mut coalesced: Vec<RouteUpdate<K>> = Vec::with_capacity(window);
-    let mut seen: HashSet<Prefix<K>> = HashSet::with_capacity(window);
-    while queue.pop_up_to(window, &mut buf) {
-        coalesced.clear();
-        seen.clear();
-        // Walk backwards keeping the last update per prefix, then restore
-        // arrival order among the survivors.
-        for u in buf.iter().rev() {
-            let p = match u {
-                RouteUpdate::Announce(p, _) => *p,
-                RouteUpdate::Withdraw(p) => *p,
-            };
-            if seen.insert(p) {
-                coalesced.push(*u);
-            }
-        }
-        coalesced.reverse();
-        let merged = buf.len() - coalesced.len();
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut buf: Vec<StampedUpdate<K>> = Vec::with_capacity(window);
+            let mut coalesced: Vec<RouteUpdate<K>> = Vec::with_capacity(window);
+            let mut seen: HashSet<Prefix<K>> = HashSet::with_capacity(window);
+            while queue.pop_up_to(window, &mut buf) {
+                coalesced.clear();
+                seen.clear();
+                // Walk backwards keeping the last update per prefix, then
+                // restore arrival order among the survivors.
+                for (_, u) in buf.iter().rev() {
+                    let p = match u {
+                        RouteUpdate::Announce(p, _) => *p,
+                        RouteUpdate::Withdraw(p) => *p,
+                    };
+                    if seen.insert(p) {
+                        coalesced.push(*u);
+                    }
+                }
+                coalesced.reverse();
+                let merged = buf.len() - coalesced.len();
 
-        let outcome = fib.update_batch(coalesced.iter().copied());
-        for replica in &replicas[1..] {
-            replica.update_batch(coalesced.iter().copied());
-            stats.replica_publishes.inc();
+                let outcome = fib.update_batch(coalesced.iter().copied());
+                // The snapshot containing this burst is now published:
+                // every drained event has converged (coalesced-away
+                // events too — their information was superseded within
+                // the same burst).
+                for (sent, _) in &buf {
+                    stats
+                        .convergence_ns
+                        .record(sent.elapsed().as_nanos() as u64);
+                }
+                for replica in &replicas[1..] {
+                    replica.update_batch(coalesced.iter().copied());
+                    stats.replica_publishes.inc();
+                }
+                stats.update_events.add(buf.len() as u64);
+                stats.updates_coalesced.add(merged as u64);
+                stats.updates_applied.add(outcome.applied as u64);
+                stats.publishes.inc();
+                stats.published_version.set(outcome.version);
+                if let Some(h) = hook {
+                    h(outcome, &coalesced);
+                }
+                buf.clear();
+            }
+        }));
+        match run {
+            Ok(()) => break, // channel closed and drained
+            Err(_) => stats.writer_respawns.inc(),
         }
-        stats.update_events.add(buf.len() as u64);
-        stats.updates_coalesced.add(merged as u64);
-        stats.updates_applied.add(outcome.applied as u64);
-        stats.publishes.inc();
-        stats.published_version.set(outcome.version);
-        if let Some(h) = hook {
-            h(outcome, &coalesced);
-        }
-        buf.clear();
     }
 }

@@ -73,8 +73,8 @@ mod queue;
 mod stats;
 
 pub use engine::{
-    source_quotas, BatchHook, Control, Engine, EngineConfig, EngineReport, Ingress, LatencySummary,
-    PublishHook, QosPolicy, SourceReport, WorkerReport,
+    source_quotas, BadIndex, BatchHook, Control, Engine, EngineConfig, EngineReport, Ingress,
+    LatencySummary, PublishHook, QosPolicy, SourceReport, WorkerReport,
 };
 pub use stats::{EngineTelemetry, SourceStats, WorkerStats};
 

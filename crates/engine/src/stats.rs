@@ -91,6 +91,13 @@ pub struct EngineTelemetry {
     pub updates_coalesced: Counter,
     /// Route updates refused at the control channel (channel full).
     pub control_dropped: Counter,
+    /// Convergence lag per consumed route-update event: nanoseconds from
+    /// [`Control::send`](crate::Control::send) accepting the update to
+    /// the writer publishing the snapshot containing it.
+    pub convergence_ns: Log2Histogram,
+    /// Writer panics (poisoned burst or publish hook) recovered by
+    /// respawning the writer loop in place.
+    pub writer_respawns: Counter,
     /// Version of the most recently published FIB snapshot.
     pub published_version: Gauge,
     /// Number of FIB replicas the engine serves from (1 = no NUMA
@@ -128,6 +135,8 @@ impl EngineTelemetry {
             updates_applied: Counter::new(),
             updates_coalesced: Counter::new(),
             control_dropped: Counter::new(),
+            convergence_ns: Log2Histogram::new(),
+            writer_respawns: Counter::new(),
             published_version: Gauge::new(),
             fib_replicas: Gauge::new(),
             replica_publishes: Counter::new(),
@@ -144,9 +153,12 @@ impl EngineTelemetry {
         &self.workers
     }
 
-    /// Counters for registered source `i`.
-    pub fn source(&self, i: usize) -> &SourceStats {
-        &self.sources[i]
+    /// Counters for registered source `i`, or `None` when `i` is not a
+    /// registered source index. (Bounds-checked by design: fault
+    /// harnesses probe telemetry with hostile indices, and a scrape must
+    /// never panic the caller.)
+    pub fn source(&self, i: usize) -> Option<&SourceStats> {
+        self.sources.get(i)
     }
 
     /// All per-source counter blocks, indexed by registration order.
@@ -353,6 +365,27 @@ impl EngineTelemetry {
             &[],
             self.control_dropped.get(),
         );
+        reg.counter(
+            "poptrie_engine_writer_respawns_total",
+            "Writer panics recovered by in-place respawn.",
+            &[],
+            self.writer_respawns.get(),
+        );
+        {
+            let counts = self.convergence_ns.counts();
+            let bounds: Vec<(f64, u64)> = counts
+                .iter()
+                .enumerate()
+                .map(|(b, &n)| (Log2Histogram::upper_bound(b) as f64, n))
+                .collect();
+            reg.histogram(
+                "poptrie_engine_convergence_ns",
+                "Route-update convergence lag in nanoseconds (send to snapshot publish, log2 buckets).",
+                &[],
+                &bounds,
+                self.convergence_ns.sum() as f64,
+            );
+        }
         reg.gauge(
             "poptrie_engine_published_version",
             "Version of the most recently published FIB snapshot.",

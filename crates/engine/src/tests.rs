@@ -203,7 +203,7 @@ mod engine {
         let ingress = engine.ingress();
         let batch: Arc<[u32]> = Arc::from(vec![0x0A00_0001u32]);
 
-        engine.inject_panic(0);
+        engine.inject_panic(0).unwrap();
         ingress.try_submit(Arc::clone(&batch)).unwrap(); // consumed by the panic
         ingress.try_submit(Arc::clone(&batch)).unwrap(); // served after respawn
         ingress.try_submit(Arc::clone(&batch)).unwrap();
@@ -294,8 +294,8 @@ mod engine {
                 .source("bulk", 3)
                 .source("scavenger", 1),
         );
-        let bulk = engine.ingress_for(0);
-        let scavenger = engine.ingress_for(1);
+        let bulk = engine.ingress_for(0).unwrap();
+        let scavenger = engine.ingress_for(1).unwrap();
         assert_eq!(bulk.quota(), 3);
         assert_eq!(scavenger.quota(), 1);
 

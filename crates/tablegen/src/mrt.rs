@@ -1,4 +1,5 @@
-//! MRT (RFC 6396) TABLE_DUMP_V2 parsing.
+//! MRT (RFC 6396) parsing: TABLE_DUMP_V2 RIB snapshots and BGP4MP
+//! update traces.
 //!
 //! The paper's 32 RouteViews datasets are MRT RIB dumps; each `RV-…-pN`
 //! table is the view of a single peer (e.g. "RV-linx-p46 is the 46th peer
@@ -21,6 +22,12 @@
 //! Only the record types needed for routing-table extraction are
 //! understood; other MRT types are skipped. Compressed dumps must be
 //! decompressed first (`bzcat rib.bz2 > rib.mrt`).
+//!
+//! The second half of this module ([`parse_bgp4mp`], [`UpdateTrace`])
+//! handles BGP4MP update captures — the message-by-message movie to
+//! TABLE_DUMP_V2's snapshot — for replaying real announce/withdraw
+//! interleavings through the `poptrie-bgp` session FSM at recorded or
+//! scaled rates.
 
 use poptrie_rib::{NextHop, Prefix};
 use std::collections::HashMap;
@@ -28,6 +35,13 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// MRT type TABLE_DUMP_V2.
 const TYPE_TABLE_DUMP_V2: u16 = 13;
+/// MRT type BGP4MP (RFC 6396 §4.4): live BGP message captures.
+const TYPE_BGP4MP: u16 = 16;
+/// MRT type BGP4MP_ET: BGP4MP with an extra microsecond timestamp.
+const TYPE_BGP4MP_ET: u16 = 17;
+/// BGP4MP subtypes carrying a full BGP message.
+const SUB_BGP4MP_MESSAGE: u16 = 1;
+const SUB_BGP4MP_MESSAGE_AS4: u16 = 4;
 /// TABLE_DUMP_V2 subtypes.
 const SUB_PEER_INDEX_TABLE: u16 = 1;
 const SUB_RIB_IPV4_UNICAST: u16 = 2;
@@ -365,4 +379,184 @@ impl TableDump {
         out.sort_unstable();
         out
     }
+}
+
+// --------------------------------------------------------------------
+// BGP4MP update traces (RFC 6396 §4.4)
+//
+// Where TABLE_DUMP_V2 is a RIB *snapshot*, BGP4MP is the *movie*: a
+// capture of the BGP messages a collector exchanged with its peers.
+// Replaying one against the engine's control plane exercises the same
+// incremental-update path the paper's §6.4 route-update benchmark
+// measures, with real announce/withdraw interleaving.
+
+/// One captured BGP message from a BGP4MP / BGP4MP_ET record.
+///
+/// The message is kept as raw wire bytes: the replay harness feeds them
+/// through the `poptrie-bgp` session FSM exactly as a socket would, so
+/// framing, validation and route extraction follow the production path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// Capture time in microseconds (MRT header seconds scaled, plus
+    /// the BGP4MP_ET microsecond field when present).
+    pub timestamp_us: u64,
+    /// Peer AS number.
+    pub peer_asn: u32,
+    /// Peer address.
+    pub peer_address: std::net::IpAddr,
+    /// The complete BGP message (marker, header, body) as captured.
+    pub message: Vec<u8>,
+}
+
+impl UpdateRecord {
+    /// Parse the captured message with the `poptrie-bgp` wire codec.
+    pub fn parse(&self) -> Result<poptrie_bgp::Message, poptrie_bgp::BgpError> {
+        poptrie_bgp::wire::parse_message(&self.message)
+    }
+}
+
+/// A parsed BGP4MP update trace, in capture order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateTrace {
+    /// The captured messages.
+    pub records: Vec<UpdateRecord>,
+}
+
+impl UpdateTrace {
+    /// Playout offsets for replaying the trace at `speedup` × the
+    /// recorded rate: entry `i` is the microsecond delay from replay
+    /// start to record `i`'s send time. `speedup <= 0` (or an empty
+    /// trace) replays as fast as possible (all zeros); `1.0` is the
+    /// recorded rate.
+    pub fn replay_offsets_us(&self, speedup: f64) -> Vec<u64> {
+        let t0 = self.records.first().map_or(0, |r| r.timestamp_us);
+        self.records
+            .iter()
+            .map(|r| {
+                if speedup > 0.0 {
+                    ((r.timestamp_us - t0) as f64 / speedup) as u64
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Exact announce/withdraw accounting over every parseable UPDATE in
+    /// the trace: `(announced v4+v6, withdrawn v4+v6)` route counts.
+    /// Unparseable or non-UPDATE records contribute nothing.
+    pub fn accounting(&self) -> (u64, u64) {
+        let mut announced = 0u64;
+        let mut withdrawn = 0u64;
+        for r in &self.records {
+            if let Ok(poptrie_bgp::Message::Update(u)) = r.parse() {
+                announced += (u.announced_v4.len() + u.announced_v6.len()) as u64;
+                withdrawn += (u.withdrawn_v4.len() + u.withdrawn_v6.len()) as u64;
+            }
+        }
+        (announced, withdrawn)
+    }
+
+    /// The concatenated wire bytes of every captured message — what the
+    /// peer's TCP stream would have carried. Feed to a
+    /// `poptrie-bgp` session (optionally through a fault plan).
+    pub fn wire_stream(&self) -> Vec<u8> {
+        self.records
+            .iter()
+            .flat_map(|r| r.message.iter().copied())
+            .collect()
+    }
+
+    /// Serialize the trace as MRT BGP4MP_ET / BGP4MP_MESSAGE_AS4
+    /// records — the deterministic fixture encoder ([`parse_bgp4mp`]
+    /// round-trips it). IPv4 peers only (address family 1).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            let peer = match r.peer_address {
+                std::net::IpAddr::V4(a) => a.octets(),
+                std::net::IpAddr::V6(_) => [0, 0, 0, 0],
+            };
+            let body_len = 4 // ET microseconds
+                + 4 + 4 + 2 + 2 // peer AS, local AS, ifindex, AFI
+                + 4 + 4 // peer + local address
+                + r.message.len();
+            out.extend_from_slice(&((r.timestamp_us / 1_000_000) as u32).to_be_bytes());
+            out.extend_from_slice(&TYPE_BGP4MP_ET.to_be_bytes());
+            out.extend_from_slice(&SUB_BGP4MP_MESSAGE_AS4.to_be_bytes());
+            out.extend_from_slice(&(body_len as u32).to_be_bytes());
+            out.extend_from_slice(&((r.timestamp_us % 1_000_000) as u32).to_be_bytes());
+            out.extend_from_slice(&r.peer_asn.to_be_bytes());
+            out.extend_from_slice(&0u32.to_be_bytes()); // local AS
+            out.extend_from_slice(&0u16.to_be_bytes()); // ifindex
+            out.extend_from_slice(&1u16.to_be_bytes()); // AFI: IPv4
+            out.extend_from_slice(&peer);
+            out.extend_from_slice(&[0, 0, 0, 0]); // local address
+            out.extend_from_slice(&r.message);
+        }
+        out
+    }
+}
+
+/// Parse the BGP4MP / BGP4MP_ET records of an MRT file into an update
+/// trace. `BGP4MP_MESSAGE` and `BGP4MP_MESSAGE_AS4` subtypes are kept
+/// (both address families); state-change and other records, and records
+/// of other MRT types (e.g. an embedded TABLE_DUMP_V2 snapshot), are
+/// skipped. Truncated records are an [`MrtError`] with offset context —
+/// a malformed trace must fail loudly, not replay partially.
+pub fn parse_bgp4mp(bytes: &[u8]) -> Result<UpdateTrace, MrtError> {
+    let mut cur = Cursor::new(bytes);
+    let mut trace = UpdateTrace::default();
+    while cur.remaining() > 0 {
+        let record_start = cur.pos;
+        let timestamp = cur.u32()?;
+        let mrt_type = cur.u16()?;
+        let subtype = cur.u16()?;
+        let length = cur.u32()? as usize;
+        let body = cur.take(length).map_err(|mut e| {
+            e.offset = record_start;
+            e.message = format!("record body: {}", e.message);
+            e
+        })?;
+        if mrt_type != TYPE_BGP4MP && mrt_type != TYPE_BGP4MP_ET {
+            continue;
+        }
+        if subtype != SUB_BGP4MP_MESSAGE && subtype != SUB_BGP4MP_MESSAGE_AS4 {
+            continue; // state changes and AddPath variants: out of scope
+        }
+        let mut body = Cursor::new(body);
+        let micros = if mrt_type == TYPE_BGP4MP_ET {
+            body.u32()? as u64
+        } else {
+            0
+        };
+        let as4 = subtype == SUB_BGP4MP_MESSAGE_AS4;
+        let peer_asn = if as4 { body.u32()? } else { body.u16()? as u32 };
+        let _local_asn = if as4 { body.u32()? } else { body.u16()? as u32 };
+        let _ifindex = body.u16()?;
+        let afi = body.u16()?;
+        let peer_address = match afi {
+            1 => {
+                let b = body.take(4)?;
+                let _local = body.take(4)?;
+                std::net::IpAddr::V4(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            2 => {
+                let b = body.take(16)?;
+                let _local = body.take(16)?;
+                let mut a = [0u8; 16];
+                a.copy_from_slice(b);
+                std::net::IpAddr::V6(Ipv6Addr::from(a))
+            }
+            other => return Err(body.err(format!("unknown BGP4MP address family {other}"))),
+        };
+        let message = body.take(body.remaining())?.to_vec();
+        trace.records.push(UpdateRecord {
+            timestamp_us: timestamp as u64 * 1_000_000 + micros,
+            peer_asn,
+            peer_address,
+            message,
+        });
+    }
+    Ok(trace)
 }

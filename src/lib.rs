@@ -13,6 +13,7 @@
 //! * [`rib`] — prefixes, the radix/Patricia RIBs and the [`Lpm`] trait.
 //! * [`baselines`] — Tree BitMap, DXR and SAIL, the paper's competitors.
 //! * [`tablegen`] — the Table 1 dataset synthesizer and RIB parser.
+//! * [`bgp`] — RFC 4271 wire codecs and the passive-speaker session FSM.
 //! * [`traffic`] — the §4.2 query patterns.
 //! * [`cycles`] — TSC measurement and distribution statistics.
 //!
@@ -65,6 +66,10 @@ pub use poptrie_engine as engine;
 
 /// Runtime telemetry primitives (re-export of `poptrie-telemetry`).
 pub use poptrie_telemetry as telemetry;
+
+/// BGP-4 wire codecs, session FSM and fault injection (re-export of
+/// `poptrie-bgp`).
+pub use poptrie_bgp as bgp;
 
 /// One-line import of the whole suite's vocabulary: the `poptrie`
 /// prelude (config builder, fallible FIB mutations, shared FIB) plus the

@@ -245,7 +245,7 @@ fn panic_isolation_respawns_and_drains_clean() {
             std::thread::sleep(Duration::from_micros(100));
         }
     }
-    engine.inject_panic(0);
+    engine.inject_panic(0).unwrap();
     for _ in 0..10 {
         while ingress.try_submit_to(0, Arc::clone(&batch)).is_err() {
             std::thread::sleep(Duration::from_micros(100));

@@ -100,3 +100,93 @@ fn parse_error_offsets_point_into_the_input() {
     assert!(err.offset <= bytes.len());
     assert!(!err.message.is_empty());
 }
+
+// ---------------------------------------------------------------- BGP
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn bgp_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..4200)) {
+        // The BGP codec parses bytes straight off a TCP stream from an
+        // untrusted peer: arbitrary input must yield a message or a
+        // structured error, never a panic.
+        let _ = poptrie_suite::bgp::wire::parse_message(&bytes);
+    }
+
+    #[test]
+    fn bgp4mp_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = poptrie_suite::tablegen::mrt::parse_bgp4mp(&bytes);
+    }
+
+    #[test]
+    fn bgp_parser_survives_bitflips(
+        which in 0usize..4,
+        flip_byte in 0usize..80,
+        flip_bit in 0u8..8,
+    ) {
+        // Start from each structurally valid message type and flip one
+        // bit anywhere: the parser must return Ok or a structured
+        // error — a panic is a remote denial-of-service.
+        use poptrie_suite::bgp::wire::{Message, NotificationMsg, OpenMsg, UpdateMsg};
+        let msg = match which {
+            0 => Message::Open(OpenMsg {
+                version: 4,
+                asn: 65_001,
+                hold_time: 90,
+                bgp_id: 0xC000_0201,
+                params: vec![1, 4, 0, 1, 0, 1],
+            }),
+            1 => Message::Update(UpdateMsg {
+                withdrawn_v4: vec!["203.0.113.0/24".parse().unwrap()],
+                announced_v4: vec!["10.0.0.0/8".parse().unwrap(), "10.1.2.0/24".parse().unwrap()],
+                next_hop_v4: Some("192.0.2.9".parse().unwrap()),
+                announced_v6: vec!["2001:db8::/32".parse().unwrap()],
+                next_hop_v6: Some("2001:db8::1".parse().unwrap()),
+                withdrawn_v6: vec!["2001:db8:ff::/48".parse().unwrap()],
+            }),
+            2 => Message::Keepalive,
+            _ => Message::Notification(NotificationMsg {
+                code: 6,
+                subcode: 2,
+                data: vec![0xDE, 0xAD],
+            }),
+        };
+        let mut bytes = msg.encode();
+        if flip_byte < bytes.len() {
+            bytes[flip_byte] ^= 1 << flip_bit;
+        }
+        let _ = poptrie_suite::bgp::wire::parse_message(&bytes);
+    }
+
+    #[test]
+    fn bgp_session_never_panics_on_garbage(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 0..32),
+    ) {
+        // The full stack — frame reassembly plus the session FSM — fed
+        // arbitrary stream fragments while Established. Parse errors
+        // must tear the session down cleanly, never panic.
+        use poptrie_suite::bgp::wire::{Message, OpenMsg};
+        use poptrie_suite::bgp::{Session, SessionConfig};
+        let mut s = Session::new(SessionConfig::default());
+        s.start(0);
+        s.connected(0);
+        s.recv(0, &Message::Open(OpenMsg {
+            version: 4,
+            asn: 65_001,
+            hold_time: 90,
+            bgp_id: 1,
+            params: Vec::new(),
+        }).encode());
+        s.recv(0, &Message::Keepalive.encode());
+        let mut now = 0u64;
+        for chunk in &chunks {
+            now += 1_000_000;
+            s.recv(now, chunk);
+            s.tick(now);
+            s.drain_events();
+            s.drain_actions();
+        }
+    }
+}
