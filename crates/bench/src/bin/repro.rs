@@ -127,6 +127,7 @@ fn main() {
                 threads: threads.unwrap_or(2),
             },
         ),
+        "trace" => trace_cmd(&mut ctx, threads.unwrap_or(2)),
         "fig11" => fig11(&mut ctx),
         "fig12" => fig12(&mut ctx),
         "updates" => updates(&mut ctx),
@@ -165,6 +166,8 @@ usage: repro <experiment> [--quick | --full] [--compare]
        repro slo [--threads N] [--quick]
        repro bgp [--quick] [--threads N] [--mrt FILE] [--speedup X]
        repro bgp --write-fixture FILE
+       repro trace [--quick] [--threads N]
+       repro stats [--prometheus]
 
 experiments: table1 table2 table3 table4 table5 table6
              fig7 fig8 fig9 fig10 fig11 fig12 updates all
@@ -196,11 +199,23 @@ experiments: table1 table2 table3 table4 table5 table6
                       the recorded rate (0 = as fast as possible);
                       --write-fixture FILE emits the deterministic
                       BGP4MP fixture CI replays
+             trace    flight-recorder run (requires building with
+                      --features trace): per-lookup-phase perf-counter
+                      attribution (direct-point hit vs trie descent, per
+                      dispatch tier), a BGP->writer->replica->lookup
+                      convergence-span replay exported as Perfetto-
+                      loadable Chrome trace JSON
+                      (results/BENCH_trace_events.json), and the
+                      recorder's own overhead at 1-in-64 sampling;
+                      writes results/BENCH_trace.json and exits nonzero
+                      on a broken span chain or phase-counter mismatch
              stats    with no dataset argument: live-telemetry replay —
                       a seeded lookup + churn workload whose counters are
                       reconciled against the script, dumped as Prometheus
                       text and results/BENCH_telemetry.json (requires
-                      building with --features telemetry)
+                      building with --features telemetry); --prometheus
+                      additionally exercises the engine and a BGP session
+                      and merges their registries into the same scrape
              stats <dataset|SYN1-...|SYN2-...>   structural diagnostics
              audit    structural invariant audit: fresh builds, the §4.9
                       replay under both update strategies, and a seeded
@@ -1156,11 +1171,22 @@ fn slo_run(
     }
 }
 
-/// A [`poptrie_engine::LatencySummary`] as a JSON object fragment.
+/// A [`poptrie_engine::LatencySummary`] as a JSON object fragment. Both
+/// unit systems are emitted: nanoseconds (host-independent) and
+/// calibrated TSC cycles (comparable to the paper's per-lookup figures).
 fn latency_json(l: &poptrie_engine::LatencySummary) -> String {
     format!(
-        "{{\"samples\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
-        l.samples, l.mean_ns, l.p50_ns, l.p99_ns, l.p999_ns
+        "{{\"samples\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+         \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"p999_cycles\": {}}}",
+        l.samples,
+        l.mean_ns,
+        l.p50_ns,
+        l.p99_ns,
+        l.p999_ns,
+        l.mean_cycles,
+        l.p50_cycles,
+        l.p99_cycles,
+        l.p999_cycles
     )
 }
 
@@ -1311,6 +1337,8 @@ fn slo(ctx: &mut Ctx, threads: usize) {
     let mut agg_deadline_dropped = 0u64;
     let mut agg_refused = 0u64;
     let mut max_wait_p999 = 0u64;
+    let mut max_wait_p99 = 0u64;
+    let mut max_service_p99 = 0u64;
     for (pattern, pool, burst) in patterns {
         for &workers in &counts {
             for churn_on in [false, true] {
@@ -1358,6 +1386,8 @@ fn slo(ctx: &mut Ctx, threads: usize) {
                 agg_deadline_dropped += r.deadline_dropped_batches;
                 agg_refused += r.dropped_batches;
                 max_wait_p999 = max_wait_p999.max(r.queue_wait.p999_ns);
+                max_wait_p99 = max_wait_p99.max(r.queue_wait.p99_ns);
+                max_service_p99 = max_service_p99.max(r.service.p99_ns);
                 t.row(vec![
                     pattern.to_string(),
                     workers.to_string(),
@@ -1481,11 +1511,16 @@ fn slo(ctx: &mut Ctx, threads: usize) {
         "\"quick\": {}, \"dataset\": \"{ds_name}\", \"threads\": {threads}",
         ctx.quick
     );
-    let previous = std::fs::read_to_string(&history_path).ok().and_then(|h| {
+    // The last comparable history line, kept whole so the gate can read
+    // both the throughput and the latency fields out of it.
+    let previous_line = std::fs::read_to_string(&history_path).ok().and_then(|h| {
         h.lines()
             .rfind(|l| l.contains(&fingerprint))
-            .and_then(|l| json_field_f64(l, "agg_mlps"))
+            .map(str::to_string)
     });
+    let previous = previous_line
+        .as_deref()
+        .and_then(|l| json_field_f64(l, "agg_mlps"));
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -1493,7 +1528,8 @@ fn slo(ctx: &mut Ctx, threads: usize) {
     let entry = format!(
         "{{\"ts\": {ts}, {fingerprint}, \"cells\": {}, \"agg_mlps\": {agg_mlps:.3}, \
          \"deadline_dropped_batches\": {agg_deadline_dropped}, \
-         \"refused_batches\": {agg_refused}, \"max_wait_p999_ns\": {max_wait_p999}}}\n",
+         \"refused_batches\": {agg_refused}, \"max_wait_p999_ns\": {max_wait_p999}, \
+         \"wait_p99_ns\": {max_wait_p99}, \"service_p99_ns\": {max_service_p99}}}\n",
         cells.len(),
     );
     use std::io::Write as _;
@@ -1523,6 +1559,37 @@ fn slo(ctx: &mut Ctx, threads: usize) {
                          previous comparable run ({agg_mlps:.2} vs {prev:.2} Mlps)"
                     );
                     std::process::exit(1);
+                }
+                // The latency side of the same gate: the worst per-cell
+                // p99 queue wait and p99 service time must not *rise*
+                // past factor x the previous comparable run. Throughput
+                // can hold steady while tail latency cliffs (a stalled
+                // worker still serves batches late); tracking both
+                // catches that class of regression.
+                if factor > 1.0 {
+                    let worse = |name: &str, now: u64, prev: Option<f64>| {
+                        if let Some(prev) = prev.filter(|&p| p > 0.0) {
+                            if now as f64 > prev * factor {
+                                eprintln!(
+                                    "error: {name} p99 rose more than {factor}x above the \
+                                     previous comparable run ({now} ns vs {prev:.0} ns)"
+                                );
+                                return true;
+                            }
+                        }
+                        false
+                    };
+                    let prev_wait = previous_line
+                        .as_deref()
+                        .and_then(|l| json_field_f64(l, "wait_p99_ns"));
+                    let prev_service = previous_line
+                        .as_deref()
+                        .and_then(|l| json_field_f64(l, "service_p99_ns"));
+                    let bad = worse("queue-wait", max_wait_p99, prev_wait)
+                        | worse("service", max_service_p99, prev_service);
+                    if bad {
+                        std::process::exit(1);
+                    }
                 }
             }
         }
@@ -1797,7 +1864,7 @@ fn bgp(ctx: &mut Ctx, opts: &BgpOpts) {
     let mut pump = |session: &mut Session, sent: &mut u64| {
         session.drain_actions(); // OPEN/KEEPALIVE/NOTIFICATION tx: no wire to write to
         for ev in session.drain_events() {
-            if let Event::Routes(routes) = ev {
+            if let Event::Routes { span, routes } = ev {
                 for r in routes {
                     let update = match r {
                         RouteEvent::AnnounceV4(p, nh) => {
@@ -1808,7 +1875,9 @@ fn bgp(ctx: &mut Ctx, opts: &BgpOpts) {
                     };
                     let mut u = update;
                     loop {
-                        match control.send(u) {
+                        // Carry the session's span ID so a trace-enabled
+                        // engine can attribute the apply to this UPDATE.
+                        match control.send_spanned(span, u) {
                             Ok(()) => break,
                             Err(back) => {
                                 u = back;
@@ -2327,10 +2396,546 @@ fn batch(ctx: &mut Ctx) {
 
 /// `repro stats`: with a dataset argument, structural diagnostics of the
 /// dataset; with none, the live-telemetry replay (`telemetry` feature).
+/// `repro trace [--quick] [--threads N]`: the flight-recorder run.
+///
+/// Three phases:
+///
+/// 1. **Perf attribution.** Traffic against REAL-Tier1-A is partitioned
+///    by [`poptrie::phase::LookupPhase`] (direct-point hit vs. trie
+///    descent) and each partition is measured per dispatch tier under a
+///    `perf_event_open` counter group, attributing cycles,
+///    instructions, L1d/LLC read misses and branch misses per lookup to
+///    each phase. The partition is cross-checked against the live phase
+///    counters — a mismatch means the instrumentation lies, and exits
+///    nonzero.
+/// 2. **Convergence spans.** A BGP session replays a synthetic UPDATE
+///    trace into a recorder-equipped engine (2 NUMA replicas); every
+///    accepted span must surface as writer apply, per-replica publish
+///    and a worker snapshot adoption covering its version. The drained
+///    rings export as Chrome trace-event JSON
+///    (`results/BENCH_trace_events.json`, loadable in Perfetto).
+/// 3. **Overhead.** The same lookup workload runs with the recorder
+///    absent and attached at 1-in-64 sampling; the throughput delta is
+///    the price of leaving the recorder on.
+///
+/// Everything lands in `results/BENCH_trace.json`; a malformed document
+/// or a broken span chain exits nonzero so CI can gate on it.
+#[cfg(feature = "trace")]
+fn trace_cmd(ctx: &mut Ctx, threads: usize) {
+    use poptrie::phase;
+    use poptrie::sync::{RouteUpdate, SharedFib};
+    use poptrie::BatchBackend;
+    use poptrie_bgp::wire::{Message, OpenMsg};
+    use poptrie_bgp::{Event, NextHopInterner, RouteEvent, Session, SessionConfig, State};
+    use poptrie_engine::{Engine, EngineConfig};
+    use poptrie_rib::RadixTree;
+    use poptrie_trace::{
+        chrome_trace_json, EventKind, PerfCounts, PerfGroup, Recorder,
+        TraceConfig as RecorderConfig,
+    };
+    use std::collections::{HashMap, HashSet};
+    use std::net::IpAddr;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    section("Flight recorder: perf attribution, convergence spans, recorder overhead");
+    let mut gate_failures = 0u32;
+
+    // ------------------------------------------------- phase attribution
+    let dataset = ctx.dataset("REAL-Tier1-A").clone();
+    let pcfg = PoptrieConfig::new().direct_bits(18).build().unwrap();
+    let mut fib = Fib::compile(dataset.to_rib(), pcfg);
+    let trace = RealTrace::synthesize(&dataset, TraceConfig::default());
+    let packets = trace.packet_array(if ctx.quick { 1 << 16 } else { 1 << 19 });
+
+    let mut direct_keys: Vec<u32> = Vec::new();
+    let mut descent_keys: Vec<u32> = Vec::new();
+    for &k in &packets {
+        match fib.poptrie().lookup_phase(k) {
+            phase::LookupPhase::Direct => direct_keys.push(k),
+            phase::LookupPhase::Descent(_) => descent_keys.push(k),
+        }
+    }
+    println!(
+        "[trace] {} packets: {} direct-point hits, {} trie descents",
+        packets.len(),
+        direct_keys.len(),
+        descent_keys.len()
+    );
+
+    let mut tiers = vec![BatchBackend::Scalar];
+    for t in [BatchBackend::Avx2, BatchBackend::Avx512] {
+        if t.is_available() {
+            tiers.push(t);
+        }
+    }
+
+    // Cross-check the live phase counters against the static partition
+    // on every tier: each key must be counted exactly once, on the same
+    // side `lookup_phase` predicted, by scalar and SIMD walkers alike.
+    for &tier in &tiers {
+        fib.set_batch_backend(tier);
+        phase::reset();
+        let mut out = vec![0 as poptrie::NextHop; packets.len()];
+        fib.poptrie().lookup_batch(&packets, &mut out);
+        let ps = phase::snapshot();
+        let ok =
+            ps.direct_hits == direct_keys.len() as u64 && ps.descents == descent_keys.len() as u64;
+        println!(
+            "[trace] phase counters on {:<6}: {} direct, {} descents (mean depth {:.2})  {}",
+            tier.name(),
+            ps.direct_hits,
+            ps.descents,
+            ps.mean_descent_depth(),
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        if !ok {
+            gate_failures += 1;
+        }
+    }
+    let mean_descent_depth = {
+        fib.set_batch_backend(BatchBackend::Scalar);
+        phase::reset();
+        let mut out = vec![0 as poptrie::NextHop; packets.len()];
+        fib.poptrie().lookup_batch(&packets, &mut out);
+        phase::snapshot().mean_descent_depth()
+    };
+
+    // One measured cell: `rounds` batched passes over `keys` under the
+    // perf counter group, timed with the monotonic clock as well so a
+    // PMU-less host still reports cycles via the TSC calibration.
+    fn measure_cell(fib: &Fib<u32>, keys: &[u32], target: usize) -> (u64, f64, Option<PerfCounts>) {
+        let rounds = (target / keys.len().max(1)).max(1);
+        let mut out = vec![0 as poptrie::NextHop; keys.len()];
+        let t0 = Instant::now();
+        let ((), counts) = PerfGroup::measure(|| {
+            for _ in 0..rounds {
+                fib.poptrie().lookup_batch(keys, &mut out);
+            }
+        });
+        let ns = t0.elapsed().as_nanos() as f64;
+        ((keys.len() * rounds) as u64, ns, counts)
+    }
+    fn cell_json(lookups: u64, ns: f64, counts: &Option<PerfCounts>) -> String {
+        let per = |v: Option<u64>| match v {
+            Some(v) => format!("{:.4}", v as f64 / lookups as f64),
+            None => "null".to_string(),
+        };
+        let ns_per = ns / lookups as f64;
+        let cycles = match counts.as_ref().and_then(|c| c.cycles) {
+            Some(c) => format!("{:.2}", c as f64 / lookups as f64),
+            // No PMU: fall back to wall time times the TSC calibration.
+            None => format!("{:.2}", ns_per * poptrie_cycles::tsc::cycles_per_ns()),
+        };
+        format!(
+            "{{\"lookups\": {lookups}, \"ns_per_lookup\": {ns_per:.4}, \
+             \"cycles_per_lookup\": {cycles}, \
+             \"instructions_per_lookup\": {}, \"l1d_misses_per_lookup\": {}, \
+             \"llc_misses_per_lookup\": {}, \"branch_misses_per_lookup\": {}, \
+             \"perf_counters\": {}}}",
+            per(counts.as_ref().and_then(|c| c.instructions)),
+            per(counts.as_ref().and_then(|c| c.l1d_misses)),
+            per(counts.as_ref().and_then(|c| c.llc_misses)),
+            per(counts.as_ref().and_then(|c| c.branch_misses)),
+            counts.is_some()
+        )
+    }
+
+    let target = if ctx.quick { 1 << 18 } else { 1 << 21 };
+    let mut phase_json = String::from("{");
+    println!(
+        "\n{:<10} {:<8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "tier", "lookups", "ns/lkp", "cyc/lkp", "L1d/lkp", "LLC/lkp"
+    );
+    for (pi, (pname, keys)) in [("direct", &direct_keys), ("descent", &descent_keys)]
+        .iter()
+        .enumerate()
+    {
+        if pi > 0 {
+            phase_json.push(',');
+        }
+        phase_json.push_str(&format!("\"{pname}\": {{"));
+        for (ti, &tier) in tiers.iter().enumerate() {
+            fib.set_batch_backend(tier);
+            let (lookups, ns, counts) = if keys.is_empty() {
+                (0, 0.0, None)
+            } else {
+                measure_cell(&fib, keys, target)
+            };
+            if ti > 0 {
+                phase_json.push(',');
+            }
+            if lookups == 0 {
+                phase_json.push_str(&format!("\"{}\": null", tier.name()));
+                continue;
+            }
+            phase_json.push_str(&format!(
+                "\"{}\": {}",
+                tier.name(),
+                cell_json(lookups, ns, &counts)
+            ));
+            let f = |v: Option<u64>| match v {
+                Some(v) => format!("{:.3}", v as f64 / lookups as f64),
+                None => "-".to_string(),
+            };
+            println!(
+                "{:<10} {:<8} {:>12} {:>10.2} {:>10} {:>10} {:>10}",
+                pname,
+                tier.name(),
+                lookups,
+                ns / lookups as f64,
+                f(counts.as_ref().and_then(|c| c.cycles)),
+                f(counts.as_ref().and_then(|c| c.l1d_misses)),
+                f(counts.as_ref().and_then(|c| c.llc_misses)),
+            );
+        }
+        phase_json.push('}');
+    }
+    phase_json.push('}');
+    if PerfGroup::open().is_none() {
+        println!(
+            "[trace] note: no PMU access (perf_event_paranoid/container); cycles are TSC-derived"
+        );
+    }
+
+    // --------------------------------------------- cross-layer span run
+    println!();
+    let rec = Recorder::new(RecorderConfig {
+        capacity: 1 << 15,
+        sample: 1,
+    });
+    let bgp_ring = rec.register("bgp");
+    let replicas = 2usize;
+    let span_fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(RadixTree::new(), pcfg));
+    let engine = Engine::start(
+        Arc::clone(&span_fib),
+        EngineConfig::new(threads.max(1))
+            .pin_workers(false)
+            .control_capacity(8192)
+            .coalesce_window(64)
+            .numa_replicas(replicas)
+            .recorder(rec.clone()),
+    );
+    let control = engine.control();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let feeder = {
+        let ingress = engine.ingress();
+        let stop = Arc::clone(&stop);
+        let keys: Arc<[u32]> = Arc::from(packets[..packets.len().min(4096)].to_vec());
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if ingress.try_submit(Arc::clone(&keys)).is_err() {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        })
+    };
+
+    fn state_code(s: State) -> u64 {
+        match s {
+            State::Idle => 0,
+            State::Connect => 1,
+            State::OpenSent => 2,
+            State::OpenConfirm => 3,
+            State::Established => 4,
+        }
+    }
+
+    let (n_base, n_churn) = if ctx.quick {
+        (400, 300)
+    } else {
+        (4_000, 2_000)
+    };
+    let bgp_trace = synth_bgp_trace(n_base, n_churn, 0xF11C_47B1);
+    let mut session = Session::new(SessionConfig::default());
+    let started = Instant::now();
+    let now_ns = |s: &Instant| s.elapsed().as_nanos() as u64;
+    let mut last_state = session.state();
+    let mut interner = NextHopInterner::new();
+    let mut accepted_routes = 0u64;
+
+    {
+        let mut step = |session: &mut Session| {
+            session.drain_actions();
+            let s = session.state();
+            if s != last_state {
+                bgp_ring.record(
+                    EventKind::BgpTransition,
+                    0,
+                    state_code(s),
+                    state_code(last_state) as u32,
+                );
+                last_state = s;
+            }
+            for ev in session.drain_events() {
+                if let Event::Routes { span, routes } = ev {
+                    bgp_ring.record(EventKind::SpanAccept, span, routes.len() as u64, 0);
+                    for r in routes {
+                        let update = match r {
+                            RouteEvent::AnnounceV4(p, nh) => {
+                                RouteUpdate::Announce(p, interner.intern(IpAddr::V4(nh)))
+                            }
+                            RouteEvent::WithdrawV4(p) => RouteUpdate::Withdraw(p),
+                            RouteEvent::AnnounceV6(..) | RouteEvent::WithdrawV6(..) => continue,
+                        };
+                        let mut u = update;
+                        loop {
+                            match control.send_spanned(span, u) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    u = back;
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                            }
+                        }
+                        accepted_routes += 1;
+                    }
+                }
+            }
+        };
+        session.start(now_ns(&started));
+        session.connected(now_ns(&started));
+        step(&mut session);
+        session.recv(
+            now_ns(&started),
+            &Message::Open(OpenMsg {
+                version: 4,
+                asn: 65_001,
+                hold_time: 90,
+                bgp_id: 0xC000_0201,
+                params: Vec::new(),
+            })
+            .encode(),
+        );
+        step(&mut session);
+        session.recv(now_ns(&started), &Message::Keepalive.encode());
+        step(&mut session);
+        assert_eq!(session.state(), State::Established, "handshake failed");
+        for r in &bgp_trace.records {
+            session.recv(now_ns(&started), &r.message);
+            step(&mut session);
+        }
+    }
+    let spans_allocated = session.spans_allocated();
+
+    // Let the writer drain, then touch every worker so each adopts the
+    // final snapshot version (the last link of every span chain).
+    while control.pending() > 0 {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    let tail: Arc<[u32]> = Arc::from(packets[..packets.len().min(1024)].to_vec());
+    for w in 0..engine.workers() {
+        let mut batch = Arc::clone(&tail);
+        while let Err(back) = engine.ingress().try_submit_to(w, batch) {
+            batch = back;
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    stop.store(true, Ordering::Relaxed);
+    feeder.join().expect("feeder panicked");
+    let span_report = engine.shutdown(Duration::from_secs(30));
+
+    let rings = rec.drain();
+    let (mut recorded, mut overwritten, mut sampled_out) = (0u64, 0u64, 0u64);
+    for r in &rings {
+        recorded += r.recorded;
+        overwritten += r.overwritten;
+        sampled_out += r.sampled_out;
+    }
+    let mut accepted: HashSet<u64> = HashSet::new();
+    let mut applied: HashMap<u64, u64> = HashMap::new();
+    let mut adopted_max = 0u64;
+    let mut replica_publishes = 0u64;
+    for ring in &rings {
+        for ev in &ring.events {
+            match ev.event_kind() {
+                Some(EventKind::SpanAccept) => {
+                    accepted.insert(ev.span);
+                }
+                Some(EventKind::UpdateApply) => {
+                    applied.insert(ev.span, ev.arg);
+                }
+                Some(EventKind::ReplicaPublish) => replica_publishes += 1,
+                Some(EventKind::SnapshotAdopt) => adopted_max = adopted_max.max(ev.arg),
+                _ => {}
+            }
+        }
+    }
+    let applied_of_accepted = accepted.iter().filter(|s| applied.contains_key(s)).count();
+    let served = applied.values().filter(|&&v| v <= adopted_max).count();
+    println!(
+        "[trace] spans: {spans_allocated} allocated, {} accepted, {applied_of_accepted} applied, \
+         {served} covered by an adopted snapshot (max adopted version {adopted_max}, \
+         {replica_publishes} replica publishes over {} replicas)",
+        accepted.len(),
+        span_report.fib_replicas
+    );
+    println!(
+        "[trace] rings: {} rings, {recorded} events recorded, {overwritten} overwritten, \
+         {sampled_out} sampled out",
+        rings.len()
+    );
+    // The continuity gate only holds when nothing was overwritten (the
+    // rings are sized for this workload, so overwrite means a bug or a
+    // --full-scale rerun with undersized rings — warn, don't lie).
+    if overwritten == 0 {
+        let complete = accepted.len() as u64 == spans_allocated
+            && applied_of_accepted == accepted.len()
+            && served == applied.len();
+        println!(
+            "[trace] span continuity (accept -> apply -> publish -> adopt): {}",
+            if complete { "ok" } else { "BROKEN" }
+        );
+        if !complete {
+            gate_failures += 1;
+        }
+    } else {
+        println!("[trace] span continuity: skipped ({overwritten} events overwritten)");
+    }
+
+    let chrome = chrome_trace_json(&rings);
+    let results = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(results)
+        .and_then(|()| std::fs::write(results.join("BENCH_trace_events.json"), &chrome))
+    {
+        eprintln!("error: could not write results/BENCH_trace_events.json: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = validate_json(
+        &chrome,
+        &["traceEvents", "trace/lookup_batch", "trace/span_accept"],
+    ) {
+        eprintln!("error: results/BENCH_trace_events.json is malformed: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote results/BENCH_trace_events.json ({} bytes; load in https://ui.perfetto.dev)",
+        chrome.len()
+    );
+
+    // ------------------------------------------------- recorder overhead
+    fn engine_mlps(
+        fib: &Arc<SharedFib<u32>>,
+        threads: usize,
+        recorder: Option<Recorder>,
+        batches: usize,
+        pool: &[Arc<[u32]>],
+    ) -> f64 {
+        let mut cfg = EngineConfig::new(threads).pin_workers(false);
+        if let Some(r) = recorder {
+            cfg = cfg.recorder(r);
+        }
+        let engine = Engine::start(Arc::clone(fib), cfg);
+        let ingress = engine.ingress();
+        let t0 = Instant::now();
+        for i in 0..batches {
+            let mut batch = Arc::clone(&pool[i % pool.len()]);
+            while let Err(back) = ingress.try_submit(batch) {
+                batch = back;
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+        let report = engine.shutdown(Duration::from_secs(120));
+        report.packets as f64 / t0.elapsed().as_secs_f64() / 1e6
+    }
+
+    let overhead_sample = 64u64;
+    let bench_fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(dataset.to_rib(), pcfg));
+    let pool: Vec<Arc<[u32]>> = packets
+        .chunks(4096)
+        .take(16)
+        .map(|c| Arc::from(c.to_vec()))
+        .collect();
+    let batches = if ctx.quick { 500 } else { 4_000 };
+    // One discarded warmup (page cache, thread spawn, frequency ramp),
+    // then best-of-two per configuration: engine start/stop noise at
+    // this scale otherwise dwarfs the effect being measured.
+    engine_mlps(&bench_fib, threads.max(1), None, batches / 4, &pool);
+    let run_traced = || {
+        engine_mlps(
+            &bench_fib,
+            threads.max(1),
+            Some(Recorder::new(RecorderConfig {
+                capacity: 4096,
+                sample: overhead_sample,
+            })),
+            batches,
+            &pool,
+        )
+    };
+    let run_base = || engine_mlps(&bench_fib, threads.max(1), None, batches, &pool);
+    let baseline_mlps = run_base().max(run_base());
+    let traced_mlps = run_traced().max(run_traced());
+    let overhead_pct = (1.0 - traced_mlps / baseline_mlps) * 100.0;
+    println!(
+        "\n[trace] recorder overhead at 1-in-{overhead_sample} sampling: \
+         {baseline_mlps:.2} Mlps untraced vs {traced_mlps:.2} Mlps traced ({overhead_pct:+.2}%)"
+    );
+
+    // ------------------------------------------------------ the artifact
+    let json = format!(
+        "{{\n  \"schema\": \"poptrie-trace/1\",\n  \"quick\": {},\n  \"threads\": {},\n  \
+         \"phases\": {phase_json},\n  \"mean_descent_depth\": {mean_descent_depth:.3},\n  \
+         \"spans\": {{\"allocated\": {spans_allocated}, \"accepted\": {}, \"applied\": \
+         {applied_of_accepted}, \"served\": {served}, \"replicas\": {}, \
+         \"replica_publishes\": {replica_publishes}, \"routes\": {accepted_routes}}},\n  \
+         \"events\": {{\"rings\": {}, \"recorded\": {recorded}, \"overwritten\": \
+         {overwritten}, \"sampled_out\": {sampled_out}}},\n  \
+         \"overhead\": {{\"sample\": {overhead_sample}, \"baseline_mlps\": \
+         {baseline_mlps:.3}, \"traced_mlps\": {traced_mlps:.3}, \"overhead_pct\": \
+         {overhead_pct:.3}}}\n}}\n",
+        ctx.quick,
+        threads.max(1),
+        accepted.len(),
+        span_report.fib_replicas,
+        rings.len(),
+    );
+    if let Err(e) = std::fs::write(results.join("BENCH_trace.json"), &json) {
+        eprintln!("error: could not write results/BENCH_trace.json: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = validate_json(
+        &json,
+        &[
+            "phases",
+            "cycles_per_lookup",
+            "l1d_misses_per_lookup",
+            "spans",
+            "overhead",
+        ],
+    ) {
+        eprintln!("error: results/BENCH_trace.json is malformed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote results/BENCH_trace.json");
+
+    if gate_failures > 0 {
+        eprintln!("{gate_failures} trace gate failure(s)");
+        std::process::exit(1);
+    }
+}
+
+/// Without the `trace` feature there is no recorder to run; say how to
+/// get one.
+#[cfg(not(feature = "trace"))]
+fn trace_cmd(_ctx: &mut Ctx, _threads: usize) {
+    eprintln!(
+        "repro trace needs the flight recorder compiled in:\n\
+         \n    cargo run --release -p poptrie-bench --features trace --bin repro -- trace --quick\n\
+         \nThe default build deliberately contains no recorder code (see DESIGN.md §12)."
+    );
+    std::process::exit(2);
+}
+
 fn stats(ctx: &mut Ctx, args: &[String]) {
+    let unified = args.iter().any(|a| a == "--prometheus");
     match args.iter().filter(|a| !a.starts_with("--")).nth(1).cloned() {
         Some(name) => dataset_stats(ctx, &name),
-        None => telemetry_stats(ctx),
+        None => telemetry_stats(ctx, unified),
     }
 }
 
@@ -2406,8 +3011,13 @@ fn dataset_stats(ctx: &mut Ctx, name: &str) {
 /// `results/BENCH_telemetry.json`. The churn phase is the Fig. 12 regime
 /// (lookups served while updates land); the reconciliation is the
 /// acceptance check that the instrumentation counts what it claims to.
+///
+/// With `--prometheus` the dump additionally exercises the forwarding
+/// engine and a BGP session and merges their registries into the core
+/// FIB registry, so one scrape covers the whole stack
+/// (`poptrie_*` + `poptrie_engine_*` + `poptrie_bgp_*`).
 #[cfg(feature = "telemetry")]
-fn telemetry_stats(ctx: &mut Ctx) {
+fn telemetry_stats(ctx: &mut Ctx, unified: bool) {
     use poptrie::sync::SharedFib;
     use poptrie::telemetry;
 
@@ -2519,9 +3129,14 @@ fn telemetry_stats(ctx: &mut Ctx) {
     );
 
     println!();
-    print!("{}", snap.render_prometheus());
+    let mut reg = snap.registry();
+    if unified {
+        println!("[stats] --prometheus: merging engine and BGP registries into the scrape");
+        reg.merge(whole_stack_registry(ctx.quick));
+    }
+    print!("{}", reg.render_prometheus());
 
-    let json = snap.registry().render_json();
+    let json = reg.render_json();
     let path = std::path::Path::new("results");
     if let Err(e) = std::fs::create_dir_all(path)
         .and_then(|()| std::fs::write(path.join("BENCH_telemetry.json"), &json))
@@ -2537,10 +3152,92 @@ fn telemetry_stats(ctx: &mut Ctx) {
     }
 }
 
+/// One scrape for the whole stack: briefly exercise the forwarding
+/// engine (lookups + one control-plane announce) and a BGP session
+/// (handshake + one UPDATE), then return their telemetry registries
+/// merged, so `repro stats --prometheus` emits core, engine and BGP
+/// metric families in a single Prometheus document.
+#[cfg(feature = "telemetry")]
+fn whole_stack_registry(quick: bool) -> poptrie_telemetry::TelemetryRegistry {
+    use poptrie::sync::SharedFib;
+    use poptrie_bgp::wire::{Message, OpenMsg, UpdateMsg};
+    use poptrie_bgp::{Session, SessionConfig, State};
+    use poptrie_engine::{Engine, EngineConfig};
+    use poptrie_rib::{Prefix, RadixTree};
+    use std::net::Ipv4Addr;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // A small FIB is enough: the point is populating every metric
+    // family, not load-testing.
+    let mut rib: RadixTree<u32, poptrie::NextHop> = RadixTree::new();
+    for i in 0..64u32 {
+        rib.insert(Prefix::new(i << 24, 8), (i % 8 + 1) as poptrie::NextHop);
+    }
+    let pcfg = PoptrieConfig::new().direct_bits(18).build().unwrap();
+    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::compile(rib, pcfg));
+    let engine = Engine::start(Arc::clone(&fib), EngineConfig::new(2).pin_workers(false));
+    let ingress = engine.ingress();
+    let keys: Arc<[u32]> = Arc::from(
+        (0..1024u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .collect::<Vec<u32>>(),
+    );
+    for _ in 0..(if quick { 8 } else { 64 }) {
+        let mut batch = Arc::clone(&keys);
+        while let Err(back) = ingress.try_submit(batch) {
+            batch = back;
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+    let control = engine.control();
+    let mut u = poptrie::sync::RouteUpdate::Announce(Prefix::new(0xC633_6400, 24), 3);
+    while let Err(back) = control.send(u) {
+        u = back;
+        std::thread::sleep(Duration::from_micros(20));
+    }
+    let engine_telemetry = engine.telemetry();
+    engine.shutdown(Duration::from_secs(10));
+    let mut reg = engine_telemetry.registry();
+
+    // The BGP side: an in-memory handshake plus one UPDATE populates the
+    // session, message and route counters.
+    let mut session = Session::new(SessionConfig::default());
+    let session_stats = session.stats();
+    session.start(0);
+    session.connected(1);
+    session.recv(
+        2,
+        &Message::Open(OpenMsg {
+            version: 4,
+            asn: 65_001,
+            hold_time: 90,
+            bgp_id: 0xC000_0201,
+            params: Vec::new(),
+        })
+        .encode(),
+    );
+    session.recv(3, &Message::Keepalive.encode());
+    debug_assert_eq!(session.state(), State::Established);
+    session.recv(
+        4,
+        &Message::Update(UpdateMsg {
+            announced_v4: vec![Prefix::new(0xCB00_7100, 24)],
+            next_hop_v4: Some(Ipv4Addr::new(192, 0, 2, 9)),
+            ..UpdateMsg::default()
+        })
+        .encode(),
+    );
+    session.drain_actions();
+    session.drain_events();
+    reg.merge(session_stats.registry());
+    reg
+}
+
 /// Without the `telemetry` feature the counters do not exist; point at
 /// the feature and fall back to the structural diagnostics.
 #[cfg(not(feature = "telemetry"))]
-fn telemetry_stats(ctx: &mut Ctx) {
+fn telemetry_stats(ctx: &mut Ctx, _unified: bool) {
     eprintln!(
         "repro stats with no dataset argument is the live-telemetry replay, which\n\
          needs the counters compiled in:\n\

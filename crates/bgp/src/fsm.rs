@@ -87,8 +87,19 @@ pub enum Event {
         /// State entered.
         to: State,
     },
-    /// Routes from an UPDATE in Established.
-    Routes(Vec<RouteEvent>),
+    /// Routes from an UPDATE in Established. `span` is the session's
+    /// monotonically increasing convergence-span ID — one per accepted
+    /// UPDATE carrying routes, starting at 1. A driver that forwards
+    /// these routes into the engine via
+    /// `Control::send_spanned(span, ..)` gives the flight recorder a
+    /// cross-layer span from protocol acceptance through snapshot
+    /// publication to the first lookup served against it.
+    Routes {
+        /// Convergence-span ID allocated for this UPDATE.
+        span: u64,
+        /// The route changes, in wire order.
+        routes: Vec<RouteEvent>,
+    },
     /// The peer closed the session with a NOTIFICATION.
     PeerNotification(NotificationMsg),
     /// A message failed to parse; the session was torn down.
@@ -149,6 +160,10 @@ pub struct Session {
     hold_deadline: Option<Nanos>,
     /// Next KEEPALIVE transmission due.
     keepalive_at: Option<Nanos>,
+    /// Last convergence-span ID handed out with an [`Event::Routes`]
+    /// (0 = none yet; IDs start at 1 so span 0 can mean "unspanned"
+    /// downstream).
+    next_span: u64,
     actions: Vec<Action>,
     events: Vec<Event>,
 }
@@ -167,10 +182,17 @@ impl Session {
             hold: None,
             hold_deadline: None,
             keepalive_at: None,
+            next_span: 0,
             actions: Vec::new(),
             events: Vec::new(),
             config,
         }
+    }
+
+    /// Convergence spans allocated so far (= accepted UPDATEs that
+    /// carried routes). Span IDs are `1..=spans_allocated()`.
+    pub fn spans_allocated(&self) -> u64 {
+        self.next_span
     }
 
     /// Current state.
@@ -446,7 +468,11 @@ impl Session {
         self.stats.routes_announced.add(announced);
         self.stats.routes_withdrawn.add(withdrawn);
         if !routes.is_empty() {
-            self.events.push(Event::Routes(routes));
+            self.next_span += 1;
+            self.events.push(Event::Routes {
+                span: self.next_span,
+                routes,
+            });
         }
     }
 

@@ -268,7 +268,7 @@ fn clean_session_reaches_established_and_yields_routes() {
     let routes: Vec<RouteEvent> = events
         .into_iter()
         .filter_map(|e| match e {
-            Event::Routes(r) => Some(r),
+            Event::Routes { routes: r, .. } => Some(r),
             _ => None,
         })
         .flatten()
@@ -503,7 +503,7 @@ fn torn_delivery_is_equivalent_to_clean_delivery() {
         events
             .into_iter()
             .filter_map(|e| match e {
-                Event::Routes(r) => Some(r),
+                Event::Routes { routes: r, .. } => Some(r),
                 _ => None,
             })
             .flatten()
@@ -563,7 +563,7 @@ fn reconnect_after_flap_reconverges_against_the_rib_oracle() {
     let mut routes: Vec<RouteEvent> = Vec::new();
     let collect = |events: Vec<Event>, routes: &mut Vec<RouteEvent>| {
         for e in events {
-            if let Event::Routes(r) = e {
+            if let Event::Routes { routes: r, .. } = e {
                 routes.extend(r);
             }
         }

@@ -99,6 +99,10 @@ fn step_lane<K: Bits, N: NodeRepr>(
             N::COMPRESSES_LEAVES,
         );
     }
+    #[cfg(feature = "trace")]
+    if internal == 0 {
+        crate::phase::record_phase_descent((offset[i] - 6 - s) / 6 + 1);
+    }
     let next_line = (nodes_ptr as *const u8).wrapping_add(next as usize * N::SIZE);
     let leaf_line =
         (leaves_ptr as *const u8).wrapping_add(li as usize * core::mem::size_of::<NextHop>());

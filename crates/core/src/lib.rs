@@ -62,6 +62,8 @@ mod batch_simd;
 pub mod builder;
 pub mod config;
 pub mod node;
+#[cfg(feature = "trace")]
+pub mod phase;
 pub mod prelude;
 pub mod serial;
 pub mod sync;

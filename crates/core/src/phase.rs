@@ -1,0 +1,126 @@
+//! Lookup-phase attribution for the flight recorder (the `trace` feature).
+//!
+//! The paper attributes per-lookup cost to two phases: the §3.4
+//! direct-pointing probe (one array load, depth 0) and the §3.1 node
+//! descent (popcount walk, depth ≥ 1). The `repro trace` harness divides
+//! perf-counter deltas (cycles, cache misses) between those phases, which
+//! requires knowing — for a given key set against a given trie — how many
+//! lookups resolved in each phase and how deep the descents went. This
+//! module keeps exactly those two tallies as process-wide sharded
+//! counters, incremented from `#[cfg(feature = "trace")]` sites on every
+//! lookup path (scalar, interleaved scalar batch, AVX2/AVX-512 kernels).
+//!
+//! # Zero cost when disabled
+//!
+//! Like the `telemetry` feature, every instrumentation site is a cfg'd
+//! block: the default build compiles to the uninstrumented code with no
+//! branch, call, or symbol. The CI trace gate greps the default release
+//! artifacts for this module's metric names to prove it.
+//!
+//! # Relation to `telemetry`
+//!
+//! The `telemetry` depth histogram carries the same information at finer
+//! grain; this module exists so `trace` builds don't have to drag in the
+//! full telemetry surface, and so phase attribution works (and
+//! reconciles) when both features are on. The two gates are independent.
+
+use poptrie_telemetry::{Counter, TelemetryRegistry};
+
+static DIRECT_HITS: Counter = Counter::new();
+static DESCENTS: Counter = Counter::new();
+static DESCENT_LEVELS: Counter = Counter::new();
+
+/// A lookup resolved by the direct-pointing table alone (depth 0).
+#[inline]
+pub(crate) fn record_phase_direct() {
+    DIRECT_HITS.inc();
+}
+
+/// A lookup that descended `depth ≥ 1` internal nodes before resolving.
+#[inline]
+pub(crate) fn record_phase_descent(depth: u32) {
+    DESCENTS.inc();
+    DESCENT_LEVELS.add(depth as u64);
+}
+
+/// The phase a single lookup resolves in. Returned by
+/// [`lookup_phase`](crate::trie::PoptrieImpl::lookup_phase), which
+/// classifies a key without disturbing the counters — the `repro trace`
+/// harness uses it to partition a traffic sample into per-phase batches
+/// before measuring each partition under the perf group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupPhase {
+    /// Resolved by the direct table: one load, depth 0.
+    Direct,
+    /// Descended this many internal nodes (≥ 1) before the leaf.
+    Descent(u32),
+}
+
+/// A point-in-time copy of the phase counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Lookups resolved by the direct-pointing table (depth 0).
+    pub direct_hits: u64,
+    /// Lookups that descended at least one internal node.
+    pub descents: u64,
+    /// Total internal nodes walked across all descents.
+    pub descent_levels: u64,
+}
+
+impl PhaseSnapshot {
+    /// Total lookups observed (each records exactly one phase).
+    pub fn total(&self) -> u64 {
+        self.direct_hits + self.descents
+    }
+
+    /// Mean descent depth over descending lookups (0.0 when none).
+    pub fn mean_descent_depth(&self) -> f64 {
+        if self.descents == 0 {
+            0.0
+        } else {
+            self.descent_levels as f64 / self.descents as f64
+        }
+    }
+
+    /// Render as a [`TelemetryRegistry`] slice, mergeable into the
+    /// unified scrape.
+    pub fn registry(&self) -> TelemetryRegistry {
+        let mut r = TelemetryRegistry::new();
+        r.counter(
+            "poptrie_phase_lookups_total",
+            "Lookups by resolution phase (trace feature).",
+            &[("phase", "direct")],
+            self.direct_hits,
+        );
+        r.counter(
+            "poptrie_phase_lookups_total",
+            "Lookups by resolution phase (trace feature).",
+            &[("phase", "descent")],
+            self.descents,
+        );
+        r.counter(
+            "poptrie_phase_descent_levels_total",
+            "Internal nodes walked across all descending lookups.",
+            &[],
+            self.descent_levels,
+        );
+        r
+    }
+}
+
+/// Read the process-wide phase counters.
+pub fn snapshot() -> PhaseSnapshot {
+    PhaseSnapshot {
+        direct_hits: DIRECT_HITS.get(),
+        descents: DESCENTS.get(),
+        descent_levels: DESCENT_LEVELS.get(),
+    }
+}
+
+/// Zero the process-wide phase counters. Serialize against the workload
+/// being measured, as with `telemetry::reset`.
+pub fn reset() {
+    DIRECT_HITS.reset();
+    DESCENTS.reset();
+    DESCENT_LEVELS.reset();
+}

@@ -149,6 +149,8 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
             if entry & DIRECT_LEAF_BIT != 0 {
                 #[cfg(feature = "telemetry")]
                 crate::telemetry::record_direct_hit(false);
+                #[cfg(feature = "trace")]
+                crate::phase::record_phase_direct();
                 return (entry & !DIRECT_LEAF_BIT) as NextHop;
             }
             index = entry;
@@ -189,10 +191,48 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                     (offset - self.s as u32) / 6 + 1,
                     N::COMPRESSES_LEAVES,
                 );
+                #[cfg(feature = "trace")]
+                crate::phase::record_phase_descent((offset - self.s as u32) / 6 + 1);
                 // SAFETY: `leaf_rank(v)` is in `1..=leaf_count()` for a
                 // relevant slot and the node's leaf block
                 // `[base0, base0 + leaf_count)` lies inside `leaves`.
                 return unsafe { *self.leaves.get_unchecked(li) };
+            }
+        }
+    }
+
+    /// Classify the phase a lookup of `key` resolves in — direct-table
+    /// hit or descent of a given depth — without touching the phase
+    /// counters or the route result. The `repro trace` harness uses this
+    /// to partition a traffic sample into per-phase batches before
+    /// measuring each partition under the perf-counter group, so the
+    /// attribution ("direct hits cost X cycles, depth-d descents cost Y")
+    /// is measured, not inferred.
+    #[cfg(feature = "trace")]
+    pub fn lookup_phase(&self, key: K) -> crate::phase::LookupPhase {
+        let mut index: u32;
+        let mut offset: u32;
+        if self.s != 0 {
+            let di = key.extract(0, self.s as u32) as usize;
+            let entry = self.direct[di];
+            if entry & DIRECT_LEAF_BIT != 0 {
+                return crate::phase::LookupPhase::Direct;
+            }
+            index = entry;
+            offset = self.s as u32;
+        } else {
+            index = self.root;
+            offset = 0;
+        }
+        loop {
+            let node = &self.nodes[index as usize];
+            let v = key.extract(offset, 6);
+            let vector = node.vector();
+            if vector & (1u64 << v) != 0 {
+                index = node.base1() + rank1(vector, v) - 1;
+                offset += 6;
+            } else {
+                return crate::phase::LookupPhase::Descent((offset - self.s as u32) / 6 + 1);
             }
         }
     }
@@ -281,6 +321,8 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                 if entry & DIRECT_LEAF_BIT != 0 {
                     #[cfg(feature = "telemetry")]
                     crate::telemetry::record_direct_hit(true);
+                    #[cfg(feature = "trace")]
+                    crate::phase::record_phase_direct();
                     out[i] = (entry & !DIRECT_LEAF_BIT) as NextHop;
                 } else {
                     index[i] = entry;
@@ -372,6 +414,8 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                         (offset[i] - self.s as u32) / 6 + 1,
                         N::COMPRESSES_LEAVES,
                     );
+                    #[cfg(feature = "trace")]
+                    crate::phase::record_phase_descent((offset[i] - self.s as u32) / 6 + 1);
                     poptrie_bitops::prefetch_index(&self.leaves, li as usize);
                 }
             }

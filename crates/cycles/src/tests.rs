@@ -1,6 +1,9 @@
 use crate::heatmap::Heatmap;
 use crate::stats::{Candlestick, Cdf, Percentiles};
-use crate::tsc::{cycles_per_second, measure_batch, overhead, rdtsc_serialized};
+use crate::tsc::{
+    cycles_per_ns, cycles_per_second, cycles_to_ns, measure_batch, ns_to_cycles, overhead,
+    rdtsc_serialized,
+};
 
 mod tsc {
     use super::*;
@@ -36,6 +39,23 @@ mod tsc {
         let (cycles, sum) = measure_batch(|| (0..10_000u64).sum::<u64>());
         assert_eq!(sum, 49_995_000);
         assert!(cycles > 0);
+    }
+
+    #[test]
+    fn ns_calibration_round_trips() {
+        let per_ns = cycles_per_ns();
+        assert!(per_ns > 0.1 && per_ns < 20.0, "cycles/ns {per_ns}");
+        assert_eq!(cycles_to_ns(0), 0);
+        assert_eq!(ns_to_cycles(0), 0);
+        // Round-tripping a µs-scale value loses at most rounding error.
+        let ns = 1_000_000u64;
+        let back = cycles_to_ns(ns_to_cycles(ns));
+        let err = back.abs_diff(ns);
+        assert!(err <= 2, "round trip {ns} -> {back}");
+        // One second of cycles converts back to ~1e9 ns.
+        let second = cycles_per_second() as u64;
+        let ns_per_second = cycles_to_ns(second);
+        assert!(ns_per_second.abs_diff(1_000_000_000) < 20_000_000);
     }
 }
 

@@ -58,6 +58,27 @@ pub fn cycles_per_second() -> f64 {
     })
 }
 
+/// TSC ticks per nanosecond, derived from [`cycles_per_second`] (and
+/// cached with it). On non-x86 targets the "TSC" is already a
+/// nanosecond clock, so this converges to ~1.0.
+pub fn cycles_per_ns() -> f64 {
+    cycles_per_second() / 1e9
+}
+
+/// Convert a cycle count to nanoseconds using the once-per-process
+/// calibration. This is what lets latency reports carry both units:
+/// cycles are comparable to the paper's per-lookup figures, nanoseconds
+/// are comparable across hosts with different clock rates.
+pub fn cycles_to_ns(cycles: u64) -> u64 {
+    (cycles as f64 / cycles_per_ns()).round() as u64
+}
+
+/// Convert nanoseconds to TSC cycles using the once-per-process
+/// calibration (the inverse of [`cycles_to_ns`]).
+pub fn ns_to_cycles(ns: u64) -> u64 {
+    (ns as f64 * cycles_per_ns()).round() as u64
+}
+
 /// Time `f` over one serialized bracket, returning elapsed cycles with the
 /// bracket overhead subtracted (saturating at zero).
 ///

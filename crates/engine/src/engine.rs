@@ -54,6 +54,9 @@ use poptrie_rib::{NextHop, Prefix, NO_ROUTE};
 
 use poptrie_telemetry::Log2Histogram;
 
+#[cfg(feature = "trace")]
+use poptrie_trace::{pack_worker_tier, EventKind, Recorder, RingWriter};
+
 use crate::affinity;
 use crate::queue::{Bounded, PushError, NO_SOURCE};
 use crate::stats::EngineTelemetry;
@@ -72,8 +75,12 @@ pub type PublishHook<K> = Arc<dyn Fn(BatchOutcome, &[RouteUpdate<K>]) + Send + S
 type Stamped<K> = (Instant, Arc<[K]>);
 
 /// One queued route update: its [`Control::send`] timestamp (for the
-/// convergence-lag histogram) and the update itself.
-type StampedUpdate<K> = (Instant, RouteUpdate<K>);
+/// convergence-lag histogram), the convergence span it belongs to (0 =
+/// none; see [`Control::send_spanned`]), and the update itself. The span
+/// word rides along unconditionally — it is 8 bytes per queued event and
+/// never touched on the hot path — so the control-plane API is identical
+/// with and without the `trace` feature.
+type StampedUpdate<K> = (Instant, u64, RouteUpdate<K>);
 
 /// An out-of-range worker or source index handed to one of the engine's
 /// indexed accessors ([`Engine::ingress_for`], [`Engine::inject_panic`]).
@@ -132,6 +139,8 @@ pub struct EngineConfig<K: Bits> {
     numa_replicas: Option<usize>,
     on_batch: Option<BatchHook<K>>,
     on_publish: Option<PublishHook<K>>,
+    #[cfg(feature = "trace")]
+    recorder: Option<Recorder>,
 }
 
 impl<K: Bits> core::fmt::Debug for EngineConfig<K> {
@@ -168,6 +177,8 @@ impl<K: Bits> EngineConfig<K> {
             numa_replicas: None,
             on_batch: None,
             on_publish: None,
+            #[cfg(feature = "trace")]
+            recorder: None,
         }
     }
 
@@ -250,6 +261,20 @@ impl<K: Bits> EngineConfig<K> {
     /// Install a per-publish observer (see [`PublishHook`]).
     pub fn on_publish(mut self, hook: PublishHook<K>) -> Self {
         self.on_publish = Some(hook);
+        self
+    }
+
+    /// Attach a flight recorder: every worker registers an event ring
+    /// named `worker{i}` and the writer registers `writer`. Workers
+    /// record the ingress → dequeue → lookup slice for 1-in-N sampled
+    /// batches (N = the recorder's sample divisor) plus every snapshot
+    /// adoption; the writer records every burst, spanned update apply,
+    /// and per-replica publish. Only available with the `trace` feature
+    /// — without it this method does not exist and the engine contains
+    /// no recorder code at all.
+    #[cfg(feature = "trace")]
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -409,9 +434,20 @@ impl<K: Bits> Control<K> {
     /// to snapshot publication in the convergence-lag histogram
     /// ([`EngineTelemetry::convergence_ns`]).
     pub fn send(&self, update: RouteUpdate<K>) -> Result<(), RouteUpdate<K>> {
-        match self.queue.try_push((Instant::now(), update)) {
+        self.send_spanned(0, update)
+    }
+
+    /// [`Control::send`] with a convergence-span ID attached. The span
+    /// originates wherever the update entered the stack (a BGP session
+    /// allocates one per accepted UPDATE); the writer stamps it on the
+    /// `UpdateApply` trace event when a flight recorder is attached, so
+    /// a cross-layer span can follow one route from protocol acceptance
+    /// through snapshot publication to the first lookup served against
+    /// it. Span 0 means "no span" and is what [`Control::send`] uses.
+    pub fn send_spanned(&self, span: u64, update: RouteUpdate<K>) -> Result<(), RouteUpdate<K>> {
+        match self.queue.try_push((Instant::now(), span, update)) {
             Ok(_) => Ok(()),
-            Err(PushError::Full((_, u))) | Err(PushError::Closed((_, u))) => {
+            Err(PushError::Full((_, _, u))) | Err(PushError::Closed((_, _, u))) => {
                 self.stats.control_dropped.inc();
                 Err(u)
             }
@@ -436,7 +472,11 @@ impl<K: Bits> Control<K> {
 
 /// Tail quantiles of a per-batch latency distribution, extracted from a
 /// [`Log2Histogram`] (resolution is bounded by its power-of-two bucket
-/// width). All values in nanoseconds; zeros when no samples were taken.
+/// width). Every figure is reported in both nanoseconds (comparable
+/// across hosts) and TSC cycles (comparable to the paper's per-lookup
+/// numbers), converted through the once-per-process
+/// [`poptrie_cycles::tsc::cycles_per_ns`] calibration. Zeros when no
+/// samples were taken.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencySummary {
     /// Number of recorded batches.
@@ -449,6 +489,14 @@ pub struct LatencySummary {
     pub p99_ns: u64,
     /// 99.9th percentile.
     pub p999_ns: u64,
+    /// Mean, in calibrated TSC cycles.
+    pub mean_cycles: u64,
+    /// Median (p50), in calibrated TSC cycles.
+    pub p50_cycles: u64,
+    /// 99th percentile, in calibrated TSC cycles.
+    pub p99_cycles: u64,
+    /// 99.9th percentile, in calibrated TSC cycles.
+    pub p999_cycles: u64,
 }
 
 impl LatencySummary {
@@ -456,12 +504,23 @@ impl LatencySummary {
     fn from_counts(counts: &[u64; poptrie_telemetry::LOG2_BUCKETS], sum: u64) -> Self {
         let samples: u64 = counts.iter().sum();
         let q = |q| Log2Histogram::quantile_of_counts(counts, q).unwrap_or(0);
+        let cycles = poptrie_cycles::tsc::ns_to_cycles;
+        let (mean_ns, p50_ns, p99_ns, p999_ns) = (
+            sum.checked_div(samples).unwrap_or(0),
+            q(0.5),
+            q(0.99),
+            q(0.999),
+        );
         LatencySummary {
             samples,
-            mean_ns: sum.checked_div(samples).unwrap_or(0),
-            p50_ns: q(0.5),
-            p99_ns: q(0.99),
-            p999_ns: q(0.999),
+            mean_ns,
+            p50_ns,
+            p99_ns,
+            p999_ns,
+            mean_cycles: cycles(mean_ns),
+            p50_cycles: cycles(p50_ns),
+            p99_cycles: cycles(p99_ns),
+            p999_cycles: cycles(p999_ns),
         }
     }
 
@@ -709,13 +768,42 @@ impl<K: Bits> Engine<K> {
             let delay = config.batch_delay;
             let pin = config.pin_workers;
             let qos = config.qos;
+            #[cfg(feature = "trace")]
+            let recorder = config.recorder.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("fwd-worker-{idx}"))
                 .spawn(move || {
                     if pin {
                         let _ = affinity::pin_current_thread(idx);
                     }
-                    worker_main(idx, &fib, &queue, &stats, &flag, delay, qos, hook.as_ref());
+                    #[cfg(feature = "trace")]
+                    {
+                        let tracer = recorder.map(|r| r.register(&format!("worker{idx}")));
+                        worker_main(
+                            idx,
+                            replica,
+                            &fib,
+                            &queue,
+                            &stats,
+                            &flag,
+                            delay,
+                            qos,
+                            hook.as_ref(),
+                            tracer.as_ref(),
+                        );
+                    }
+                    #[cfg(not(feature = "trace"))]
+                    worker_main(
+                        idx,
+                        replica,
+                        &fib,
+                        &queue,
+                        &stats,
+                        &flag,
+                        delay,
+                        qos,
+                        hook.as_ref(),
+                    );
                 })
                 .expect("spawn forwarding worker");
             workers.push(handle);
@@ -727,9 +815,26 @@ impl<K: Bits> Engine<K> {
             let stats = Arc::clone(&stats);
             let hook = config.on_publish.clone();
             let window = config.coalesce_window;
+            #[cfg(feature = "trace")]
+            let recorder = config.recorder.clone();
             std::thread::Builder::new()
                 .name("fib-writer".to_string())
-                .spawn(move || writer_main(&replicas, &queue, &stats, window, hook.as_ref()))
+                .spawn(move || {
+                    #[cfg(feature = "trace")]
+                    {
+                        let tracer = recorder.map(|r| r.register("writer"));
+                        writer_main(
+                            &replicas,
+                            &queue,
+                            &stats,
+                            window,
+                            hook.as_ref(),
+                            tracer.as_ref(),
+                        );
+                    }
+                    #[cfg(not(feature = "trace"))]
+                    writer_main(&replicas, &queue, &stats, window, hook.as_ref());
+                })
                 .expect("spawn control-plane writer")
         };
 
@@ -942,6 +1047,7 @@ impl<K: Bits> Drop for Engine<K> {
 #[allow(clippy::too_many_arguments)]
 fn worker_main<K: Bits>(
     idx: usize,
+    replica: usize,
     fib: &SharedFib<K>,
     queue: &Bounded<Stamped<K>>,
     stats: &EngineTelemetry,
@@ -949,15 +1055,28 @@ fn worker_main<K: Bits>(
     delay: Duration,
     qos: QosPolicy,
     hook: Option<&BatchHook<K>>,
+    #[cfg(feature = "trace")] tracer: Option<&RingWriter>,
 ) {
+    #[cfg(not(feature = "trace"))]
+    let _ = replica;
     loop {
         let run = catch_unwind(AssertUnwindSafe(|| {
             let mut out: Vec<NextHop> = Vec::new();
+            // Last snapshot version this worker served against: a change
+            // is this worker's adoption of a newly published snapshot —
+            // the closing event of a convergence span.
+            #[cfg(feature = "trace")]
+            let mut last_version: u64 = 0;
             while let Some((source, (enqueued, batch))) = queue.pop_entry() {
                 let w = stats.worker(idx);
                 w.queue_depth.set(queue.len() as u64);
                 let wait = enqueued.elapsed();
                 w.queue_wait_ns.record(wait.as_nanos() as u64);
+                // The per-batch sampling gate: decide once at dequeue so
+                // a sampled batch carries its whole ingress → dequeue →
+                // lookup slice coherently.
+                #[cfg(feature = "trace")]
+                let sampled = tracer.map(|t| t.tick()).unwrap_or(false);
                 // Deadline check at pop, *before* the chaos delay: the
                 // drop decision reflects only real queueing, so tests
                 // with a deterministic batch_delay get exact counts.
@@ -987,10 +1106,54 @@ fn worker_main<K: Bits>(
                 out.clear();
                 out.resize(batch.len(), NO_ROUTE);
                 snap.lookup_batch(&batch, &mut out);
-                w.service_ns.record(served_at.elapsed().as_nanos() as u64);
+                let service = served_at.elapsed();
+                w.service_ns.record(service.as_nanos() as u64);
                 w.packets.add(batch.len() as u64);
                 w.batches.inc();
                 w.snapshot_version.set(snap.version());
+                #[cfg(feature = "trace")]
+                if let Some(t) = tracer {
+                    let tier = match snap.batch_backend() {
+                        poptrie_bitops::BatchBackend::Scalar => 0,
+                        poptrie_bitops::BatchBackend::Avx2 => 1,
+                        poptrie_bitops::BatchBackend::Avx512 => 2,
+                    };
+                    if sampled {
+                        let enq_ns = t.instant_ns(enqueued);
+                        let start_ns = t.instant_ns(served_at);
+                        let wait_ns = wait.as_nanos() as u64;
+                        let service_ns = service.as_nanos() as u64;
+                        t.record_at(enq_ns, EventKind::IngressEnqueue, 0, batch.len() as u64, 0);
+                        t.record_at(enq_ns + wait_ns, EventKind::BatchDequeue, 0, wait_ns, 0);
+                        t.record_at(
+                            start_ns,
+                            EventKind::LookupStart,
+                            0,
+                            batch.len() as u64,
+                            pack_worker_tier(idx as u32, tier),
+                        );
+                        t.record_at(
+                            start_ns + service_ns,
+                            EventKind::LookupEnd,
+                            0,
+                            service_ns,
+                            pack_worker_tier(idx as u32, tier),
+                        );
+                    }
+                    // Snapshot adoption is recorded for *every* batch
+                    // that first serves a new version (not sampled):
+                    // span continuity must hold in sampled traces too.
+                    let version = snap.version();
+                    if version != last_version {
+                        last_version = version;
+                        t.record(
+                            EventKind::SnapshotAdopt,
+                            0,
+                            version,
+                            pack_worker_tier(idx as u32, replica as u32),
+                        );
+                    }
+                }
                 if source != NO_SOURCE {
                     stats.sources()[source as usize].delivered_batches.inc();
                 }
@@ -1028,6 +1191,7 @@ fn writer_main<K: Bits>(
     stats: &EngineTelemetry,
     window: usize,
     hook: Option<&PublishHook<K>>,
+    #[cfg(feature = "trace")] tracer: Option<&RingWriter>,
 ) {
     let fib = &replicas[0];
     loop {
@@ -1040,7 +1204,7 @@ fn writer_main<K: Bits>(
                 seen.clear();
                 // Walk backwards keeping the last update per prefix, then
                 // restore arrival order among the survivors.
-                for (_, u) in buf.iter().rev() {
+                for (_, _, u) in buf.iter().rev() {
                     let p = match u {
                         RouteUpdate::Announce(p, _) => *p,
                         RouteUpdate::Withdraw(p) => *p,
@@ -1051,20 +1215,42 @@ fn writer_main<K: Bits>(
                 }
                 coalesced.reverse();
                 let merged = buf.len() - coalesced.len();
+                #[cfg(feature = "trace")]
+                if let Some(t) = tracer {
+                    t.record(EventKind::WriterBurst, 0, buf.len() as u64, merged as u32);
+                }
 
                 let outcome = fib.update_batch(coalesced.iter().copied());
                 // The snapshot containing this burst is now published:
                 // every drained event has converged (coalesced-away
                 // events too — their information was superseded within
                 // the same burst).
-                for (sent, _) in &buf {
+                for (sent, _, _) in &buf {
                     stats
                         .convergence_ns
                         .record(sent.elapsed().as_nanos() as u64);
                 }
-                for replica in &replicas[1..] {
+                #[cfg(feature = "trace")]
+                if let Some(t) = tracer {
+                    // Every spanned event in the burst converged at this
+                    // version — coalesced-away events too (their routes
+                    // were superseded within the same burst).
+                    for &(_, span, _) in buf.iter() {
+                        if span != 0 {
+                            t.record(EventKind::UpdateApply, span, outcome.version, 0);
+                        }
+                    }
+                    t.record(EventKind::ReplicaPublish, 0, outcome.version, 0);
+                }
+                for (ri, replica) in replicas.iter().enumerate().skip(1) {
                     replica.update_batch(coalesced.iter().copied());
                     stats.replica_publishes.inc();
+                    #[cfg(feature = "trace")]
+                    if let Some(t) = tracer {
+                        t.record(EventKind::ReplicaPublish, 0, outcome.version, ri as u32);
+                    }
+                    #[cfg(not(feature = "trace"))]
+                    let _ = ri;
                 }
                 stats.update_events.add(buf.len() as u64);
                 stats.updates_coalesced.add(merged as u64);

@@ -128,6 +128,16 @@ impl TelemetryRegistry {
         &self.metrics
     }
 
+    /// Append every sample of `other`, preserving its order after this
+    /// registry's own samples. This is how the stack unifies its export:
+    /// the core FIB, the engine, the BGP session and the trace recorder
+    /// each build their own registry slice, and one scrape merges them
+    /// into a single exposition.
+    pub fn merge(&mut self, other: TelemetryRegistry) -> &mut Self {
+        self.metrics.extend(other.metrics);
+        self
+    }
+
     /// Render as Prometheus text exposition format (version 0.0.4).
     /// `# HELP`/`# TYPE` lines are emitted once per family, on the first
     /// sample of that family.

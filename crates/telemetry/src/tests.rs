@@ -291,3 +291,27 @@ fn prometheus_escapes_label_values() {
     let text = reg.render_prometheus();
     assert!(text.contains("e_total{k=\"a\\\"b\\\\c\"} 1"));
 }
+
+#[test]
+fn registry_merge_appends_in_order() {
+    let mut core = TelemetryRegistry::new();
+    core.counter("poptrie_lookups_total", "h", &[], 10);
+    let mut engine = TelemetryRegistry::new();
+    engine.counter("poptrie_engine_packets_total", "h", &[], 20);
+    let mut bgp = TelemetryRegistry::new();
+    bgp.counter("poptrie_bgp_updates_total", "h", &[], 30);
+    core.merge(engine).merge(bgp);
+    let names: Vec<&str> = core.metrics().iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "poptrie_lookups_total",
+            "poptrie_engine_packets_total",
+            "poptrie_bgp_updates_total"
+        ]
+    );
+    let text = core.render_prometheus();
+    assert!(text.contains("poptrie_lookups_total 10"));
+    assert!(text.contains("poptrie_engine_packets_total 20"));
+    assert!(text.contains("poptrie_bgp_updates_total 30"));
+}

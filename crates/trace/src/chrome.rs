@@ -1,0 +1,175 @@
+//! Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! The drained rings become one JSON object in the [Trace Event
+//! Format]: each ring is a synthetic thread (`tid` = ring order,
+//! named by a metadata event), `LookupStart`/`LookupEnd` pairs fold
+//! into complete (`"ph":"X"`) slices with real durations, and every
+//! other event is an instant (`"ph":"i"`). Span IDs, snapshot
+//! versions and counts ride in `args`, so following one convergence
+//! span in the Perfetto UI is a query on `args.span`.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Timestamps are microseconds (the format's unit) with nanosecond
+//! decimals preserved.
+
+use crate::event::{unpack_worker_tier, EventKind, TraceEvent};
+use crate::ring::RingSnapshot;
+
+/// Human names for the dispatch-tier codes packed into lookup events.
+fn tier_name(tier: u32) -> &'static str {
+    match tier {
+        1 => "avx2",
+        2 => "avx512",
+        _ => "scalar",
+    }
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, tid: usize, ts_ns: u64) {
+    out.push_str("{\"name\":\"");
+    out.push_str(name);
+    out.push_str("\",\"ph\":\"");
+    out.push(ph);
+    out.push_str("\",\"pid\":1,\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"ts\":");
+    out.push_str(&format!("{:.3}", ts_ns as f64 / 1_000.0));
+}
+
+fn push_args(out: &mut String, pairs: &[(&str, u64)]) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(k);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+/// The event name emitted for each kind. These literals exist only in
+/// this crate, so the CI gate can grep release artifacts for
+/// `trace/lookup_batch` to prove a default (trace-disabled) build
+/// links no recorder code.
+fn kind_name(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::IngressEnqueue => "trace/ingress_enqueue",
+        EventKind::BatchDequeue => "trace/batch_dequeue",
+        EventKind::LookupStart | EventKind::LookupEnd => "trace/lookup_batch",
+        EventKind::WriterBurst => "trace/writer_burst",
+        EventKind::UpdateApply => "trace/update_apply",
+        EventKind::ReplicaPublish => "trace/replica_publish",
+        EventKind::SnapshotAdopt => "trace/snapshot_adopt",
+        EventKind::SpanAccept => "trace/span_accept",
+        EventKind::BgpTransition => "trace/bgp_transition",
+    }
+}
+
+fn emit_instant(out: &mut String, ev: &TraceEvent, kind: EventKind, tid: usize) {
+    push_common(out, kind_name(kind), 'i', tid, ev.ts_ns);
+    out.push_str(",\"s\":\"t\"");
+    match kind {
+        EventKind::IngressEnqueue => {
+            let (worker, _) = unpack_worker_tier(ev.aux);
+            push_args(out, &[("packets", ev.arg), ("worker", worker as u64)]);
+        }
+        EventKind::BatchDequeue => {
+            let (worker, _) = unpack_worker_tier(ev.aux);
+            push_args(out, &[("wait_ns", ev.arg), ("worker", worker as u64)]);
+        }
+        EventKind::WriterBurst => {
+            push_args(out, &[("events", ev.arg), ("coalesced", ev.aux as u64)]);
+        }
+        EventKind::UpdateApply => {
+            push_args(out, &[("span", ev.span), ("version", ev.arg)]);
+        }
+        EventKind::ReplicaPublish => {
+            push_args(out, &[("version", ev.arg), ("replica", ev.aux as u64)]);
+        }
+        EventKind::SnapshotAdopt => {
+            let (worker, replica) = unpack_worker_tier(ev.aux);
+            push_args(
+                out,
+                &[
+                    ("version", ev.arg),
+                    ("worker", worker as u64),
+                    ("replica", replica as u64),
+                ],
+            );
+        }
+        EventKind::SpanAccept => {
+            push_args(out, &[("span", ev.span), ("routes", ev.arg)]);
+        }
+        EventKind::BgpTransition => {
+            push_args(out, &[("to", ev.arg), ("from", ev.aux as u64)]);
+        }
+        EventKind::LookupStart | EventKind::LookupEnd => unreachable!("folded into slices"),
+    }
+    out.push('}');
+}
+
+/// Render drained rings as one Chrome trace-event JSON document.
+pub fn chrome_trace_json(rings: &[RingSnapshot]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    for (tid, ring) in rings.iter().enumerate() {
+        let tid = tid + 1;
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            ring.name
+        ));
+        // Fold Start/End pairs into complete slices; a Start without
+        // its End (overwritten, or sampling raced the drain) degrades
+        // to an instant-free skip rather than a malformed slice.
+        let mut pending_start: Option<&TraceEvent> = None;
+        for ev in &ring.events {
+            let Some(kind) = ev.event_kind() else {
+                continue;
+            };
+            match kind {
+                EventKind::LookupStart => pending_start = Some(ev),
+                EventKind::LookupEnd => {
+                    if let Some(start) = pending_start.take() {
+                        let (worker, tier) = unpack_worker_tier(ev.aux);
+                        sep(&mut out);
+                        push_common(&mut out, kind_name(kind), 'X', tid, start.ts_ns);
+                        out.push_str(&format!(
+                            ",\"dur\":{:.3},\"cat\":\"{}\"",
+                            ev.ts_ns.saturating_sub(start.ts_ns) as f64 / 1_000.0,
+                            tier_name(tier)
+                        ));
+                        push_args(
+                            &mut out,
+                            &[
+                                ("keys", start.arg),
+                                ("service_ns", ev.arg),
+                                ("worker", worker as u64),
+                                ("tier", tier as u64),
+                            ],
+                        );
+                        out.push('}');
+                    }
+                }
+                other => {
+                    sep(&mut out);
+                    emit_instant(&mut out, ev, other, tid);
+                }
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}

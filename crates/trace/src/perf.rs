@@ -1,0 +1,312 @@
+//! Hardware performance counters via `perf_event_open(2)`, no libc.
+//!
+//! The workspace carries no external dependencies, so the syscalls are
+//! issued directly with inline assembly on x86_64 Linux (`syscall`
+//! numbers 298/16/0/3 for `perf_event_open`/`ioctl`/`read`/`close`).
+//! Everything degrades gracefully: on another OS or architecture, or
+//! when the kernel refuses (`perf_event_paranoid`, seccomp, missing
+//! PMU in a VM), [`PerfGroup::open`] returns `None` and callers fall
+//! back to TSC-only measurements.
+//!
+//! The five counters the paper's memory-hierarchy argument needs are
+//! opened as one group (cycles leads; instructions, L1d read misses,
+//! LLC read misses, branch misses follow), so one `read` returns a
+//! consistent simultaneous sample of all of them. Counters the PMU
+//! cannot schedule are dropped individually — a partial group still
+//! reports what it has.
+
+/// One consistent sample of the group's counters. A `None` field means
+/// that counter could not be scheduled on this host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounts {
+    /// CPU cycles (user-space only).
+    pub cycles: Option<u64>,
+    /// Retired instructions.
+    pub instructions: Option<u64>,
+    /// L1 data-cache read misses.
+    pub l1d_misses: Option<u64>,
+    /// Last-level-cache read misses.
+    pub llc_misses: Option<u64>,
+    /// Mispredicted branches.
+    pub branch_misses: Option<u64>,
+}
+
+impl PerfCounts {
+    /// Counter-wise difference `self - earlier`, for before/after
+    /// bracketing of a measured region. Fields absent on either side
+    /// stay `None`.
+    pub fn delta(&self, earlier: &PerfCounts) -> PerfCounts {
+        fn d(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.saturating_sub(b)),
+                _ => None,
+            }
+        }
+        PerfCounts {
+            cycles: d(self.cycles, earlier.cycles),
+            instructions: d(self.instructions, earlier.instructions),
+            l1d_misses: d(self.l1d_misses, earlier.l1d_misses),
+            llc_misses: d(self.llc_misses, earlier.llc_misses),
+            branch_misses: d(self.branch_misses, earlier.branch_misses),
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use super::PerfCounts;
+
+    const SYS_READ: u64 = 0;
+    const SYS_CLOSE: u64 = 3;
+    const SYS_IOCTL: u64 = 16;
+    const SYS_PERF_EVENT_OPEN: u64 = 298;
+
+    const PERF_TYPE_HARDWARE: u32 = 0;
+    const PERF_TYPE_HW_CACHE: u32 = 3;
+    const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+    const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+    const PERF_COUNT_HW_BRANCH_MISSES: u64 = 5;
+    /// `L1D | (READ << 8) | (MISS << 16)`.
+    const CACHE_L1D_READ_MISS: u64 = 0x1_0000;
+    /// `LL | (READ << 8) | (MISS << 16)`.
+    const CACHE_LL_READ_MISS: u64 = 0x1_0002;
+
+    const PERF_FORMAT_GROUP: u64 = 1 << 3;
+    /// Attr flag bits: disabled, exclude_kernel, exclude_hv.
+    const FLAG_DISABLED: u64 = 1;
+    const FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+    const FLAG_EXCLUDE_HV: u64 = 1 << 6;
+
+    const IOC_ENABLE: u64 = 0x2400;
+    const IOC_DISABLE: u64 = 0x2401;
+    const IOC_RESET: u64 = 0x2403;
+    const IOC_FLAG_GROUP: u64 = 1;
+
+    const PERF_FLAG_FD_CLOEXEC: u64 = 1 << 3;
+
+    /// `perf_event_attr`, first 64 bytes (`PERF_ATTR_SIZE_VER0`) — all
+    /// this group needs. Later kernel revisions only append fields.
+    #[repr(C)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        config1: u64,
+    }
+
+    unsafe fn syscall5(n: u64, a: u64, b: u64, c: u64, d: u64, e: u64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as i64 => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn perf_event_open(attr: &PerfEventAttr, group_fd: i64) -> i64 {
+        // pid = 0 (this process), cpu = -1 (any CPU the thread runs on).
+        unsafe {
+            syscall5(
+                SYS_PERF_EVENT_OPEN,
+                attr as *const PerfEventAttr as u64,
+                0,
+                (-1i64) as u64,
+                group_fd as u64,
+                PERF_FLAG_FD_CLOEXEC,
+            )
+        }
+    }
+
+    fn ioctl(fd: i64, req: u64, arg: u64) -> i64 {
+        unsafe { syscall5(SYS_IOCTL, fd as u64, req, arg, 0, 0) }
+    }
+
+    /// Counter slots, in group-open order.
+    const SLOTS: [(u32, u64); 5] = [
+        (PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES),
+        (PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS),
+        (PERF_TYPE_HW_CACHE, CACHE_L1D_READ_MISS),
+        (PERF_TYPE_HW_CACHE, CACHE_LL_READ_MISS),
+        (PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES),
+    ];
+
+    /// The open counter group. Closes its fds on drop.
+    #[derive(Debug)]
+    pub struct PerfGroup {
+        leader: i64,
+        fds: Vec<i64>,
+        /// `present[i]` = slot `i` of [`SLOTS`] opened successfully;
+        /// read values map to present slots in order.
+        present: [bool; 5],
+    }
+
+    impl PerfGroup {
+        /// Open the counter group for the calling thread. The cycles
+        /// counter is mandatory (returns `None` without PMU access —
+        /// common in containers); the other four are best-effort.
+        pub fn open() -> Option<PerfGroup> {
+            let mut fds = Vec::with_capacity(SLOTS.len());
+            let mut present = [false; 5];
+            let mut leader = -1i64;
+            for (i, &(type_, config)) in SLOTS.iter().enumerate() {
+                let attr = PerfEventAttr {
+                    type_,
+                    size: core::mem::size_of::<PerfEventAttr>() as u32,
+                    config,
+                    sample_period: 0,
+                    sample_type: 0,
+                    read_format: PERF_FORMAT_GROUP,
+                    flags: FLAG_EXCLUDE_KERNEL
+                        | FLAG_EXCLUDE_HV
+                        | if leader < 0 { FLAG_DISABLED } else { 0 },
+                    wakeup_events: 0,
+                    bp_type: 0,
+                    config1: 0,
+                };
+                let fd = perf_event_open(&attr, leader);
+                if fd >= 0 {
+                    if leader < 0 {
+                        leader = fd;
+                    }
+                    present[i] = true;
+                    fds.push(fd);
+                } else if i == 0 {
+                    return None; // no cycles counter: no PMU access at all
+                }
+            }
+            Some(PerfGroup {
+                leader,
+                fds,
+                present,
+            })
+        }
+
+        /// Zero and start the whole group (one ioctl on the leader).
+        pub fn enable(&self) {
+            ioctl(self.leader, IOC_RESET, IOC_FLAG_GROUP);
+            ioctl(self.leader, IOC_ENABLE, IOC_FLAG_GROUP);
+        }
+
+        /// Stop the whole group; counts freeze until re-enabled.
+        pub fn disable(&self) {
+            ioctl(self.leader, IOC_DISABLE, IOC_FLAG_GROUP);
+        }
+
+        /// Read the group's current counts. Absent slots stay `None`.
+        pub fn read(&self) -> PerfCounts {
+            // PERF_FORMAT_GROUP layout: u64 nr, then nr values.
+            let mut buf = [0u64; 8];
+            let want = (1 + self.fds.len()) * 8;
+            let got = unsafe {
+                syscall5(
+                    SYS_READ,
+                    self.leader as u64,
+                    buf.as_mut_ptr() as u64,
+                    want as u64,
+                    0,
+                    0,
+                )
+            };
+            let mut counts = PerfCounts::default();
+            if got < 16 {
+                return counts;
+            }
+            let nr = buf[0] as usize;
+            let values = &buf[1..=nr.min(self.fds.len())];
+            let mut vi = 0usize;
+            for (slot, &here) in self.present.iter().enumerate() {
+                if !here {
+                    continue;
+                }
+                let v = values.get(vi).copied();
+                vi += 1;
+                match slot {
+                    0 => counts.cycles = v,
+                    1 => counts.instructions = v,
+                    2 => counts.l1d_misses = v,
+                    3 => counts.llc_misses = v,
+                    _ => counts.branch_misses = v,
+                }
+            }
+            counts
+        }
+    }
+
+    impl Drop for PerfGroup {
+        fn drop(&mut self) {
+            for &fd in &self.fds {
+                unsafe {
+                    syscall5(SYS_CLOSE, fd as u64, 0, 0, 0, 0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    use super::PerfCounts;
+
+    /// Stub on platforms without `perf_event_open`: [`PerfGroup::open`]
+    /// always reports the facility unavailable.
+    #[derive(Debug)]
+    pub struct PerfGroup {
+        never: core::convert::Infallible,
+    }
+
+    impl PerfGroup {
+        /// Always `None`: no `perf_event_open` on this platform.
+        pub fn open() -> Option<PerfGroup> {
+            None
+        }
+
+        /// Unreachable (the type is uninhabited).
+        pub fn enable(&self) {
+            match self.never {}
+        }
+
+        /// Unreachable (the type is uninhabited).
+        pub fn disable(&self) {
+            match self.never {}
+        }
+
+        /// Unreachable (the type is uninhabited).
+        pub fn read(&self) -> PerfCounts {
+            match self.never {}
+        }
+    }
+}
+
+pub use sys::PerfGroup;
+
+impl PerfGroup {
+    /// Run `f` with the group counting and return the counter deltas it
+    /// accumulated. `None` everywhere but Linux/x86_64 or when the
+    /// kernel refuses PMU access — callers measure with the TSC alone
+    /// in that case.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (R, Option<PerfCounts>) {
+        match PerfGroup::open() {
+            Some(group) => {
+                group.enable();
+                let r = f();
+                group.disable();
+                (r, Some(group.read()))
+            }
+            None => (f(), None),
+        }
+    }
+}

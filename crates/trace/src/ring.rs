@@ -1,0 +1,164 @@
+//! The lock-free SPSC event ring with overwrite semantics.
+//!
+//! One ring per recording thread (workers, the control-plane writer,
+//! the driver feeding BGP updates), each with exactly one producer — so
+//! the write path is a monotonically advancing cursor plus a per-slot
+//! sequence word, no CAS loops, no contention. Memory is bounded at
+//! construction: when the ring is full the writer **overwrites the
+//! oldest slot** instead of dropping the newest event or growing — a
+//! flight recorder wants the most recent history, and an always-on
+//! recorder must never allocate on the hot path.
+//!
+//! A drainer may race the writer. Each slot is a miniature seqlock: the
+//! writer bumps the slot's sequence to an odd in-progress value, stores
+//! the four event words, then publishes the even `2·index + 2`
+//! generation stamp. The drainer accepts a slot only when the sequence
+//! reads as the expected completed generation both before and after
+//! copying the words; a slot mid-overwrite fails one of the two checks
+//! and is skipped, never surfaced torn. The event words themselves are
+//! relaxed atomics, so the race is well-defined — no `unsafe` anywhere
+//! in the recorder.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::event::TraceEvent;
+
+/// One ring slot: the seqlock word plus the four event words.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// The shared ring state. Writers hold it through
+/// [`RingWriter`](crate::RingWriter); the recorder keeps a second
+/// `Arc` for draining.
+pub(crate) struct Ring {
+    pub(crate) name: String,
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Logical write cursor: total events ever pushed. Slot for event
+    /// `i` is `i & mask`; the ring holds the last `capacity` events.
+    head: AtomicU64,
+    /// Events the writer's sampling gate let through but did not record
+    /// (see [`RingWriter::tick`](crate::RingWriter::tick)): the
+    /// complement of `head` against the offered stream.
+    pub(crate) sampled_out: AtomicU64,
+}
+
+impl Ring {
+    /// A ring holding `capacity` events (rounded up to a power of two,
+    /// minimum 8).
+    pub(crate) fn new(name: &str, capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        Ring {
+            name: name.to_string(),
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in events.
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (monotonic; exceeds `capacity` once
+    /// the ring has wrapped).
+    pub(crate) fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to overwrite so far.
+    pub(crate) fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Single-producer push. Callers must guarantee exclusivity —
+    /// [`RingWriter`](crate::RingWriter) does, by being the only handle
+    /// and refusing `Sync`.
+    pub(crate) fn push(&self, ev: TraceEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h & self.mask) as usize];
+        // Odd = write in progress. The release fence keeps the word
+        // stores from becoming visible before the in-progress mark.
+        slot.seq.store(2 * h + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        let w = ev.to_words();
+        for (dst, src) in slot.words.iter().zip(w) {
+            dst.store(src, Ordering::Relaxed);
+        }
+        // Even generation stamp: `2·h + 2` identifies both "complete"
+        // and *which* logical event completed, so a drainer can tell a
+        // slot that was overwritten from one that still holds event `h`.
+        slot.seq.store(2 * h + 2, Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Snapshot the ring's current contents, oldest first. Runs
+    /// concurrently with the writer; slots mid-overwrite are skipped.
+    pub(crate) fn drain(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for j in start..head {
+            let slot = &self.slots[(j & self.mask) as usize];
+            let expect = 2 * j + 2;
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != expect {
+                continue; // overwritten past us, or mid-write
+            }
+            let mut w = [0u64; 4];
+            for (dst, src) in w.iter_mut().zip(&slot.words) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != expect {
+                continue; // the writer lapped us mid-copy
+            }
+            out.push(TraceEvent::from_words(w));
+        }
+        out
+    }
+}
+
+/// A drained ring: its registered name and its events, oldest first.
+#[derive(Debug, Clone)]
+pub struct RingSnapshot {
+    /// The name passed to [`Recorder::register`](crate::Recorder::register).
+    pub name: String,
+    /// The surviving events, in record order.
+    pub events: Vec<TraceEvent>,
+    /// Total events ever recorded into this ring (monotonic).
+    pub recorded: u64,
+    /// Events lost to ring overwrite before this drain.
+    pub overwritten: u64,
+    /// Events suppressed by the 1-in-N sampling gate.
+    pub sampled_out: u64,
+}
+
+pub(crate) fn snapshot_of(ring: &Arc<Ring>) -> RingSnapshot {
+    RingSnapshot {
+        name: ring.name.clone(),
+        events: ring.drain(),
+        recorded: ring.recorded(),
+        overwritten: ring.overwritten(),
+        sampled_out: ring.sampled_out.load(Ordering::Relaxed),
+    }
+}

@@ -107,7 +107,7 @@ fn session_replay_reconverges_exactly() {
         session.recv(now, &r.message);
         session.drain_actions();
         for ev in session.drain_events() {
-            if let Event::Routes(routes) = ev {
+            if let Event::Routes { routes, .. } = ev {
                 for route in routes {
                     let update = match route {
                         RouteEvent::AnnounceV4(p, nh) => {
