@@ -3,7 +3,7 @@
 //! allocator that absorbs the churn.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use poptrie::Fib;
+use poptrie::{Fib, PoptrieConfig};
 use poptrie_buddy::Buddy;
 use poptrie_rib::Prefix;
 use poptrie_tablegen::{synthesize_update_stream, TableKind, TableSpec, UpdateEvent};
@@ -17,7 +17,12 @@ fn base_fib(n: usize) -> (poptrie_tablegen::Dataset, Fib<u32>) {
         kind: TableKind::RouteViews,
     }
     .generate();
-    let fib = Fib::from_rib(dataset.to_rib(), 18, false);
+    let cfg = PoptrieConfig::new()
+        .direct_bits(18)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let fib = Fib::compile(dataset.to_rib(), cfg);
     (dataset, fib)
 }
 

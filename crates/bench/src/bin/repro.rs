@@ -128,6 +128,11 @@ fn main() {
             },
         ),
         "trace" => trace_cmd(&mut ctx, threads.unwrap_or(2)),
+        "vrf" => vrf_cmd(
+            &mut ctx,
+            threads.unwrap_or(2),
+            if full { 4096 } else { 1024 },
+        ),
         "fig11" => fig11(&mut ctx),
         "fig12" => fig12(&mut ctx),
         "updates" => updates(&mut ctx),
@@ -167,6 +172,7 @@ usage: repro <experiment> [--quick | --full] [--compare]
        repro bgp [--quick] [--threads N] [--mrt FILE] [--speedup X]
        repro bgp --write-fixture FILE
        repro trace [--quick] [--threads N]
+       repro vrf [--quick | --full] [--threads N]
        repro stats [--prometheus]
 
 experiments: table1 table2 table3 table4 table5 table6
@@ -209,6 +215,18 @@ experiments: table1 table2 table3 table4 table5 table6
                       recorder's own overhead at 1-in-64 sampling;
                       writes results/BENCH_trace.json and exits nonzero
                       on a broken span chain or phase-counter mismatch
+             vrf      multi-tenant VRF scale: compile 1024 tenant FIBs
+                      (4096 under --full) from one base feed plus
+                      per-tenant deltas into a shared leaf arena with
+                      next-hop interning, against an unshared baseline;
+                      then churn one tenant through the engine's control
+                      plane while VRF-keyed lookups are served across
+                      the whole group. Gates on exact cross-table
+                      reference reconciliation, oracle-exact lookups on
+                      an untouched tenant during churn, and a >= 25%
+                      bytes/route reduction from interning; writes
+                      results/BENCH_vrf.json and exits nonzero on any
+                      violation
              stats    with no dataset argument: live-telemetry replay —
                       a seeded lookup + churn workload whose counters are
                       reconciled against the script, dumped as Prometheus
@@ -1174,6 +1192,432 @@ fn slo_run(
 /// A [`poptrie_engine::LatencySummary`] as a JSON object fragment. Both
 /// unit systems are emitted: nanoseconds (host-independent) and
 /// calibrated TSC cycles (comparable to the paper's per-lookup figures).
+/// `repro vrf [--quick | --full] [--threads N]`: the multi-tenant VRF
+/// scale benchmark and its CI gate.
+///
+/// Provisions a family of tenant FIBs — one dense base feed plus a small
+/// per-tenant delta, the VPN regime where tables are overwhelmingly
+/// byte-identical — twice: into a `VrfTable` sharing one interned leaf
+/// arena, and into an unshared baseline. Reports bytes/route for both
+/// (shared storage counted once) and the reduction interning buys. Then
+/// attaches the shared registry to the forwarding engine and, while
+/// VRF-keyed lookup batches fan out across the whole group, churns one
+/// tenant through the control plane, probing an untouched tenant's
+/// snapshot for oracle-exact answers and a stable version throughout.
+///
+/// Hard gates (nonzero exit): exact cross-table reference reconciliation
+/// (every table's leaf-block references sum to the interner's total, and
+/// the interner's own invariants hold), zero isolation mismatches, an
+/// oracle-exact churned tenant, and a >= 25% bytes/route reduction.
+fn vrf_cmd(ctx: &mut Ctx, threads: usize, tenants: usize) {
+    use poptrie::sync::SharedFib;
+    use poptrie::VrfId;
+    use poptrie_engine::{Engine, EngineConfig, VrfTable};
+    use poptrie_rib::{NextHop, Prefix, RadixTree};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let (groups, delta_routes, churn_updates, lookup_batches) = if ctx.quick {
+        (12usize, 12usize, 200u64, 128usize)
+    } else {
+        (32, 24, 1_000, 1024)
+    };
+    let batch_keys = 256usize;
+    let probe_count = 4096usize;
+
+    println!("== repro vrf: {tenants} tenant FIBs over a shared interned leaf arena ==\n");
+
+    // The tenant family. Each base group is 64 consecutive /26es on a
+    // /20-aligned base with next hops cycling through a small pool (a
+    // per-group phase keeps the patterns from collapsing to one block):
+    // adjacent leaves always differ, so every group compiles to one full
+    // 64-leaf chunk — the leaf-heavy shape whose redundancy across
+    // tenants is exactly what interning collapses. Deltas are sparse
+    // tenant-private /26es.
+    let mut rng = StdRng::seed_from_u64(0x7e4a_11f0);
+    let mut base: RadixTree<u32, NextHop> = RadixTree::new();
+    let mut group_bases: Vec<u32> = Vec::with_capacity(groups);
+    while group_bases.len() < groups {
+        let g: u32 = rng.gen::<u32>() & (!0u32 << 12); // /20-aligned
+        if group_bases.contains(&g) {
+            continue;
+        }
+        group_bases.push(g);
+        let phase = group_bases.len() % 8;
+        for i in 0..64u32 {
+            let nh = ((i as usize + phase) % 8 + 1) as NextHop;
+            base.insert(Prefix::new(g | (i << 6), 26), nh);
+        }
+    }
+    let deltas: Vec<Vec<(Prefix<u32>, NextHop)>> = (0..tenants)
+        .map(|_| {
+            (0..delta_routes)
+                .map(|_| {
+                    let addr = rng.gen::<u32>() & (!0u32 << 6);
+                    (Prefix::new(addr, 26), rng.gen_range(1..=64u32) as NextHop)
+                })
+                .collect()
+        })
+        .collect();
+    let rib_of = |i: usize| -> RadixTree<u32, NextHop> {
+        let mut rib = base.clone();
+        for &(p, nh) in &deltas[i] {
+            rib.insert(p, nh);
+        }
+        rib
+    };
+    // Probe keys for the oracle checks: half inside base groups (where
+    // the answers are nontrivial), half uniform.
+    let probes: Vec<u32> = (0..probe_count)
+        .map(|i| {
+            if i % 2 == 0 {
+                group_bases[rng.gen_range(0..groups)] | rng.gen_range(0..1u32 << 12)
+            } else {
+                rng.gen()
+            }
+        })
+        .collect();
+
+    let config = PoptrieConfig::new().direct_bits(8).build().unwrap();
+
+    // Unshared baseline first: its measured leaf total sizes the shared
+    // arena (with generous margin for churn and per-tenant deltas).
+    let t0 = Instant::now();
+    let private: VrfTable<u32> = VrfTable::private(config);
+    for i in 0..tenants {
+        private.create_from(rib_of(i));
+    }
+    let private_build = t0.elapsed();
+    let pm = private.memory();
+
+    let per_table_slots = pm.private_leaf_bytes / 2 / tenants.max(1);
+    let capacity =
+        (per_table_slots * 4 + tenants * delta_routes * 8 + (1 << 17)).next_power_of_two() as u32;
+    let t0 = Instant::now();
+    let shared: Arc<VrfTable<u32>> = Arc::new(VrfTable::shared(config, capacity));
+    for i in 0..tenants {
+        shared.create_from(rib_of(i));
+    }
+    let shared_build = t0.elapsed();
+    let sm = shared.memory();
+    let intern = shared.intern_stats().expect("shared registry");
+
+    let reduction = 1.0 - sm.bytes_per_route() / pm.bytes_per_route();
+
+    // Phase 2: the engine. VRF-keyed lookups fan out over every tenant
+    // while the control plane churns tenant 0; tenant 1 must stay
+    // byte-for-byte untouched (stable snapshot version, oracle-exact
+    // answers) the whole time — isolation is structural, not scheduled.
+    let vrf_churned = VrfId::new(0);
+    let vrf_untouched = VrfId::new(1);
+    let untouched_oracle = rib_of(1);
+    let untouched_version = shared.snapshot(vrf_untouched).expect("tenant 1").version();
+    let mut churn_oracle = rib_of(0);
+
+    let fib: Arc<SharedFib<u32>> = Arc::new(SharedFib::with_config(config));
+    let engine = Engine::start(
+        Arc::clone(&fib),
+        EngineConfig::new(threads)
+            .pin_workers(false)
+            .queue_capacity(256)
+            .control_capacity(8192)
+            .vrfs(Arc::clone(&shared)),
+    );
+    let control = engine.control();
+    let ingress = engine.ingress();
+    let telemetry = engine.telemetry();
+
+    // Churn tenant 0: announces/withdraws of sparse /26es, mirrored
+    // into a RIB oracle, with an isolation probe of tenant 1 after
+    // every drained chunk.
+    let mut isolation_checked = 0u64;
+    let mut isolation_mismatches = 0u64;
+    let mut sent = 0u64;
+    let chunk = (churn_updates / 10).max(1);
+    while sent < churn_updates {
+        for _ in 0..chunk.min(churn_updates - sent) {
+            let addr = rng.gen::<u32>() & (!0u32 << 6);
+            let p = Prefix::new(addr, 26);
+            let mut u = if rng.gen_bool(0.75) {
+                let nh = rng.gen_range(1..=64u32) as NextHop;
+                churn_oracle.insert(p, nh);
+                poptrie::sync::RouteUpdate::Announce(p, nh)
+            } else {
+                churn_oracle.remove(p);
+                poptrie::sync::RouteUpdate::Withdraw(p)
+            };
+            loop {
+                match control.send_vrf(vrf_churned, u) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        u = back;
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            }
+            sent += 1;
+        }
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while telemetry.update_events.get() < sent && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = shared.snapshot(vrf_untouched).expect("tenant 1");
+        for &k in &probes {
+            isolation_checked += 1;
+            if snap.lookup(k) != untouched_oracle.lookup(k).copied() {
+                isolation_mismatches += 1;
+            }
+        }
+    }
+    let untouched_stable =
+        shared.snapshot(vrf_untouched).expect("tenant 1").version() == untouched_version;
+
+    // The churned tenant itself must be oracle-exact after the storm.
+    let mut churn_mismatches = 0u64;
+    let churn_snap = shared.snapshot(vrf_churned).expect("tenant 0");
+    for &k in &probes {
+        if churn_snap.lookup(k) != churn_oracle.lookup(k).copied() {
+            churn_mismatches += 1;
+        }
+    }
+
+    // Aggregate VRF-keyed lookup throughput across the whole group.
+    let batches: Vec<Arc<[u32]>> = (0..8)
+        .map(|_| (0..batch_keys).map(|_| rng.gen::<u32>()).collect())
+        .collect();
+    let t0 = Instant::now();
+    let mut submitted_packets = 0u64;
+    for b in 0..lookup_batches {
+        let vrf = VrfId::new((b % tenants) as u32);
+        let mut batch = Arc::clone(&batches[b % batches.len()]);
+        loop {
+            match ingress.try_submit_vrf(vrf, batch) {
+                Ok(_) => break,
+                Err(back) => {
+                    batch = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        submitted_packets += batch_keys as u64;
+    }
+    let serve_deadline = Instant::now() + Duration::from_secs(30);
+    while telemetry.vrf_packets.get() < submitted_packets && Instant::now() < serve_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let lookup_elapsed = t0.elapsed();
+    let agg_mlps = submitted_packets as f64 / lookup_elapsed.as_secs_f64() / 1e6;
+
+    let report = engine.shutdown(Duration::from_secs(30));
+    let intern_after = shared.intern_stats().expect("shared registry");
+
+    // Exact reconciliation, after everything: every table's leaf-block
+    // references must sum to the interner's total and both registries'
+    // structural audits must pass.
+    let shared_audit = shared.audit();
+    let private_audit = private.audit();
+
+    let mut t = Table::new(vec!["Metric", "Private", "Shared"]);
+    t.row(vec![
+        "tables x routes".into(),
+        format!("{} x {}", pm.tables, pm.routes / pm.tables.max(1)),
+        format!("{} x {}", sm.tables, sm.routes / sm.tables.max(1)),
+    ]);
+    t.row(vec![
+        "build time".into(),
+        format!("{:.2}s", private_build.as_secs_f64()),
+        format!("{:.2}s", shared_build.as_secs_f64()),
+    ]);
+    t.row(vec![
+        "node bytes".into(),
+        mib(pm.node_bytes),
+        mib(sm.node_bytes),
+    ]);
+    t.row(vec![
+        "direct bytes".into(),
+        mib(pm.direct_bytes),
+        mib(sm.direct_bytes),
+    ]);
+    t.row(vec![
+        "leaf bytes".into(),
+        mib(pm.private_leaf_bytes),
+        format!("{} (store, once)", mib(sm.shared_store_bytes)),
+    ]);
+    t.row(vec![
+        "total bytes".into(),
+        mib(pm.total_bytes()),
+        mib(sm.total_bytes()),
+    ]);
+    t.row(vec![
+        "bytes/route".into(),
+        format!("{:.1}", pm.bytes_per_route()),
+        format!("{:.1}", sm.bytes_per_route()),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "bytes/route reduction from interning: {:.1}% (gate: >= 25%)",
+        reduction * 100.0
+    );
+    println!(
+        "interning: {} live extents, {} dedup hits vs {} fresh allocs, {} of {} slots used",
+        intern.live_extents,
+        intern.dedup_hits,
+        intern.fresh_allocs,
+        intern.live_slots_rounded,
+        intern.capacity
+    );
+    println!(
+        "churn: {sent} updates to tenant 0 ({} applied), convergence p50/p99 {:.1}/{:.1} us",
+        report.vrf_updates,
+        report.convergence.p50_ns as f64 / 1e3,
+        report.convergence.p99_ns as f64 / 1e3,
+    );
+    println!(
+        "isolation: {isolation_checked} probes of tenant 1 during churn, \
+         {isolation_mismatches} mismatches, version stable: {untouched_stable}"
+    );
+    println!(
+        "lookups: {} VRF-keyed packets across {tenants} tenants, {agg_mlps:.2} aggregate Mlps",
+        report.vrf_packets
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    if let Err(e) = &shared_audit {
+        failures.push(format!("shared registry audit failed: {e}"));
+    }
+    if let Err(e) = &private_audit {
+        failures.push(format!("private registry audit failed: {e}"));
+    }
+    if reduction < 0.25 {
+        failures.push(format!(
+            "interning reduced bytes/route by only {:.1}% (< 25%)",
+            reduction * 100.0
+        ));
+    }
+    if isolation_mismatches != 0 {
+        failures.push(format!(
+            "{isolation_mismatches} oracle mismatches on the untouched tenant during churn"
+        ));
+    }
+    if !untouched_stable {
+        failures.push("untouched tenant's snapshot version moved during churn".into());
+    }
+    if churn_mismatches != 0 {
+        failures.push(format!(
+            "{churn_mismatches} oracle mismatches on the churned tenant"
+        ));
+    }
+    if telemetry.update_events.get() < sent {
+        failures.push(format!(
+            "writer drained {} of {sent} churn updates",
+            telemetry.update_events.get()
+        ));
+    }
+    if report.vrf_packets < submitted_packets {
+        failures.push(format!(
+            "served {} of {submitted_packets} VRF-keyed packets",
+            report.vrf_packets
+        ));
+    }
+    if intern.dedup_hits == 0 {
+        failures.push("no dedup hits: interning did nothing".into());
+    }
+    if report.convergence.samples == 0 {
+        failures.push("convergence-lag histogram is empty".into());
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"vrf\",\n  \"quick\": {},\n  \"tenants\": {tenants},\n  \
+         \"routes\": {},\n  \"threads\": {threads},\n  \
+         \"private\": {{\"node_bytes\": {}, \"direct_bytes\": {}, \"leaf_bytes\": {}, \
+         \"total_bytes\": {}, \"bytes_per_route\": {:.2}, \"build_ms\": {:.1}}},\n  \
+         \"shared\": {{\"node_bytes\": {}, \"direct_bytes\": {}, \"store_bytes\": {}, \
+         \"store_used_bytes\": {}, \"total_bytes\": {}, \"bytes_per_route\": {:.2}, \
+         \"build_ms\": {:.1}}},\n  \
+         \"reduction\": {reduction:.4},\n  \
+         \"intern\": {{\"live_extents\": {}, \"live_slots_rounded\": {}, \"total_refs\": {}, \
+         \"dedup_hits\": {}, \"fresh_allocs\": {}, \"pending_blocks\": {}, \"epoch\": {}, \
+         \"capacity\": {}}},\n  \
+         \"churn\": {{\"sent\": {sent}, \"vrf_updates_applied\": {}, \
+         \"convergence_ns\": {}}},\n  \
+         \"isolation\": {{\"probes\": {isolation_checked}, \
+         \"mismatches\": {isolation_mismatches}, \
+         \"untouched_version_stable\": {untouched_stable}, \
+         \"churned_tenant_mismatches\": {churn_mismatches}}},\n  \
+         \"lookup\": {{\"vrf_packets\": {}, \"agg_mlps\": {agg_mlps:.3}}},\n  \
+         \"reconciliation\": {{\"shared_audit_ok\": {}, \"private_audit_ok\": {}, \
+         \"interner_refs\": {}}}\n}}\n",
+        ctx.quick,
+        sm.routes,
+        pm.node_bytes,
+        pm.direct_bytes,
+        pm.private_leaf_bytes,
+        pm.total_bytes(),
+        pm.bytes_per_route(),
+        private_build.as_secs_f64() * 1e3,
+        sm.node_bytes,
+        sm.direct_bytes,
+        sm.shared_store_bytes,
+        sm.shared_used_bytes,
+        sm.total_bytes(),
+        sm.bytes_per_route(),
+        shared_build.as_secs_f64() * 1e3,
+        intern_after.live_extents,
+        intern_after.live_slots_rounded,
+        intern_after.total_refs,
+        intern_after.dedup_hits,
+        intern_after.fresh_allocs,
+        intern_after.pending_blocks,
+        intern_after.epoch,
+        intern_after.capacity,
+        report.vrf_updates,
+        latency_json(&report.convergence),
+        report.vrf_packets,
+        shared_audit.is_ok(),
+        private_audit.is_ok(),
+        intern_after.total_refs,
+    );
+    let dir = std::path::Path::new("results");
+    let path = dir.join("BENCH_vrf.json");
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json.as_bytes()))
+    {
+        eprintln!("error: could not write results/BENCH_vrf.json: {e}");
+        std::process::exit(1);
+    }
+    let landed = std::fs::read_to_string(&path).unwrap_or_default();
+    if let Err(e) = validate_json(
+        &landed,
+        &[
+            "experiment",
+            "tenants",
+            "reduction",
+            "bytes_per_route",
+            "intern",
+            "isolation",
+            "reconciliation",
+            "agg_mlps",
+            "convergence_ns",
+        ],
+    ) {
+        eprintln!("error: results/BENCH_vrf.json is malformed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote results/BENCH_vrf.json");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "[vrf] OK: {tenants} tenants, {:.1}% bytes/route reduction, exact reconciliation, \
+         isolation oracle-exact",
+        reduction * 100.0
+    );
+}
+
 fn latency_json(l: &poptrie_engine::LatencySummary) -> String {
     format!(
         "{{\"samples\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \

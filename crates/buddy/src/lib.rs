@@ -27,10 +27,13 @@
 //! assert_eq!(b.allocated_slots(), 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::collections::BTreeSet;
+
+pub mod arena;
+pub use arena::{ArenaHandle, ArenaOwner};
 
 /// Maximum block order supported (2^30 slots ≈ 1 G entries), far beyond any
 /// routing-table need; §5 of the paper projects 10^8 routes.
@@ -149,6 +152,20 @@ impl Buddy {
         }
     }
 
+    /// Allocate a contiguous run of at least `n` slots (`n > 0`) **without
+    /// growing** the managed capacity. Returns `None` when no free block of
+    /// the rounded size exists — the fixed-arena admission path
+    /// ([`arena::ArenaOwner::fixed`]) uses this so exhaustion is a
+    /// recoverable condition, not an unbounded growth event.
+    pub fn try_alloc(&mut self, n: u32) -> Option<u32> {
+        assert!(n > 0, "cannot allocate an empty run");
+        let order = order_of(n);
+        let off = self.take_block(order)?;
+        self.allocated += 1 << order;
+        self.live_blocks += 1;
+        Some(off)
+    }
+
     /// Release the run previously returned by [`Buddy::alloc`] with the same
     /// `n`. Merges buddies eagerly.
     ///
@@ -167,6 +184,19 @@ impl Buddy {
         assert!(
             !self.free[order].contains(&off),
             "double free at off={off} order={order}"
+        );
+        // The exact-block check above only catches a double free whose
+        // block has not yet been coalesced away. Once a freed block merges
+        // with its buddy into a larger span, a second free of the same
+        // offset would pass that check and silently corrupt the
+        // accounting — the failure mode that shows up as "impossible"
+        // overlap under multi-table arena sharing. `is_live_block` walks
+        // every order's free set, so it also rejects a free inside an
+        // already-free coalesced span.
+        assert!(
+            self.is_live_block(off, n),
+            "free of a non-live block: off={off} n={n} \
+             (double free into a coalesced span, or never allocated)"
         );
         self.allocated -= size;
         self.live_blocks -= 1;

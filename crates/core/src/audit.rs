@@ -50,8 +50,15 @@ pub struct AuditReport {
     pub leaves: usize,
     /// Live node blocks (root/direct-slot singles plus child runs).
     pub node_blocks: usize,
-    /// Live leaf blocks.
+    /// Live leaf blocks (distinct extents).
     pub leaf_blocks: usize,
+    /// References to leaf blocks from this table's nodes. Equals
+    /// [`leaf_blocks`](AuditReport::leaf_blocks) for a private table; for
+    /// a shared-leaves (VRF) table it may exceed it — several nodes of the
+    /// same table can intern byte-identical blocks into one extent — and
+    /// summing it across every table of a VRF group must reproduce the
+    /// interner's `total_refs()` exactly.
+    pub leaf_block_refs: usize,
     /// Node slots reserved, after buddy power-of-two rounding.
     pub node_slots_rounded: u64,
     /// Leaf slots reserved, after buddy power-of-two rounding.
@@ -109,6 +116,30 @@ impl BlockSet {
                 buddy.allocated_slots()
             ));
         }
+        Ok((count, rounded))
+    }
+
+    /// The shared-leaves variant of [`BlockSet::reconcile`]: several nodes
+    /// of the table may legitimately reference the *same* interned extent,
+    /// so duplicates are collapsed before the disjointness check, and
+    /// there is no per-table allocator to reconcile totals against (the
+    /// arena is group-wide; `NextHopIntern::check_invariants` reconciles
+    /// it exactly, and summed [`AuditReport::leaf_block_refs`] cross-check
+    /// `total_refs()`). Returns `(distinct_blocks, rounded_slots)`.
+    fn reconcile_shared(mut self, what: &str) -> Result<(usize, u64), String> {
+        self.blocks.sort_unstable();
+        self.blocks.dedup();
+        for w in self.blocks.windows(2) {
+            let (a_off, a_len) = w[0];
+            let (b_off, _) = w[1];
+            if a_off + a_len > b_off {
+                return Err(format!(
+                    "aliased {what} extents: [{a_off}, {a_off}+{a_len}) overlaps one at {b_off}"
+                ));
+            }
+        }
+        let count = self.blocks.len();
+        let rounded: u64 = self.blocks.iter().map(|&(_, l)| l as u64).sum();
         Ok((count, rounded))
     }
 }
@@ -173,8 +204,13 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                 report.leaves, self.leaf_count
             ));
         }
+        report.leaf_block_refs = leaf_blocks.blocks.len();
         let (nb, ns) = node_blocks.reconcile(&self.node_buddy, "node")?;
-        let (lb, ls) = leaf_blocks.reconcile(&self.leaf_buddy, "leaf")?;
+        let (lb, ls) = if self.shared_leaves.is_some() {
+            leaf_blocks.reconcile_shared("leaf")?
+        } else {
+            leaf_blocks.reconcile(&self.leaf_buddy, "leaf")?
+        };
         report.node_blocks = nb;
         report.node_slots_rounded = ns;
         report.leaf_blocks = lb;
@@ -211,10 +247,29 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
         let nleaves = node.leaf_count();
         report.leaves += nleaves as usize;
         if nleaves > 0 {
-            if node.base0() as usize + nleaves as usize > self.leaves.len() {
+            if node.base0() as usize + nleaves as usize > self.leaf_slots() {
                 return Err(format!("node {idx}: leaf block out of bounds"));
             }
-            leaf_blocks.record(&self.leaf_buddy, node.base0(), nleaves, "leaf block")?;
+            match &self.shared_leaves {
+                Some(h) => {
+                    // Liveness probe goes to the group interner; the
+                    // same extent may be recorded by several nodes
+                    // (collapsed in `reconcile_shared`).
+                    if !h.is_live_block(node.base0(), nleaves) {
+                        return Err(format!(
+                            "node {idx}: leaf extent [{}, {}+{nleaves}) is not live in the shared arena",
+                            node.base0(),
+                            node.base0()
+                        ));
+                    }
+                    leaf_blocks
+                        .blocks
+                        .push((node.base0(), Buddy::rounded(nleaves)));
+                }
+                None => {
+                    leaf_blocks.record(&self.leaf_buddy, node.base0(), nleaves, "leaf block")?
+                }
+            }
         }
         // Every relevant (leaf) slot must resolve inside the node's own
         // leaf block: rank in 1..=nleaves.

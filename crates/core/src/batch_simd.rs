@@ -150,7 +150,9 @@ unsafe fn walk<K: Bits, N: NodeRepr, const WIDE: bool>(
     let mut leaf_mask = 0u32;
 
     let nodes_ptr = t.nodes.as_ptr();
-    let leaves_ptr = t.leaves.as_ptr();
+    // Private leaf array, or the shared slab in VRF mode — either way a
+    // flat `u16` index space the structural invariant keeps us inside.
+    let leaves_ptr = t.leaf_base_ptr();
     let base = nodes_ptr as *const u8;
     let mut vecw = [0u64; SIMD_LANES];
     while live != 0 || leaf_mask != 0 {
@@ -160,7 +162,7 @@ unsafe fn walk<K: Bits, N: NodeRepr, const WIDE: bool>(
             let i = m.trailing_zeros() as usize;
             m &= m - 1;
             let li = leaf[i] as usize;
-            debug_assert!(li < t.leaves.len());
+            debug_assert!(li < t.leaf_slots());
             // SAFETY: `li` is `base0 + leaf_rank(v) - 1` of a live node,
             // in bounds by the structural invariant.
             out[i] = *leaves_ptr.add(li);

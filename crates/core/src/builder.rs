@@ -40,6 +40,7 @@ pub struct Builder<K: Bits, N: NodeRepr = Node24> {
     aggregate: bool,
     node_capacity: u32,
     leaf_capacity: u32,
+    shared_leaves: Option<crate::shared_leaves::LeafStoreHandle>,
     _marker: core::marker::PhantomData<(K, N)>,
 }
 
@@ -58,6 +59,7 @@ impl<K: Bits, N: NodeRepr> Builder<K, N> {
             aggregate: true,
             node_capacity: 0,
             leaf_capacity: 0,
+            shared_leaves: None,
             _marker: core::marker::PhantomData,
         }
     }
@@ -113,6 +115,20 @@ impl<K: Bits, N: NodeRepr> Builder<K, N> {
         self
     }
 
+    /// Resolve leaves out of a cross-table shared store instead of a
+    /// private array: every leaf block becomes a content-interned extent
+    /// of the handle's fixed arena, deduplicated against every other
+    /// table in the same VRF group (see [`crate::shared_leaves`]).
+    ///
+    /// # Panics (at [`Builder::build`] time)
+    ///
+    /// Compilation panics if the shared arena cannot fit a new extent —
+    /// size the arena for the provisioned tenant set.
+    pub fn shared_leaves(mut self, handle: crate::shared_leaves::LeafStoreHandle) -> Self {
+        self.shared_leaves = Some(handle);
+        self
+    }
+
     /// Compile `rib` into a Poptrie.
     pub fn build(&self, rib: &RadixTree<K, NextHop>) -> PoptrieImpl<K, N> {
         let aggregated;
@@ -127,7 +143,14 @@ impl<K: Bits, N: NodeRepr> Builder<K, N> {
             nodes: Vec::new(),
             leaves: Vec::new(),
             node_buddy: Buddy::with_capacity(self.node_capacity),
-            leaf_buddy: Buddy::with_capacity(self.leaf_capacity),
+            // In shared mode the private leaf allocator stays empty: leaf
+            // extents come from the shared handle's arena instead.
+            leaf_buddy: if self.shared_leaves.is_some() {
+                Buddy::new()
+            } else {
+                Buddy::with_capacity(self.leaf_capacity)
+            },
+            shared_leaves: self.shared_leaves.clone(),
             root: 0,
             inode_count: 0,
             leaf_count: 0,
@@ -168,11 +191,64 @@ pub(crate) fn alloc_nodes<K: Bits, N: NodeRepr>(trie: &mut PoptrieImpl<K, N>, n:
 }
 
 /// Allocate a run of `n` leaf slots (first-touched like [`alloc_nodes`]).
+/// Private-mode only; shared-mode callers go through [`install_leaves`].
 pub(crate) fn alloc_leaves<K: Bits, N: NodeRepr>(trie: &mut PoptrieImpl<K, N>, n: u32) -> u32 {
+    debug_assert!(trie.shared_leaves.is_none());
     let off = trie.leaf_buddy.alloc(n);
     let cap = trie.leaf_buddy.capacity() as usize;
     poptrie_buddy::first_touch::grow(&mut trie.leaves, cap, NO_ROUTE);
     off
+}
+
+/// Install the leaf block `vals` and return its offset: a private buddy
+/// allocation + copy, or (shared mode) a content-interned extent of the
+/// shared arena. Updates `leaf_count`.
+///
+/// # Panics
+///
+/// Panics when a shared arena cannot fit a new extent: the arena is
+/// provisioned for the tenant set, so exhaustion is a deployment sizing
+/// error, not a recoverable per-route condition.
+pub(crate) fn install_leaves<K: Bits, N: NodeRepr>(
+    trie: &mut PoptrieImpl<K, N>,
+    vals: &[NextHop],
+) -> u32 {
+    debug_assert!(!vals.is_empty());
+    let interned = trie.shared_leaves.as_ref().map(|h| {
+        h.intern(vals).unwrap_or_else(|| {
+            panic!(
+                "shared leaf arena exhausted interning a {}-leaf block; \
+                 provision a larger arena for this VRF group",
+                vals.len()
+            )
+        })
+    });
+    let off = match interned {
+        Some(off) => off,
+        None => {
+            let off = alloc_leaves(trie, vals.len() as u32);
+            trie.leaves[off as usize..off as usize + vals.len()].copy_from_slice(vals);
+            off
+        }
+    };
+    trie.leaf_count += vals.len();
+    off
+}
+
+/// Release the leaf block `[off, off + len)` previously installed with
+/// [`install_leaves`]: a private buddy free, or (shared mode) one
+/// interner reference dropped. Updates `leaf_count`.
+pub(crate) fn release_leaves<K: Bits, N: NodeRepr>(
+    trie: &mut PoptrieImpl<K, N>,
+    off: u32,
+    len: u32,
+) {
+    debug_assert!(len > 0);
+    match &trie.shared_leaves {
+        Some(h) => h.release(off, len),
+        None => trie.leaf_buddy.free(off, len),
+    }
+    trie.leaf_count -= len as usize;
 }
 
 /// Expand six radix levels below `node` into 64 slots.
@@ -269,11 +345,7 @@ pub(crate) fn place_node<K: Bits, N: NodeRepr>(
     let base0 = if spec.leaf_vals.is_empty() {
         0
     } else {
-        let off = alloc_leaves(trie, spec.leaf_vals.len() as u32);
-        trie.leaves[off as usize..off as usize + spec.leaf_vals.len()]
-            .copy_from_slice(&spec.leaf_vals);
-        trie.leaf_count += spec.leaf_vals.len();
-        off
+        install_leaves(trie, &spec.leaf_vals)
     };
     let base1 = if spec.children.is_empty() {
         0

@@ -61,11 +61,13 @@ pub mod audit;
 mod batch_simd;
 pub mod builder;
 pub mod config;
+pub mod ids;
 pub mod node;
 #[cfg(feature = "trace")]
 pub mod phase;
 pub mod prelude;
 pub mod serial;
+pub mod shared_leaves;
 pub mod sync;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
@@ -75,9 +77,11 @@ pub mod update;
 pub use audit::AuditReport;
 pub use builder::Builder;
 pub use config::{ConfigError, PoptrieConfig, PoptrieConfigBuilder};
+pub use ids::{SourceId, VrfId};
 pub use node::{Node16, Node24, NodeRepr};
 pub use poptrie_bitops::BatchBackend;
 pub use serial::SerializeError;
+pub use shared_leaves::{EpochGuard, LeafInterner, LeafStoreHandle, SharedLeaves};
 pub use trie::{Poptrie, PoptrieBasic, PoptrieStats, BATCH_LANES};
 pub use update::{Applied, Fib, UpdateError, UpdateStats, UpdateStrategy};
 

@@ -135,7 +135,18 @@ impl<'a> Reader<'a> {
 
 impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
     /// Serialize the compiled FIB to a self-describing binary blob.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a shared-leaves (VRF-group) table: its leaf extents live
+    /// in an arena shared with other tenants and are meaningless outside
+    /// the group. Serialize a private recompile of the same RIB instead.
     pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(
+            self.shared_leaves.is_none(),
+            "cannot serialize a shared-leaves (VRF) table: leaf offsets \
+             reference a shared arena; recompile privately to serialize"
+        );
         let mut payload = Writer { out: Vec::new() };
         payload.u8(self.s);
         payload.u32(self.root);
@@ -262,6 +273,8 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
             inode_count,
             leaf_count,
             s,
+            // Serialized tables are always private-leaf (asserted above).
+            shared_leaves: None,
             // Serialized images carry no backend: the tier is a property
             // of the loading host's CPU, re-detected at every load.
             backend: poptrie_bitops::BatchBackend::detect(),

@@ -1,0 +1,248 @@
+//! Cross-table shared leaf storage for multi-tenant (VRF) deployments.
+//!
+//! A Poptrie leaf is two bytes; with §3.3's run compression a node stores
+//! one leaf per *run*, and across a full table leaves still account for a
+//! third to four fifths of the compiled bytes. When thousands of virtual
+//! routing tables (VRFs) are provisioned from a common base table, most
+//! leaf blocks are byte-identical across tenants — the entropy headroom
+//! Rétvári et al. point at. This module lets many `Poptrie` instances
+//! resolve their leaves out of **one** fixed arena:
+//!
+//! * [`SharedLeaves`] — the backing store: a fixed-capacity slab of
+//!   atomic 16-bit next hops. Fixed capacity is what keeps reads
+//!   lock-free: the slab never moves, so a reader holding an RCU snapshot
+//!   dereferences raw offsets with no coordination. Writes use `Relaxed`
+//!   stores; the happens-before edge a reader needs is supplied by the
+//!   RCU publish it acquired its snapshot through (a new snapshot is
+//!   published strictly after its leaf blocks are fully written).
+//! * [`LeafInterner`] — the allocation protocol the writer side talks:
+//!   content-addressed `intern` (identical blocks across tenants share
+//!   one extent), refcounted `release`, and epoch-based reclamation so a
+//!   retired block's slots are recycled only after every RCU snapshot
+//!   that could still reference it has dropped. The concrete interner
+//!   (`poptrie-vrf`'s `NextHopIntern`) lives above this crate; the trie
+//!   only needs the protocol.
+//! * [`LeafStoreHandle`] — what a shared-mode `Poptrie` actually carries:
+//!   the store (read side, lock-free) plus the interner (write side,
+//!   mutexed — writers are already serialized per the §3.5 model).
+//!
+//! Node arrays and direct tables stay private per table: structural
+//! isolation is what makes one tenant's churn invisible to another's
+//! readers, and per-table snapshot clones stay proportional to that
+//! tenant's own table.
+
+use core::sync::atomic::{AtomicU16, Ordering};
+use std::sync::{Arc, Mutex};
+
+use poptrie_rib::{NextHop, NO_ROUTE};
+
+/// A fixed-capacity slab of 16-bit next hops shared by every table (and
+/// every published snapshot) of a VRF group.
+///
+/// The slab is sized once and never reallocates; extents within it are
+/// managed by a [`LeafInterner`] over a fixed
+/// [`ArenaOwner`](poptrie_buddy::ArenaOwner). Reads are single `Relaxed`
+/// atomic loads — on the lookup path this compiles to the same plain
+/// 16-bit load a private `Vec<u16>` leaf array costs.
+pub struct SharedLeaves {
+    slots: Box<[AtomicU16]>,
+}
+
+impl core::fmt::Debug for SharedLeaves {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SharedLeaves")
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl SharedLeaves {
+    /// A zero-filled ([`NO_ROUTE`]) store of `capacity` leaf slots.
+    pub fn new(capacity: u32) -> Arc<Self> {
+        let mut v = Vec::with_capacity(capacity as usize);
+        v.resize_with(capacity as usize, || AtomicU16::new(NO_ROUTE));
+        Arc::new(SharedLeaves {
+            slots: v.into_boxed_slice(),
+        })
+    }
+
+    /// Total leaf slots in the store.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The store's memory footprint in bytes (`capacity * 2`).
+    pub fn bytes(&self) -> usize {
+        self.slots.len() * core::mem::size_of::<NextHop>()
+    }
+
+    /// Read slot `i` (bounds-checked).
+    #[inline]
+    pub fn get(&self, i: usize) -> NextHop {
+        self.slots[i].load(Ordering::Relaxed)
+    }
+
+    /// Read slot `i` without a bounds check.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.capacity()`. Lookup paths call this with indices that the
+    /// structural invariant keeps inside live interned blocks.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, i: usize) -> NextHop {
+        debug_assert!(i < self.slots.len());
+        self.slots.get_unchecked(i).load(Ordering::Relaxed)
+    }
+
+    /// Write `vals` into the extent starting at `off`. Only the interner
+    /// calls this, on freshly allocated (reader-unreachable) extents;
+    /// the RCU publish that later makes the extent reachable provides
+    /// the ordering readers need.
+    pub fn write_block(&self, off: u32, vals: &[NextHop]) {
+        let base = off as usize;
+        for (i, &v) in vals.iter().enumerate() {
+            self.slots[base + i].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the extent `[off, off + len)` currently holds exactly
+    /// `vals` — the content-equality probe behind interning.
+    pub fn block_eq(&self, off: u32, vals: &[NextHop]) -> bool {
+        let base = off as usize;
+        vals.iter()
+            .enumerate()
+            .all(|(i, &v)| self.slots[base + i].load(Ordering::Relaxed) == v)
+    }
+
+    /// Base pointer of the slab, for the batched-lookup kernels' leaf
+    /// loads and prefetches. `AtomicU16` is `repr(transparent)` over
+    /// `u16`, and every location a kernel dereferences is quiescent for
+    /// the lifetime of the snapshot it serves (the interner only writes
+    /// reader-unreachable extents), so plain loads through this pointer
+    /// are race-free.
+    pub fn as_ptr(&self) -> *const NextHop {
+        self.slots.as_ptr() as *const NextHop
+    }
+}
+
+/// An epoch reclamation guard. Every published FIB snapshot of a shared
+/// group holds one; the interner recycles a retired extent only once all
+/// guards issued at or before the retirement epoch have dropped. Dropping
+/// a guard is a plain `Arc` release — readers never talk to the interner.
+#[derive(Debug)]
+pub struct EpochGuard {
+    epoch: u64,
+}
+
+impl EpochGuard {
+    /// A guard stamped with `epoch`. Interner implementations create one
+    /// per publish and keep a [`Weak`](std::sync::Weak) to observe its
+    /// death.
+    pub fn new(epoch: u64) -> Arc<Self> {
+        Arc::new(EpochGuard { epoch })
+    }
+
+    /// The publish epoch this guard pins.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// The writer-side allocation protocol of a shared leaf store:
+/// content-addressed interning with refcounts and epoch-deferred
+/// reclamation. Implemented by `poptrie-vrf`'s `NextHopIntern`; the trie
+/// crates program against the trait so the dependency points upward.
+pub trait LeafInterner: Send + core::fmt::Debug {
+    /// Install the leaf block `vals`, returning its extent offset: either
+    /// an existing extent with identical content (reference count
+    /// incremented) or a freshly allocated, freshly written one. `None`
+    /// when the fixed arena cannot fit a new extent.
+    fn intern(&mut self, vals: &[NextHop]) -> Option<u32>;
+
+    /// Drop one reference to the extent `[off, off + len)` previously
+    /// returned by [`intern`](LeafInterner::intern) for a block of `len`
+    /// leaves. At zero references the extent leaves the content index
+    /// immediately (it can no longer be deduplicated against) and its
+    /// slots are recycled once no epoch guard from before the retirement
+    /// remains alive.
+    fn release(&mut self, off: u32, len: u32);
+
+    /// Whether `[off, off + rounded(len))` is a live interned extent —
+    /// the auditor's liveness probe, mirroring
+    /// [`Buddy::is_live_block`](poptrie_buddy::Buddy::is_live_block).
+    fn is_live_block(&self, off: u32, len: u32) -> bool;
+
+    /// Start a new publish epoch and return its guard. Called under the
+    /// table's writer lock at every snapshot publish; also the natural
+    /// point to collect extents whose retirement epoch has quiesced.
+    fn begin_epoch(&mut self) -> Arc<EpochGuard>;
+
+    /// Total outstanding references across all live extents — the
+    /// cross-check target for per-table audits (the sum of every table's
+    /// referenced leaf blocks must equal this exactly).
+    fn total_refs(&self) -> u64;
+}
+
+/// What a shared-mode `Poptrie` carries: the read-side store and the
+/// write-side interner of one VRF group. Clones share both (`Arc`s).
+#[derive(Clone)]
+pub struct LeafStoreHandle {
+    store: Arc<SharedLeaves>,
+    intern: Arc<Mutex<dyn LeafInterner>>,
+}
+
+impl core::fmt::Debug for LeafStoreHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LeafStoreHandle")
+            .field("store", &self.store)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LeafStoreHandle {
+    /// Pair a store with the interner managing its extents.
+    pub fn new(store: Arc<SharedLeaves>, intern: Arc<Mutex<dyn LeafInterner>>) -> Self {
+        LeafStoreHandle { store, intern }
+    }
+
+    /// The read-side store.
+    pub fn store(&self) -> &Arc<SharedLeaves> {
+        &self.store
+    }
+
+    /// Whether two handles name the same store (same VRF group).
+    pub fn same_store(&self, other: &LeafStoreHandle) -> bool {
+        Arc::ptr_eq(&self.store, &other.store)
+    }
+
+    fn interner(&self) -> std::sync::MutexGuard<'_, dyn LeafInterner + 'static> {
+        self.intern
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Forward [`LeafInterner::intern`].
+    pub fn intern(&self, vals: &[NextHop]) -> Option<u32> {
+        self.interner().intern(vals)
+    }
+
+    /// Forward [`LeafInterner::release`].
+    pub fn release(&self, off: u32, len: u32) {
+        self.interner().release(off, len)
+    }
+
+    /// Forward [`LeafInterner::is_live_block`].
+    pub fn is_live_block(&self, off: u32, len: u32) -> bool {
+        self.interner().is_live_block(off, len)
+    }
+
+    /// Forward [`LeafInterner::begin_epoch`].
+    pub fn begin_epoch(&self) -> Arc<EpochGuard> {
+        self.interner().begin_epoch()
+    }
+
+    /// Forward [`LeafInterner::total_refs`].
+    pub fn total_refs(&self) -> u64 {
+        self.interner().total_refs()
+    }
+}

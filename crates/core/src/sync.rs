@@ -142,6 +142,10 @@ impl<T> RcuCell<T> {
 pub struct FibSnapshot<K: Bits> {
     trie: Poptrie<K>,
     version: u64,
+    /// Shared-leaves mode: pins the publish epoch so the interner cannot
+    /// recycle any extent this snapshot's leaf indices may reference.
+    /// Dropped (a plain `Arc` release) when the snapshot dies.
+    _epoch: Option<Arc<crate::shared_leaves::EpochGuard>>,
 }
 
 impl<K: Bits> FibSnapshot<K> {
@@ -212,9 +216,11 @@ impl<K: Bits> core::fmt::Debug for SharedFib<K> {
 
 impl<K: Bits> SharedFib<K> {
     fn from_fib(fib: Fib<K>) -> Self {
+        let epoch = fib.poptrie().shared_leaves().map(|h| h.begin_epoch());
         let current = RcuCell::new(FibSnapshot {
             trie: fib.poptrie().clone(),
             version: 0,
+            _epoch: epoch,
         });
         SharedFib {
             writer: Mutex::new(Writer { fib, version: 0 }),
@@ -242,33 +248,32 @@ impl<K: Bits> SharedFib<K> {
         Self::from_fib(Fib::compile(rib, config))
     }
 
-    /// An empty shared FIB with direct-pointing size `s`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SharedFib::with_config` with a `PoptrieConfig`"
-    )]
-    pub fn with_direct_bits(s: u8) -> Self {
-        let cfg = PoptrieConfig::new()
-            .direct_bits(s)
-            .aggregate(false)
-            .build()
-            .expect("legacy direct_bits out of range");
-        Self::with_config(cfg)
+    /// An empty shared FIB whose leaves resolve out of a shared VRF-group
+    /// arena. See [`Fib::with_config_shared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS`.
+    pub fn with_config_shared(
+        config: PoptrieConfig,
+        leaves: crate::shared_leaves::LeafStoreHandle,
+    ) -> Self {
+        Self::from_fib(Fib::with_config_shared(config, leaves))
     }
 
-    /// Build from an existing RIB (full compilation with aggregation
-    /// optionally applied, as in the paper's evaluation setup).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SharedFib::compile` with a `PoptrieConfig`"
-    )]
-    pub fn from_rib(rib: RadixTree<K, NextHop>, s: u8, aggregate: bool) -> Self {
-        let cfg = PoptrieConfig::new()
-            .direct_bits(s)
-            .aggregate(aggregate)
-            .build()
-            .expect("legacy direct_bits out of range");
-        Self::compile(rib, cfg)
+    /// Build from an existing RIB with leaf blocks interned into a shared
+    /// VRF-group arena. See [`Fib::compile_shared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS`, or when the shared
+    /// arena cannot fit the table's leaf blocks.
+    pub fn compile_shared(
+        rib: RadixTree<K, NextHop>,
+        config: PoptrieConfig,
+        leaves: crate::shared_leaves::LeafStoreHandle,
+    ) -> Self {
+        Self::from_fib(Fib::compile_shared(rib, config, leaves))
     }
 
     /// Longest-prefix-match lookup on the current snapshot; never blocks
@@ -335,11 +340,16 @@ impl<K: Bits> SharedFib<K> {
     }
 
     /// Publish the writer's current state as the next snapshot version.
+    /// In shared-leaves mode each publish opens a fresh interner epoch and
+    /// the snapshot pins it; retiring the previous snapshot (and every
+    /// older one) is what lets the interner recycle released extents.
     fn publish(&self, w: &mut Writer<K>) -> u64 {
         w.version += 1;
+        let epoch = w.fib.poptrie().shared_leaves().map(|h| h.begin_epoch());
         self.current.replace(FibSnapshot {
             trie: w.fib.poptrie().clone(),
             version: w.version,
+            _epoch: epoch,
         });
         w.version
     }
@@ -423,11 +433,24 @@ impl<K: Bits> SharedFib<K> {
     /// taken under this FIB's writer lock, so it can never observe a
     /// half-applied batch; after the call the two FIBs share nothing and
     /// diverge unless fed the same updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a shared-leaves (VRF) table: a replica would be a second
+    /// *writer* over the same interned extents, and writer-side refcounts
+    /// admit exactly one. VRF deployments replicate per-group (rebuild the
+    /// group's tables against a second arena) instead.
     pub fn replicate(&self) -> SharedFib<K> {
         let w = self.writer();
+        assert!(
+            w.fib.poptrie().shared_leaves().is_none(),
+            "cannot replicate a shared-leaves (VRF) table: interned \
+             extents admit one writer; rebuild the VRF group instead"
+        );
         let current = RcuCell::new(FibSnapshot {
             trie: w.fib.poptrie().clone(),
             version: w.version,
+            _epoch: None,
         });
         SharedFib {
             writer: Mutex::new(Writer {
@@ -441,6 +464,15 @@ impl<K: Bits> SharedFib<K> {
     /// Cumulative update-work counters from the writer side.
     pub fn stats(&self) -> UpdateStats {
         self.writer().fib.stats()
+    }
+
+    /// Run `f` against the writer-side [`Fib`] under the writer lock —
+    /// coherent access to the RIB and the live compiled structure (e.g.
+    /// [`Fib::rib`], [`Poptrie::audit`](crate::Poptrie::audit)) without
+    /// publishing anything. Blocks writers for the duration; not a hot
+    /// path.
+    pub fn with_fib<R>(&self, f: impl FnOnce(&Fib<K>) -> R) -> R {
+        f(&self.writer().fib)
     }
 
     /// Snapshots of the current FIB held outside the cell (see

@@ -1305,32 +1305,107 @@ mod api {
         fib.poptrie().check_invariants().unwrap();
     }
 
-    /// The deprecated positional constructors must keep old code compiling
-    /// with identical semantics.
+    /// A shared-leaves compile must agree with a private compile of the
+    /// same RIB on every key, and its audit must pass with duplicate leaf
+    /// extents tolerated. Uses a minimal interner (no deduplication GC
+    /// sophistication — `poptrie-vrf`'s `NextHopIntern` owns that) to keep
+    /// the core-level contract testable without the upper crate.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let mut rng = StdRng::seed_from_u64(40);
-        let rib = random_v4_table(&mut rng, 300);
+    fn shared_leaves_compile_matches_private() {
+        use crate::shared_leaves::{EpochGuard, LeafInterner, LeafStoreHandle, SharedLeaves};
+        use std::sync::{Arc, Mutex};
 
-        let old: Fib<u32> = Fib::from_rib(rib.clone(), 16, true);
-        let new = Fib::compile(
-            rib.clone(),
-            PoptrieConfig::new().direct_bits(16).build().unwrap(),
-        );
-        for _ in 0..5_000 {
-            let key: u32 = rng.gen();
-            assert_eq!(old.lookup(key), new.lookup(key));
+        /// Content-addressed interner over a fixed arena, refcounted,
+        /// recycling extents immediately at refs=0 (safe single-threaded).
+        #[derive(Debug)]
+        struct TestIntern {
+            arena: poptrie_buddy::ArenaHandle,
+            store: Arc<SharedLeaves>,
+            by_content: std::collections::HashMap<Vec<u16>, u32>,
+            meta: std::collections::HashMap<u32, (u32, u64, Vec<u16>)>,
+            epoch: u64,
         }
 
-        let mut empty: Fib<u32> = Fib::with_direct_bits(18);
-        empty.insert(p4("10.0.0.0/8"), 1).unwrap();
-        assert_eq!(empty.lookup(0x0A00_0001), Some(1));
+        impl LeafInterner for TestIntern {
+            fn intern(&mut self, vals: &[u16]) -> Option<u32> {
+                if let Some(&off) = self.by_content.get(vals) {
+                    self.meta.get_mut(&off).unwrap().1 += 1;
+                    return Some(off);
+                }
+                let off = self.arena.try_alloc(vals.len() as u32)?;
+                self.store.write_block(off, vals);
+                self.by_content.insert(vals.to_vec(), off);
+                self.meta.insert(off, (vals.len() as u32, 1, vals.to_vec()));
+                Some(off)
+            }
+            fn release(&mut self, off: u32, len: u32) {
+                let (l, refs, key) = self.meta.get_mut(&off).expect("release of unknown extent");
+                assert_eq!(*l, len);
+                *refs -= 1;
+                if *refs == 0 {
+                    let key = key.clone();
+                    self.by_content.remove(&key);
+                    self.meta.remove(&off);
+                    self.arena.free(off, len);
+                }
+            }
+            fn is_live_block(&self, off: u32, len: u32) -> bool {
+                self.meta.get(&off).is_some_and(|m| m.0 == len)
+            }
+            fn begin_epoch(&mut self) -> Arc<EpochGuard> {
+                self.epoch += 1;
+                EpochGuard::new(self.epoch)
+            }
+            fn total_refs(&self) -> u64 {
+                self.meta.values().map(|m| m.1).sum()
+            }
+        }
 
-        let shared: SharedFib<u32> = SharedFib::from_rib(rib, 16, false);
-        let shared_empty: SharedFib<u32> = SharedFib::with_direct_bits(16);
-        assert_eq!(shared.version(), 0);
-        assert_eq!(shared_empty.lookup(0), None);
+        let store = SharedLeaves::new(1 << 16);
+        let owner = poptrie_buddy::ArenaOwner::fixed(1 << 16);
+        let intern: Arc<Mutex<dyn LeafInterner>> = Arc::new(Mutex::new(TestIntern {
+            arena: owner.handle(),
+            store: Arc::clone(&store),
+            by_content: Default::default(),
+            meta: Default::default(),
+            epoch: 0,
+        }));
+        let handle = LeafStoreHandle::new(store, intern);
+
+        let mut rng = StdRng::seed_from_u64(40);
+        let rib = random_v4_table(&mut rng, 300);
+        let cfg = PoptrieConfig::new().direct_bits(16).build().unwrap();
+
+        // Two tenants off the same arena: the original RIB and a churned
+        // variant; plus a private compile as the semantic oracle.
+        let mut shared_a = Fib::compile_shared(rib.clone(), cfg, handle.clone());
+        let shared_b = Fib::compile_shared(rib.clone(), cfg, handle.clone());
+        let oracle = Fib::compile(rib, cfg);
+
+        for _ in 0..5_000 {
+            let key: u32 = rng.gen();
+            assert_eq!(shared_a.lookup(key), oracle.lookup(key));
+            assert_eq!(shared_b.lookup(key), oracle.lookup(key));
+        }
+        let ra = shared_a.poptrie().audit().unwrap();
+        let rb = shared_b.poptrie().audit().unwrap();
+        assert_eq!(
+            (ra.leaf_block_refs + rb.leaf_block_refs) as u64,
+            handle.total_refs(),
+            "per-table leaf references must reconcile with the interner"
+        );
+
+        // Churn one tenant; the other's lookups and audit stay intact.
+        shared_a.insert(p4("10.0.0.0/8"), 9).unwrap();
+        shared_a.remove(p4("10.0.0.0/8")).unwrap();
+        shared_a.poptrie().audit().unwrap();
+        shared_b.poptrie().audit().unwrap();
+        let ra = shared_a.poptrie().audit().unwrap();
+        let rb = shared_b.poptrie().audit().unwrap();
+        assert_eq!(
+            (ra.leaf_block_refs + rb.leaf_block_refs) as u64,
+            handle.total_refs()
+        );
     }
 
     /// The wire-format entry points reject what `Prefix::new` would

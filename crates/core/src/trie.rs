@@ -37,8 +37,16 @@ pub struct PoptrieImpl<K: Bits, N: NodeRepr> {
     pub(crate) direct: Vec<u32>,
     /// Flat internal-node array; children of one node are contiguous.
     pub(crate) nodes: Vec<N>,
-    /// Flat leaf array.
+    /// Flat leaf array. Empty in shared-leaf mode: leaves then live in
+    /// `shared_leaves` and every leaf index resolves against the shared
+    /// store instead.
     pub(crate) leaves: Vec<NextHop>,
+    /// Cross-table shared leaf storage (multi-tenant VRF mode). `None`
+    /// for a private table; `Some` when this trie's leaf blocks are
+    /// interned extents of a shared fixed arena
+    /// ([`crate::shared_leaves`]). Node arrays and the direct table stay
+    /// private either way.
+    pub(crate) shared_leaves: Option<crate::shared_leaves::LeafStoreHandle>,
     /// Buddy allocator for `nodes` index space (§3: "the contiguous arrays
     /// of internal and leaf nodes are managed by the buddy memory
     /// allocator").
@@ -117,6 +125,74 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
         self.backend
     }
 
+    /// Whether this trie resolves leaves out of a cross-table shared
+    /// store ([`crate::shared_leaves`]) rather than a private leaf array.
+    pub fn is_shared_leaves(&self) -> bool {
+        self.shared_leaves.is_some()
+    }
+
+    /// The shared leaf store handle, when in shared-leaf mode.
+    pub fn shared_leaves(&self) -> Option<&crate::shared_leaves::LeafStoreHandle> {
+        self.shared_leaves.as_ref()
+    }
+
+    /// Number of addressable leaf slots (private array length, or the
+    /// shared store's capacity).
+    #[inline]
+    pub(crate) fn leaf_slots(&self) -> usize {
+        match &self.shared_leaves {
+            Some(h) => h.store().capacity(),
+            None => self.leaves.len(),
+        }
+    }
+
+    /// Read leaf slot `li` (bounds-checked; the cold paths — ranges,
+    /// invariant checks — use this).
+    #[inline]
+    pub(crate) fn leaf_at(&self, li: usize) -> NextHop {
+        match &self.shared_leaves {
+            Some(h) => h.store().get(li),
+            None => self.leaves[li],
+        }
+    }
+
+    /// Read leaf slot `li` without a bounds check — the hot-path leaf
+    /// resolution. The branch on storage mode predicts perfectly (it
+    /// never changes for a given trie).
+    ///
+    /// # Safety
+    ///
+    /// `li` must index a live leaf block of this trie (the structural
+    /// invariant behind every `base0 + leaf_rank(v) - 1` computation).
+    #[inline(always)]
+    pub(crate) unsafe fn leaf_at_unchecked(&self, li: usize) -> NextHop {
+        match &self.shared_leaves {
+            Some(h) => h.store().get_unchecked(li),
+            None => *self.leaves.get_unchecked(li),
+        }
+    }
+
+    /// Base pointer of the leaf storage (private array or shared slab),
+    /// for the SIMD kernels' leaf loads. See
+    /// [`SharedLeaves::as_ptr`](crate::shared_leaves::SharedLeaves::as_ptr)
+    /// for why plain loads through the shared pointer are race-free.
+    #[inline(always)]
+    pub(crate) fn leaf_base_ptr(&self) -> *const NextHop {
+        match &self.shared_leaves {
+            Some(h) => h.store().as_ptr(),
+            None => self.leaves.as_ptr(),
+        }
+    }
+
+    /// Prefetch the line holding leaf slot `li` (hint only, never faults;
+    /// out-of-range indices are dropped).
+    #[inline(always)]
+    pub(crate) fn prefetch_leaf(&self, li: usize) {
+        if li < self.leaf_slots() {
+            poptrie_bitops::prefetch_read(self.leaf_base_ptr().wrapping_add(li));
+        }
+    }
+
     /// Longest-prefix-match lookup. Returns the next hop of the most
     /// specific matching route, or `None` when nothing matches.
     #[inline]
@@ -184,7 +260,7 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
             } else {
                 // Algorithm 1 line 13–15 / Algorithm 2.
                 let li = (node.base0() + node.leaf_rank(v) - 1) as usize;
-                debug_assert!(li < self.leaves.len());
+                debug_assert!(li < self.leaf_slots());
                 #[cfg(feature = "telemetry")]
                 crate::telemetry::record_leaf_resolution(
                     false,
@@ -195,8 +271,8 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                 crate::phase::record_phase_descent((offset - self.s as u32) / 6 + 1);
                 // SAFETY: `leaf_rank(v)` is in `1..=leaf_count()` for a
                 // relevant slot and the node's leaf block
-                // `[base0, base0 + leaf_count)` lies inside `leaves`.
-                return unsafe { *self.leaves.get_unchecked(li) };
+                // `[base0, base0 + leaf_count)` is live leaf storage.
+                return unsafe { self.leaf_at_unchecked(li) };
             }
         }
     }
@@ -370,11 +446,11 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                 let i = m.trailing_zeros() as usize;
                 m &= m - 1;
                 let li = leaf[i] as usize;
-                debug_assert!(li < self.leaves.len());
+                debug_assert!(li < self.leaf_slots());
                 // SAFETY: `li` was computed as `base0 + leaf_rank(v) - 1`
                 // below, in bounds by the structural invariant (see
                 // `lookup_raw`).
-                out[i] = unsafe { *self.leaves.get_unchecked(li) };
+                out[i] = unsafe { self.leaf_at_unchecked(li) };
             }
             let mut m = live;
             while m != 0 {
@@ -416,7 +492,7 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                     );
                     #[cfg(feature = "trace")]
                     crate::phase::record_phase_descent((offset[i] - self.s as u32) / 6 + 1);
-                    poptrie_bitops::prefetch_index(&self.leaves, li as usize);
+                    self.prefetch_leaf(li as usize);
                 }
             }
         }
@@ -494,7 +570,7 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
                 self.node_ranges(child, start, offset + 6, push, out);
             } else {
                 let li = node.base0() + node.leaf_rank(v) - 1;
-                push(start, self.leaves[li as usize], out);
+                push(start, self.leaf_at(li as usize), out);
             }
         }
     }
@@ -561,7 +637,7 @@ impl<K: Bits, N: NodeRepr> PoptrieImpl<K, N> {
         *leaves += nleaves as usize;
         if nleaves > 0 {
             let end = node.base0() as usize + nleaves as usize;
-            if end > self.leaves.len() {
+            if end > self.leaf_slots() {
                 return Err(format!("leaf block of node {idx} out of bounds"));
             }
         }

@@ -34,9 +34,12 @@ use poptrie_rib::{NextHop, Prefix, PrefixError, RadixTree, NO_ROUTE};
 
 use poptrie_rib::radix::Node as RadixNode;
 
-use crate::builder::{alloc_leaves, alloc_nodes, compute_chunk, fill_node, place_node, Builder};
+use crate::builder::{
+    alloc_nodes, compute_chunk, fill_node, install_leaves, place_node, release_leaves, Builder,
+};
 use crate::config::PoptrieConfig;
 use crate::node::{Node24, NodeRepr};
+use crate::shared_leaves::LeafStoreHandle;
 use crate::trie::{Poptrie, DIRECT_LEAF_BIT};
 
 /// A rejected FIB mutation. Every [`Fib`] mutation returns
@@ -276,31 +279,46 @@ impl<K: Bits> Fib<K> {
         }
     }
 
-    /// An empty FIB with direct-pointing size `s`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Fib::with_config` with a `PoptrieConfig`"
-    )]
-    pub fn with_direct_bits(s: u8) -> Self {
-        let cfg = PoptrieConfig::new()
-            .direct_bits(s)
-            .aggregate(false)
-            .build()
-            .expect("legacy direct_bits out of range");
-        Self::with_config(cfg)
+    /// An empty FIB shaped by `config` whose leaves resolve out of a
+    /// shared VRF-group arena ([`LeafStoreHandle`]). See
+    /// [`Fib::compile_shared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS`.
+    pub fn with_config_shared(config: PoptrieConfig, leaves: LeafStoreHandle) -> Self {
+        Self::compile_shared(RadixTree::new(), config, leaves)
     }
 
-    /// Compile an initial FIB from an existing RIB (full build, §3's route
-    /// aggregation applied when `aggregate` is set), then serve incremental
-    /// updates.
-    #[deprecated(since = "0.2.0", note = "use `Fib::compile` with a `PoptrieConfig`")]
-    pub fn from_rib(rib: RadixTree<K, NextHop>, s: u8, aggregate: bool) -> Self {
-        let cfg = PoptrieConfig::new()
-            .direct_bits(s)
-            .aggregate(aggregate)
-            .build()
-            .expect("legacy direct_bits out of range");
-        Self::compile(rib, cfg)
+    /// Compile an initial FIB from an existing RIB with its leaf blocks
+    /// interned into a shared VRF-group arena: byte-identical blocks
+    /// across every table holding a handle to the same store occupy one
+    /// extent. Node arrays and the direct table stay private to this
+    /// table, so update isolation and snapshot cost are unchanged.
+    ///
+    /// A shared-mode FIB cannot be serialized
+    /// ([`to_bytes`](crate::trie::PoptrieImpl::to_bytes) panics) and its
+    /// [`Clone`] is a read-only alias: interned extents are refcounted by
+    /// the *writer* side only, so exactly one clone may keep mutating.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.direct_bits >= K::BITS`, or when the shared
+    /// arena cannot fit the table's leaf blocks (a provisioning error).
+    pub fn compile_shared(
+        rib: RadixTree<K, NextHop>,
+        config: PoptrieConfig,
+        leaves: LeafStoreHandle,
+    ) -> Self {
+        let trie = Builder::from_config(&config)
+            .shared_leaves(leaves)
+            .build(&rib);
+        Fib {
+            rib,
+            trie,
+            stats: UpdateStats::default(),
+            strategy: config.strategy,
+        }
     }
 
     /// Select the incremental-update strategy (default:
@@ -456,14 +474,19 @@ impl<K: Bits> Fib<K> {
     }
 
     /// Rebuild the whole FIB from the RIB (the paper's "compilation from
-    /// scratch", Table 2's compilation-time column).
+    /// scratch", Table 2's compilation-time column). A shared-mode table
+    /// first releases every interned extent it references (the old trie's
+    /// private storage dies with its `Vec`s, but shared-arena references
+    /// are refcounted) and rebuilds against the same arena.
     pub fn rebuild(&mut self) {
         #[cfg(feature = "telemetry")]
         let t0 = poptrie_cycles::rdtsc_serialized();
-        self.trie = Builder::new()
-            .direct_bits(self.trie.s)
-            .aggregate(false)
-            .build(&self.rib);
+        release_trie_shared_leaves(&mut self.trie);
+        let mut b = Builder::new().direct_bits(self.trie.s).aggregate(false);
+        if let Some(h) = self.trie.shared_leaves.clone() {
+            b = b.shared_leaves(h);
+        }
+        self.trie = b.build(&self.rib);
         #[cfg(feature = "telemetry")]
         crate::telemetry::record_rebuild(poptrie_cycles::rdtsc_serialized().wrapping_sub(t0));
     }
@@ -596,25 +619,29 @@ fn refresh_node<K: Bits>(
         credit_built(stats, before, snapshot(trie));
         return;
     }
-    // Same child structure: refresh leaves if they changed.
+    // Same child structure: refresh leaves if they changed. With an
+    // unchanged leafvec the old and new blocks have the same length, so
+    // the content probe (against the shared store or the private array)
+    // compares like for like.
     let old_leaf_count = old.leafvec.count_ones() as usize;
-    let old_leaves = &trie.leaves[old.base0 as usize..old.base0 as usize + old_leaf_count];
-    let leaves_unchanged = spec.leafvec == old.leafvec && spec.leaf_vals == old_leaves;
+    let leaves_unchanged = spec.leafvec == old.leafvec
+        && match &trie.shared_leaves {
+            Some(h) => h.store().block_eq(old.base0, &spec.leaf_vals),
+            None => {
+                spec.leaf_vals
+                    == trie.leaves[old.base0 as usize..old.base0 as usize + old_leaf_count]
+            }
+        };
     if !leaves_unchanged {
         if old_leaf_count > 0 {
-            trie.leaf_buddy.free(old.base0, old_leaf_count as u32);
-            trie.leaf_count -= old_leaf_count;
+            release_leaves(trie, old.base0, old_leaf_count as u32);
             stats.leaves_freed += old_leaf_count as u64;
         }
         let base0 = if spec.leaf_vals.is_empty() {
             0
         } else {
-            let off = alloc_leaves(trie, spec.leaf_vals.len() as u32);
-            trie.leaves[off as usize..off as usize + spec.leaf_vals.len()]
-                .copy_from_slice(&spec.leaf_vals);
-            trie.leaf_count += spec.leaf_vals.len();
             stats.leaves_allocated += spec.leaf_vals.len() as u64;
-            off
+            install_leaves(trie, &spec.leaf_vals)
         };
         let node = &mut trie.nodes[idx as usize];
         node.leafvec = spec.leafvec;
@@ -673,8 +700,50 @@ pub(crate) fn free_subtree<K: Bits, N: NodeRepr>(
     }
     let nleaves = node.leaf_count();
     if nleaves > 0 {
-        trie.leaf_buddy.free(node.base0(), nleaves);
-        trie.leaf_count -= nleaves as usize;
+        release_leaves(trie, node.base0(), nleaves);
     }
     trie.inode_count -= 1;
+}
+
+/// Drop every shared-arena leaf reference a trie holds, leaving it with
+/// `leaf_count == 0`. No-op for private tables. Called before a trie is
+/// discarded wholesale ([`Fib::rebuild`]): private storage dies with its
+/// `Vec`s, but interned extents are refcounted and must be released.
+pub(crate) fn release_trie_shared_leaves<K: Bits, N: NodeRepr>(
+    trie: &mut crate::trie::PoptrieImpl<K, N>,
+) {
+    if trie.shared_leaves.is_none() {
+        return;
+    }
+    // Direct slots own disjoint subtrees (the builder and the patcher
+    // never share nodes across slots), so each root is visited once.
+    let roots: Vec<u32> = if trie.s == 0 {
+        vec![trie.root]
+    } else {
+        trie.direct
+            .iter()
+            .copied()
+            .filter(|e| e & DIRECT_LEAF_BIT == 0)
+            .collect()
+    };
+    for r in roots {
+        release_subtree_leaves(trie, r);
+    }
+    debug_assert_eq!(trie.leaf_count, 0, "leaf refs remain after release");
+}
+
+/// Release the leaf blocks of the subtree rooted at `idx` (shared mode),
+/// touching no node storage.
+fn release_subtree_leaves<K: Bits, N: NodeRepr>(
+    trie: &mut crate::trie::PoptrieImpl<K, N>,
+    idx: u32,
+) {
+    let node = trie.nodes[idx as usize];
+    for i in 0..node.vector().count_ones() {
+        release_subtree_leaves(trie, node.base1() + i);
+    }
+    let nleaves = node.leaf_count();
+    if nleaves > 0 {
+        release_leaves(trie, node.base0(), nleaves);
+    }
 }

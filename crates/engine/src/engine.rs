@@ -49,8 +49,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use poptrie::sync::{BatchOutcome, RouteUpdate, SharedFib};
+use poptrie::{SourceId, VrfId};
 use poptrie_bitops::Bits;
 use poptrie_rib::{NextHop, Prefix, NO_ROUTE};
+use poptrie_vrf::VrfTable;
 
 use poptrie_telemetry::Log2Histogram;
 
@@ -71,16 +73,18 @@ pub type BatchHook<K> = Arc<dyn Fn(usize, &[K], &[NextHop], u64) + Send + Sync>;
 pub type PublishHook<K> = Arc<dyn Fn(BatchOutcome, &[RouteUpdate<K>]) + Send + Sync>;
 
 /// One queued batch: its ingress timestamp (for queue-wait latency and
-/// the deadline policy) and the keys.
-type Stamped<K> = (Instant, Arc<[K]>);
+/// the deadline policy), the VRF it targets (`None` = the engine's own
+/// FIB), and the keys.
+type Stamped<K> = (Instant, Option<VrfId>, Arc<[K]>);
 
 /// One queued route update: its [`Control::send`] timestamp (for the
 /// convergence-lag histogram), the convergence span it belongs to (0 =
-/// none; see [`Control::send_spanned`]), and the update itself. The span
-/// word rides along unconditionally — it is 8 bytes per queued event and
-/// never touched on the hot path — so the control-plane API is identical
-/// with and without the `trace` feature.
-type StampedUpdate<K> = (Instant, u64, RouteUpdate<K>);
+/// none; see [`Control::send_spanned`]), the VRF it targets (`None` =
+/// the engine's own FIB), and the update itself. The span word rides
+/// along unconditionally — it is 8 bytes per queued event and never
+/// touched on the hot path — so the control-plane API is identical with
+/// and without the `trace` feature.
+type StampedUpdate<K> = (Instant, u64, Option<VrfId>, RouteUpdate<K>);
 
 /// An out-of-range worker or source index handed to one of the engine's
 /// indexed accessors ([`Engine::ingress_for`], [`Engine::inject_panic`]).
@@ -137,6 +141,7 @@ pub struct EngineConfig<K: Bits> {
     qos: QosPolicy,
     sources: Vec<(String, u32)>,
     numa_replicas: Option<usize>,
+    vrfs: Option<Arc<VrfTable<K>>>,
     on_batch: Option<BatchHook<K>>,
     on_publish: Option<PublishHook<K>>,
     #[cfg(feature = "trace")]
@@ -155,6 +160,7 @@ impl<K: Bits> core::fmt::Debug for EngineConfig<K> {
             .field("qos", &self.qos)
             .field("sources", &self.sources)
             .field("numa_replicas", &self.numa_replicas)
+            .field("vrfs", &self.vrfs)
             .finish_non_exhaustive()
     }
 }
@@ -175,6 +181,7 @@ impl<K: Bits> EngineConfig<K> {
             qos: QosPolicy::Refuse,
             sources: Vec::new(),
             numa_replicas: None,
+            vrfs: None,
             on_batch: None,
             on_publish: None,
             #[cfg(feature = "trace")]
@@ -252,6 +259,19 @@ impl<K: Bits> EngineConfig<K> {
         self
     }
 
+    /// Attach a multi-tenant VRF registry. Workers then accept
+    /// VRF-keyed batches ([`Ingress::try_submit_vrf`]) served against
+    /// the addressed tenant's snapshot, and the writer applies VRF-keyed
+    /// route updates ([`Control::send_vrf`]) to the addressed tenant
+    /// only — engine-wide coalescing still runs, but per `(VRF,
+    /// prefix)`, so one tenant's churn never merges into another's.
+    /// VRF tables are *not* NUMA-replicated: every worker reads the
+    /// registry's single copy (the nodes stay tenant-private and small).
+    pub fn vrfs(mut self, vrfs: Arc<VrfTable<K>>) -> Self {
+        self.vrfs = Some(vrfs);
+        self
+    }
+
     /// Install a per-batch observer (see [`BatchHook`]).
     pub fn on_batch(mut self, hook: BatchHook<K>) -> Self {
         self.on_batch = Some(hook);
@@ -291,6 +311,9 @@ pub struct Ingress<K: Bits> {
     /// Per-queue slot quota for this source (`usize::MAX` when
     /// unweighted).
     quota: usize,
+    /// The engine's VRF registry, when one was attached — consulted to
+    /// validate [`Ingress::try_submit_vrf`] ids at the edge.
+    vrfs: Option<Arc<VrfTable<K>>>,
 }
 
 impl<K: Bits> Clone for Ingress<K> {
@@ -301,6 +324,7 @@ impl<K: Bits> Clone for Ingress<K> {
             next: Arc::clone(&self.next),
             source: self.source,
             quota: self.quota,
+            vrfs: self.vrfs.clone(),
         }
     }
 }
@@ -349,16 +373,50 @@ impl<K: Bits> Ingress<K> {
     /// [`dropped_packets`](EngineTelemetry::dropped_packets).
     pub fn try_submit_to(&self, worker: usize, batch: Arc<[K]>) -> Result<(), Arc<[K]>> {
         let n = batch.len() as u64;
-        match self.queues[worker].try_push_from(self.source, self.quota, (Instant::now(), batch)) {
+        match self.queues[worker].try_push_from(
+            self.source,
+            self.quota,
+            (Instant::now(), None, batch),
+        ) {
             Ok(depth) => {
                 self.count_accept(worker, n, depth);
                 Ok(())
             }
-            Err(PushError::Full((_, b))) | Err(PushError::Closed((_, b))) => {
+            Err(PushError::Full((_, _, b))) | Err(PushError::Closed((_, _, b))) => {
                 self.count_refuse(n);
                 Err(b)
             }
         }
+    }
+
+    /// Submit a batch addressed to VRF `vrf` (round-robin across workers
+    /// like [`Ingress::try_submit`]). The id is validated against the
+    /// engine's attached registry at this edge: an unknown id — or an
+    /// engine started without [`EngineConfig::vrfs`] — refuses the batch
+    /// with the drop already counted, exactly like a full queue. The
+    /// serving worker resolves the tenant's own RCU snapshot per batch,
+    /// so per-VRF lookup isolation matches the engine FIB's read model.
+    pub fn try_submit_vrf(&self, vrf: VrfId, batch: Arc<[K]>) -> Result<usize, Arc<[K]>> {
+        if self.vrfs.as_ref().is_none_or(|v| v.get(vrf).is_none()) {
+            self.count_refuse(batch.len() as u64);
+            return Err(batch);
+        }
+        let n = self.queues.len();
+        let packets = batch.len() as u64;
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut stamped = (Instant::now(), Some(vrf), batch);
+        for i in 0..n {
+            let w = (start + i) % n;
+            match self.queues[w].try_push_from(self.source, self.quota, stamped) {
+                Ok(depth) => {
+                    self.count_accept(w, packets, depth);
+                    return Ok(w);
+                }
+                Err(PushError::Full(s)) | Err(PushError::Closed(s)) => stamped = s,
+            }
+        }
+        self.count_refuse(packets);
+        Err(stamped.2)
     }
 
     /// Submit a batch to the next worker in round-robin order, skipping
@@ -370,7 +428,7 @@ impl<K: Bits> Ingress<K> {
         let n = self.queues.len();
         let packets = batch.len() as u64;
         let start = self.next.fetch_add(1, Ordering::Relaxed);
-        let mut stamped = (Instant::now(), batch);
+        let mut stamped = (Instant::now(), None, batch);
         for i in 0..n {
             let w = (start + i) % n;
             match self.queues[w].try_push_from(self.source, self.quota, stamped) {
@@ -388,7 +446,7 @@ impl<K: Bits> Ingress<K> {
             }
         }
         self.count_refuse(packets);
-        Err(stamped.1)
+        Err(stamped.2)
     }
 
     /// Number of worker queues this handle feeds.
@@ -408,6 +466,9 @@ impl<K: Bits> Ingress<K> {
 pub struct Control<K: Bits> {
     queue: Arc<Bounded<StampedUpdate<K>>>,
     stats: Arc<EngineTelemetry>,
+    /// The engine's VRF registry, when one was attached — consulted to
+    /// validate [`Control::send_vrf`] ids at the edge.
+    vrfs: Option<Arc<VrfTable<K>>>,
 }
 
 impl<K: Bits> Clone for Control<K> {
@@ -415,6 +476,7 @@ impl<K: Bits> Clone for Control<K> {
         Control {
             queue: Arc::clone(&self.queue),
             stats: Arc::clone(&self.stats),
+            vrfs: self.vrfs.clone(),
         }
     }
 }
@@ -445,9 +507,49 @@ impl<K: Bits> Control<K> {
     /// through snapshot publication to the first lookup served against
     /// it. Span 0 means "no span" and is what [`Control::send`] uses.
     pub fn send_spanned(&self, span: u64, update: RouteUpdate<K>) -> Result<(), RouteUpdate<K>> {
-        match self.queue.try_push((Instant::now(), span, update)) {
+        self.push(span, None, update)
+    }
+
+    /// Enqueue a route update addressed to VRF `vrf`. The id is
+    /// validated against the engine's attached registry at this edge: an
+    /// unknown id — or an engine started without [`EngineConfig::vrfs`]
+    /// — refuses the update with the drop counted in
+    /// [`control_dropped`](EngineTelemetry::control_dropped). Accepted
+    /// updates flow through the same single writer and the same
+    /// convergence-lag accounting as engine-FIB updates, but apply to
+    /// the addressed tenant only.
+    pub fn send_vrf(&self, vrf: VrfId, update: RouteUpdate<K>) -> Result<(), RouteUpdate<K>> {
+        if self.vrfs.as_ref().is_none_or(|v| v.get(vrf).is_none()) {
+            self.stats.control_dropped.inc();
+            return Err(update);
+        }
+        self.push(0, Some(vrf), update)
+    }
+
+    /// Enqueue an announce of `prefix -> nh` into VRF `vrf`.
+    pub fn announce_vrf(
+        &self,
+        vrf: VrfId,
+        prefix: Prefix<K>,
+        nh: NextHop,
+    ) -> Result<(), RouteUpdate<K>> {
+        self.send_vrf(vrf, RouteUpdate::Announce(prefix, nh))
+    }
+
+    /// Enqueue a withdraw of `prefix` from VRF `vrf`.
+    pub fn withdraw_vrf(&self, vrf: VrfId, prefix: Prefix<K>) -> Result<(), RouteUpdate<K>> {
+        self.send_vrf(vrf, RouteUpdate::Withdraw(prefix))
+    }
+
+    fn push(
+        &self,
+        span: u64,
+        vrf: Option<VrfId>,
+        update: RouteUpdate<K>,
+    ) -> Result<(), RouteUpdate<K>> {
+        match self.queue.try_push((Instant::now(), span, vrf, update)) {
             Ok(_) => Ok(()),
-            Err(PushError::Full((_, _, u))) | Err(PushError::Closed((_, _, u))) => {
+            Err(PushError::Full((_, _, _, u))) | Err(PushError::Closed((_, _, _, u))) => {
                 self.stats.control_dropped.inc();
                 Err(u)
             }
@@ -613,6 +715,14 @@ pub struct EngineReport {
     pub updates_coalesced: u64,
     /// Route updates refused at the control channel.
     pub control_dropped: u64,
+    /// VRF-keyed batches served (a subset of `batches`; see
+    /// [`Ingress::try_submit_vrf`]).
+    pub vrf_batches: u64,
+    /// Packets in those batches (a subset of `packets`).
+    pub vrf_packets: u64,
+    /// Route-update events the writer applied to VRF tables (disjoint
+    /// from `updates_applied`, which counts the engine's own FIB).
+    pub vrf_updates: u64,
     /// Convergence lag: time from [`Control::send`] accepting a route
     /// update to the writer publishing the snapshot containing it.
     pub convergence: LatencySummary,
@@ -686,6 +796,7 @@ pub struct Engine<K: Bits> {
     queues: BatchQueues<K>,
     control: Arc<Bounded<StampedUpdate<K>>>,
     stats: Arc<EngineTelemetry>,
+    vrfs: Option<Arc<VrfTable<K>>>,
     panic_flags: Vec<Arc<AtomicBool>>,
     workers: Vec<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
@@ -764,6 +875,7 @@ impl<K: Bits> Engine<K> {
             let fib = Arc::clone(&replicas[replica]);
             let queue = Arc::clone(&queues[idx]);
             let stats = Arc::clone(&stats);
+            let vrfs = config.vrfs.clone();
             let hook = config.on_batch.clone();
             let delay = config.batch_delay;
             let pin = config.pin_workers;
@@ -783,6 +895,7 @@ impl<K: Bits> Engine<K> {
                             idx,
                             replica,
                             &fib,
+                            vrfs.as_deref(),
                             &queue,
                             &stats,
                             &flag,
@@ -797,6 +910,7 @@ impl<K: Bits> Engine<K> {
                         idx,
                         replica,
                         &fib,
+                        vrfs.as_deref(),
                         &queue,
                         &stats,
                         &flag,
@@ -813,6 +927,7 @@ impl<K: Bits> Engine<K> {
             let replicas = replicas.clone();
             let queue = Arc::clone(&control);
             let stats = Arc::clone(&stats);
+            let vrfs = config.vrfs.clone();
             let hook = config.on_publish.clone();
             let window = config.coalesce_window;
             #[cfg(feature = "trace")]
@@ -825,6 +940,7 @@ impl<K: Bits> Engine<K> {
                         let tracer = recorder.map(|r| r.register("writer"));
                         writer_main(
                             &replicas,
+                            vrfs.as_deref(),
                             &queue,
                             &stats,
                             window,
@@ -833,7 +949,14 @@ impl<K: Bits> Engine<K> {
                         );
                     }
                     #[cfg(not(feature = "trace"))]
-                    writer_main(&replicas, &queue, &stats, window, hook.as_ref());
+                    writer_main(
+                        &replicas,
+                        vrfs.as_deref(),
+                        &queue,
+                        &stats,
+                        window,
+                        hook.as_ref(),
+                    );
                 })
                 .expect("spawn control-plane writer")
         };
@@ -844,6 +967,7 @@ impl<K: Bits> Engine<K> {
             queues,
             control,
             stats,
+            vrfs: config.vrfs,
             panic_flags,
             workers,
             writer: Some(writer),
@@ -866,25 +990,28 @@ impl<K: Bits> Engine<K> {
             next: Arc::clone(&self.next),
             source: NO_SOURCE,
             quota: usize::MAX,
+            vrfs: self.vrfs.clone(),
         }
     }
 
-    /// A feeder handle submitting as registered source `source` (index
-    /// in [`EngineConfig::source`] registration order), subject to that
-    /// source's weighted per-queue slot quota. An unregistered index is
-    /// a [`BadIndex`] error, never a panic: fault-injection harnesses
-    /// probe these knobs with hostile indices by design.
-    pub fn ingress_for(&self, source: usize) -> Result<Ingress<K>, BadIndex> {
-        let spec = self.stats.source(source).ok_or(BadIndex {
-            index: source,
+    /// A feeder handle submitting as registered source `source` (a
+    /// [`SourceId`] wrapping the index in [`EngineConfig::source`]
+    /// registration order), subject to that source's weighted per-queue
+    /// slot quota. An unregistered id is a [`BadIndex`] error, never a
+    /// panic: fault-injection harnesses probe these knobs with hostile
+    /// indices by design.
+    pub fn ingress_for(&self, source: SourceId) -> Result<Ingress<K>, BadIndex> {
+        let spec = self.stats.source(source.index()).ok_or(BadIndex {
+            index: source.index(),
             len: self.stats.sources().len(),
         })?;
         Ok(Ingress {
             queues: Arc::clone(&self.queues),
             stats: Arc::clone(&self.stats),
             next: Arc::clone(&self.next),
-            source: source as u32,
+            source: source.index() as u32,
             quota: spec.quota,
+            vrfs: self.vrfs.clone(),
         })
     }
 
@@ -893,7 +1020,13 @@ impl<K: Bits> Engine<K> {
         Control {
             queue: Arc::clone(&self.control),
             stats: Arc::clone(&self.stats),
+            vrfs: self.vrfs.clone(),
         }
+    }
+
+    /// The VRF registry attached at [`EngineConfig::vrfs`], if any.
+    pub fn vrfs(&self) -> Option<&Arc<VrfTable<K>>> {
+        self.vrfs.as_ref()
     }
 
     /// The engine's live counters.
@@ -1019,6 +1152,9 @@ impl<K: Bits> Engine<K> {
             updates_applied: self.stats.updates_applied.get(),
             updates_coalesced: self.stats.updates_coalesced.get(),
             control_dropped: self.stats.control_dropped.get(),
+            vrf_batches: self.stats.vrf_batches.get(),
+            vrf_packets: self.stats.vrf_packets.get(),
+            vrf_updates: self.stats.vrf_updates.get(),
             convergence: LatencySummary::from_histogram(&self.stats.convergence_ns),
             writer_respawns: self.stats.writer_respawns.get(),
             workers,
@@ -1049,6 +1185,7 @@ fn worker_main<K: Bits>(
     idx: usize,
     replica: usize,
     fib: &SharedFib<K>,
+    vrfs: Option<&VrfTable<K>>,
     queue: &Bounded<Stamped<K>>,
     stats: &EngineTelemetry,
     inject: &AtomicBool,
@@ -1067,7 +1204,7 @@ fn worker_main<K: Bits>(
             // the closing event of a convergence span.
             #[cfg(feature = "trace")]
             let mut last_version: u64 = 0;
-            while let Some((source, (enqueued, batch))) = queue.pop_entry() {
+            while let Some((source, (enqueued, vrf, batch))) = queue.pop_entry() {
                 let w = stats.worker(idx);
                 w.queue_depth.set(queue.len() as u64);
                 let wait = enqueued.elapsed();
@@ -1100,9 +1237,29 @@ fn worker_main<K: Bits>(
                 }
                 // Epoch consistency: one snapshot per batch, re-acquired
                 // for the next batch so updates become visible at batch
-                // granularity.
+                // granularity. A VRF-keyed batch resolves the addressed
+                // tenant's snapshot instead of the engine FIB's;
+                // try_submit_vrf validated the id against a registry
+                // that only grows, so a miss here means the queue was
+                // fed around the validating edge — shed the batch with
+                // the drop counted rather than serving from the wrong
+                // table.
                 let served_at = Instant::now();
-                let snap = fib.snapshot();
+                let snap = match vrf {
+                    None => fib.snapshot(),
+                    Some(id) => match vrfs.and_then(|v| v.snapshot(id)) {
+                        Some(s) => s,
+                        None => {
+                            stats.dropped_batches.inc();
+                            stats.dropped_packets.add(batch.len() as u64);
+                            continue;
+                        }
+                    },
+                };
+                if vrf.is_some() {
+                    stats.vrf_batches.inc();
+                    stats.vrf_packets.add(batch.len() as u64);
+                }
                 out.clear();
                 out.resize(batch.len(), NO_ROUTE);
                 snap.lookup_batch(&batch, &mut out);
@@ -1187,6 +1344,7 @@ fn worker_main<K: Bits>(
 /// wedge the control plane while the dataplane keeps serving.
 fn writer_main<K: Bits>(
     replicas: &[Arc<SharedFib<K>>],
+    vrfs: Option<&VrfTable<K>>,
     queue: &Bounded<StampedUpdate<K>>,
     stats: &EngineTelemetry,
     window: usize,
@@ -1198,67 +1356,110 @@ fn writer_main<K: Bits>(
         let run = catch_unwind(AssertUnwindSafe(|| {
             let mut buf: Vec<StampedUpdate<K>> = Vec::with_capacity(window);
             let mut coalesced: Vec<RouteUpdate<K>> = Vec::with_capacity(window);
-            let mut seen: HashSet<Prefix<K>> = HashSet::with_capacity(window);
+            let mut vrf_bound: Vec<(VrfId, RouteUpdate<K>)> = Vec::new();
+            let mut seen: HashSet<(Option<VrfId>, Prefix<K>)> = HashSet::with_capacity(window);
             while queue.pop_up_to(window, &mut buf) {
                 coalesced.clear();
+                vrf_bound.clear();
                 seen.clear();
-                // Walk backwards keeping the last update per prefix, then
-                // restore arrival order among the survivors.
-                for (_, _, u) in buf.iter().rev() {
+                // Walk backwards keeping the last update per (VRF,
+                // prefix) — the same prefix in two tenants is two
+                // routes, never merged — then restore arrival order
+                // among the survivors.
+                for (_, _, vrf, u) in buf.iter().rev() {
                     let p = match u {
                         RouteUpdate::Announce(p, _) => *p,
                         RouteUpdate::Withdraw(p) => *p,
                     };
-                    if seen.insert(p) {
-                        coalesced.push(*u);
+                    if seen.insert((*vrf, p)) {
+                        match vrf {
+                            None => coalesced.push(*u),
+                            Some(id) => vrf_bound.push((*id, *u)),
+                        }
                     }
                 }
                 coalesced.reverse();
-                let merged = buf.len() - coalesced.len();
+                vrf_bound.reverse();
+                let merged = buf.len() - coalesced.len() - vrf_bound.len();
                 #[cfg(feature = "trace")]
                 if let Some(t) = tracer {
                     t.record(EventKind::WriterBurst, 0, buf.len() as u64, merged as u32);
                 }
 
-                let outcome = fib.update_batch(coalesced.iter().copied());
-                // The snapshot containing this burst is now published:
+                // VRF-bound survivors apply per tenant, in arrival
+                // order, each tenant under its own writer lock with its
+                // own snapshot publish — one tenant's burst never
+                // republishes another's table. `run` slices out
+                // consecutive same-VRF updates so an uninterleaved burst
+                // stays one publish.
+                let mut i = 0;
+                while i < vrf_bound.len() {
+                    let id = vrf_bound[i].0;
+                    let mut run = i + 1;
+                    while run < vrf_bound.len() && vrf_bound[run].0 == id {
+                        run += 1;
+                    }
+                    let slice = &vrf_bound[i..run];
+                    // The registry only grows and ids were validated at
+                    // the control edge, so this never misses; `if let`
+                    // keeps hostile-queue feeding shedding instead of
+                    // panicking the writer.
+                    if let Some(outcome) =
+                        vrfs.and_then(|v| v.update_batch(id, slice.iter().map(|&(_, u)| u)))
+                    {
+                        stats.vrf_updates.add(outcome.applied as u64);
+                    }
+                    i = run;
+                }
+
+                // Engine-FIB survivors follow the original path; a burst
+                // of pure VRF traffic publishes nothing engine-wide.
+                let outcome = if coalesced.is_empty() {
+                    None
+                } else {
+                    Some(fib.update_batch(coalesced.iter().copied()))
+                };
+                // The snapshots containing this burst are now published:
                 // every drained event has converged (coalesced-away
                 // events too — their information was superseded within
                 // the same burst).
-                for (sent, _, _) in &buf {
+                for (sent, _, _, _) in &buf {
                     stats
                         .convergence_ns
                         .record(sent.elapsed().as_nanos() as u64);
                 }
-                #[cfg(feature = "trace")]
-                if let Some(t) = tracer {
-                    // Every spanned event in the burst converged at this
-                    // version — coalesced-away events too (their routes
-                    // were superseded within the same burst).
-                    for &(_, span, _) in buf.iter() {
-                        if span != 0 {
-                            t.record(EventKind::UpdateApply, span, outcome.version, 0);
-                        }
-                    }
-                    t.record(EventKind::ReplicaPublish, 0, outcome.version, 0);
-                }
-                for (ri, replica) in replicas.iter().enumerate().skip(1) {
-                    replica.update_batch(coalesced.iter().copied());
-                    stats.replica_publishes.inc();
-                    #[cfg(feature = "trace")]
-                    if let Some(t) = tracer {
-                        t.record(EventKind::ReplicaPublish, 0, outcome.version, ri as u32);
-                    }
-                    #[cfg(not(feature = "trace"))]
-                    let _ = ri;
-                }
                 stats.update_events.add(buf.len() as u64);
                 stats.updates_coalesced.add(merged as u64);
-                stats.updates_applied.add(outcome.applied as u64);
-                stats.publishes.inc();
-                stats.published_version.set(outcome.version);
-                if let Some(h) = hook {
-                    h(outcome, &coalesced);
+                if let Some(outcome) = outcome {
+                    #[cfg(feature = "trace")]
+                    if let Some(t) = tracer {
+                        // Every spanned event in the burst converged at
+                        // this version — coalesced-away events too
+                        // (their routes were superseded within the same
+                        // burst).
+                        for &(_, span, _, _) in buf.iter() {
+                            if span != 0 {
+                                t.record(EventKind::UpdateApply, span, outcome.version, 0);
+                            }
+                        }
+                        t.record(EventKind::ReplicaPublish, 0, outcome.version, 0);
+                    }
+                    for (ri, replica) in replicas.iter().enumerate().skip(1) {
+                        replica.update_batch(coalesced.iter().copied());
+                        stats.replica_publishes.inc();
+                        #[cfg(feature = "trace")]
+                        if let Some(t) = tracer {
+                            t.record(EventKind::ReplicaPublish, 0, outcome.version, ri as u32);
+                        }
+                        #[cfg(not(feature = "trace"))]
+                        let _ = ri;
+                    }
+                    stats.updates_applied.add(outcome.applied as u64);
+                    stats.publishes.inc();
+                    stats.published_version.set(outcome.version);
+                    if let Some(h) = hook {
+                        h(outcome, &coalesced);
+                    }
                 }
                 buf.clear();
             }

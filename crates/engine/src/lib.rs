@@ -80,12 +80,15 @@ pub use stats::{EngineTelemetry, SourceStats, WorkerStats};
 
 pub use affinity::{pin_current_thread, NumaTopology};
 
+pub use poptrie::{SourceId, VrfId};
+pub use poptrie_vrf::VrfTable;
+
 /// One-line import of the engine vocabulary plus the `poptrie` types an
 /// engine driver always needs.
 pub mod prelude {
     pub use crate::{
         Control, Engine, EngineConfig, EngineReport, EngineTelemetry, Ingress, LatencySummary,
-        QosPolicy, SourceReport,
+        QosPolicy, SourceId, SourceReport, VrfId, VrfTable,
     };
     pub use poptrie::prelude::{
         Applied, NextHop, PoptrieConfig, Prefix, RouteUpdate, SharedFib, UpdateError, NO_ROUTE,

@@ -106,6 +106,16 @@ pub struct EngineTelemetry {
     /// Snapshots published to non-primary replicas by the writer (one
     /// per replica per coalesced burst; 0 when `fib_replicas` is 1).
     pub replica_publishes: Counter,
+    /// VRF-keyed batches served by workers (a subset of the per-worker
+    /// batch totals; see
+    /// [`Ingress::try_submit_vrf`](crate::Ingress::try_submit_vrf)).
+    pub vrf_batches: Counter,
+    /// Packets in VRF-keyed batches.
+    pub vrf_packets: Counter,
+    /// Route-update events the writer applied to VRF tables (disjoint
+    /// from [`updates_applied`](Self::updates_applied), which counts
+    /// the engine's own FIB).
+    pub vrf_updates: Counter,
 }
 
 impl EngineTelemetry {
@@ -140,6 +150,9 @@ impl EngineTelemetry {
             published_version: Gauge::new(),
             fib_replicas: Gauge::new(),
             replica_publishes: Counter::new(),
+            vrf_batches: Counter::new(),
+            vrf_packets: Counter::new(),
+            vrf_updates: Counter::new(),
         }
     }
 
@@ -403,6 +416,24 @@ impl EngineTelemetry {
             "Snapshots published to non-primary replicas by the writer.",
             &[],
             self.replica_publishes.get(),
+        );
+        reg.counter(
+            "poptrie_engine_vrf_batches_total",
+            "VRF-keyed packet batches served by workers.",
+            &[],
+            self.vrf_batches.get(),
+        );
+        reg.counter(
+            "poptrie_engine_vrf_packets_total",
+            "Packets in VRF-keyed batches.",
+            &[],
+            self.vrf_packets.get(),
+        );
+        reg.counter(
+            "poptrie_engine_vrf_updates_total",
+            "Route-update events applied to VRF tables by the writer.",
+            &[],
+            self.vrf_updates.get(),
         );
         let counts = self.batch_size.counts();
         let bounds: Vec<(f64, u64)> = counts

@@ -3,9 +3,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use poptrie::prelude::*;
+use poptrie::{SourceId, VrfId};
 
 use crate::queue::{Bounded, PushError};
-use crate::{Engine, EngineConfig, QosPolicy};
+use crate::{Engine, EngineConfig, QosPolicy, VrfTable};
 
 fn p4(s: &str) -> Prefix<u32> {
     s.parse().unwrap()
@@ -294,8 +295,8 @@ mod engine {
                 .source("bulk", 3)
                 .source("scavenger", 1),
         );
-        let bulk = engine.ingress_for(0).unwrap();
-        let scavenger = engine.ingress_for(1).unwrap();
+        let bulk = engine.ingress_for(SourceId::new(0)).unwrap();
+        let scavenger = engine.ingress_for(SourceId::new(1)).unwrap();
         assert_eq!(bulk.quota(), 3);
         assert_eq!(scavenger.quota(), 1);
 
@@ -539,5 +540,87 @@ mod engine {
         let report = engine.shutdown(Duration::from_secs(10));
         assert!(report.drained_clean);
         assert_eq!(seen_versions.load(Ordering::Relaxed), published);
+    }
+
+    #[test]
+    fn vrf_batches_and_updates_route_to_the_addressed_tenant() {
+        let fib = shared(&[("10.0.0.0/8", 1)]);
+        let cfg = PoptrieConfig::new().direct_bits(16).build().unwrap();
+        let vrfs = Arc::new(VrfTable::<u32>::shared(cfg, 1 << 16));
+        let a = vrfs.create();
+        let b = vrfs.create();
+
+        let served: Served = Arc::new(Mutex::new(Vec::new()));
+        let hook = {
+            let served = Arc::clone(&served);
+            Arc::new(move |w: usize, _k: &[u32], out: &[u16], _v: u64| {
+                served.lock().unwrap().push((w, out.to_vec()));
+            })
+        };
+        let engine = Engine::start(
+            Arc::clone(&fib),
+            EngineConfig::new(1)
+                .pin_workers(false)
+                .vrfs(Arc::clone(&vrfs))
+                .on_batch(hook),
+        );
+        let control = engine.control();
+        let ingress = engine.ingress();
+
+        // Same prefix, three tables, three different answers: the (VRF,
+        // prefix) coalescing key must keep all three.
+        control.announce_vrf(a, p4("10.0.0.0/8"), 11).unwrap();
+        control.announce_vrf(b, p4("10.0.0.0/8"), 22).unwrap();
+        control.announce(p4("11.0.0.0/8"), 7).unwrap();
+        // Hostile ids are refused at the edge, drop counted.
+        assert!(control
+            .send_vrf(VrfId::new(99), RouteUpdate::Announce(p4("12.0.0.0/8"), 9))
+            .is_err());
+
+        let t = engine.telemetry();
+        while t.update_events.get() < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(vrfs.get(a).unwrap().lookup(0x0A00_0001), Some(11));
+        assert_eq!(vrfs.get(b).unwrap().lookup(0x0A00_0001), Some(22));
+        assert_eq!(fib.lookup(0x0A00_0001), Some(1), "engine FIB untouched");
+        assert_eq!(fib.lookup(0x0B00_0001), Some(7));
+
+        let batch: Arc<[u32]> = Arc::from(vec![0x0A00_0001u32]);
+        while ingress.try_submit_vrf(a, Arc::clone(&batch)).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        while ingress.try_submit_vrf(b, Arc::clone(&batch)).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        while ingress.try_submit(Arc::clone(&batch)).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(ingress
+            .try_submit_vrf(VrfId::new(99), Arc::clone(&batch))
+            .is_err());
+
+        let report = engine.shutdown(Duration::from_secs(10));
+        assert!(report.drained_clean);
+        let answers: Vec<u16> = served
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, out)| out[0])
+            .collect();
+        // One batch per table, each answered from its own snapshot.
+        assert_eq!(answers.len(), 3);
+        for nh in [11, 22, 1] {
+            assert!(answers.contains(&nh), "missing answer {nh} in {answers:?}");
+        }
+        assert_eq!(report.vrf_batches, 2);
+        assert_eq!(report.vrf_packets, 2);
+        assert_eq!(report.vrf_updates, 2);
+        assert_eq!(report.updates_applied, 1, "only the engine announce");
+        assert_eq!(report.update_events, 3);
+        assert_eq!(report.convergence.samples, 3);
+        assert_eq!(report.control_dropped, 1, "the hostile send_vrf");
+        assert_eq!(report.dropped_batches, 1, "the hostile try_submit_vrf");
+        vrfs.audit().unwrap();
     }
 }

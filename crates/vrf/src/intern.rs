@@ -1,0 +1,291 @@
+//! The content-addressed, refcounted, epoch-reclaimed leaf interner.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+use poptrie::shared_leaves::{EpochGuard, LeafInterner, SharedLeaves};
+use poptrie_buddy::{ArenaHandle, Buddy};
+use poptrie_rib::NextHop;
+
+/// Metadata of one live interned extent.
+#[derive(Debug)]
+struct Extent {
+    /// Leaf count (exact, pre-rounding).
+    len: u32,
+    /// Outstanding writer-side references: how many `(table, node)` leaf
+    /// blocks currently resolve into this extent. Published snapshots are
+    /// *not* counted here — they are covered by epoch guards.
+    refs: u32,
+}
+
+/// An extent whose last reference was dropped, awaiting epoch quiescence
+/// before its slots return to the arena.
+#[derive(Debug)]
+struct Retired {
+    /// The epoch current when the extent was retired: any snapshot
+    /// published at or before it may still hold leaf indices into the
+    /// extent.
+    epoch: u64,
+    off: u32,
+    len: u32,
+}
+
+/// A point-in-time summary of a [`NextHopIntern`]'s state, for the bench
+/// harness and group-level accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternStats {
+    /// Live (referenced) extents.
+    pub live_extents: usize,
+    /// Arena slots those extents occupy after buddy rounding.
+    pub live_slots_rounded: u64,
+    /// Outstanding writer-side references across all live extents.
+    pub total_refs: u64,
+    /// `intern` calls answered by an existing extent — the deduplication
+    /// the shared arena exists for.
+    pub dedup_hits: u64,
+    /// `intern` calls that allocated a fresh extent.
+    pub fresh_allocs: u64,
+    /// Extents retired (refs hit zero) but not yet reclaimed: their slots
+    /// are pinned by live epoch guards.
+    pub pending_blocks: usize,
+    /// The current publish epoch.
+    pub epoch: u64,
+    /// Total slots in the backing arena.
+    pub capacity: u32,
+}
+
+/// The concrete [`LeafInterner`] of a VRF group: content-addressed
+/// interning of leaf blocks into one fixed shared arena.
+///
+/// * **Content addressing** — `intern` hashes the block; an existing
+///   extent with identical bytes is reference-counted and returned, so
+///   byte-identical leaf blocks across *every* table of the group (and
+///   within one table) occupy storage once.
+/// * **Refcounting** — references track writer-side membership only: one
+///   per `(table, node)` leaf block. At zero the extent leaves the content
+///   index immediately (it can no longer be deduplicated against — its
+///   slots may be rewritten as soon as reclamation allows).
+/// * **Epoch reclamation** — published RCU snapshots hold
+///   [`EpochGuard`]s, not references. A retired extent's slots return to
+///   the arena only once every guard stamped at or before the retirement
+///   epoch has dropped, so a reader batch running against an old snapshot
+///   never chases indices into recycled slots.
+#[derive(Debug)]
+pub struct NextHopIntern {
+    arena: ArenaHandle,
+    store: Arc<SharedLeaves>,
+    /// Content index: block bytes -> extent offset. Keys mirror the store
+    /// content of live extents (removed at retirement).
+    by_content: HashMap<Vec<NextHop>, u32>,
+    /// Live extents by offset.
+    extents: HashMap<u32, Extent>,
+    /// Guards handed out by `begin_epoch`, with their epochs. Dead weaks
+    /// are pruned on every epoch turn.
+    guards: Vec<(u64, Weak<EpochGuard>)>,
+    retired: Vec<Retired>,
+    epoch: u64,
+    total_refs: u64,
+    dedup_hits: u64,
+    fresh_allocs: u64,
+}
+
+impl NextHopIntern {
+    /// An interner over `arena` writing through to `store`. The arena must
+    /// be fixed at exactly the store's capacity — every offset the arena
+    /// can hand out must be a valid store index.
+    pub fn new(arena: ArenaHandle, store: Arc<SharedLeaves>) -> Self {
+        assert_eq!(
+            arena.capacity() as usize,
+            store.capacity(),
+            "arena and store must cover the same slot space"
+        );
+        NextHopIntern {
+            arena,
+            store,
+            by_content: HashMap::new(),
+            extents: HashMap::new(),
+            guards: Vec::new(),
+            retired: Vec::new(),
+            epoch: 0,
+            total_refs: 0,
+            dedup_hits: 0,
+            fresh_allocs: 0,
+        }
+    }
+
+    /// Point-in-time stats.
+    pub fn stats(&self) -> InternStats {
+        InternStats {
+            live_extents: self.extents.len(),
+            live_slots_rounded: self
+                .extents
+                .values()
+                .map(|e| Buddy::rounded(e.len) as u64)
+                .sum(),
+            total_refs: self.total_refs,
+            dedup_hits: self.dedup_hits,
+            fresh_allocs: self.fresh_allocs,
+            pending_blocks: self.retired.len(),
+            epoch: self.epoch,
+            capacity: self.arena.capacity(),
+        }
+    }
+
+    /// Reclaim every retired extent no live epoch guard can still see.
+    /// Runs on every epoch turn; public for tests and quiesced shutdown.
+    pub fn collect(&mut self) {
+        self.guards.retain(|(_, w)| w.strong_count() > 0);
+        // With no live guard everything retired is reclaimable; otherwise
+        // an extent retired at epoch E is safe once the oldest live guard
+        // is younger than E (guards at or before E have all dropped).
+        let min_live = self.guards.iter().map(|&(e, _)| e).min();
+        let arena = &self.arena;
+        self.retired.retain(|r| {
+            let pinned = min_live.is_some_and(|m| m <= r.epoch);
+            if !pinned {
+                arena.free(r.off, r.len);
+            }
+            pinned
+        });
+    }
+
+    /// Exact internal consistency check: content index and extent map
+    /// mirror each other, per-extent content matches the store, reference
+    /// totals reconcile, and the arena's accounting matches live +
+    /// retired extents exactly.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.by_content.len() != self.extents.len() {
+            return Err(format!(
+                "content index has {} entries, extent map {}",
+                self.by_content.len(),
+                self.extents.len()
+            ));
+        }
+        let mut refs = 0u64;
+        for (key, &off) in &self.by_content {
+            let Some(e) = self.extents.get(&off) else {
+                return Err(format!("content entry at {off} missing from extent map"));
+            };
+            if e.len as usize != key.len() {
+                return Err(format!(
+                    "extent {off}: content key has {} leaves, extent {}",
+                    key.len(),
+                    e.len
+                ));
+            }
+            if !self.store.block_eq(off, key) {
+                return Err(format!(
+                    "extent {off}: store bytes diverge from content key"
+                ));
+            }
+            if !self.arena.is_live_block(off, e.len) {
+                return Err(format!("extent {off} is not live in the arena"));
+            }
+            refs += e.refs as u64;
+        }
+        if refs != self.total_refs {
+            return Err(format!(
+                "reference total {refs} != running counter {}",
+                self.total_refs
+            ));
+        }
+        let blocks = self.extents.len() + self.retired.len();
+        if blocks as u32 != self.arena.live_blocks() {
+            return Err(format!(
+                "arena holds {} blocks, interner accounts for {blocks} (live + retired)",
+                self.arena.live_blocks()
+            ));
+        }
+        let slots: u64 = self
+            .extents
+            .values()
+            .map(|e| Buddy::rounded(e.len) as u64)
+            .sum::<u64>()
+            + self
+                .retired
+                .iter()
+                .map(|r| Buddy::rounded(r.len) as u64)
+                .sum::<u64>();
+        if slots != self.arena.allocated_slots() as u64 {
+            return Err(format!(
+                "arena says {} slots allocated, interner accounts for {slots}",
+                self.arena.allocated_slots()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl LeafInterner for NextHopIntern {
+    fn intern(&mut self, vals: &[NextHop]) -> Option<u32> {
+        debug_assert!(!vals.is_empty());
+        if let Some(&off) = self.by_content.get(vals) {
+            self.extents.get_mut(&off).expect("indexed extent").refs += 1;
+            self.total_refs += 1;
+            self.dedup_hits += 1;
+            return Some(off);
+        }
+        let off = match self.arena.try_alloc(vals.len() as u32) {
+            Some(off) => off,
+            None => {
+                // One free try: reclaim whatever epochs have quiesced.
+                self.collect();
+                self.arena.try_alloc(vals.len() as u32)?
+            }
+        };
+        self.store.write_block(off, vals);
+        self.by_content.insert(vals.to_vec(), off);
+        self.extents.insert(
+            off,
+            Extent {
+                len: vals.len() as u32,
+                refs: 1,
+            },
+        );
+        self.total_refs += 1;
+        self.fresh_allocs += 1;
+        Some(off)
+    }
+
+    fn release(&mut self, off: u32, len: u32) {
+        let e = self
+            .extents
+            .get_mut(&off)
+            .unwrap_or_else(|| panic!("release of unknown extent at {off}"));
+        assert_eq!(e.len, len, "release length mismatch at {off}");
+        e.refs -= 1;
+        self.total_refs -= 1;
+        if e.refs == 0 {
+            self.extents.remove(&off);
+            // Rebuild the content key from the store (still intact: the
+            // slots stay unwritten until reclamation) to drop the index
+            // entry without storing every key twice.
+            let key: Vec<NextHop> = (0..len as usize)
+                .map(|i| self.store.get(off as usize + i))
+                .collect();
+            let removed = self.by_content.remove(&key);
+            debug_assert_eq!(removed, Some(off), "content index out of sync at {off}");
+            self.retired.push(Retired {
+                epoch: self.epoch,
+                off,
+                len,
+            });
+        }
+    }
+
+    fn is_live_block(&self, off: u32, len: u32) -> bool {
+        self.extents.get(&off).is_some_and(|e| e.len == len)
+    }
+
+    fn begin_epoch(&mut self) -> Arc<EpochGuard> {
+        self.epoch += 1;
+        let guard = EpochGuard::new(self.epoch);
+        self.guards.push((self.epoch, Arc::downgrade(&guard)));
+        self.collect();
+        guard
+    }
+
+    fn total_refs(&self) -> u64 {
+        self.total_refs
+    }
+}

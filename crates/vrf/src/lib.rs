@@ -1,0 +1,43 @@
+//! # poptrie-vrf — multi-tenant VRF multiplexing over shared leaf arenas
+//!
+//! A hardware router running VRFs (virtual routing and forwarding) carries
+//! hundreds to thousands of routing tables: one per customer VPN, per
+//! internet-exchange peer class, per management plane. Most of those
+//! tables are provisioned from a common base (a full BGP feed, an IGP
+//! core) plus a small per-tenant delta — so compiled independently, the
+//! FIBs are overwhelmingly *byte-identical*, and the per-table memory of a
+//! naive deployment scales with tenants instead of with distinct routes.
+//!
+//! This crate multiplexes many [`SharedFib`]s over one shared leaf arena:
+//!
+//! * [`NextHopIntern`] — the concrete
+//!   [`LeafInterner`](poptrie::LeafInterner): a content-addressed,
+//!   refcounted allocator over a fixed
+//!   [`ArenaOwner`](poptrie_buddy::ArenaOwner), with epoch-deferred
+//!   reclamation so RCU readers never observe a recycled extent.
+//! * [`VrfTable`] — the registry: [`VrfId`]-indexed creation and access
+//!   to per-tenant [`SharedFib`]s, each compiled against the group's
+//!   arena, plus group-wide memory/interning accounting and an exact
+//!   cross-table audit.
+//!
+//! Only *leaf* storage is shared. Node arrays and direct tables stay
+//! private per tenant: structural isolation is what keeps one tenant's
+//! churn invisible to another's readers, and per-tenant snapshot clones
+//! stay proportional to that tenant's own table. Leaves are where the
+//! redundancy lives (identical next-hop blocks recur across every tenant
+//! cloned from the same base), and leaves are what interning collapses.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod intern;
+mod table;
+
+#[cfg(test)]
+mod tests;
+
+pub use intern::{InternStats, NextHopIntern};
+pub use table::{VrfMemory, VrfTable};
+
+pub use poptrie::sync::SharedFib;
+pub use poptrie::VrfId;

@@ -1,0 +1,179 @@
+use poptrie::config::PoptrieConfig;
+use poptrie::sync::RouteUpdate;
+use poptrie::VrfId;
+use poptrie_rib::{NextHop, Prefix, RadixTree};
+use poptrie_rng::prelude::*;
+
+use crate::VrfTable;
+
+fn p4(s: &str) -> Prefix<u32> {
+    s.parse().unwrap()
+}
+
+fn cfg() -> PoptrieConfig {
+    PoptrieConfig::new().direct_bits(12).build().unwrap()
+}
+
+/// A deterministic pseudo-BGP table: `n` random prefixes of plausible
+/// lengths with next hops from a small pool (few distinct hops is the
+/// realistic regime — and what leaf interning thrives on).
+fn random_rib(rng: &mut StdRng, n: usize, max_nh: u16) -> RadixTree<u32, NextHop> {
+    let mut rib = RadixTree::new();
+    while rib.len() < n {
+        let len = rng.gen_range(8..=28u32) as u8;
+        let addr: u32 = rng.gen::<u32>() & (!0u32 << (32 - len as u32));
+        rib.insert(
+            Prefix::new(addr, len),
+            rng.gen_range(1..=max_nh as u32) as NextHop,
+        );
+    }
+    rib
+}
+
+/// Tenants cloned from one base feed must deduplicate almost all of their
+/// leaf storage, and the shared group must agree with a private group on
+/// every lookup.
+#[test]
+fn cloned_tenants_dedup_and_agree_with_private() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let base = random_rib(&mut rng, 2_000, 12);
+
+    let shared: VrfTable<u32> = VrfTable::shared(cfg(), 1 << 20);
+    let private: VrfTable<u32> = VrfTable::private(cfg());
+    const TENANTS: usize = 8;
+    for _ in 0..TENANTS {
+        shared.create_from(base.clone());
+        private.create_from(base.clone());
+    }
+
+    let stats = shared.intern_stats().unwrap();
+    assert!(
+        stats.dedup_hits as f64 >= 0.85 * (TENANTS - 1) as f64 * stats.fresh_allocs as f64,
+        "clones should intern into the first tenant's extents: {stats:?}"
+    );
+
+    for _ in 0..20_000 {
+        let key: u32 = rng.gen();
+        for i in 0..TENANTS as u32 {
+            assert_eq!(
+                shared.get(VrfId::new(i)).unwrap().lookup(key),
+                private.get(VrfId::new(i)).unwrap().lookup(key),
+            );
+        }
+    }
+
+    let sm = shared.memory();
+    let pm = private.memory();
+    assert_eq!(sm.routes, pm.routes);
+    assert!(sm.shared_used_bytes < pm.private_leaf_bytes / 2);
+    shared.audit().unwrap();
+    private.audit().unwrap();
+}
+
+/// Churning one tenant must leave every other tenant's published snapshot
+/// (and version) untouched, with the cross-table reference audit exact
+/// throughout.
+#[test]
+fn churn_isolation_across_tenants() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let base = random_rib(&mut rng, 1_000, 8);
+    let vrfs: VrfTable<u32> = VrfTable::shared(cfg(), 1 << 20);
+    let a = vrfs.create_from(base.clone());
+    let b = vrfs.create_from(base.clone());
+
+    let b_before = vrfs.snapshot(b).unwrap();
+    let probes: Vec<u32> = (0..5_000).map(|_| rng.gen()).collect();
+    let b_answers: Vec<_> = probes.iter().map(|&k| b_before.lookup(k)).collect();
+
+    // Oracle for tenant A: mirror its churn into a plain RadixTree.
+    let mut oracle = base.clone();
+    for round in 0..20 {
+        let updates: Vec<RouteUpdate<u32>> = (0..50)
+            .map(|_| {
+                let len = rng.gen_range(8..=28u32) as u8;
+                let addr: u32 = rng.gen::<u32>() & (!0u32 << (32 - len as u32));
+                let p = Prefix::new(addr, len);
+                if rng.gen_bool(0.7) {
+                    RouteUpdate::Announce(p, rng.gen_range(1..=8u32) as NextHop)
+                } else {
+                    RouteUpdate::Withdraw(p)
+                }
+            })
+            .collect();
+        for u in &updates {
+            match *u {
+                RouteUpdate::Announce(p, nh) => {
+                    oracle.insert(p, nh);
+                }
+                RouteUpdate::Withdraw(p) => {
+                    oracle.remove(p);
+                }
+            }
+        }
+        vrfs.update_batch(a, updates).unwrap();
+        if round % 5 == 4 {
+            vrfs.audit().unwrap();
+        }
+    }
+
+    // Tenant B: same snapshot object still current, same answers.
+    let b_after = vrfs.snapshot(b).unwrap();
+    assert_eq!(b_before.version(), b_after.version());
+    for (&k, &expect) in probes.iter().zip(&b_answers) {
+        assert_eq!(b_after.lookup(k), expect, "tenant B perturbed at {k:#x}");
+    }
+
+    // Tenant A: oracle-exact after the churn.
+    let a_snap = vrfs.snapshot(a).unwrap();
+    for &k in &probes {
+        assert_eq!(a_snap.lookup(k), oracle.lookup(k).copied());
+    }
+    vrfs.audit().unwrap();
+}
+
+/// Retired extents stay pinned while an old snapshot is alive and are
+/// reclaimed once it drops and a new epoch turns.
+#[test]
+fn epoch_reclamation_waits_for_snapshots() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let base = random_rib(&mut rng, 1_500, 6);
+    let vrfs: VrfTable<u32> = VrfTable::shared(cfg(), 1 << 20);
+    let a = vrfs.create_from(base);
+
+    let pinned = vrfs.snapshot(a).unwrap();
+
+    // Replace a spread of routes so leaf blocks are retired.
+    let updates: Vec<RouteUpdate<u32>> = (0..400)
+        .map(|i| RouteUpdate::Announce(Prefix::new((i as u32) << 20, 12), 5))
+        .collect();
+    vrfs.update_batch(a, updates).unwrap();
+
+    let held = vrfs.intern_stats().unwrap();
+    assert!(
+        held.pending_blocks > 0,
+        "churn under a pinned snapshot should retire extents: {held:?}"
+    );
+
+    drop(pinned);
+    // The next publish turns the epoch and collects.
+    vrfs.update_batch(a, [RouteUpdate::Announce(p4("10.0.0.0/8"), 1)])
+        .unwrap();
+    // The pre-churn epoch guard is dead; only the current snapshot pins.
+    let after = vrfs.intern_stats().unwrap();
+    assert!(
+        after.pending_blocks < held.pending_blocks,
+        "reclamation should drain once the old snapshot dropped: {held:?} -> {after:?}"
+    );
+    vrfs.audit().unwrap();
+}
+
+/// The arena refuses growth: interning fails cleanly (builder panics)
+/// when a group outgrows its provisioned slab.
+#[test]
+#[should_panic(expected = "shared leaf arena exhausted")]
+fn arena_exhaustion_panics_with_context() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let vrfs: VrfTable<u32> = VrfTable::shared(cfg(), 64);
+    // 64 slots cannot hold a real table's distinct leaf blocks.
+    vrfs.create_from(random_rib(&mut rng, 2_000, 64));
+}

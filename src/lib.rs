@@ -71,15 +71,21 @@ pub use poptrie_telemetry as telemetry;
 /// `poptrie-bgp`).
 pub use poptrie_bgp as bgp;
 
+/// Multi-tenant VRF multiplexing over shared leaf arenas (re-export of
+/// `poptrie-vrf`).
+pub use poptrie_vrf as vrf;
+
 /// One-line import of the whole suite's vocabulary: the `poptrie`
 /// prelude (config builder, fallible FIB mutations, shared FIB) plus the
-/// forwarding-engine types.
+/// forwarding-engine and VRF types.
 pub mod prelude {
     pub use poptrie::prelude::*;
+    pub use poptrie::{SourceId, VrfId};
     pub use poptrie_engine::{
         Control, Engine, EngineConfig, EngineReport, Ingress, LatencySummary, QosPolicy,
         SourceReport,
     };
+    pub use poptrie_vrf::{InternStats, NextHopIntern, VrfMemory, VrfTable};
 }
 
 /// The baseline lookup algorithms the paper compares against.

@@ -221,7 +221,10 @@ fn out_of_range_indices_are_errors_not_panics() {
     assert!(err.to_string().contains("out of range"));
     engine.inject_panic(1).unwrap(); // in range still works
 
-    assert!(engine.ingress_for(0).is_err()); // no sources registered
+    // no sources registered
+    assert!(engine
+        .ingress_for(poptrie_suite::prelude::SourceId::new(0))
+        .is_err());
     assert!(engine.telemetry().source(usize::MAX).is_none());
     assert!(engine.telemetry().source(0).is_none());
 

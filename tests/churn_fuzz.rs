@@ -399,6 +399,102 @@ fn churn_without_direct_pointing() {
     );
 }
 
+/// Multi-VRF mode: two tenants on one shared leaf arena, each replaying
+/// its own independently seeded churn stream against its own RIB oracle.
+///
+/// The point is cross-tenant interference: tenant A's announce can retire
+/// an extent tenant B still references, or dedup against a block B
+/// interned — the oracle probes after every event prove neither ever
+/// observes the other's churn, and [`VrfTable::audit`] (which runs
+/// `Poptrie::audit` on every table and reconciles the summed leaf-block
+/// references against the interner exactly) proves the shared arena's
+/// bookkeeping survives the interleaving.
+#[test]
+fn churn_two_vrfs_on_shared_arena() {
+    use poptrie_suite::prelude::{VrfId, VrfTable};
+
+    let pcfg = PoptrieConfig::new()
+        .direct_bits(8)
+        .aggregate(false)
+        .build()
+        .unwrap();
+    let vrfs: VrfTable<u32> = VrfTable::shared(pcfg, 1 << 18);
+
+    let cfgs = [
+        ChurnConfig {
+            seed: 0x0417_0007,
+            events: 8_000,
+            direct_bits: 8,
+            pool: 128,
+            max_nh: 13,
+        },
+        ChurnConfig {
+            seed: 0x0417_0008,
+            events: 8_000,
+            direct_bits: 8,
+            pool: 128,
+            max_nh: 13,
+        },
+    ];
+    let streams: Vec<Vec<ChurnEvent<u32>>> = cfgs.iter().map(churn_stream).collect();
+    let ids = [vrfs.create(), vrfs.create()];
+    assert_eq!(ids, [VrfId::new(0), VrfId::new(1)]);
+    let mut oracles: [RadixTree<u32, NextHop>; 2] = [RadixTree::new(), RadixTree::new()];
+
+    let mut rng = StdRng::seed_from_u64(0x0417_0009);
+    for i in 0..streams[0].len().max(streams[1].len()) {
+        // Interleave the tenants event by event so retire/intern races on
+        // the shared arena actually happen.
+        for t in 0..2 {
+            let Some(ev) = streams[t].get(i) else {
+                continue;
+            };
+            match *ev {
+                ChurnEvent::Announce(p, nh) => {
+                    oracles[t].insert(p, nh);
+                    vrfs.update_batch(ids[t], [RouteUpdate::Announce(p, nh)])
+                        .expect("known VrfId");
+                }
+                ChurnEvent::Withdraw(p) => {
+                    oracles[t].remove(p);
+                    vrfs.update_batch(ids[t], [RouteUpdate::Withdraw(p)])
+                        .expect("known VrfId");
+                }
+            }
+            // Probe BOTH tenants around the touched prefix: the churned
+            // one must track its oracle, the other must be unaffected.
+            for key in probe_keys(ev.prefix(), &mut rng) {
+                for u in 0..2 {
+                    let want = Lpm::lookup(&oracles[u], key);
+                    let got = vrfs.snapshot(ids[u]).unwrap().lookup(key);
+                    assert_eq!(
+                        got, want,
+                        "event {i}, tenant {t} churned, tenant {u} probed: key {key:#x}"
+                    );
+                }
+            }
+        }
+        if (i + 1).is_multiple_of(1_000) {
+            vrfs.audit()
+                .unwrap_or_else(|e| panic!("group audit after event {i}: {e}"));
+        }
+    }
+
+    // End state: both tenants oracle-exact over their ranges, group audit
+    // (per-table Poptrie::audit + exact interner reconciliation) green.
+    vrfs.audit().expect("final group audit");
+    for t in 0..2 {
+        let fresh: poptrie_suite::Poptrie<u32> = Builder::new()
+            .direct_bits(8)
+            .aggregate(false)
+            .build(&oracles[t]);
+        let got = vrfs.get(ids[t]).unwrap().with_fib(|f| f.poptrie().ranges());
+        assert_eq!(got, fresh.ranges(), "tenant {t} end state diverged");
+    }
+    let stats = vrfs.intern_stats().expect("shared mode");
+    assert!(stats.dedup_hits > 0, "two tenants never shared an extent");
+}
+
 /// The paper's production setting `s = 18`: short prefixes span many
 /// direct slots, so each /0–/17 event patches a slot *range*. Fewer
 /// events keep the quadratic-ish slot fan-out affordable.
